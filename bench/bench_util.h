@@ -1,0 +1,90 @@
+// Shared helpers for the experiment-reproduction benches: aligned table
+// printing (the paper's rows/series) with optional CSV emission via --csv.
+
+#ifndef FEDSC_BENCH_BENCH_UTIL_H_
+#define FEDSC_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace fedsc::bench {
+
+inline bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+// Accumulates rows of strings and prints them as an aligned text table or as
+// CSV.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void Print(bool csv) const {
+    if (csv) {
+      PrintDelimited(",");
+      return;
+    }
+    std::vector<size_t> widths(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& row) {
+      for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], row[i].size());
+      }
+    };
+    widen(header_);
+    for (const auto& row : rows_) widen(row);
+
+    PrintAligned(header_, widths);
+    std::string rule;
+    for (size_t i = 0; i < widths.size(); ++i) {
+      rule += std::string(widths[i], '-');
+      if (i + 1 < widths.size()) rule += "-+-";
+    }
+    std::printf("%s\n", rule.c_str());
+    for (const auto& row : rows_) PrintAligned(row, widths);
+  }
+
+ private:
+  void PrintAligned(const std::vector<std::string>& row,
+                    const std::vector<size_t>& widths) const {
+    for (size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      std::printf("%-*s", static_cast<int>(widths[i]), cell.c_str());
+      if (i + 1 < widths.size()) std::printf(" | ");
+    }
+    std::printf("\n");
+  }
+
+  void PrintDelimited(const char* sep) const {
+    auto line = [&](const std::vector<std::string>& row) {
+      for (size_t i = 0; i < row.size(); ++i) {
+        std::printf("%s%s", i == 0 ? "" : sep, row[i].c_str());
+      }
+      std::printf("\n");
+    };
+    line(header_);
+    for (const auto& row : rows_) line(row);
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(double value, int decimals = 2) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+  return buffer;
+}
+
+inline std::string Fmt(int64_t value) { return std::to_string(value); }
+
+}  // namespace fedsc::bench
+
+#endif  // FEDSC_BENCH_BENCH_UTIL_H_

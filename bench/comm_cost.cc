@@ -1,0 +1,102 @@
+// Communication-cost accounting (Section IV-E): measured uplink/downlink
+// bits of Fed-SC and k-FED as functions of Z, against the paper's analytic
+// formulas — uplink n*q*sum_z r^(z) bits, downlink sum_z r^(z) * log2(L)
+// bits, one round total. Also reports the 8-bit quantized uplink.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/fedsc.h"
+#include "data/synthetic.h"
+#include "fed/kfed.h"
+#include "fed/partition.h"
+#include "metrics/clustering_metrics.h"
+
+namespace fedsc {
+namespace {
+
+constexpr int64_t kAmbientDim = 20;
+constexpr int64_t kSubspaceDim = 4;
+constexpr int64_t kNumSubspaces = 10;
+constexpr int64_t kLPrime = 2;
+
+void Run(bool csv) {
+  bench::Table table({"Z", "method", "ACC a%", "uplink kb", "downlink kb",
+                      "rounds", "analytic uplink kb"});
+  for (int64_t num_devices : {25, 50, 100, 200}) {
+    const int64_t holders =
+        std::max<int64_t>(1, num_devices * kLPrime / kNumSubspaces);
+    SyntheticOptions synth;
+    synth.ambient_dim = kAmbientDim;
+    synth.subspace_dim = kSubspaceDim;
+    synth.num_subspaces = kNumSubspaces;
+    synth.points_per_subspace = holders * 8;
+    synth.seed = 0xC057'0000ULL + static_cast<uint64_t>(num_devices);
+    auto data = GenerateUnionOfSubspaces(synth);
+    if (!data.ok()) continue;
+    PartitionOptions partition;
+    partition.num_devices = num_devices;
+    partition.clusters_per_device = kLPrime;
+    partition.seed = 0xC057'1111ULL + static_cast<uint64_t>(num_devices);
+    auto fed = PartitionAcrossDevices(*data, partition);
+    if (!fed.ok()) continue;
+
+    auto add = [&](const char* method, double acc, const CommStats& comm,
+                   double analytic_kb) {
+      table.AddRow({bench::Fmt(num_devices), method, bench::Fmt(acc),
+                    bench::Fmt(static_cast<double>(comm.uplink_bits) / 1000.0,
+                               1),
+                    bench::Fmt(comm.downlink_bits / 1000.0, 2),
+                    bench::Fmt(static_cast<int64_t>(comm.rounds)),
+                    analytic_kb > 0 ? bench::Fmt(analytic_kb, 1)
+                                    : std::string("-")});
+    };
+
+    {
+      FedScOptions options;
+      auto result = RunFedSc(*fed, kNumSubspaces, options);
+      if (result.ok()) {
+        // Section IV-E: n * q * sum_z r^(z).
+        const double analytic_kb =
+            static_cast<double>(kAmbientDim) * 64.0 *
+            static_cast<double>(result->total_samples) / 1000.0;
+        add("Fed-SC (SSC)",
+            ClusteringAccuracy(data->labels, result->global_labels),
+            result->comm, analytic_kb);
+      }
+    }
+    {
+      FedScOptions options;
+      options.channel.quantize = true;
+      options.channel.bits_per_value = 8;
+      auto result = RunFedSc(*fed, kNumSubspaces, options);
+      if (result.ok()) {
+        add("Fed-SC (SSC, 8-bit)",
+            ClusteringAccuracy(data->labels, result->global_labels),
+            result->comm, 0.0);
+      }
+    }
+    {
+      KFedOptions options;
+      options.local_k = kLPrime;
+      auto result = RunKFed(*fed, kNumSubspaces, options);
+      if (result.ok()) {
+        add("k-FED", ClusteringAccuracy(data->labels, result->global_labels),
+            result->comm, 0.0);
+      }
+    }
+  }
+  std::printf("Communication cost — Section IV-E accounting (n=%ld, L=%ld, "
+              "L'=%ld)\n",
+              static_cast<long>(kAmbientDim),
+              static_cast<long>(kNumSubspaces), static_cast<long>(kLPrime));
+  table.Print(csv);
+}
+
+}  // namespace
+}  // namespace fedsc
+
+int main(int argc, char** argv) {
+  fedsc::Run(fedsc::bench::HasFlag(argc, argv, "--csv"));
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Reproduces Fig. 5: heatmaps of Fed-SC (SSC) and Fed-SC (TSC) clustering
+// accuracy as functions of the heterogeneity ratio L'/L and the number of
+// subspaces L, at a fixed device count.
+//
+// Paper setup: Z = 400. Scaled-down setup: Z = 60, L in {8, 16, 24, 32},
+// L'/L in {0.25, 0.5, 0.75, 1.0} (see EXPERIMENTS.md). Brighter (higher)
+// cells should concentrate at small L'/L and small L.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/fedsc.h"
+#include "data/synthetic.h"
+#include "fed/partition.h"
+#include "metrics/clustering_metrics.h"
+
+namespace fedsc {
+namespace {
+
+constexpr int64_t kNumDevices = 60;
+constexpr int64_t kAmbientDim = 20;
+constexpr int64_t kSubspaceDim = 4;
+// Fixed per-device budget (see fig4_devices.cc): heterogeneity benefits
+// appear because a device spreads the same budget over fewer clusters.
+constexpr int64_t kPointsPerDevice = 120;
+
+void Run(bool csv) {
+  const int64_t subspace_counts[] = {8, 16, 24, 32};
+  const double ratios[] = {0.25, 0.5, 0.75, 1.0};
+
+  for (ScMethod central : {ScMethod::kSsc, ScMethod::kTsc}) {
+    bench::Table table({"L'/L", "L=8", "L=16", "L=24", "L=32"});
+    for (double ratio : ratios) {
+      std::vector<std::string> row{bench::Fmt(ratio)};
+      for (int64_t num_subspaces : subspace_counts) {
+        const int64_t l_prime = std::max<int64_t>(
+            1, static_cast<int64_t>(std::lround(ratio * num_subspaces)));
+        SyntheticOptions synth;
+        synth.ambient_dim = kAmbientDim;
+        synth.subspace_dim = kSubspaceDim;
+        synth.num_subspaces = num_subspaces;
+        synth.points_per_subspace =
+            kPointsPerDevice * kNumDevices / num_subspaces;
+        synth.seed = 0xF15'0000ULL + static_cast<uint64_t>(num_subspaces);
+        auto data = GenerateUnionOfSubspaces(synth);
+        if (!data.ok()) {
+          row.push_back("-");
+          continue;
+        }
+        PartitionOptions partition;
+        partition.num_devices = kNumDevices;
+        partition.clusters_per_device =
+            l_prime >= num_subspaces ? 0 : l_prime;
+        partition.seed =
+            0xF15'1111ULL + static_cast<uint64_t>(100 * ratio);
+        auto fed = PartitionAcrossDevices(*data, partition);
+        if (!fed.ok()) {
+          row.push_back("-");
+          continue;
+        }
+        FedScOptions options;
+        options.central_method = central;
+        auto result = RunFedSc(*fed, num_subspaces, options);
+        row.push_back(result.ok()
+                          ? bench::Fmt(ClusteringAccuracy(
+                                data->labels, result->global_labels))
+                          : "-");
+      }
+      table.AddRow(std::move(row));
+    }
+    std::printf("Fig. 5 — Fed-SC (%s) accuracy heatmap, Z=%ld\n",
+                central == ScMethod::kSsc ? "SSC" : "TSC",
+                static_cast<long>(kNumDevices));
+    table.Print(csv);
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace fedsc
+
+int main(int argc, char** argv) {
+  fedsc::Run(fedsc::bench::HasFlag(argc, argv, "--csv"));
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Reproduces Fig. 7: robustness of Fed-SC to communication noise — accuracy
+// heatmaps over the noise scale delta and the number of devices Z, where
+// each device's uploaded samples receive Gaussian noise of standard
+// deviation delta / sqrt(r^(z)).
+//
+// Paper setup: a delta x Z grid at synthetic scale. Scaled-down setup:
+// Z in {25, 50, 100, 200}, delta in {0, 0.05, 0.1, 0.2, 0.4}
+// (see EXPERIMENTS.md). Expected shape: near-flat accuracy across a wide
+// delta range, degrading only at the largest delta / smallest Z corner.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/fedsc.h"
+#include "data/synthetic.h"
+#include "fed/partition.h"
+#include "metrics/clustering_metrics.h"
+
+namespace fedsc {
+namespace {
+
+constexpr int64_t kAmbientDim = 20;
+constexpr int64_t kSubspaceDim = 4;
+constexpr int64_t kNumSubspaces = 10;
+constexpr int64_t kLPrime = 2;
+constexpr int64_t kPointsPerDeviceCluster = 7;
+
+void Run(bool csv) {
+  const int64_t device_counts[] = {25, 50, 100, 200};
+  const double deltas[] = {0.0, 0.05, 0.1, 0.2, 0.4};
+
+  for (ScMethod central : {ScMethod::kSsc, ScMethod::kTsc}) {
+    bench::Table table(
+        {"delta", "Z=25", "Z=50", "Z=100", "Z=200"});
+    for (double delta : deltas) {
+      std::vector<std::string> row{bench::Fmt(delta)};
+      for (int64_t num_devices : device_counts) {
+        const int64_t holders =
+            std::max<int64_t>(1, num_devices * kLPrime / kNumSubspaces);
+        SyntheticOptions synth;
+        synth.ambient_dim = kAmbientDim;
+        synth.subspace_dim = kSubspaceDim;
+        synth.num_subspaces = kNumSubspaces;
+        synth.points_per_subspace = holders * kPointsPerDeviceCluster;
+        synth.seed = 0xF17'0000ULL + static_cast<uint64_t>(num_devices);
+        auto data = GenerateUnionOfSubspaces(synth);
+        if (!data.ok()) {
+          row.push_back("-");
+          continue;
+        }
+        PartitionOptions partition;
+        partition.num_devices = num_devices;
+        partition.clusters_per_device = kLPrime;
+        partition.seed = 0xF17'1111ULL + static_cast<uint64_t>(num_devices);
+        auto fed = PartitionAcrossDevices(*data, partition);
+        if (!fed.ok()) {
+          row.push_back("-");
+          continue;
+        }
+        FedScOptions options;
+        options.central_method = central;
+        options.channel.noise_delta = delta;
+        auto result = RunFedSc(*fed, kNumSubspaces, options);
+        row.push_back(result.ok()
+                          ? bench::Fmt(ClusteringAccuracy(
+                                data->labels, result->global_labels))
+                          : "-");
+      }
+      table.AddRow(std::move(row));
+    }
+    std::printf("Fig. 7 — Fed-SC (%s) accuracy under channel noise\n",
+                central == ScMethod::kSsc ? "SSC" : "TSC");
+    table.Print(csv);
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace fedsc
+
+int main(int argc, char** argv) {
+  fedsc::Run(fedsc::bench::HasFlag(argc, argv, "--csv"));
+  return 0;
+}

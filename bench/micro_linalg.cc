@@ -1,0 +1,161 @@
+// google-benchmark microbenchmarks for the hand-built linear-algebra
+// substrate: GEMM, QR, Cholesky, Jacobi SVD, symmetric eigensolver, sparse
+// SpMV, and Lanczos.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "linalg/blas.h"
+#include "linalg/cholesky.h"
+#include "linalg/eig.h"
+#include "linalg/lanczos.h"
+#include "linalg/qr.h"
+#include "linalg/sparse.h"
+#include "linalg/svd.h"
+
+namespace fedsc {
+namespace {
+
+Matrix RandomMatrix(int64_t rows, int64_t cols, Rng* rng) {
+  Matrix m(rows, cols);
+  for (int64_t j = 0; j < cols; ++j) {
+    for (int64_t i = 0; i < rows; ++i) m(i, j) = rng->Gaussian();
+  }
+  return m;
+}
+
+Matrix RandomSymmetric(int64_t n, Rng* rng) {
+  Matrix a = RandomMatrix(n, n, rng);
+  a += a.Transposed();
+  return a;
+}
+
+void BM_GemmNN(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  const Matrix a = RandomMatrix(n, n, &rng);
+  const Matrix b = RandomMatrix(n, n, &rng);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    Gemm(Trans::kNo, Trans::kNo, 1.0, a, b, 0.0, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmNN)->Arg(64)->Arg(256)->Arg(512);
+
+void BM_GemmTN(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(2);
+  const Matrix a = RandomMatrix(n, n, &rng);
+  const Matrix b = RandomMatrix(n, n, &rng);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    Gemm(Trans::kTrans, Trans::kNo, 1.0, a, b, 0.0, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmTN)->Arg(64)->Arg(256);
+
+void BM_HouseholderQr(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(3);
+  const Matrix a = RandomMatrix(2 * n, n, &rng);
+  for (auto _ : state) {
+    auto qr = HouseholderQr(a);
+    benchmark::DoNotOptimize(qr->q.data());
+  }
+}
+BENCHMARK(BM_HouseholderQr)->Arg(32)->Arg(128);
+
+void BM_Cholesky(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(4);
+  Matrix spd = Gram(RandomMatrix(n, n, &rng));
+  for (int64_t i = 0; i < n; ++i) spd(i, i) += n;
+  for (auto _ : state) {
+    auto l = CholeskyFactor(spd);
+    benchmark::DoNotOptimize(l->data());
+  }
+}
+BENCHMARK(BM_Cholesky)->Arg(64)->Arg(256);
+
+void BM_JacobiSvd(benchmark::State& state) {
+  const int64_t cols = state.range(0);
+  Rng rng(5);
+  const Matrix a = RandomMatrix(4 * cols, cols, &rng);
+  for (auto _ : state) {
+    auto svd = JacobiSvd(a);
+    benchmark::DoNotOptimize(svd->s.data());
+  }
+}
+BENCHMARK(BM_JacobiSvd)->Arg(16)->Arg(64);
+
+void BM_SymmetricEigen(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(6);
+  const Matrix a = RandomSymmetric(n, &rng);
+  for (auto _ : state) {
+    auto eig = SymmetricEigen(a);
+    benchmark::DoNotOptimize(eig->values.data());
+  }
+}
+BENCHMARK(BM_SymmetricEigen)->Arg(64)->Arg(256);
+
+void BM_SymmetricEigenvaluesOnly(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(7);
+  const Matrix a = RandomSymmetric(n, &rng);
+  for (auto _ : state) {
+    auto values = SymmetricEigenvalues(a);
+    benchmark::DoNotOptimize(values->data());
+  }
+}
+BENCHMARK(BM_SymmetricEigenvaluesOnly)->Arg(64)->Arg(256);
+
+SparseMatrix RandomSparseSymmetric(int64_t n, int64_t per_row, Rng* rng) {
+  std::vector<Triplet> triplets;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t k = 0; k < per_row; ++k) {
+      const int64_t j = rng->UniformInt(n);
+      const double v = rng->Uniform();
+      triplets.push_back({i, j, v});
+      triplets.push_back({j, i, v});
+    }
+  }
+  return SparseMatrix::FromTriplets(n, n, triplets);
+}
+
+void BM_SparseMatVec(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(8);
+  const SparseMatrix m = RandomSparseSymmetric(n, 8, &rng);
+  Vector x(static_cast<size_t>(n), 1.0);
+  Vector y(static_cast<size_t>(n), 0.0);
+  for (auto _ : state) {
+    m.Multiply(x.data(), y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m.nnz());
+}
+BENCHMARK(BM_SparseMatVec)->Arg(1000)->Arg(10000);
+
+void BM_LanczosTop10(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(9);
+  const SparseMatrix m = RandomSparseSymmetric(n, 8, &rng);
+  const SymmetricOperator apply = [&m](const double* x, double* y) {
+    m.Multiply(x, y);
+  };
+  for (auto _ : state) {
+    auto eig = LanczosLargest(apply, n, 10);
+    benchmark::DoNotOptimize(eig->values.data());
+  }
+}
+BENCHMARK(BM_LanczosTop10)->Arg(1000)->Arg(4000);
+
+}  // namespace
+}  // namespace fedsc
+
+BENCHMARK_MAIN();

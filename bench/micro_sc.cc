@@ -1,0 +1,125 @@
+// google-benchmark microbenchmarks for the subspace-clustering kernels:
+// affinity construction with each method, spectral clustering, and the
+// per-device Fed-SC local stage.
+
+#include <benchmark/benchmark.h>
+
+#include "cluster/spectral.h"
+#include "core/fedsc.h"
+#include "data/synthetic.h"
+#include "sc/pipeline.h"
+
+namespace fedsc {
+namespace {
+
+Dataset MakeData(int64_t points_per_subspace, uint64_t seed) {
+  SyntheticOptions options;
+  options.ambient_dim = 20;
+  options.subspace_dim = 4;
+  options.num_subspaces = 5;
+  options.points_per_subspace = points_per_subspace;
+  options.seed = seed;
+  auto data = GenerateUnionOfSubspaces(options);
+  return std::move(data).value();
+}
+
+void BM_SscAdmm(benchmark::State& state) {
+  const Dataset data = MakeData(state.range(0), 1);
+  for (auto _ : state) {
+    auto c = SscSelfExpression(data.points);
+    benchmark::DoNotOptimize(c->nnz());
+  }
+  state.SetLabel("N=" + std::to_string(data.points.cols()));
+}
+BENCHMARK(BM_SscAdmm)->Arg(20)->Arg(60)->Arg(160);
+
+void BM_SscOmp(benchmark::State& state) {
+  const Dataset data = MakeData(state.range(0), 2);
+  SscOmpOptions options;
+  options.max_support = 6;
+  for (auto _ : state) {
+    auto c = SscOmpSelfExpression(data.points, options);
+    benchmark::DoNotOptimize(c->nnz());
+  }
+}
+BENCHMARK(BM_SscOmp)->Arg(60)->Arg(160);
+
+void BM_Tsc(benchmark::State& state) {
+  const Dataset data = MakeData(state.range(0), 3);
+  TscOptions options;
+  options.q = 5;
+  for (auto _ : state) {
+    auto w = TscAffinity(data.points, options);
+    benchmark::DoNotOptimize(w->nnz());
+  }
+}
+BENCHMARK(BM_Tsc)->Arg(60)->Arg(160)->Arg(400);
+
+void BM_Nsn(benchmark::State& state) {
+  const Dataset data = MakeData(state.range(0), 4);
+  NsnOptions options;
+  options.num_neighbors = 8;
+  options.max_subspace_dim = 4;
+  for (auto _ : state) {
+    auto w = NsnAffinity(data.points, options);
+    benchmark::DoNotOptimize(w->nnz());
+  }
+}
+BENCHMARK(BM_Nsn)->Arg(60)->Arg(160);
+
+void BM_Ensc(benchmark::State& state) {
+  const Dataset data = MakeData(state.range(0), 5);
+  for (auto _ : state) {
+    auto c = EnscSelfExpression(data.points);
+    benchmark::DoNotOptimize(c->nnz());
+  }
+}
+BENCHMARK(BM_Ensc)->Arg(60)->Arg(160);
+
+void BM_Esc(benchmark::State& state) {
+  const Dataset data = MakeData(state.range(0), 11);
+  EscOptions options;
+  options.num_exemplars = 15;
+  for (auto _ : state) {
+    auto w = EscAffinity(data.points, options);
+    benchmark::DoNotOptimize(w->nnz());
+  }
+}
+BENCHMARK(BM_Esc)->Arg(60)->Arg(160);
+
+void BM_SpectralClusterDense(benchmark::State& state) {
+  const Dataset data = MakeData(state.range(0), 6);
+  ScPipelineOptions options;
+  options.method = ScMethod::kTsc;
+  options.tsc.q = 5;
+  auto affinity = BuildAffinity(data.points, options);
+  const Matrix dense = affinity->ToDense();
+  for (auto _ : state) {
+    auto result = SpectralCluster(dense, 5);
+    benchmark::DoNotOptimize(result->labels.data());
+  }
+}
+BENCHMARK(BM_SpectralClusterDense)->Arg(40)->Arg(120);
+
+void BM_FedScLocalStage(benchmark::State& state) {
+  // One device holding 2 subspaces with range(0) points each.
+  SyntheticOptions options;
+  options.ambient_dim = 20;
+  options.subspace_dim = 4;
+  options.num_subspaces = 2;
+  options.points_per_subspace = state.range(0);
+  options.seed = 7;
+  auto data = GenerateUnionOfSubspaces(options);
+  FedScOptions fed_options;
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    auto local = LocalClusterAndSample(data->points, fed_options, ++seed);
+    benchmark::DoNotOptimize(local->samples.data());
+  }
+}
+BENCHMARK(BM_FedScLocalStage)->Arg(15)->Arg(40)->Arg(100);
+
+}  // namespace
+}  // namespace fedsc
+
+BENCHMARK_MAIN();

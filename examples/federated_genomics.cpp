@@ -1,0 +1,106 @@
+// Scenario: medical centers clustering single-cell expression profiles
+// without sharing patient data (the paper's motivating healthcare/genomics
+// setting, Section I).
+//
+// Each of 40 centers holds profiles from a few cell types; expression
+// profiles of one cell type approximately span a low-dimensional subspace
+// of the (high-dimensional) gene space. The centers run Fed-SC: one round
+// of communication, one random unit vector per detected local cell
+// population. For contrast, the same federation also runs one-shot
+// federated k-means (k-FED) — centroids are a poor summary of subspace
+// structure, so it trails badly.
+//
+// Build & run:  ./build/examples/federated_genomics
+
+#include <cstdio>
+
+#include "core/fedsc.h"
+#include "data/synthetic.h"
+#include "fed/kfed.h"
+#include "fed/partition.h"
+#include "metrics/clustering_metrics.h"
+
+int main() {
+  using namespace fedsc;
+
+  // 12 cell types; each type's expression program spans a 5-dimensional
+  // subspace of a 400-gene panel; profiles carry measurement noise.
+  SyntheticOptions genes;
+  genes.ambient_dim = 400;
+  genes.subspace_dim = 5;
+  genes.num_subspaces = 12;
+  genes.points_per_subspace = 180;
+  genes.noise_stddev = 0.01;
+  genes.seed = 2026;
+  auto cohort = GenerateUnionOfSubspaces(genes);
+  if (!cohort.ok()) {
+    std::fprintf(stderr, "%s\n", cohort.status().ToString().c_str());
+    return 1;
+  }
+
+  // 40 centers; each specializes in 2-3 cell types (tissue-specific labs).
+  PartitionOptions partition;
+  partition.num_devices = 40;
+  partition.clusters_per_device = 2;
+  partition.clusters_per_device_max = 3;
+  partition.seed = 99;
+  auto network = PartitionAcrossDevices(*cohort, partition);
+  if (!network.ok()) {
+    std::fprintf(stderr, "%s\n", network.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Federated single-cell clustering: %lld profiles x %lld genes "
+              "across %lld centers\n",
+              static_cast<long long>(network->total_points),
+              static_cast<long long>(genes.ambient_dim),
+              static_cast<long long>(network->num_devices()));
+  const auto clusters_per_center = network->ClustersPerDevice();
+  int64_t min_l = clusters_per_center[0], max_l = clusters_per_center[0];
+  for (int64_t l : clusters_per_center) {
+    min_l = std::min(min_l, l);
+    max_l = std::max(max_l, l);
+  }
+  std::printf("statistical heterogeneity: %lld <= L^(z) <= %lld of %lld "
+              "cell types per center\n\n",
+              static_cast<long long>(min_l), static_cast<long long>(max_l),
+              static_cast<long long>(genes.num_subspaces));
+
+  // Fed-SC, real-world mode: fixed upper bound on local cluster count.
+  FedScOptions fed_options;
+  fed_options.use_eigengap = false;
+  fed_options.max_local_clusters = max_l;
+  auto fedsc = RunFedSc(*network, genes.num_subspaces, fed_options);
+  if (!fedsc.ok()) {
+    std::fprintf(stderr, "%s\n", fedsc.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Fed-SC (SSC server):\n");
+  std::printf("  accuracy %.2f%%, NMI %.2f%%\n",
+              ClusteringAccuracy(cohort->labels, fedsc->global_labels),
+              NormalizedMutualInformation(cohort->labels,
+                                          fedsc->global_labels));
+  std::printf("  disclosed: %lld random unit vectors (%.1f kb uplink) — no "
+              "raw profile leaves a center\n",
+              static_cast<long long>(fedsc->total_samples),
+              static_cast<double>(fedsc->comm.uplink_bits) / 1000.0);
+  std::printf("  time: %.3fs across centers + %.3fs at the coordinator\n\n",
+              fedsc->local_seconds, fedsc->central_seconds);
+
+  // Baseline: one-shot federated k-means.
+  KFedOptions kfed_options;
+  kfed_options.local_k = max_l;
+  auto kfed = RunKFed(*network, genes.num_subspaces, kfed_options);
+  if (!kfed.ok()) {
+    std::fprintf(stderr, "%s\n", kfed.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("k-FED (one-shot federated k-means):\n");
+  std::printf("  accuracy %.2f%%, NMI %.2f%%\n",
+              ClusteringAccuracy(cohort->labels, kfed->global_labels),
+              NormalizedMutualInformation(cohort->labels,
+                                          kfed->global_labels));
+  std::printf("  (centroids cannot summarize subspace-shaped cell "
+              "populations)\n");
+  return 0;
+}

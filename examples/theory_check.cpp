@@ -1,0 +1,136 @@
+// Checking Section V's theory on a concrete federation: computes the
+// quantities of Definitions 1-5 (canonical angles, subspace affinity,
+// subspace incoherence, inradius, active sets) and the Corollary 1/2
+// affinity bounds, then verifies that a federation satisfying the bounds
+// indeed clusters exactly.
+//
+// Build & run:  ./build/examples/theory_check
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/fedsc.h"
+#include "core/theory.h"
+#include "data/synthetic.h"
+#include "fed/partition.h"
+#include "metrics/clustering_metrics.h"
+
+int main() {
+  using namespace fedsc;
+
+  SyntheticOptions synth;
+  synth.ambient_dim = 24;
+  synth.subspace_dim = 3;
+  synth.num_subspaces = 5;
+  synth.points_per_subspace = 90;
+  synth.seed = 1234;
+  auto data = GenerateUnionOfSubspaces(synth);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  const int64_t num_subspaces = synth.num_subspaces;
+  const double d = static_cast<double>(synth.subspace_dim);
+
+  // --- Definition 5: pairwise subspace affinities ---
+  double max_affinity = 0.0;
+  std::printf("pairwise subspace affinities (max possible sqrt(d) = %.3f):\n",
+              std::sqrt(d));
+  for (int64_t a = 0; a < num_subspaces; ++a) {
+    for (int64_t b = a + 1; b < num_subspaces; ++b) {
+      auto aff = SubspaceAffinity(data->bases[static_cast<size_t>(a)],
+                                  data->bases[static_cast<size_t>(b)]);
+      if (!aff.ok()) continue;
+      max_affinity = std::max(max_affinity, *aff);
+      std::printf("  aff(S_%lld, S_%lld) = %.4f\n", static_cast<long long>(a),
+                  static_cast<long long>(b), *aff);
+    }
+  }
+
+  // --- Definition 4: inradius of the first subspace's point set ---
+  std::vector<int64_t> first_cluster;
+  for (size_t i = 0; i < data->labels.size(); ++i) {
+    if (data->labels[i] == 0) first_cluster.push_back(static_cast<int64_t>(i));
+  }
+  const Matrix x0 = data->points.GatherCols(first_cluster);
+  auto inradius = InradiusEstimate(x0);
+  if (inradius.ok()) {
+    std::printf("\ninradius estimate r(P(X_0)) = %.4f (well-dispersed when "
+                "close to 1/sqrt(d) = %.4f)\n",
+                *inradius, 1.0 / std::sqrt(d));
+  }
+
+  // --- Definition 1: subspace incoherence of X_0 vs all other points ---
+  std::vector<int64_t> other_columns;
+  for (size_t i = 0; i < data->labels.size(); ++i) {
+    if (data->labels[i] != 0) other_columns.push_back(static_cast<int64_t>(i));
+  }
+  auto mu = SubspaceIncoherence(x0, data->points.GatherCols(other_columns),
+                                data->bases[0]);
+  if (mu.ok() && inradius.ok()) {
+    std::printf("subspace incoherence mu(X_0) = %.4f\n", *mu);
+    std::printf("deterministic condition r > mu: %s\n",
+                *inradius > *mu ? "satisfied" : "NOT satisfied");
+  }
+
+  // --- Definition 2 + Corollaries: the federated picture ---
+  PartitionOptions partition;
+  partition.num_devices = 30;
+  partition.clusters_per_device = 2;
+  partition.seed = 4321;
+  auto fed = PartitionAcrossDevices(*data, partition);
+  if (!fed.ok()) {
+    std::fprintf(stderr, "%s\n", fed.status().ToString().c_str());
+    return 1;
+  }
+  const auto active = ComputeActiveSets(*fed);
+  std::printf("\nactive sets alpha(l) over %lld devices (L' = 2):\n",
+              static_cast<long long>(fed->num_devices()));
+  for (size_t l = 0; l < active.size(); ++l) {
+    std::printf("  alpha(%lld) = {", static_cast<long long>(l));
+    for (size_t k = 0; k < active[l].size(); ++k) {
+      std::printf("%s%lld", k == 0 ? "" : ", ",
+                  static_cast<long long>(active[l][k]));
+    }
+    std::printf("}\n");
+  }
+
+  const auto z_per_cluster = fed->DevicesPerCluster();
+  const int64_t z_prime =
+      *std::min_element(z_per_cluster.begin(), z_per_cluster.end());
+  const double r_prime = 2.0;  // each device uploads ~L' samples
+  const double bound_ssc = Corollary1AffinityBound(
+      d, static_cast<double>(z_prime), static_cast<double>(num_subspaces),
+      r_prime);
+  const double bound_tsc = Corollary2AffinityBound(
+      d, static_cast<double>(z_prime), static_cast<double>(num_subspaces),
+      r_prime);
+  std::printf("\nZ' = %lld devices per subspace\n",
+              static_cast<long long>(z_prime));
+  std::printf("max pairwise affinity      = %.4f\n", max_affinity);
+  std::printf("Corollary 1 bound (SSC)    = %.4f  (x constants c/t)\n",
+              bound_ssc);
+  std::printf("Corollary 2 bound (TSC)    = %.4f\n", bound_tsc);
+
+  // --- All of the above in one call ---
+  auto check = CheckTheoremConditions(*data, *fed);
+  if (check.ok()) {
+    int satisfied = 0;
+    for (bool ok : check->deterministic_ok) satisfied += ok;
+    std::printf("\nCheckTheoremConditions: deterministic condition holds for "
+                "%d/%lld clusters; max affinity %.4f vs Corollary bounds "
+                "%.4f (SSC) / %.4f (TSC)\n",
+                satisfied, static_cast<long long>(num_subspaces),
+                check->max_affinity, check->corollary1_bound,
+                check->corollary2_bound);
+  }
+
+  // --- The punchline: the scheme clusters exactly ---
+  auto result = RunFedSc(*fed, num_subspaces, FedScOptions{});
+  if (result.ok()) {
+    std::printf("\nFed-SC accuracy on this federation: %.2f%%\n",
+                ClusteringAccuracy(data->labels, result->global_labels));
+  }
+  return 0;
+}

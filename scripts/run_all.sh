@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Builds the project, runs the full test suite, and regenerates every
+# table/figure of the paper, archiving outputs next to the repo root
+# (test_output.txt / bench_output.txt) the way EXPERIMENTS.md references.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do
+  [ -x "$b" ] || continue
+  echo "=== $b ==="
+  "$b"
+done 2>&1 | tee bench_output.txt

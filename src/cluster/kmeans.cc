@@ -1,0 +1,221 @@
+#include "cluster/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "linalg/blas.h"
+
+namespace fedsc {
+
+namespace {
+
+double SquaredDistance(const double* x, const double* y, int64_t d) {
+  double sum = 0.0;
+  for (int64_t i = 0; i < d; ++i) {
+    const double diff = x[i] - y[i];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+// k-means++ seeding: first center uniform, then proportional to squared
+// distance from the nearest chosen center.
+Matrix PlusPlusInit(const Matrix& points, int64_t k, Rng* rng) {
+  const int64_t d = points.rows();
+  const int64_t n = points.cols();
+  Matrix centers(d, k);
+  centers.SetCol(0, points.ColData(rng->UniformInt(n)));
+
+  Vector dist2(static_cast<size_t>(n), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    dist2[static_cast<size_t>(i)] =
+        SquaredDistance(points.ColData(i), centers.ColData(0), d);
+  }
+  for (int64_t c = 1; c < k; ++c) {
+    double total = 0.0;
+    for (double v : dist2) total += v;
+    int64_t pick;
+    if (total <= 0.0) {
+      pick = rng->UniformInt(n);  // all points coincide with a center
+    } else {
+      double target = rng->Uniform() * total;
+      pick = n - 1;
+      for (int64_t i = 0; i < n; ++i) {
+        target -= dist2[static_cast<size_t>(i)];
+        if (target <= 0.0) {
+          pick = i;
+          break;
+        }
+      }
+    }
+    centers.SetCol(c, points.ColData(pick));
+    for (int64_t i = 0; i < n; ++i) {
+      dist2[static_cast<size_t>(i)] =
+          std::min(dist2[static_cast<size_t>(i)],
+                   SquaredDistance(points.ColData(i), centers.ColData(c), d));
+    }
+  }
+  return centers;
+}
+
+struct LloydOutcome {
+  std::vector<int64_t> labels;
+  Matrix centroids;
+  double inertia = 0.0;
+  int iterations = 0;
+};
+
+LloydOutcome Lloyd(const Matrix& points, Matrix centroids,
+                   const KMeansOptions& options, Rng* rng) {
+  const int64_t d = points.rows();
+  const int64_t n = points.cols();
+  const int64_t k = centroids.cols();
+
+  LloydOutcome out;
+  out.labels.assign(static_cast<size_t>(n), 0);
+  std::vector<int64_t> counts(static_cast<size_t>(k), 0);
+  Matrix next(d, k);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    out.iterations = iter + 1;
+    // Assignment step.
+    out.inertia = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      const double* x = points.ColData(i);
+      double best = std::numeric_limits<double>::infinity();
+      int64_t arg = 0;
+      for (int64_t c = 0; c < k; ++c) {
+        const double dist = SquaredDistance(x, centroids.ColData(c), d);
+        if (dist < best) {
+          best = dist;
+          arg = c;
+        }
+      }
+      out.labels[static_cast<size_t>(i)] = arg;
+      out.inertia += best;
+    }
+
+    // Update step.
+    next.Fill(0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (int64_t i = 0; i < n; ++i) {
+      const int64_t c = out.labels[static_cast<size_t>(i)];
+      Axpy(1.0, points.ColData(i), next.ColData(c), d);
+      ++counts[static_cast<size_t>(c)];
+    }
+    for (int64_t c = 0; c < k; ++c) {
+      if (counts[static_cast<size_t>(c)] > 0) {
+        Scal(1.0 / static_cast<double>(counts[static_cast<size_t>(c)]),
+             next.ColData(c), d);
+      } else {
+        // Empty cluster: reseed at the point farthest from its centroid.
+        double worst = -1.0;
+        int64_t arg = rng->UniformInt(n);
+        for (int64_t i = 0; i < n; ++i) {
+          const int64_t owner = out.labels[static_cast<size_t>(i)];
+          const double dist = SquaredDistance(
+              points.ColData(i), centroids.ColData(owner), d);
+          if (dist > worst) {
+            worst = dist;
+            arg = i;
+          }
+        }
+        next.SetCol(c, points.ColData(arg));
+      }
+    }
+
+    double movement = 0.0;
+    for (int64_t c = 0; c < k; ++c) {
+      movement += SquaredDistance(next.ColData(c), centroids.ColData(c), d);
+    }
+    centroids = next;
+    if (movement <= options.tol) break;
+  }
+
+  // Final assignment against the last centroids.
+  out.inertia = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const double* x = points.ColData(i);
+    double best = std::numeric_limits<double>::infinity();
+    int64_t arg = 0;
+    for (int64_t c = 0; c < k; ++c) {
+      const double dist = SquaredDistance(x, centroids.ColData(c), d);
+      if (dist < best) {
+        best = dist;
+        arg = c;
+      }
+    }
+    out.labels[static_cast<size_t>(i)] = arg;
+    out.inertia += best;
+  }
+  out.centroids = std::move(centroids);
+  return out;
+}
+
+}  // namespace
+
+Result<KMeansResult> KMeans(const Matrix& points, int64_t k,
+                            const KMeansOptions& options) {
+  const int64_t n = points.cols();
+  if (k < 1 || k > n) {
+    return Status::InvalidArgument("k-means needs 1 <= k <= N, got k=" +
+                                   std::to_string(k) + " N=" +
+                                   std::to_string(n));
+  }
+  Rng rng(options.seed);
+  KMeansResult best;
+  best.inertia = std::numeric_limits<double>::infinity();
+  const int restarts = std::max(1, options.num_init);
+  for (int attempt = 0; attempt < restarts; ++attempt) {
+    Matrix init;
+    if (options.init == KMeansInit::kPlusPlus) {
+      init = PlusPlusInit(points, k, &rng);
+    } else {
+      init = points.GatherCols(FarthestFirstIndices(points, k, &rng));
+    }
+    LloydOutcome outcome = Lloyd(points, std::move(init), options, &rng);
+    if (outcome.inertia < best.inertia) {
+      best.inertia = outcome.inertia;
+      best.labels = std::move(outcome.labels);
+      best.centroids = std::move(outcome.centroids);
+      best.iterations = outcome.iterations;
+    }
+  }
+  return best;
+}
+
+std::vector<int64_t> FarthestFirstIndices(const Matrix& points, int64_t k,
+                                          Rng* rng) {
+  const int64_t d = points.rows();
+  const int64_t n = points.cols();
+  FEDSC_CHECK(1 <= k && k <= n) << "farthest-first needs 1 <= k <= N";
+  std::vector<int64_t> picked;
+  picked.reserve(static_cast<size_t>(k));
+  picked.push_back(rng->UniformInt(n));
+
+  Vector dist2(static_cast<size_t>(n), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    dist2[static_cast<size_t>(i)] =
+        SquaredDistance(points.ColData(i), points.ColData(picked[0]), d);
+  }
+  while (static_cast<int64_t>(picked.size()) < k) {
+    int64_t arg = 0;
+    double worst = -1.0;
+    for (int64_t i = 0; i < n; ++i) {
+      if (dist2[static_cast<size_t>(i)] > worst) {
+        worst = dist2[static_cast<size_t>(i)];
+        arg = i;
+      }
+    }
+    picked.push_back(arg);
+    for (int64_t i = 0; i < n; ++i) {
+      dist2[static_cast<size_t>(i)] =
+          std::min(dist2[static_cast<size_t>(i)],
+                   SquaredDistance(points.ColData(i), points.ColData(arg), d));
+    }
+  }
+  return picked;
+}
+
+}  // namespace fedsc

@@ -1,0 +1,50 @@
+// Lloyd's k-means with k-means++ (or farthest-first) seeding, restarts, and
+// empty-cluster repair. Used by spectral clustering (on embedding rows) and
+// by the k-FED baseline (on raw points and pooled centroids).
+
+#ifndef FEDSC_CLUSTER_KMEANS_H_
+#define FEDSC_CLUSTER_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "linalg/matrix.h"
+
+namespace fedsc {
+
+enum class KMeansInit { kPlusPlus, kFarthestFirst };
+
+struct KMeansOptions {
+  int max_iterations = 100;
+  // Independent restarts; the run with the lowest inertia wins.
+  int num_init = 3;
+  KMeansInit init = KMeansInit::kPlusPlus;
+  // Stop when the total centroid movement (squared) drops below tol.
+  double tol = 1e-9;
+  uint64_t seed = 0x5eed'cafeULL;
+};
+
+struct KMeansResult {
+  Matrix centroids;             // d x k
+  std::vector<int64_t> labels;  // size N, values in [0, k)
+  double inertia = 0.0;         // sum of squared distances to centroids
+  int iterations = 0;           // of the winning restart
+};
+
+// Clusters the N columns of `points` (d x N) into k groups. Requires
+// 1 <= k <= N.
+Result<KMeansResult> KMeans(const Matrix& points, int64_t k,
+                            const KMeansOptions& options = {});
+
+// Farthest-first traversal: greedily picks k column indices, each maximizing
+// the distance to the closest already-picked column (first pick random).
+// This is the seeding k-FED's server stage uses to spread the L initial
+// centers across well-separated local centroids.
+std::vector<int64_t> FarthestFirstIndices(const Matrix& points, int64_t k,
+                                          Rng* rng);
+
+}  // namespace fedsc
+
+#endif  // FEDSC_CLUSTER_KMEANS_H_

@@ -1,0 +1,92 @@
+#include "cluster/spectral.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/laplacian.h"
+#include "linalg/blas.h"
+#include "linalg/eig.h"
+#include "linalg/lanczos.h"
+
+namespace fedsc {
+
+namespace {
+
+Status ValidateArgs(int64_t n, int64_t cols, int64_t k) {
+  if (n != cols) return Status::InvalidArgument("affinity must be square");
+  if (k < 1 || k > n) {
+    return Status::InvalidArgument("spectral clustering needs 1 <= k <= N");
+  }
+  return Status::OK();
+}
+
+// K-means over the rows of the (optionally row-normalized) embedding.
+Result<SpectralResult> FinishFromEmbedding(Matrix embedding,
+                                           const SpectralOptions& options,
+                                           int64_t k) {
+  const int64_t n = embedding.rows();
+  if (options.normalize_rows) {
+    for (int64_t i = 0; i < n; ++i) {
+      double norm = 0.0;
+      for (int64_t j = 0; j < k; ++j) {
+        norm += embedding(i, j) * embedding(i, j);
+      }
+      norm = std::sqrt(norm);
+      if (norm > 1e-300) {
+        for (int64_t j = 0; j < k; ++j) embedding(i, j) /= norm;
+      }
+    }
+  }
+  // k-means treats points as columns, so cluster the transposed embedding.
+  FEDSC_ASSIGN_OR_RETURN(KMeansResult km,
+                         KMeans(embedding.Transposed(), k, options.kmeans));
+  SpectralResult result;
+  result.labels = std::move(km.labels);
+  result.embedding = std::move(embedding);
+  return result;
+}
+
+}  // namespace
+
+Result<SpectralResult> SpectralCluster(const Matrix& affinity, int64_t k,
+                                       const SpectralOptions& options) {
+  FEDSC_RETURN_NOT_OK(ValidateArgs(affinity.rows(), affinity.cols(), k));
+  const Matrix m = NormalizedAdjacency(affinity);
+  FEDSC_ASSIGN_OR_RETURN(EigResult eig, SymmetricEigen(m));
+  // Largest k eigenvectors of M == smallest k of the normalized Laplacian.
+  const int64_t n = affinity.rows();
+  Matrix embedding(n, k);
+  for (int64_t j = 0; j < k; ++j) {
+    embedding.SetCol(j, eig.vectors.ColData(n - 1 - j));
+  }
+  return FinishFromEmbedding(std::move(embedding), options, k);
+}
+
+Result<SpectralResult> SpectralCluster(const SparseMatrix& affinity, int64_t k,
+                                       const SpectralOptions& options) {
+  FEDSC_RETURN_NOT_OK(ValidateArgs(affinity.rows(), affinity.cols(), k));
+  const int64_t n = affinity.rows();
+  if (n < options.lanczos_threshold) {
+    return SpectralCluster(affinity.ToDense(), k, options);
+  }
+  const SparseMatrix m = NormalizedAdjacency(affinity);
+  const SymmetricOperator apply = [&m](const double* x, double* y) {
+    m.Multiply(x, y);
+  };
+  // Subspace iteration rather than Lanczos: the top eigenvalue of a
+  // well-separated affinity graph is degenerate (multiplicity = number of
+  // components), which orthogonal iteration handles natively. The +1 shift
+  // makes the wanted algebraically-largest eigenvalues of the normalized
+  // adjacency (spectrum in [-1, 1]) dominant in magnitude.
+  SubspaceIterationOptions iteration;
+  iteration.shift = 1.0;
+  FEDSC_ASSIGN_OR_RETURN(EigResult eig,
+                         SubspaceIterationLargest(apply, n, k, iteration));
+  Matrix embedding(n, k);
+  for (int64_t j = 0; j < k && j < eig.vectors.cols(); ++j) {
+    embedding.SetCol(j, eig.vectors.ColData(j));  // already descending
+  }
+  return FinishFromEmbedding(std::move(embedding), options, k);
+}
+
+}  // namespace fedsc

@@ -1,0 +1,44 @@
+// Normalized spectral clustering (von Luxburg's tutorial, ref [24] of the
+// paper): embed each vertex by the k smallest eigenvectors of the normalized
+// Laplacian (equivalently, the k largest of D^{-1/2} W D^{-1/2}), normalize
+// the embedding rows, and run k-means.
+//
+// Small graphs use the dense symmetric eigensolver; large graphs use Lanczos
+// on the sparse normalized adjacency.
+
+#ifndef FEDSC_CLUSTER_SPECTRAL_H_
+#define FEDSC_CLUSTER_SPECTRAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/kmeans.h"
+#include "common/result.h"
+#include "linalg/matrix.h"
+#include "linalg/sparse.h"
+
+namespace fedsc {
+
+struct SpectralOptions {
+  // Row-normalize the spectral embedding (Ng-Jordan-Weiss step).
+  bool normalize_rows = true;
+  // Sparse graphs of at least this many vertices use Lanczos instead of
+  // densifying.
+  int64_t lanczos_threshold = 900;
+  KMeansOptions kmeans;
+};
+
+struct SpectralResult {
+  std::vector<int64_t> labels;  // size N, values in [0, k)
+  Matrix embedding;             // N x k spectral embedding (post-normalization)
+};
+
+Result<SpectralResult> SpectralCluster(const Matrix& affinity, int64_t k,
+                                       const SpectralOptions& options = {});
+
+Result<SpectralResult> SpectralCluster(const SparseMatrix& affinity, int64_t k,
+                                       const SpectralOptions& options = {});
+
+}  // namespace fedsc
+
+#endif  // FEDSC_CLUSTER_SPECTRAL_H_

@@ -1,0 +1,53 @@
+// FEDSC_CHECK / FEDSC_DCHECK: crash-on-violation invariant macros for
+// programming errors (recoverable errors use Status/Result instead).
+//
+//   FEDSC_CHECK(n >= 0) << "negative size " << n;
+
+#ifndef FEDSC_COMMON_CHECK_H_
+#define FEDSC_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace fedsc::internal {
+
+// Accumulates a failure message and aborts when destroyed. Only ever
+// constructed on the failure path.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* condition, const char* file, int line) {
+    stream_ << "FEDSC_CHECK failed: " << condition << " at " << file << ":"
+            << line << " ";
+  }
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace fedsc::internal
+
+// The `while` never loops: the streamed temporary's destructor aborts. The
+// shape exists so a trailing `<< ...` message binds to the stream.
+#define FEDSC_CHECK(condition)  \
+  while (!(condition))          \
+  ::fedsc::internal::CheckFailureStream(#condition, __FILE__, __LINE__)
+
+#ifndef NDEBUG
+#define FEDSC_DCHECK(condition) FEDSC_CHECK(condition)
+#else
+#define FEDSC_DCHECK(condition) \
+  while (false)                 \
+  ::fedsc::internal::CheckFailureStream(#condition, __FILE__, __LINE__)
+#endif
+
+#endif  // FEDSC_COMMON_CHECK_H_

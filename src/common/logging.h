@@ -1,0 +1,43 @@
+// Minimal leveled logger. Benchmarks and examples use it for progress
+// reporting; library code logs sparingly (convergence warnings and the like).
+
+#ifndef FEDSC_COMMON_LOGGING_H_
+#define FEDSC_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+
+namespace fedsc {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Messages below this level are discarded. Defaults to kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace fedsc
+
+#define FEDSC_LOG(level)                                      \
+  ::fedsc::internal::LogMessage(::fedsc::LogLevel::k##level,  \
+                                __FILE__, __LINE__)
+
+#endif  // FEDSC_COMMON_LOGGING_H_

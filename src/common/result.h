@@ -1,0 +1,82 @@
+// Result<T>: a value or a non-OK Status, in the style of arrow::Result.
+
+#ifndef FEDSC_COMMON_RESULT_H_
+#define FEDSC_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace fedsc {
+
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or a non-OK Status keeps call sites
+  // terse: `return my_matrix;` / `return Status::InvalidArgument(...)`.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    FEDSC_CHECK(!this->status().ok()) << "Result constructed from OK status";
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status* const kOk = new Status();
+    return ok() ? *kOk : std::get<Status>(repr_);
+  }
+
+  // Value accessors die if the Result holds an error; callers must check
+  // ok() (or use FEDSC_ASSIGN_OR_RETURN) first.
+  const T& value() const& {
+    FEDSC_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    FEDSC_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    FEDSC_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Moves the value out, or returns `alternative` on error.
+  T ValueOr(T alternative) && {
+    return ok() ? std::get<T>(std::move(repr_)) : std::move(alternative);
+  }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace fedsc
+
+#define FEDSC_CONCAT_IMPL(a, b) a##b
+#define FEDSC_CONCAT(a, b) FEDSC_CONCAT_IMPL(a, b)
+
+// FEDSC_ASSIGN_OR_RETURN(lhs, expr): evaluates `expr` (a Result<T>); on error
+// returns its Status from the enclosing function, otherwise moves the value
+// into `lhs` (which may be a declaration).
+#define FEDSC_ASSIGN_OR_RETURN(lhs, expr)                                  \
+  FEDSC_ASSIGN_OR_RETURN_IMPL(FEDSC_CONCAT(_fedsc_result_, __LINE__), lhs, \
+                              expr)
+
+#define FEDSC_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#endif  // FEDSC_COMMON_RESULT_H_

@@ -1,0 +1,114 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace fedsc {
+
+namespace {
+
+// SplitMix64: expands a 64-bit seed into well-mixed generator state.
+uint64_t SplitMix64(uint64_t* x) {
+  uint64_t z = (*x += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  FEDSC_DCHECK(lo <= hi);
+  return lo + (hi - lo) * Uniform();
+}
+
+int64_t Rng::UniformInt(int64_t n) {
+  FEDSC_CHECK(n > 0) << "UniformInt needs n > 0, got " << n;
+  const uint64_t un = static_cast<uint64_t>(n);
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % un;
+  uint64_t draw;
+  do {
+    draw = Next();
+  } while (draw >= limit);
+  return static_cast<int64_t>(draw % un);
+}
+
+double Rng::Gaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Box-Muller; u1 is kept away from 0 so the log is finite.
+  double u1;
+  do {
+    u1 = Uniform();
+  } while (u1 <= 0.0);
+  const double u2 = Uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * M_PI * u2;
+  cached_gaussian_ = radius * std::sin(angle);
+  has_cached_gaussian_ = true;
+  return radius * std::cos(angle);
+}
+
+std::vector<double> Rng::GaussianVector(int64_t n) {
+  FEDSC_CHECK(n >= 0);
+  std::vector<double> out(static_cast<size_t>(n));
+  for (auto& v : out) v = Gaussian();
+  return out;
+}
+
+std::vector<double> Rng::UnitSphere(int64_t n) {
+  FEDSC_CHECK(n > 0);
+  std::vector<double> v;
+  double norm = 0.0;
+  // A fresh Gaussian vector is zero with probability 0, but loop anyway so a
+  // pathological draw cannot produce NaNs downstream.
+  do {
+    v = GaussianVector(n);
+    norm = 0.0;
+    for (double x : v) norm += x * x;
+  } while (norm == 0.0);
+  norm = std::sqrt(norm);
+  for (auto& x : v) x /= norm;
+  return v;
+}
+
+std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t k) {
+  FEDSC_CHECK(0 <= k && k <= n) << "sample " << k << " from " << n;
+  // Partial Fisher-Yates over an index array.
+  std::vector<int64_t> idx(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) idx[static_cast<size_t>(i)] = i;
+  for (int64_t i = 0; i < k; ++i) {
+    const int64_t j = i + UniformInt(n - i);
+    std::swap(idx[static_cast<size_t>(i)], idx[static_cast<size_t>(j)]);
+  }
+  idx.resize(static_cast<size_t>(k));
+  return idx;
+}
+
+Rng Rng::Fork() { return Rng(Next() ^ 0xD1B54A32D192ED03ULL); }
+
+}  // namespace fedsc

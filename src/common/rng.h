@@ -1,0 +1,68 @@
+// Deterministic random number generation.
+//
+// All stochastic components of the library draw from `Rng`, a xoshiro256++
+// generator with SplitMix64 seeding and hand-rolled distributions
+// (Box-Muller Gaussian, Fisher-Yates shuffles). Unlike std::mt19937 +
+// std::normal_distribution, every draw is specified here, so experiment
+// results are bit-reproducible across standard libraries and platforms.
+
+#ifndef FEDSC_COMMON_RNG_H_
+#define FEDSC_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace fedsc {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Raw 64 uniform bits (xoshiro256++).
+  uint64_t Next();
+
+  // Uniform in [0, 1) with 53 bits of precision.
+  double Uniform();
+
+  // Uniform in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Uniform integer in [0, n). Requires n > 0. Uses rejection sampling, so
+  // the result is exactly uniform.
+  int64_t UniformInt(int64_t n);
+
+  // Standard normal via Box-Muller (caches the second variate).
+  double Gaussian();
+
+  // n i.i.d. standard normal draws.
+  std::vector<double> GaussianVector(int64_t n);
+
+  // Uniform draw from the unit (n-1)-sphere: Gaussian vector, normalized.
+  std::vector<double> UnitSphere(int64_t n);
+
+  // In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* values) {
+    for (int64_t i = static_cast<int64_t>(values->size()) - 1; i > 0; --i) {
+      std::swap((*values)[i], (*values)[UniformInt(i + 1)]);
+    }
+  }
+
+  // k distinct values sampled uniformly from {0, ..., n-1}, in random order.
+  std::vector<int64_t> SampleWithoutReplacement(int64_t n, int64_t k);
+
+  // A fresh generator whose stream is independent of this one (for handing
+  // each simulated device its own source of randomness).
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace fedsc
+
+#endif  // FEDSC_COMMON_RNG_H_

@@ -1,0 +1,97 @@
+// Status-based error handling (no exceptions), in the style of Arrow/RocksDB.
+//
+// Fallible operations return `Status` (or `Result<T>`, see result.h). A
+// Status is cheap to copy when OK (a single pointer) and carries a code plus
+// a human-readable message otherwise.
+
+#ifndef FEDSC_COMMON_STATUS_H_
+#define FEDSC_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace fedsc {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kFailedPrecondition = 2,
+  kOutOfRange = 3,
+  kNotConverged = 4,
+  kInternal = 5,
+  kDeadlineExceeded = 6,
+  kNotFound = 7,
+};
+
+// Returns a stable, lowercase name such as "invalid argument".
+const char* StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  // An OK status. Carries no allocation.
+  Status() = default;
+
+  Status(StatusCode code, std::string message);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotConverged(std::string msg) {
+    return Status(StatusCode::kNotConverged, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const {
+    return state_ == nullptr ? StatusCode::kOk : state_->code;
+  }
+  // Empty string for OK statuses.
+  const std::string& message() const;
+
+  // "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  std::unique_ptr<State> state_;  // nullptr <=> OK
+};
+
+}  // namespace fedsc
+
+// Evaluates `expr` (a Status expression); returns it from the enclosing
+// function if it is not OK.
+#define FEDSC_RETURN_NOT_OK(expr)                        \
+  do {                                                   \
+    ::fedsc::Status _fedsc_status = (expr);              \
+    if (!_fedsc_status.ok()) return _fedsc_status;       \
+  } while (false)
+
+#endif  // FEDSC_COMMON_STATUS_H_

@@ -1,0 +1,28 @@
+// Wall-clock stopwatch used by the evaluation harness to measure
+// T = sum_z T^(z) + T_c (Section VI of the paper).
+
+#ifndef FEDSC_COMMON_STOPWATCH_H_
+#define FEDSC_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace fedsc {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fedsc
+
+#endif  // FEDSC_COMMON_STOPWATCH_H_

@@ -1,0 +1,88 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/check.h"
+
+namespace fedsc {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int count = std::max(1, num_threads);
+  workers_.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::Schedule(std::function<void()> task) {
+  FEDSC_CHECK(task != nullptr);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    FEDSC_CHECK(!shutting_down_) << "Schedule() after shutdown";
+    queue_.push(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(int64_t begin, int64_t end, int num_threads,
+                 const std::function<void(int64_t)>& body) {
+  FEDSC_CHECK(begin <= end);
+  const int64_t count = end - begin;
+  if (count == 0) return;
+  if (num_threads <= 1 || count == 1) {
+    for (int64_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  ThreadPool pool(static_cast<int>(
+      std::min<int64_t>(num_threads, count)));
+  std::atomic<int64_t> next{begin};
+  for (int t = 0; t < pool.num_threads(); ++t) {
+    pool.Schedule([&next, end, &body] {
+      // Self-scheduling: workers pull indices until the range drains, so
+      // uneven per-iteration costs (devices of different sizes) balance.
+      while (true) {
+        const int64_t i = next.fetch_add(1);
+        if (i >= end) return;
+        body(i);
+      }
+    });
+  }
+  pool.Wait();
+}
+
+}  // namespace fedsc

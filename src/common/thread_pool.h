@@ -1,0 +1,59 @@
+// Fixed-size worker pool with a ParallelFor helper.
+//
+// Fed-SC's devices are independent in Phase 1, which is where the paper's
+// parallel running time O(N^2 + Z^2) (Section IV-E) comes from; RunFedSc
+// uses this pool to run local clustering concurrently when
+// FedScOptions::num_threads > 1. Determinism is preserved by assigning every
+// device its seed before dispatch.
+
+#ifndef FEDSC_COMMON_THREAD_POOL_H_
+#define FEDSC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace fedsc {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues a task; it may run on any worker, in any order.
+  void Schedule(std::function<void()> task);
+
+  // Blocks until every scheduled task has finished.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::queue<std::function<void()>> queue_;
+  int64_t in_flight_ = 0;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+// Runs body(i) for i in [begin, end), spread across `num_threads` workers
+// (inline when num_threads <= 1 or the range is tiny). The body must not
+// touch data owned by other iterations without its own synchronization.
+void ParallelFor(int64_t begin, int64_t end, int num_threads,
+                 const std::function<void(int64_t)>& body);
+
+}  // namespace fedsc
+
+#endif  // FEDSC_COMMON_THREAD_POOL_H_

@@ -1,0 +1,434 @@
+#include "core/fedsc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "graph/eigengap.h"
+#include "linalg/blas.h"
+#include "linalg/svd.h"
+#include "sc/affinity.h"
+
+namespace fedsc {
+
+namespace {
+
+// Uniform sample from the unit sphere of the subspace spanned by `basis`
+// (Eq. 5): theta = U alpha / ||U alpha||, alpha ~ N(0, I).
+Vector SampleFromSubspace(const Matrix& basis, Rng* rng) {
+  const int64_t n = basis.rows();
+  Vector theta(static_cast<size_t>(n), 0.0);
+  double norm = 0.0;
+  do {
+    const Vector alpha = rng->GaussianVector(basis.cols());
+    Gemv(Trans::kNo, 1.0, basis, alpha.data(), 0.0, theta.data());
+    norm = Norm2(theta.data(), n);
+  } while (norm <= 1e-300);
+  Scal(1.0 / norm, theta.data(), n);
+  return theta;
+}
+
+// Basis for a local cluster's subspace; degenerate clusters (all points
+// numerically zero) fall back to a random direction so the device can still
+// participate. With trim_fraction > 0 the worst-fitting members are dropped
+// once and the basis refit (outlier robustness).
+Matrix ClusterBasis(const Matrix& cluster_points, const FedScOptions& options,
+                    Rng* rng) {
+  auto basis = PrincipalSubspace(cluster_points, options.sample_dim,
+                                 options.rank_rel_tol);
+  if (!basis.ok()) {
+    FEDSC_LOG(Warning) << "degenerate local cluster ("
+                       << basis.status().ToString()
+                       << "); sampling a random direction";
+    return Matrix::FromColumn(rng->UnitSphere(cluster_points.rows()));
+  }
+  const int64_t count = cluster_points.cols();
+  const int64_t keep = count - static_cast<int64_t>(std::floor(
+                                   options.trim_fraction * count));
+  if (options.trim_fraction <= 0.0 || keep >= count ||
+      keep <= basis->cols() + 1) {
+    return std::move(basis).value();
+  }
+
+  // Residual of each member to the fitted subspace: ||x - U U^T x||.
+  const int64_t n = cluster_points.rows();
+  std::vector<std::pair<double, int64_t>> residuals;
+  residuals.reserve(static_cast<size_t>(count));
+  Vector coords(static_cast<size_t>(basis->cols()), 0.0);
+  Vector reconstructed(static_cast<size_t>(n), 0.0);
+  for (int64_t j = 0; j < count; ++j) {
+    Gemv(Trans::kTrans, 1.0, *basis, cluster_points.ColData(j), 0.0,
+         coords.data());
+    Gemv(Trans::kNo, 1.0, *basis, coords.data(), 0.0, reconstructed.data());
+    Axpy(-1.0, cluster_points.ColData(j), reconstructed.data(), n);
+    residuals.push_back({Norm2(reconstructed.data(), n), j});
+  }
+  std::sort(residuals.begin(), residuals.end());
+  std::vector<int64_t> inliers;
+  inliers.reserve(static_cast<size_t>(keep));
+  for (int64_t j = 0; j < keep; ++j) {
+    inliers.push_back(residuals[static_cast<size_t>(j)].second);
+  }
+  auto refit = PrincipalSubspace(cluster_points.GatherCols(inliers),
+                                 options.sample_dim, options.rank_rel_tol);
+  if (refit.ok()) return std::move(refit).value();
+  return std::move(basis).value();
+}
+
+Status ValidateOptions(const FedScOptions& options) {
+  if (options.central_method != ScMethod::kSsc &&
+      options.central_method != ScMethod::kTsc) {
+    return Status::InvalidArgument(
+        "Fed-SC's server runs SSC or TSC (Section IV-D)");
+  }
+  if (options.samples_per_cluster < 1) {
+    return Status::InvalidArgument("samples_per_cluster must be >= 1");
+  }
+  if (!options.use_eigengap && options.max_local_clusters < 1) {
+    return Status::InvalidArgument(
+        "fixed-r mode needs max_local_clusters >= 1");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<LocalClusteringOutput> LocalClusterAndSample(const Matrix& points,
+                                                    const FedScOptions& options,
+                                                    uint64_t seed) {
+  FEDSC_RETURN_NOT_OK(ValidateOptions(options));
+  Rng rng(seed);
+  const int64_t n = points.rows();
+  const int64_t num_points = points.cols();
+
+  LocalClusteringOutput out;
+  if (num_points == 0) return out;
+
+  Matrix normalized = points;
+  normalized.NormalizeColumns();
+
+  // Tiny devices cannot run SSC; treat all points as one cluster.
+  if (num_points < 3) {
+    out.partition.assign(static_cast<size_t>(num_points), 0);
+    out.num_local_clusters = 1;
+  } else {
+    FEDSC_ASSIGN_OR_RETURN(SparseMatrix coeffs,
+                           SscSelfExpression(normalized, options.local_ssc));
+    const Matrix affinity = AffinityFromCoefficients(coeffs).ToDense();
+
+    int64_t r = 1;
+    if (options.use_eigengap) {
+      EigengapOptions gap;
+      gap.max_clusters = options.max_local_clusters;
+      FEDSC_ASSIGN_OR_RETURN(r, EstimateClusterCount(affinity, gap));
+    } else {
+      r = std::min<int64_t>(options.max_local_clusters, num_points);
+    }
+    out.num_local_clusters = r;
+
+    if (r == 1) {
+      out.partition.assign(static_cast<size_t>(num_points), 0);
+    } else {
+      SpectralOptions spectral = options.local_spectral;
+      spectral.kmeans.seed = rng.Next();
+      FEDSC_ASSIGN_OR_RETURN(SpectralResult clusters,
+                             SpectralCluster(affinity, r, spectral));
+      out.partition = std::move(clusters.labels);
+    }
+  }
+
+  // Estimate each cluster's subspace and draw the uploaded samples.
+  const int64_t r = out.num_local_clusters;
+  const int64_t per_cluster = options.samples_per_cluster;
+  out.samples = Matrix(n, r * per_cluster);
+  out.sample_cluster.reserve(static_cast<size_t>(r * per_cluster));
+  int64_t next = 0;
+  for (int64_t t = 0; t < r; ++t) {
+    std::vector<int64_t> members;
+    for (int64_t i = 0; i < num_points; ++i) {
+      if (out.partition[static_cast<size_t>(i)] == t) members.push_back(i);
+    }
+    Matrix basis;
+    if (members.empty()) {
+      // Spectral k-means guards against empty clusters, but stay defensive.
+      basis = Matrix::FromColumn(rng.UnitSphere(n));
+    } else {
+      basis = ClusterBasis(normalized.GatherCols(members), options, &rng);
+    }
+    for (int64_t s = 0; s < per_cluster; ++s) {
+      out.samples.SetCol(next++, SampleFromSubspace(basis, &rng));
+      out.sample_cluster.push_back(t);
+    }
+  }
+  return out;
+}
+
+Result<FedScResult> RunFedSc(const FederatedDataset& data,
+                             int64_t num_clusters,
+                             const FedScOptions& options) {
+  FEDSC_RETURN_NOT_OK(ValidateOptions(options));
+  const int64_t num_devices = data.num_devices();
+  if (num_devices == 0) return Status::InvalidArgument("no devices");
+  if (num_clusters < 1) {
+    return Status::InvalidArgument("need num_clusters >= 1");
+  }
+
+  Rng rng(options.seed);
+  Channel channel(options.channel);
+  FedScResult result;
+  result.local_cluster_counts.resize(static_cast<size_t>(num_devices));
+  result.device_labels.resize(static_cast<size_t>(num_devices));
+  result.point_sample.resize(static_cast<size_t>(num_devices));
+
+  // Phase 1: local clustering and sampling on every device. Devices are
+  // independent, so the work fans out over options.num_threads; seeds are
+  // fixed up front so the outcome matches the sequential run exactly.
+  std::vector<LocalClusteringOutput> locals(
+      static_cast<size_t>(num_devices));
+  std::vector<Status> device_status(static_cast<size_t>(num_devices));
+  std::vector<double> device_seconds(static_cast<size_t>(num_devices), 0.0);
+  std::vector<uint64_t> device_seeds(static_cast<size_t>(num_devices));
+  for (auto& seed : device_seeds) seed = rng.Next();
+  ParallelFor(0, num_devices, options.num_threads, [&](int64_t z) {
+    Stopwatch local_timer;
+    auto local = LocalClusterAndSample(data.points[static_cast<size_t>(z)],
+                                       options,
+                                       device_seeds[static_cast<size_t>(z)]);
+    device_seconds[static_cast<size_t>(z)] = local_timer.ElapsedSeconds();
+    if (local.ok()) {
+      locals[static_cast<size_t>(z)] = std::move(local).value();
+    } else {
+      device_status[static_cast<size_t>(z)] = local.status();
+    }
+  });
+
+  std::vector<Matrix> received(static_cast<size_t>(num_devices));
+  int64_t total_samples = 0;
+  for (int64_t z = 0; z < num_devices; ++z) {
+    FEDSC_RETURN_NOT_OK(device_status[static_cast<size_t>(z)]);
+    result.local_seconds += device_seconds[static_cast<size_t>(z)];
+    result.local_cluster_counts[static_cast<size_t>(z)] =
+        locals[static_cast<size_t>(z)].num_local_clusters;
+    const Matrix* upload = &locals[static_cast<size_t>(z)].samples;
+    Matrix privatized;
+    if (options.use_dp) {
+      Rng dp_rng(device_seeds[static_cast<size_t>(z)] ^
+                 0xD1FFE4E47'1A1ULL);
+      FEDSC_ASSIGN_OR_RETURN(privatized,
+                             PrivatizeSamples(*upload, options.dp, &dp_rng));
+      upload = &privatized;
+    }
+    received[static_cast<size_t>(z)] = channel.Uplink(*upload);
+    total_samples += received[static_cast<size_t>(z)].cols();
+  }
+  result.total_samples = total_samples;
+  if (total_samples < num_clusters) {
+    return Status::FailedPrecondition(
+        "server received fewer samples than clusters (" +
+        std::to_string(total_samples) + " < " +
+        std::to_string(num_clusters) + ")");
+  }
+
+  // Pool the received samples.
+  result.samples = Matrix(data.ambient_dim, total_samples);
+  result.sample_device.reserve(static_cast<size_t>(total_samples));
+  std::vector<int64_t> device_sample_offset(
+      static_cast<size_t>(num_devices), 0);
+  int64_t next = 0;
+  for (int64_t z = 0; z < num_devices; ++z) {
+    device_sample_offset[static_cast<size_t>(z)] = next;
+    const Matrix& m = received[static_cast<size_t>(z)];
+    for (int64_t c = 0; c < m.cols(); ++c) {
+      result.samples.SetCol(next++, m.ColData(c));
+      result.sample_device.push_back(z);
+    }
+  }
+
+  // Phase 2: central clustering of the pooled samples.
+  Stopwatch central_timer;
+  ScPipelineOptions central;
+  central.method = options.central_method;
+  central.ssc = options.central_ssc;
+  central.tsc = options.central_tsc;
+  if (central.tsc.q <= 0) {
+    // The paper's rule: q = max(3, ceil(Z / L)).
+    central.tsc.q = std::max<int64_t>(
+        3, (num_devices + num_clusters - 1) / num_clusters);
+  }
+  central.tsc.q = std::min<int64_t>(central.tsc.q, total_samples - 1);
+  central.spectral = options.central_spectral;
+  central.spectral.kmeans.seed = rng.Next();
+  // Channel noise can leave samples slightly off the unit sphere;
+  // renormalize like the paper's analysis assumes.
+  central.normalize_columns = true;
+  FEDSC_ASSIGN_OR_RETURN(
+      ScResult central_result,
+      RunSubspaceClustering(result.samples, num_clusters, central));
+  result.sample_labels = std::move(central_result.labels);
+  result.central_affinity = std::move(central_result.affinity);
+  result.central_seconds = central_timer.ElapsedSeconds();
+
+  // Phase 3: downlink assignments; devices relabel their points.
+  for (int64_t z = 0; z < num_devices; ++z) {
+    const LocalClusteringOutput& local = locals[static_cast<size_t>(z)];
+    const int64_t offset = device_sample_offset[static_cast<size_t>(z)];
+    channel.Downlink(static_cast<int64_t>(local.sample_cluster.size()),
+                     num_clusters);
+
+    // Map each local cluster to the label of its first sample.
+    std::vector<int64_t> cluster_label(
+        static_cast<size_t>(std::max<int64_t>(local.num_local_clusters, 1)),
+        0);
+    std::vector<int64_t> cluster_sample(cluster_label.size(), -1);
+    for (size_t s = 0; s < local.sample_cluster.size(); ++s) {
+      const auto t = static_cast<size_t>(local.sample_cluster[s]);
+      if (cluster_sample[t] == -1) {
+        cluster_sample[t] = offset + static_cast<int64_t>(s);
+        cluster_label[t] =
+            result.sample_labels[static_cast<size_t>(offset) + s];
+      }
+    }
+    auto& labels = result.device_labels[static_cast<size_t>(z)];
+    auto& point_sample = result.point_sample[static_cast<size_t>(z)];
+    labels.resize(local.partition.size());
+    point_sample.resize(local.partition.size());
+    for (size_t i = 0; i < local.partition.size(); ++i) {
+      const auto t = static_cast<size_t>(local.partition[i]);
+      labels[i] = cluster_label[t];
+      point_sample[i] = cluster_sample[t];
+    }
+  }
+  channel.FinishRound();
+
+  result.global_labels = data.ToGlobalOrder(result.device_labels);
+  result.comm = channel.stats();
+  result.seconds = result.local_seconds + result.central_seconds;
+  return result;
+}
+
+Result<std::vector<int64_t>> AssignNewPoints(const FedScResult& result,
+                                             int64_t num_clusters,
+                                             const Matrix& new_points,
+                                             double rank_rel_tol) {
+  if (num_clusters < 1) {
+    return Status::InvalidArgument("need num_clusters >= 1");
+  }
+  if (new_points.rows() != result.samples.rows()) {
+    return Status::InvalidArgument("new points have ambient dimension " +
+                                   std::to_string(new_points.rows()) +
+                                   ", expected " +
+                                   std::to_string(result.samples.rows()));
+  }
+  const int64_t n = result.samples.rows();
+
+  // Basis per global cluster from its labeled samples.
+  std::vector<Matrix> bases(static_cast<size_t>(num_clusters));
+  for (int64_t c = 0; c < num_clusters; ++c) {
+    std::vector<int64_t> columns;
+    for (size_t s = 0; s < result.sample_labels.size(); ++s) {
+      if (result.sample_labels[s] == c) {
+        columns.push_back(static_cast<int64_t>(s));
+      }
+    }
+    if (columns.empty()) continue;  // empty cluster: never wins
+    auto basis = PrincipalSubspace(result.samples.GatherCols(columns),
+                                   /*rank=*/0, rank_rel_tol);
+    if (basis.ok()) bases[static_cast<size_t>(c)] = std::move(basis).value();
+  }
+
+  std::vector<int64_t> labels(static_cast<size_t>(new_points.cols()), 0);
+  Vector normalized(static_cast<size_t>(n), 0.0);
+  Vector reconstructed(static_cast<size_t>(n), 0.0);
+  for (int64_t j = 0; j < new_points.cols(); ++j) {
+    std::copy(new_points.ColData(j), new_points.ColData(j) + n,
+              normalized.begin());
+    const double norm = Norm2(normalized.data(), n);
+    if (norm > 1e-300) Scal(1.0 / norm, normalized.data(), n);
+    double best = std::numeric_limits<double>::infinity();
+    int64_t arg = 0;
+    for (int64_t c = 0; c < num_clusters; ++c) {
+      const Matrix& basis = bases[static_cast<size_t>(c)];
+      if (basis.cols() == 0) continue;
+      Vector coords(static_cast<size_t>(basis.cols()), 0.0);
+      Gemv(Trans::kTrans, 1.0, basis, normalized.data(), 0.0, coords.data());
+      std::copy(normalized.begin(), normalized.end(),
+                reconstructed.begin());
+      Gemv(Trans::kNo, -1.0, basis, coords.data(), 1.0,
+           reconstructed.data());
+      const double residual = Norm2(reconstructed.data(), n);
+      if (residual < best) {
+        best = residual;
+        arg = c;
+      }
+    }
+    labels[static_cast<size_t>(j)] = arg;
+  }
+  return labels;
+}
+
+Result<ConnectivityResult> InducedConnectivity(const FederatedDataset& data,
+                                               const FedScResult& result) {
+  // Truth labels and sample ids in dataset order.
+  const std::vector<int64_t> truth = data.GlobalTruth();
+  const std::vector<int64_t> sample_of_point =
+      data.ToGlobalOrder(result.point_sample);
+  const Matrix central = result.central_affinity.ToDense();
+
+  // Build the induced affinity class by class (dense per class; classes are
+  // small relative to N).
+  int64_t num_classes = 0;
+  for (int64_t t : truth) num_classes = std::max(num_classes, t + 1);
+  std::vector<std::vector<int64_t>> members(
+      static_cast<size_t>(num_classes));
+  for (size_t i = 0; i < truth.size(); ++i) {
+    members[static_cast<size_t>(truth[i])].push_back(
+        static_cast<int64_t>(i));
+  }
+
+  ConnectivityResult conn;
+  conn.per_cluster.assign(static_cast<size_t>(num_classes), 0.0);
+  for (int64_t c = 0; c < num_classes; ++c) {
+    const auto& idx = members[static_cast<size_t>(c)];
+    if (idx.size() < 2) continue;
+    Matrix w(static_cast<int64_t>(idx.size()),
+             static_cast<int64_t>(idx.size()));
+    for (size_t a = 0; a < idx.size(); ++a) {
+      const int64_t sa = sample_of_point[static_cast<size_t>(idx[a])];
+      for (size_t b = a + 1; b < idx.size(); ++b) {
+        const int64_t sb = sample_of_point[static_cast<size_t>(idx[b])];
+        double v;
+        if (sa < 0 || sb < 0) {
+          v = 0.0;
+        } else if (sa == sb) {
+          v = 1.0;  // same local cluster: fully connected
+        } else {
+          v = central(sa, sb);
+        }
+        w(static_cast<int64_t>(a), static_cast<int64_t>(b)) = v;
+        w(static_cast<int64_t>(b), static_cast<int64_t>(a)) = v;
+      }
+    }
+    FEDSC_ASSIGN_OR_RETURN(ConnectivityResult single,
+                           GraphConnectivity(w, std::vector<int64_t>(
+                                                    idx.size(), 0)));
+    conn.per_cluster[static_cast<size_t>(c)] = single.per_cluster[0];
+  }
+
+  double sum = 0.0;
+  double min_value =
+      conn.per_cluster.empty() ? 0.0 : conn.per_cluster[0];
+  for (double v : conn.per_cluster) {
+    sum += v;
+    min_value = std::min(min_value, v);
+  }
+  conn.min_lambda2 = min_value;
+  conn.mean_lambda2 = conn.per_cluster.empty()
+                          ? 0.0
+                          : sum / static_cast<double>(conn.per_cluster.size());
+  return conn;
+}
+
+}  // namespace fedsc

@@ -1,0 +1,149 @@
+// Fed-SC: one-shot federated subspace clustering (Algorithms 1 and 2 of the
+// paper).
+//
+// Phase 1 (every client, Algorithm 2): solve the SSC Lasso on the local
+// data, build W^(z) = |C^(z)| + |C^(z)|^T, estimate the number of local
+// clusters r^(z) with the eigengap heuristic (Eq. 3) or a fixed upper bound,
+// segment with normalized spectral clustering, estimate an orthonormal basis
+// of each local cluster's subspace by truncated SVD, and upload one sample
+// per cluster drawn uniformly from the unit sphere of that subspace (Eq. 5).
+//
+// Phase 2 (server): pool the samples and cluster them into L groups with SSC
+// or TSC.
+//
+// Phase 3 (every client): relabel each local point by its local cluster's
+// global assignment.
+
+#ifndef FEDSC_CORE_FEDSC_H_
+#define FEDSC_CORE_FEDSC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "fed/network.h"
+#include "fed/privacy.h"
+#include "fed/partition.h"
+#include "linalg/sparse.h"
+#include "metrics/connectivity.h"
+#include "sc/pipeline.h"
+
+namespace fedsc {
+
+struct FedScOptions {
+  // Server-side clustering algorithm: kSsc (Fed-SC (SSC)) or kTsc
+  // (Fed-SC (TSC)); every other method is rejected.
+  ScMethod central_method = ScMethod::kSsc;
+
+  SscAdmmOptions local_ssc;
+  SscAdmmOptions central_ssc;
+  // central_tsc.q <= 0 selects the paper's rule q = max(3, ceil(Z / L)).
+  TscOptions central_tsc{.q = 0};
+
+  SpectralOptions local_spectral;
+  SpectralOptions central_spectral;
+
+  // r^(z) estimation. With use_eigengap, Eq. 3 (optionally capped by
+  // max_local_clusters); without it, r^(z) = min(max_local_clusters, N^(z))
+  // — the fixed-upper-bound mode the paper uses on real-world data.
+  bool use_eigengap = true;
+  int64_t max_local_clusters = 0;
+
+  // Dimension d_t of each estimated subspace basis. 0 = numerical rank of
+  // the local cluster matrix (synthetic experiments); the paper sets 1 on
+  // real-world data.
+  int64_t sample_dim = 0;
+  // Rank cutoff for the auto mode: directions with singular value below
+  // rank_rel_tol * sigma_1 are treated as noise. Deliberately aggressive:
+  // under-ranking still samples inside the true subspace (harmless), while
+  // over-ranking mixes noise directions into the uploaded samples (fatal on
+  // noisy data).
+  double rank_rel_tol = 0.1;
+
+  // Samples uploaded per local cluster. The paper uploads exactly one; the
+  // ablation benches sweep this.
+  int64_t samples_per_cluster = 1;
+
+  // Robustness extension (the paper's ref [17] analyzes SC with outliers):
+  // after fitting each local cluster's basis, the fraction of member points
+  // with the largest residual to the fitted subspace is dropped and the
+  // basis refit, so stray points cannot tilt the uploaded sample. 0 = off.
+  double trim_fraction = 0.0;
+
+  ChannelOptions channel;
+
+  // Remark 2 extension: apply the Gaussian mechanism to every uploaded
+  // sample (clip + noise; see fed/privacy.h) so each upload is
+  // (epsilon, delta)-differentially private. One-shot DP on full vectors is
+  // expensive in utility — the privacy example quantifies the tradeoff.
+  bool use_dp = false;
+  DpOptions dp;
+
+  // Workers used for Phase 1, where devices are independent — the source of
+  // the paper's parallel running time O(N^2 + Z^2) (Section IV-E). Results
+  // are identical for any thread count (each device's seed is fixed before
+  // dispatch); reported local_seconds stays the *sum* over devices, matching
+  // the paper's T = sum_z T^(z) + T_c.
+  int num_threads = 1;
+
+  uint64_t seed = 0x5eed'F5CULL;
+};
+
+// The per-device output of Algorithm 2 (exposed separately for tests and
+// for building custom federations).
+struct LocalClusteringOutput {
+  std::vector<int64_t> partition;       // T^(z): local cluster per point
+  int64_t num_local_clusters = 0;       // r^(z)
+  Matrix samples;                       // n x (r^(z) * samples_per_cluster)
+  std::vector<int64_t> sample_cluster;  // local cluster of each sample column
+};
+
+Result<LocalClusteringOutput> LocalClusterAndSample(const Matrix& points,
+                                                    const FedScOptions& options,
+                                                    uint64_t seed);
+
+struct FedScResult {
+  std::vector<std::vector<int64_t>> device_labels;  // partition layout
+  std::vector<int64_t> global_labels;               // dataset order
+  std::vector<int64_t> local_cluster_counts;        // r^(z) per device
+  int64_t total_samples = 0;                        // sum_z r^(z) * s
+
+  Matrix samples;                        // pooled samples (post-channel)
+  std::vector<int64_t> sample_device;    // device of each pooled sample
+  std::vector<int64_t> sample_labels;    // server assignment per sample
+  // Global sample column representing each local point's cluster (used to
+  // induce the global affinity graph).
+  std::vector<std::vector<int64_t>> point_sample;
+  SparseMatrix central_affinity;         // W over the pooled samples
+
+  CommStats comm;
+  double local_seconds = 0.0;    // sum_z T^(z)
+  double central_seconds = 0.0;  // T_c
+  double seconds = 0.0;          // T = sum_z T^(z) + T_c
+};
+
+Result<FedScResult> RunFedSc(const FederatedDataset& data,
+                             int64_t num_clusters,
+                             const FedScOptions& options = {});
+
+// Out-of-sample extension: assigns new points (columns) to the clusters of
+// a completed run. The samples the server labeled with each cluster span an
+// estimated subspace; a new point joins the cluster whose subspace
+// reconstructs it best (smallest residual after projection). No further
+// communication round is needed — this is how a device labels points that
+// arrive after the one-shot protocol ran.
+Result<std::vector<int64_t>> AssignNewPoints(const FedScResult& result,
+                                             int64_t num_clusters,
+                                             const Matrix& new_points,
+                                             double rank_rel_tol = 0.1);
+
+// Connectivity of the induced global affinity graph: two points are as
+// affine as the samples representing their local clusters (weight 1 within
+// a local cluster). This is the graph Section IV-E argues is denser than
+// the centralized SSC graph; Table III's CONN column for Fed-SC reports it.
+Result<ConnectivityResult> InducedConnectivity(const FederatedDataset& data,
+                                               const FedScResult& result);
+
+}  // namespace fedsc
+
+#endif  // FEDSC_CORE_FEDSC_H_

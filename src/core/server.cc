@@ -1,0 +1,112 @@
+#include "core/server.h"
+
+#include <algorithm>
+
+namespace fedsc {
+
+FedScClient::FedScClient(Matrix points, FedScOptions options, uint64_t seed)
+    : points_(std::move(points)), options_(std::move(options)), seed_(seed) {}
+
+Result<Matrix> FedScClient::ProduceUpload() {
+  if (!ran_) {
+    FEDSC_ASSIGN_OR_RETURN(local_,
+                           LocalClusterAndSample(points_, options_, seed_));
+    ran_ = true;
+  }
+  return local_.samples;
+}
+
+Result<std::vector<int64_t>> FedScClient::ApplyAssignments(
+    const std::vector<int64_t>& sample_assignments) const {
+  if (!ran_) {
+    return Status::FailedPrecondition("ProduceUpload() has not run");
+  }
+  if (sample_assignments.size() != local_.sample_cluster.size()) {
+    return Status::InvalidArgument(
+        "expected " + std::to_string(local_.sample_cluster.size()) +
+        " assignments, got " + std::to_string(sample_assignments.size()));
+  }
+  // Label of a local cluster = assignment of its first sample.
+  std::vector<int64_t> cluster_label(
+      static_cast<size_t>(std::max<int64_t>(local_.num_local_clusters, 1)),
+      -1);
+  for (size_t s = 0; s < local_.sample_cluster.size(); ++s) {
+    const auto t = static_cast<size_t>(local_.sample_cluster[s]);
+    if (cluster_label[t] == -1) cluster_label[t] = sample_assignments[s];
+  }
+  std::vector<int64_t> labels(local_.partition.size(), 0);
+  for (size_t i = 0; i < local_.partition.size(); ++i) {
+    labels[i] = cluster_label[static_cast<size_t>(local_.partition[i])];
+  }
+  return labels;
+}
+
+FedScServer::FedScServer(int64_t num_clusters, FedScOptions options)
+    : num_clusters_(num_clusters), options_(std::move(options)) {}
+
+Result<int64_t> FedScServer::AddUpload(const Matrix& samples) {
+  if (samples.cols() == 0) {
+    return Status::InvalidArgument("empty upload");
+  }
+  if (ambient_dim_ < 0) {
+    ambient_dim_ = samples.rows();
+  } else if (samples.rows() != ambient_dim_) {
+    return Status::InvalidArgument(
+        "upload dimension " + std::to_string(samples.rows()) +
+        " does not match the federation's " + std::to_string(ambient_dim_));
+  }
+  device_offsets_.push_back(total_samples_);
+  uploads_.push_back(samples);
+  total_samples_ += samples.cols();
+  clustered_ = false;
+  return num_devices() - 1;
+}
+
+Status FedScServer::Cluster() {
+  if (clustered_) return Status::OK();
+  if (total_samples_ < num_clusters_) {
+    return Status::FailedPrecondition(
+        "fewer samples than clusters: " + std::to_string(total_samples_) +
+        " < " + std::to_string(num_clusters_));
+  }
+  Matrix pooled(ambient_dim_, total_samples_);
+  int64_t next = 0;
+  for (const Matrix& upload : uploads_) {
+    for (int64_t c = 0; c < upload.cols(); ++c) {
+      pooled.SetCol(next++, upload.ColData(c));
+    }
+  }
+
+  ScPipelineOptions central;
+  central.method = options_.central_method;
+  central.ssc = options_.central_ssc;
+  central.tsc = options_.central_tsc;
+  if (central.tsc.q <= 0) {
+    central.tsc.q = std::max<int64_t>(
+        3, (num_devices() + num_clusters_ - 1) / num_clusters_);
+  }
+  central.tsc.q = std::min<int64_t>(central.tsc.q, total_samples_ - 1);
+  central.spectral = options_.central_spectral;
+  central.spectral.kmeans.seed = options_.seed ^ 0x5e47e4ULL;
+  FEDSC_ASSIGN_OR_RETURN(ScResult result,
+                         RunSubspaceClustering(pooled, num_clusters_,
+                                               central));
+  sample_labels_ = std::move(result.labels);
+  clustered_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<int64_t>> FedScServer::AssignmentsFor(int64_t id) const {
+  if (id < 0 || id >= num_devices()) {
+    return Status::InvalidArgument("unknown device id " + std::to_string(id));
+  }
+  if (!clustered_) {
+    return Status::FailedPrecondition("Cluster() has not run");
+  }
+  const int64_t begin = device_offsets_[static_cast<size_t>(id)];
+  const int64_t count = uploads_[static_cast<size_t>(id)].cols();
+  return std::vector<int64_t>(sample_labels_.begin() + begin,
+                              sample_labels_.begin() + begin + count);
+}
+
+}  // namespace fedsc

@@ -1,0 +1,90 @@
+// Stateful client/server API for Fed-SC.
+//
+// RunFedSc() drives the whole one-shot protocol over a FederatedDataset in
+// one call, which suits experiments. Real deployments have devices that come
+// and go: each FedScClient runs Algorithm 2 on its own data and produces an
+// upload; the FedScServer accumulates uploads and (re-)clusters on demand,
+// handing every client back the assignments for its samples. Adding a device
+// and re-clustering costs one more central solve — the local phases of the
+// other devices are never repeated.
+
+#ifndef FEDSC_CORE_SERVER_H_
+#define FEDSC_CORE_SERVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/fedsc.h"
+
+namespace fedsc {
+
+// One device: owns its raw points, runs local clustering + sampling once,
+// and translates server assignments into point labels.
+class FedScClient {
+ public:
+  // `points` are this device's raw data columns; `seed` drives every local
+  // random choice.
+  FedScClient(Matrix points, FedScOptions options, uint64_t seed);
+
+  // Algorithm 2: cluster locally, estimate bases, draw samples. Idempotent
+  // (the result is cached).
+  Result<Matrix> ProduceUpload();
+
+  // Number of samples this client uploads (valid after ProduceUpload).
+  int64_t num_samples() const { return local_.samples.cols(); }
+
+  // Phase 3: map per-sample assignments (one per uploaded sample, in upload
+  // order) to per-point labels.
+  Result<std::vector<int64_t>> ApplyAssignments(
+      const std::vector<int64_t>& sample_assignments) const;
+
+  const LocalClusteringOutput& local() const { return local_; }
+
+ private:
+  Matrix points_;
+  FedScOptions options_;
+  uint64_t seed_;
+  bool ran_ = false;
+  LocalClusteringOutput local_;
+};
+
+// The coordinator: accumulates uploads, clusters them into num_clusters
+// groups with SSC or TSC, and serves per-device assignments.
+class FedScServer {
+ public:
+  FedScServer(int64_t num_clusters, FedScOptions options);
+
+  // Registers one device's upload; returns the device's id. Invalidates any
+  // previous clustering.
+  Result<int64_t> AddUpload(const Matrix& samples);
+
+  int64_t num_devices() const {
+    return static_cast<int64_t>(device_offsets_.size());
+  }
+  int64_t total_samples() const { return total_samples_; }
+
+  // (Re-)clusters all registered samples. Idempotent until the next
+  // AddUpload.
+  Status Cluster();
+
+  // Assignments for device `id`'s samples, in upload order. Requires a
+  // successful Cluster() since the last AddUpload.
+  Result<std::vector<int64_t>> AssignmentsFor(int64_t id) const;
+
+  // The full pooled clustering (one label per registered sample).
+  const std::vector<int64_t>& sample_labels() const { return sample_labels_; }
+
+ private:
+  int64_t num_clusters_;
+  FedScOptions options_;
+  int64_t ambient_dim_ = -1;
+  std::vector<Matrix> uploads_;
+  std::vector<int64_t> device_offsets_;
+  int64_t total_samples_ = 0;
+  bool clustered_ = false;
+  std::vector<int64_t> sample_labels_;
+};
+
+}  // namespace fedsc
+
+#endif  // FEDSC_CORE_SERVER_H_

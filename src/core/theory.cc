@@ -1,0 +1,313 @@
+#include "core/theory.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "linalg/blas.h"
+#include "linalg/cholesky.h"
+#include "linalg/svd.h"
+
+namespace fedsc {
+
+Result<Vector> CanonicalAngleCosines(const Matrix& basis1,
+                                     const Matrix& basis2) {
+  if (basis1.rows() != basis2.rows()) {
+    return Status::InvalidArgument("bases live in different ambient spaces");
+  }
+  if (basis1.cols() == 0 || basis2.cols() == 0) {
+    return Status::InvalidArgument("empty basis");
+  }
+  const Matrix cross = MatMulTN(basis1, basis2);
+  FEDSC_ASSIGN_OR_RETURN(SvdResult svd, JacobiSvd(cross));
+  Vector cosines = std::move(svd.s);
+  for (auto& c : cosines) c = std::clamp(c, 0.0, 1.0);
+  return cosines;
+}
+
+Result<double> SubspaceAffinity(const Matrix& basis1, const Matrix& basis2) {
+  FEDSC_ASSIGN_OR_RETURN(Vector cosines,
+                         CanonicalAngleCosines(basis1, basis2));
+  double sum = 0.0;
+  for (double c : cosines) sum += c * c;
+  return std::sqrt(sum);
+}
+
+Result<Vector> DualDirection(const Vector& x, const Matrix& dictionary,
+                             const DualDirectionOptions& options) {
+  const int64_t n = dictionary.rows();
+  const int64_t m = dictionary.cols();
+  if (static_cast<int64_t>(x.size()) != n) {
+    return Status::InvalidArgument("x dimension mismatch");
+  }
+  if (m == 0) return Status::InvalidArgument("empty dictionary");
+
+  // ADMM on  max <x, nu>  s.t.  s = X^T nu, |s|_inf <= 1:
+  //   nu-step:  (rho X X^T + ridge I) nu = x + rho X (s - u)
+  //   s-step:   clamp(X^T nu + u, -1, 1)
+  //   u-step:   u += X^T nu - s
+  Matrix system = OuterGram(dictionary);
+  system *= options.rho;
+  for (int64_t i = 0; i < n; ++i) system(i, i) += options.ridge;
+  FEDSC_ASSIGN_OR_RETURN(Matrix solver, SpdInverse(system));
+
+  Vector nu(static_cast<size_t>(n), 0.0);
+  Vector s(static_cast<size_t>(m), 0.0);
+  Vector u(static_cast<size_t>(m), 0.0);
+  Vector rhs(static_cast<size_t>(n), 0.0);
+  Vector xs(static_cast<size_t>(m), 0.0);
+  Vector s_minus_u(static_cast<size_t>(m), 0.0);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    for (int64_t i = 0; i < m; ++i) {
+      s_minus_u[static_cast<size_t>(i)] =
+          s[static_cast<size_t>(i)] - u[static_cast<size_t>(i)];
+    }
+    std::copy(x.begin(), x.end(), rhs.begin());
+    Gemv(Trans::kNo, options.rho, dictionary, s_minus_u.data(), 1.0,
+         rhs.data());
+    Gemv(Trans::kNo, 1.0, solver, rhs.data(), 0.0, nu.data());
+
+    Gemv(Trans::kTrans, 1.0, dictionary, nu.data(), 0.0, xs.data());
+    double primal_residual = 0.0;
+    double dual_change = 0.0;
+    for (int64_t i = 0; i < m; ++i) {
+      const double next =
+          std::clamp(xs[static_cast<size_t>(i)] + u[static_cast<size_t>(i)],
+                     -1.0, 1.0);
+      dual_change = std::max(dual_change,
+                             std::fabs(next - s[static_cast<size_t>(i)]));
+      s[static_cast<size_t>(i)] = next;
+      const double gap = xs[static_cast<size_t>(i)] - next;
+      primal_residual = std::max(primal_residual, std::fabs(gap));
+      u[static_cast<size_t>(i)] += gap;
+    }
+    if (std::max(primal_residual, dual_change) < options.tol) break;
+  }
+  return nu;
+}
+
+Result<double> SubspaceIncoherence(const Matrix& x_l, const Matrix& others,
+                                   const Matrix& basis_l,
+                                   const DualDirectionOptions& options) {
+  const int64_t n = x_l.rows();
+  const int64_t count = x_l.cols();
+  if (count < 2) {
+    return Status::InvalidArgument("incoherence needs >= 2 points in X_l");
+  }
+  if (others.rows() != n || basis_l.rows() != n) {
+    return Status::InvalidArgument("ambient dimension mismatch");
+  }
+
+  // V_l: projected, normalized dual directions of every point of X_l
+  // against the remaining points of X_l.
+  Matrix v(n, count);
+  Vector projected(static_cast<size_t>(n), 0.0);
+  Vector in_basis(static_cast<size_t>(basis_l.cols()), 0.0);
+  for (int64_t i = 0; i < count; ++i) {
+    std::vector<int64_t> rest;
+    rest.reserve(static_cast<size_t>(count - 1));
+    for (int64_t j = 0; j < count; ++j) {
+      if (j != i) rest.push_back(j);
+    }
+    FEDSC_ASSIGN_OR_RETURN(
+        Vector nu, DualDirection(x_l.Col(i), x_l.GatherCols(rest), options));
+    // P_l nu = U (U^T nu), then normalize.
+    Gemv(Trans::kTrans, 1.0, basis_l, nu.data(), 0.0, in_basis.data());
+    Gemv(Trans::kNo, 1.0, basis_l, in_basis.data(), 0.0, projected.data());
+    const double norm = Norm2(projected.data(), n);
+    if (norm <= 1e-12) {
+      return Status::FailedPrecondition(
+          "dual direction has no component in the subspace");
+    }
+    Scal(1.0 / norm, projected.data(), n);
+    v.SetCol(i, projected.data());
+  }
+
+  double mu = 0.0;
+  Vector scores(static_cast<size_t>(count), 0.0);
+  for (int64_t j = 0; j < others.cols(); ++j) {
+    Gemv(Trans::kTrans, 1.0, v, others.ColData(j), 0.0, scores.data());
+    for (double sc : scores) mu = std::max(mu, std::fabs(sc));
+  }
+  return mu;
+}
+
+Result<double> InradiusEstimate(const Matrix& x,
+                                const InradiusOptions& options) {
+  const int64_t n = x.rows();
+  const int64_t m = x.cols();
+  if (m == 0) return Status::InvalidArgument("inradius of no points");
+
+  // Work inside span(X): nu = Q w with Q an orthonormal basis, so
+  // f(w) = max_i |g_i^T w| with g_i = Q^T x_i and ||w|| = 1.
+  FEDSC_ASSIGN_OR_RETURN(Matrix q, PrincipalSubspace(x, 0, 1e-10));
+  const Matrix g = MatMulTN(q, x);  // dim x m
+  const int64_t dim = g.rows();
+  (void)n;
+
+  Rng rng(options.seed);
+  double best = std::numeric_limits<double>::infinity();
+  Vector scores(static_cast<size_t>(m), 0.0);
+  for (int restart = 0; restart < options.restarts; ++restart) {
+    Vector w = rng.UnitSphere(dim);
+    double step = options.step;
+    for (int iter = 0; iter < options.iterations; ++iter) {
+      // Subgradient of max_i |g_i^T w| at the argmax atom.
+      Gemv(Trans::kTrans, 1.0, g, w.data(), 0.0, scores.data());
+      int64_t arg = 0;
+      double value = -1.0;
+      for (int64_t i = 0; i < m; ++i) {
+        if (std::fabs(scores[static_cast<size_t>(i)]) > value) {
+          value = std::fabs(scores[static_cast<size_t>(i)]);
+          arg = i;
+        }
+      }
+      best = std::min(best, value);
+      const double sign =
+          scores[static_cast<size_t>(arg)] >= 0.0 ? 1.0 : -1.0;
+      // w <- normalize(w - step * sign * g_arg)
+      Axpy(-step * sign, g.ColData(arg), w.data(), dim);
+      const double norm = Norm2(w.data(), dim);
+      if (norm <= 1e-12) break;
+      Scal(1.0 / norm, w.data(), dim);
+      step *= 0.99;
+    }
+  }
+  return best;
+}
+
+std::vector<std::vector<int64_t>> ComputeActiveSets(
+    const FederatedDataset& data) {
+  const int64_t num_clusters = data.num_clusters;
+  std::vector<std::set<int64_t>> active(static_cast<size_t>(num_clusters));
+  for (const auto& device_labels : data.labels) {
+    const std::set<int64_t> present(device_labels.begin(),
+                                    device_labels.end());
+    for (int64_t l : present) {
+      for (int64_t k : present) {
+        if (k != l) active[static_cast<size_t>(l)].insert(k);
+      }
+    }
+  }
+  std::vector<std::vector<int64_t>> out(static_cast<size_t>(num_clusters));
+  for (int64_t l = 0; l < num_clusters; ++l) {
+    out[static_cast<size_t>(l)].assign(active[static_cast<size_t>(l)].begin(),
+                                       active[static_cast<size_t>(l)].end());
+  }
+  return out;
+}
+
+double Corollary1AffinityBound(double d, double z_prime, double num_clusters,
+                               double r_prime, double c, double t) {
+  if (d < 1.0 || z_prime <= d + 1.0 || num_clusters < 1.0 || r_prime < 1.0) {
+    return 0.0;
+  }
+  const double numerator = c * std::sqrt(d * std::log((z_prime - 1.0) / d));
+  const double denominator =
+      t * std::log(num_clusters * r_prime * z_prime *
+                   (r_prime * z_prime + 1.0));
+  return denominator > 0.0 ? numerator / denominator : 0.0;
+}
+
+double Corollary2AffinityBound(double d, double z_prime, double num_clusters,
+                               double r_prime) {
+  if (d < 1.0 || z_prime < 2.0 || num_clusters < 1.0 || r_prime < 1.0) {
+    return 0.0;
+  }
+  const double denominator =
+      15.0 * std::log(num_clusters * r_prime * z_prime);
+  return denominator > 0.0 ? std::sqrt(d) / denominator : 0.0;
+}
+
+Result<TheoremCheck> CheckTheoremConditions(
+    const Dataset& data, const FederatedDataset& fed,
+    const TheoremCheckOptions& options) {
+  const int64_t num_clusters = data.num_clusters;
+  if (static_cast<int64_t>(data.bases.size()) != num_clusters) {
+    return Status::InvalidArgument(
+        "theorem check needs the ground-truth bases");
+  }
+  if (fed.num_clusters != num_clusters) {
+    return Status::InvalidArgument("dataset/partition cluster mismatch");
+  }
+
+  TheoremCheck check;
+  check.inradius.assign(static_cast<size_t>(num_clusters), 0.0);
+  check.active_incoherence.assign(static_cast<size_t>(num_clusters), 0.0);
+  check.deterministic_ok.assign(static_cast<size_t>(num_clusters), false);
+
+  // Column indices per cluster.
+  std::vector<std::vector<int64_t>> members(
+      static_cast<size_t>(num_clusters));
+  for (size_t i = 0; i < data.labels.size(); ++i) {
+    members[static_cast<size_t>(data.labels[i])].push_back(
+        static_cast<int64_t>(i));
+  }
+  const auto active_sets = ComputeActiveSets(fed);
+
+  for (int64_t l = 0; l < num_clusters; ++l) {
+    const auto& own = members[static_cast<size_t>(l)];
+    if (own.size() < 2) continue;
+    const Matrix x_l = data.points.GatherCols(own);
+    FEDSC_ASSIGN_OR_RETURN(const double inradius,
+                           InradiusEstimate(x_l, options.inradius));
+    check.inradius[static_cast<size_t>(l)] = inradius;
+
+    std::vector<int64_t> active_columns;
+    for (int64_t k : active_sets[static_cast<size_t>(l)]) {
+      const auto& other = members[static_cast<size_t>(k)];
+      active_columns.insert(active_columns.end(), other.begin(),
+                            other.end());
+    }
+    double incoherence = 0.0;
+    if (!active_columns.empty()) {
+      FEDSC_ASSIGN_OR_RETURN(
+          incoherence,
+          SubspaceIncoherence(x_l, data.points.GatherCols(active_columns),
+                              data.bases[static_cast<size_t>(l)],
+                              options.dual));
+    }
+    check.active_incoherence[static_cast<size_t>(l)] = incoherence;
+    check.deterministic_ok[static_cast<size_t>(l)] = inradius > incoherence;
+  }
+
+  double max_dim = 1.0;
+  for (const Matrix& basis : data.bases) {
+    max_dim = std::max(max_dim, static_cast<double>(basis.cols()));
+  }
+  for (int64_t a = 0; a < num_clusters; ++a) {
+    for (int64_t b = a + 1; b < num_clusters; ++b) {
+      FEDSC_ASSIGN_OR_RETURN(
+          const double affinity,
+          SubspaceAffinity(data.bases[static_cast<size_t>(a)],
+                           data.bases[static_cast<size_t>(b)]));
+      check.max_affinity = std::max(check.max_affinity, affinity);
+    }
+  }
+
+  const auto devices_per_cluster = fed.DevicesPerCluster();
+  int64_t z_prime = devices_per_cluster.empty() ? 0
+                                                : devices_per_cluster[0];
+  for (int64_t v : devices_per_cluster) z_prime = std::min(z_prime, v);
+  double r_prime = options.r_prime;
+  if (r_prime <= 0.0) {
+    const auto clusters_per_device = fed.ClustersPerDevice();
+    int64_t max_l = 1;
+    for (int64_t v : clusters_per_device) max_l = std::max(max_l, v);
+    r_prime = static_cast<double>(max_l);
+  }
+  check.corollary1_bound = Corollary1AffinityBound(
+      max_dim, static_cast<double>(z_prime),
+      static_cast<double>(num_clusters), r_prime);
+  check.corollary2_bound = Corollary2AffinityBound(
+      max_dim, static_cast<double>(z_prime),
+      static_cast<double>(num_clusters), r_prime);
+  check.semi_random_ssc_ok = check.corollary1_bound > 0.0 &&
+                             check.max_affinity < check.corollary1_bound;
+  check.semi_random_tsc_ok = check.corollary2_bound > 0.0 &&
+                             check.max_affinity <= check.corollary2_bound;
+  return check;
+}
+
+}  // namespace fedsc

@@ -1,0 +1,121 @@
+// Numerical counterparts of the Section V quantities: canonical angles and
+// subspace affinity (Def. 5), dual directions and subspace incoherence
+// (Defs. 1 and 3), inradius (Def. 4), active sets (Def. 2), and the
+// closed-form affinity bounds of Corollaries 1 and 2. These let tests and
+// examples check the theorems' conditions on concrete federations.
+
+#ifndef FEDSC_CORE_THEORY_H_
+#define FEDSC_CORE_THEORY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "fed/partition.h"
+#include "linalg/matrix.h"
+
+namespace fedsc {
+
+// Cosines of the canonical (principal) angles between the column spans of
+// two orthonormal bases, descending (= singular values of U1^T U2, clamped
+// to [0, 1]).
+Result<Vector> CanonicalAngleCosines(const Matrix& basis1,
+                                     const Matrix& basis2);
+
+// aff(S_k, S_l) = sqrt(sum_i cos^2 phi_i)  (Def. 5). Ranges in
+// [0, sqrt(min(d_k, d_l))]; 0 for orthogonal subspaces, sqrt(d) for
+// identical ones.
+Result<double> SubspaceAffinity(const Matrix& basis1, const Matrix& basis2);
+
+struct DualDirectionOptions {
+  int max_iterations = 2000;
+  double rho = 1.0;
+  double tol = 1e-8;
+  // Ridge added to X X^T so the nu-update system is well-posed when X is
+  // rank-deficient in ambient space.
+  double ridge = 1e-10;
+};
+
+// nu(x, X): solution of max <x, nu> s.t. ||X^T nu||_inf <= 1 (Def. 1),
+// solved by ADMM on the equivalent splitting s = X^T nu. x must lie in the
+// span of X (true for the self-expression setting); the returned nu is the
+// component relevant to the incoherence computation.
+Result<Vector> DualDirection(const Vector& x, const Matrix& dictionary,
+                             const DualDirectionOptions& options = {});
+
+// mu(X_l) restricted to `others` (Defs. 1 and 3): builds V_l from the
+// projected, normalized dual directions of every column of x_l (projection
+// onto span(basis_l)), then returns max over columns y of `others` of
+// ||V_l^T y||_inf. Passing all non-l points gives mu; passing only the
+// active-set points gives mu-tilde.
+Result<double> SubspaceIncoherence(const Matrix& x_l, const Matrix& others,
+                                   const Matrix& basis_l,
+                                   const DualDirectionOptions& options = {});
+
+struct InradiusOptions {
+  int restarts = 64;
+  int iterations = 300;
+  double step = 0.1;
+  uint64_t seed = 0x5eed'12adULL;
+};
+
+// Estimate of r(P(X)) = min_{||nu||=1, nu in span(X)} ||X^T nu||_inf (the
+// support-function characterization of the inradius of the symmetrized
+// convex hull, Def. 4). Projected subgradient descent with random restarts;
+// an upper bound on the true inradius that is tight in practice for the
+// small instances the tests exercise.
+Result<double> InradiusEstimate(const Matrix& x,
+                                const InradiusOptions& options = {});
+
+// Active sets alpha(l) (Def. 2) from a federated data partition: k is in
+// alpha(l) iff some device holds points of both clusters l and k.
+std::vector<std::vector<int64_t>> ComputeActiveSets(
+    const FederatedDataset& data);
+
+// Corollary 1's upper bound on max affinity for Fed-SC (SSC):
+//   c sqrt(d log((Z'-1)/d)) / (t log(L r' Z' (r' Z' + 1))).
+// Returns 0 when the log arguments are out of range.
+double Corollary1AffinityBound(double d, double z_prime, double num_clusters,
+                               double r_prime, double c = 1.0, double t = 1.0);
+
+// Corollary 2's bound for Fed-SC (TSC): sqrt(d) / (15 log(L r' Z')).
+double Corollary2AffinityBound(double d, double z_prime, double num_clusters,
+                               double r_prime);
+
+// Numerical check of the Theorem 1/2 sufficient conditions on a concrete
+// federation whose ground-truth bases are known (synthetic data). This is a
+// diagnostic, not a certificate: the deterministic condition is evaluated on
+// the global point sets (a practical proxy for the min over all N'_l-column
+// submatrices, which is combinatorial), and the semi-random side uses the
+// Corollary bounds with unit constants.
+struct TheoremCheck {
+  // Per cluster l: estimated inradius of X_l, active incoherence mu~(X_l),
+  // and whether inradius > incoherence (the active deterministic condition).
+  Vector inradius;
+  Vector active_incoherence;
+  std::vector<bool> deterministic_ok;
+  // Across pairs: the worst (max) affinity between distinct subspaces and
+  // the Corollary 1 (SSC) / Corollary 2 (TSC) bounds it is compared to.
+  double max_affinity = 0.0;
+  double corollary1_bound = 0.0;
+  double corollary2_bound = 0.0;
+  bool semi_random_ssc_ok = false;
+  bool semi_random_tsc_ok = false;
+};
+
+struct TheoremCheckOptions {
+  DualDirectionOptions dual;
+  InradiusOptions inradius;
+  // r' (max samples per device); the benches' default of one sample per
+  // local cluster makes r' = max L^(z).
+  double r_prime = 0.0;  // <= 0: use max L^(z) from the partition
+};
+
+Result<TheoremCheck> CheckTheoremConditions(
+    const Dataset& data, const FederatedDataset& fed,
+    const TheoremCheckOptions& options = {});
+
+}  // namespace fedsc
+
+#endif  // FEDSC_CORE_THEORY_H_

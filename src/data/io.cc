@@ -1,0 +1,98 @@
+#include "data/io.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace fedsc {
+
+Status SaveDatasetCsv(const std::string& path, const Dataset& dataset) {
+  const int64_t n = dataset.points.rows();
+  const int64_t count = dataset.points.cols();
+  if (static_cast<int64_t>(dataset.labels.size()) != count) {
+    return Status::InvalidArgument("labels/points size mismatch");
+  }
+  std::ofstream out(path);
+  if (!out) {
+    return Status::NotFound("cannot open " + path + " for writing: " +
+                            std::strerror(errno));
+  }
+  out.precision(17);
+  for (int64_t j = 0; j < count; ++j) {
+    out << dataset.labels[static_cast<size_t>(j)];
+    const double* col = dataset.points.ColData(j);
+    for (int64_t i = 0; i < n; ++i) out << ',' << col[i];
+    out << '\n';
+  }
+  out.flush();
+  if (!out) return Status::Internal("write to " + path + " failed");
+  return Status::OK();
+}
+
+Result<Dataset> LoadDatasetCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open " + path + ": " +
+                            std::strerror(errno));
+  }
+  std::vector<Vector> columns;
+  std::vector<int64_t> labels;
+  int64_t expected_dim = -1;
+  std::string line;
+  int64_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string cell;
+    if (!std::getline(fields, cell, ',')) continue;
+    int64_t label = 0;
+    try {
+      label = std::stoll(cell);
+    } catch (...) {
+      return Status::InvalidArgument("bad label on line " +
+                                     std::to_string(line_number));
+    }
+    if (label < 0) {
+      return Status::InvalidArgument("negative label on line " +
+                                     std::to_string(line_number));
+    }
+    Vector column;
+    while (std::getline(fields, cell, ',')) {
+      try {
+        column.push_back(std::stod(cell));
+      } catch (...) {
+        return Status::InvalidArgument("bad value on line " +
+                                       std::to_string(line_number));
+      }
+    }
+    if (column.empty()) {
+      return Status::InvalidArgument("no features on line " +
+                                     std::to_string(line_number));
+    }
+    if (expected_dim < 0) {
+      expected_dim = static_cast<int64_t>(column.size());
+    } else if (static_cast<int64_t>(column.size()) != expected_dim) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_number) + " has " +
+          std::to_string(column.size()) + " features, expected " +
+          std::to_string(expected_dim));
+    }
+    labels.push_back(label);
+    columns.push_back(std::move(column));
+  }
+  if (columns.empty()) {
+    return Status::InvalidArgument(path + " holds no data points");
+  }
+  Dataset dataset;
+  dataset.points = Matrix::FromColumns(columns);
+  dataset.labels = std::move(labels);
+  int64_t max_label = 0;
+  for (int64_t l : dataset.labels) max_label = std::max(max_label, l);
+  dataset.num_clusters = max_label + 1;
+  return dataset;
+}
+
+}  // namespace fedsc

@@ -1,0 +1,24 @@
+// CSV import/export for labeled datasets, so downstream users can run the
+// library on their own data. Format: one point per line,
+// "label,feature_1,feature_2,...,feature_n" — all lines must share one
+// feature count; labels are non-negative integers.
+
+#ifndef FEDSC_DATA_IO_H_
+#define FEDSC_DATA_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "data/synthetic.h"
+
+namespace fedsc {
+
+Status SaveDatasetCsv(const std::string& path, const Dataset& dataset);
+
+// Loads a dataset saved by SaveDatasetCsv (or any file in the same format).
+// num_clusters is set to max label + 1; bases are left empty.
+Result<Dataset> LoadDatasetCsv(const std::string& path);
+
+}  // namespace fedsc
+
+#endif  // FEDSC_DATA_IO_H_

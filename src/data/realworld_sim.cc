@@ -1,0 +1,138 @@
+#include "data/realworld_sim.h"
+
+#include <cmath>
+
+#include "linalg/blas.h"
+#include "linalg/qr.h"
+
+namespace fedsc {
+
+namespace {
+
+// Union-of-subspaces data whose class subspaces concentrate near a shared
+// "style" subspace: basis_l = orth(W G_l + spread * E_l) with W a common
+// n x m orthonormal basis and G_l, E_l Gaussian. With spread = 0 all classes
+// live inside span(W); growing spread separates them. This reproduces the
+// high pairwise subspace affinity of real feature data, which independent
+// random subspaces of a high-dimensional ambient space would not have.
+Result<Dataset> GenerateConcentrated(int64_t ambient_dim,
+                                     int64_t subspace_dim,
+                                     const std::vector<int64_t>& counts,
+                                     int64_t common_dim, double class_spread,
+                                     double noise_stddev, bool normalize,
+                                     Rng* rng) {
+  if (common_dim <= 0) {
+    return GenerateUnionOfSubspaces(ambient_dim, subspace_dim, counts,
+                                    noise_stddev, normalize, rng->Next());
+  }
+  if (common_dim < subspace_dim) {
+    return Status::InvalidArgument("common_dim must be >= subspace_dim");
+  }
+  if (common_dim > ambient_dim) {
+    return Status::InvalidArgument("common_dim must be <= ambient_dim");
+  }
+  int64_t total = 0;
+  for (int64_t c : counts) {
+    if (c < 0) return Status::InvalidArgument("negative point count");
+    total += c;
+  }
+  if (total == 0) return Status::InvalidArgument("no points requested");
+
+  const Matrix shared =
+      RandomOrthonormalBasis(ambient_dim, common_dim, rng);
+
+  Dataset data;
+  data.num_clusters = static_cast<int64_t>(counts.size());
+  data.points = Matrix(ambient_dim, total);
+  data.labels.reserve(static_cast<size_t>(total));
+  data.bases.reserve(counts.size());
+
+  int64_t next = 0;
+  for (int64_t l = 0; l < data.num_clusters; ++l) {
+    // Raw directions: W G_l + spread * E_l, then orthonormalize.
+    Matrix raw(ambient_dim, subspace_dim);
+    for (int64_t j = 0; j < subspace_dim; ++j) {
+      const Vector mix = rng->GaussianVector(common_dim);
+      Gemv(Trans::kNo, 1.0, shared, mix.data(), 0.0, raw.ColData(j));
+      for (int64_t i = 0; i < ambient_dim; ++i) {
+        raw(i, j) += class_spread * rng->Gaussian();
+      }
+    }
+    Matrix basis = OrthonormalColumnBasis(raw);
+    if (basis.cols() < subspace_dim) {
+      return Status::Internal("degenerate concentrated basis");
+    }
+    for (int64_t p = 0; p < counts[static_cast<size_t>(l)]; ++p) {
+      const Vector coeff = rng->GaussianVector(subspace_dim);
+      Gemv(Trans::kNo, 1.0, basis, coeff.data(), 0.0,
+           data.points.ColData(next));
+      if (noise_stddev > 0.0) {
+        double* col = data.points.ColData(next);
+        for (int64_t i = 0; i < ambient_dim; ++i) {
+          col[i] += noise_stddev * rng->Gaussian();
+        }
+      }
+      data.labels.push_back(l);
+      ++next;
+    }
+    data.bases.push_back(std::move(basis));
+  }
+  if (normalize) data.points.NormalizeColumns();
+  return data;
+}
+
+}  // namespace
+
+Result<Dataset> GenerateEmnistSim(const EmnistSimOptions& options) {
+  if (options.min_class_size < 1 ||
+      options.max_class_size < options.min_class_size) {
+    return Status::InvalidArgument("bad EMNIST-sim class size range");
+  }
+  Rng rng(options.seed);
+  std::vector<int64_t> counts;
+  counts.reserve(static_cast<size_t>(options.num_classes));
+  for (int64_t l = 0; l < options.num_classes; ++l) {
+    counts.push_back(options.min_class_size +
+                     rng.UniformInt(options.max_class_size -
+                                    options.min_class_size + 1));
+  }
+  return GenerateConcentrated(options.ambient_dim, options.subspace_dim,
+                              counts, options.common_dim,
+                              options.class_spread, options.noise_stddev,
+                              /*normalize=*/true, &rng);
+}
+
+Result<Dataset> GenerateCoil100Sim(const Coil100SimOptions& options) {
+  if (options.images_per_class < 1) {
+    return Status::InvalidArgument("COIL100-sim needs images_per_class >= 1");
+  }
+  // Base points on per-object pose subspaces, before augmentation.
+  const std::vector<int64_t> counts(
+      static_cast<size_t>(options.num_classes), options.images_per_class);
+  Rng rng(options.seed);
+  FEDSC_ASSIGN_OR_RETURN(
+      Dataset data,
+      GenerateConcentrated(options.ambient_dim, options.subspace_dim, counts,
+                           options.common_dim, options.class_spread,
+                           /*noise_stddev=*/0.0, /*normalize=*/false, &rng));
+
+  // Brightness (gain) and contrast-offset jitter: x <- g * x + b * 1 + eps.
+  // The offset direction is shared across all classes, like the global
+  // brightness axis of real images.
+  const int64_t n = data.points.rows();
+  const double ones_scale = 1.0 / std::sqrt(static_cast<double>(n));
+  for (int64_t j = 0; j < data.points.cols(); ++j) {
+    const double gain =
+        1.0 + options.gain_jitter * (2.0 * rng.Uniform() - 1.0);
+    const double offset = options.offset_stddev * rng.Gaussian();
+    double* col = data.points.ColData(j);
+    for (int64_t i = 0; i < n; ++i) {
+      col[i] = gain * col[i] + offset * ones_scale +
+               options.noise_stddev * rng.Gaussian();
+    }
+  }
+  data.points.NormalizeColumns();
+  return data;
+}
+
+}  // namespace fedsc

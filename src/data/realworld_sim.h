@@ -1,0 +1,63 @@
+// Simulated stand-ins for the paper's real-world datasets.
+//
+// The evaluation environment ships no datasets, so EMNIST (scattering
+// features of handwritten characters, 3472-dim) and augmented COIL100
+// (gray-scale object images, 1024-dim) are replaced by synthetic
+// high-dimensional union-of-subspace datasets with matching *shape*:
+// many classes, unbalanced class sizes, ambient dimension far above the
+// per-device point count, additive feature noise, and (for COIL100-sim)
+// brightness/contrast augmentation modeled as per-point gain/offset jitter.
+// DESIGN.md section 2 records the substitution rationale.
+
+#ifndef FEDSC_DATA_REALWORLD_SIM_H_
+#define FEDSC_DATA_REALWORLD_SIM_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "data/synthetic.h"
+
+namespace fedsc {
+
+struct EmnistSimOptions {
+  int64_t num_classes = 20;      // the paper clusters subsets of 62 classes
+  int64_t ambient_dim = 512;     // stands in for 3472-dim scattering features
+  int64_t subspace_dim = 6;
+  int64_t min_class_size = 80;   // EMNIST classes are unbalanced
+  int64_t max_class_size = 240;
+  double noise_stddev = 0.02;
+  // Class subspaces are drawn near a shared "style" subspace of this
+  // dimension, so pairwise subspace affinities resemble real feature data
+  // (independent random subspaces of R^512 are nearly orthogonal, which
+  // would make centralized clustering unrealistically easy). <= 0 disables.
+  int64_t common_dim = 18;
+  // Class-specific leakage outside the shared subspace (larger = easier).
+  double class_spread = 0.3;
+  uint64_t seed = 0xE31157ULL;
+};
+
+Result<Dataset> GenerateEmnistSim(const EmnistSimOptions& options = {});
+
+struct Coil100SimOptions {
+  int64_t num_classes = 30;      // COIL100 has 100 objects; scaled down
+  int64_t ambient_dim = 256;     // stands in for 1024 gray pixels
+  int64_t subspace_dim = 4;      // pose manifolds are very low-dimensional
+  int64_t images_per_class = 120;  // 72 originals + augmentations
+  // Augmentation jitter: multiplicative brightness gain in
+  // [1 - gain_jitter, 1 + gain_jitter], additive contrast offset along the
+  // all-ones direction with this stddev.
+  double gain_jitter = 0.25;
+  double offset_stddev = 0.05;
+  double noise_stddev = 0.02;
+  // Shared-subspace concentration, as in EmnistSimOptions (object images
+  // share global shading/shape structure).
+  int64_t common_dim = 12;
+  double class_spread = 0.3;
+  uint64_t seed = 0xC011'100ULL;
+};
+
+Result<Dataset> GenerateCoil100Sim(const Coil100SimOptions& options = {});
+
+}  // namespace fedsc
+
+#endif  // FEDSC_DATA_REALWORLD_SIM_H_

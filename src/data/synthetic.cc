@@ -1,0 +1,78 @@
+#include "data/synthetic.h"
+
+#include "linalg/blas.h"
+#include "linalg/qr.h"
+
+namespace fedsc {
+
+Matrix RandomOrthonormalBasis(int64_t n, int64_t d, Rng* rng) {
+  FEDSC_CHECK(1 <= d && d <= n) << "basis needs 1 <= d <= n";
+  Matrix gaussian(n, d);
+  for (int64_t j = 0; j < d; ++j) {
+    for (int64_t i = 0; i < n; ++i) gaussian(i, j) = rng->Gaussian();
+  }
+  auto qr = HouseholderQr(gaussian);
+  FEDSC_CHECK(qr.ok()) << qr.status().ToString();
+  return std::move(qr->q);
+}
+
+Result<Dataset> GenerateUnionOfSubspaces(int64_t ambient_dim,
+                                         int64_t subspace_dim,
+                                         const std::vector<int64_t>& counts,
+                                         double noise_stddev, bool normalize,
+                                         uint64_t seed) {
+  if (ambient_dim < 1 || subspace_dim < 1 || subspace_dim > ambient_dim) {
+    return Status::InvalidArgument("need 1 <= d <= n");
+  }
+  if (counts.empty()) {
+    return Status::InvalidArgument("need at least one subspace");
+  }
+  int64_t total = 0;
+  for (int64_t c : counts) {
+    if (c < 0) return Status::InvalidArgument("negative point count");
+    total += c;
+  }
+  if (total == 0) return Status::InvalidArgument("no points requested");
+
+  Rng rng(seed);
+  Dataset data;
+  data.num_clusters = static_cast<int64_t>(counts.size());
+  data.points = Matrix(ambient_dim, total);
+  data.labels.reserve(static_cast<size_t>(total));
+  data.bases.reserve(counts.size());
+
+  int64_t next = 0;
+  for (int64_t l = 0; l < data.num_clusters; ++l) {
+    Matrix basis = RandomOrthonormalBasis(ambient_dim, subspace_dim, &rng);
+    for (int64_t p = 0; p < counts[static_cast<size_t>(l)]; ++p) {
+      const Vector coeff = rng.GaussianVector(subspace_dim);
+      Gemv(Trans::kNo, 1.0, basis, coeff.data(), 0.0,
+           data.points.ColData(next));
+      if (noise_stddev > 0.0) {
+        double* col = data.points.ColData(next);
+        for (int64_t i = 0; i < ambient_dim; ++i) {
+          col[i] += noise_stddev * rng.Gaussian();
+        }
+      }
+      data.labels.push_back(l);
+      ++next;
+    }
+    data.bases.push_back(std::move(basis));
+  }
+  if (normalize) data.points.NormalizeColumns();
+  return data;
+}
+
+Result<Dataset> GenerateUnionOfSubspaces(const SyntheticOptions& options) {
+  if (options.num_subspaces < 1) {
+    return Status::InvalidArgument("need at least one subspace");
+  }
+  const std::vector<int64_t> counts(
+      static_cast<size_t>(options.num_subspaces),
+      options.points_per_subspace);
+  return GenerateUnionOfSubspaces(options.ambient_dim, options.subspace_dim,
+                                  counts, options.noise_stddev,
+                                  options.normalize, options.seed);
+}
+
+}  // namespace fedsc

@@ -1,0 +1,54 @@
+// Synthetic union-of-subspaces data (Section VI-A of the paper): L random
+// subspaces of dimension d in R^n with i.i.d. orthonormal bases; points are
+// the bases times Gaussian coefficients, optionally noised and normalized to
+// the unit sphere.
+
+#ifndef FEDSC_DATA_SYNTHETIC_H_
+#define FEDSC_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "linalg/matrix.h"
+
+namespace fedsc {
+
+// A labeled clustering dataset: points are columns.
+struct Dataset {
+  Matrix points;                // n x N
+  std::vector<int64_t> labels;  // size N, values in [0, num_clusters)
+  int64_t num_clusters = 0;
+  // Ground-truth orthonormal bases of the generating subspaces (empty for
+  // datasets without them). bases[l] is n x d_l.
+  std::vector<Matrix> bases;
+};
+
+struct SyntheticOptions {
+  int64_t ambient_dim = 20;          // n
+  int64_t subspace_dim = 5;          // d
+  int64_t num_subspaces = 20;        // L
+  int64_t points_per_subspace = 100;
+  // Per-coordinate additive Gaussian noise (applied before normalization).
+  double noise_stddev = 0.0;
+  bool normalize = true;
+  uint64_t seed = 0x5eed'0001ULL;
+};
+
+// Random n x d matrix with orthonormal columns (QR of a Gaussian matrix).
+Matrix RandomOrthonormalBasis(int64_t n, int64_t d, Rng* rng);
+
+Result<Dataset> GenerateUnionOfSubspaces(const SyntheticOptions& options);
+
+// Variant with per-subspace point counts (used for unbalanced datasets);
+// counts.size() defines L.
+Result<Dataset> GenerateUnionOfSubspaces(int64_t ambient_dim,
+                                         int64_t subspace_dim,
+                                         const std::vector<int64_t>& counts,
+                                         double noise_stddev, bool normalize,
+                                         uint64_t seed);
+
+}  // namespace fedsc
+
+#endif  // FEDSC_DATA_SYNTHETIC_H_

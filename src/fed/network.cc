@@ -1,0 +1,45 @@
+#include "fed/network.h"
+
+#include <cmath>
+#include <algorithm>
+
+namespace fedsc {
+
+Channel::Channel(const ChannelOptions& options)
+    : options_(options), rng_(options.seed) {}
+
+Matrix Channel::Uplink(const Matrix& samples) {
+  stats_.uplink_values += samples.size();
+  stats_.uplink_bits += samples.size() * options_.bits_per_value;
+  Matrix received = samples;
+  if (options_.noise_delta > 0.0 && samples.cols() > 0) {
+    const double stddev =
+        options_.noise_delta / std::sqrt(static_cast<double>(samples.cols()));
+    double* data = received.data();
+    for (int64_t i = 0; i < received.size(); ++i) {
+      data[i] += stddev * rng_.Gaussian();
+    }
+  }
+  if (options_.quantize && options_.bits_per_value >= 2 &&
+      options_.bits_per_value <= 32) {
+    const double range = options_.quantization_range;
+    const double levels =
+        static_cast<double>((uint64_t{1} << options_.bits_per_value) - 1);
+    const double step = 2.0 * range / levels;
+    double* data = received.data();
+    for (int64_t i = 0; i < received.size(); ++i) {
+      const double clamped = std::min(range, std::max(-range, data[i]));
+      data[i] = -range + step * std::round((clamped + range) / step);
+    }
+  }
+  return received;
+}
+
+void Channel::Downlink(int64_t count, int64_t num_clusters) {
+  stats_.downlink_values += count;
+  stats_.downlink_bits +=
+      static_cast<double>(count) *
+      std::log2(std::max<double>(2.0, static_cast<double>(num_clusters)));
+}
+
+}  // namespace fedsc

@@ -1,0 +1,66 @@
+// One-shot communication channel simulation: uplink/downlink bit accounting
+// (Section IV-E of the paper) and Gaussian channel noise on uploaded samples
+// (the robustness experiment of Fig. 7, where samples from device z receive
+// noise of standard deviation delta / sqrt(r^(z))).
+
+#ifndef FEDSC_FED_NETWORK_H_
+#define FEDSC_FED_NETWORK_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "linalg/matrix.h"
+
+namespace fedsc {
+
+struct ChannelOptions {
+  // Fig. 7's delta; the uplink of device z is perturbed by i.i.d. Gaussian
+  // noise with stddev delta / sqrt(r^(z)). 0 disables noise.
+  double noise_delta = 0.0;
+  // Bits per transmitted floating-point value (q in Section IV-E).
+  int bits_per_value = 64;
+  // When true, uplink values are actually rounded to the bits_per_value-bit
+  // uniform grid over [-quantization_range, quantization_range] (Section
+  // IV-E assumes q-bit quantization; this makes its distortion observable).
+  // Requires 2 <= bits_per_value <= 32 to quantize.
+  bool quantize = false;
+  double quantization_range = 1.5;
+  uint64_t seed = 0x5eed'c4a7ULL;
+};
+
+struct CommStats {
+  int64_t uplink_values = 0;
+  int64_t uplink_bits = 0;
+  int64_t downlink_values = 0;
+  double downlink_bits = 0.0;  // assignments cost log2(L) bits each
+  int64_t rounds = 0;          // communication rounds consumed (1 for one-shot)
+};
+
+// Simulates the client->server->client channel of the one-shot protocol.
+class Channel {
+ public:
+  explicit Channel(const ChannelOptions& options);
+
+  // Uplink of an n x r sample matrix from one device: applies channel noise
+  // (if configured) and records n * r values in the stats. Returns what the
+  // server receives.
+  Matrix Uplink(const Matrix& samples);
+
+  // Downlink of `count` cluster assignments out of `num_clusters` classes to
+  // one device: log2(L) bits each.
+  void Downlink(int64_t count, int64_t num_clusters);
+
+  // Marks the completion of one communication round.
+  void FinishRound() { ++stats_.rounds; }
+
+  const CommStats& stats() const { return stats_; }
+
+ private:
+  ChannelOptions options_;
+  Rng rng_;
+  CommStats stats_;
+};
+
+}  // namespace fedsc
+
+#endif  // FEDSC_FED_NETWORK_H_

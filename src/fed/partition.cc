@@ -1,0 +1,173 @@
+#include "fed/partition.h"
+
+#include <algorithm>
+#include <set>
+
+namespace fedsc {
+
+std::vector<int64_t> FederatedDataset::ToGlobalOrder(
+    const std::vector<std::vector<int64_t>>& per_device_values) const {
+  FEDSC_CHECK(per_device_values.size() == global_index.size());
+  std::vector<int64_t> global(static_cast<size_t>(total_points), -1);
+  for (size_t z = 0; z < global_index.size(); ++z) {
+    FEDSC_CHECK(per_device_values[z].size() == global_index[z].size())
+        << "device " << z << " value count mismatch";
+    for (size_t i = 0; i < global_index[z].size(); ++i) {
+      global[static_cast<size_t>(global_index[z][i])] =
+          per_device_values[z][i];
+    }
+  }
+  return global;
+}
+
+std::vector<int64_t> FederatedDataset::GlobalTruth() const {
+  return ToGlobalOrder(labels);
+}
+
+std::vector<int64_t> FederatedDataset::DevicesPerCluster() const {
+  std::vector<int64_t> count(static_cast<size_t>(num_clusters), 0);
+  for (const auto& device_labels : labels) {
+    std::set<int64_t> present(device_labels.begin(), device_labels.end());
+    for (int64_t l : present) ++count[static_cast<size_t>(l)];
+  }
+  return count;
+}
+
+std::vector<int64_t> FederatedDataset::ClustersPerDevice() const {
+  std::vector<int64_t> count;
+  count.reserve(labels.size());
+  for (const auto& device_labels : labels) {
+    const std::set<int64_t> present(device_labels.begin(),
+                                    device_labels.end());
+    count.push_back(static_cast<int64_t>(present.size()));
+  }
+  return count;
+}
+
+Result<FederatedDataset> PartitionAcrossDevices(
+    const Dataset& dataset, const PartitionOptions& options) {
+  const int64_t num_devices = options.num_devices;
+  const int64_t num_clusters = dataset.num_clusters;
+  const int64_t total = dataset.points.cols();
+  if (num_devices < 1) {
+    return Status::InvalidArgument("need at least one device");
+  }
+  if (total == 0 || num_clusters == 0) {
+    return Status::InvalidArgument("cannot partition an empty dataset");
+  }
+  const bool iid = options.clusters_per_device <= 0 ||
+                   options.clusters_per_device >= num_clusters;
+  const int64_t clusters_lo =
+      iid ? num_clusters : options.clusters_per_device;
+  const int64_t clusters_hi =
+      iid ? num_clusters
+          : std::min(std::max(options.clusters_per_device_max, clusters_lo),
+                     num_clusters);
+
+  Rng rng(options.seed);
+
+  // Which devices hold which clusters.
+  std::vector<std::vector<int64_t>> devices_of_cluster(
+      static_cast<size_t>(num_clusters));
+  for (int64_t z = 0; z < num_devices; ++z) {
+    const int64_t count =
+        clusters_lo + (clusters_hi > clusters_lo
+                           ? rng.UniformInt(clusters_hi - clusters_lo + 1)
+                           : 0);
+    const std::vector<int64_t> chosen =
+        iid ? [&] {
+          std::vector<int64_t> all(static_cast<size_t>(num_clusters));
+          for (int64_t l = 0; l < num_clusters; ++l) {
+            all[static_cast<size_t>(l)] = l;
+          }
+          return all;
+        }()
+            : rng.SampleWithoutReplacement(num_clusters, count);
+    for (int64_t l : chosen) {
+      devices_of_cluster[static_cast<size_t>(l)].push_back(z);
+    }
+  }
+  // Every cluster must land on at least one device. An uncovered cluster
+  // takes the place of a redundantly-covered one on some device, keeping
+  // each device's L^(z) at clusters_per_device. (Whenever Z * L' >= L such
+  // a swap exists by pigeonhole; otherwise full coverage is impossible and
+  // we fall back to adding an extra cluster to a random device.)
+  std::vector<std::vector<int64_t>> clusters_of_device(
+      static_cast<size_t>(num_devices));
+  for (int64_t l = 0; l < num_clusters; ++l) {
+    for (int64_t z : devices_of_cluster[static_cast<size_t>(l)]) {
+      clusters_of_device[static_cast<size_t>(z)].push_back(l);
+    }
+  }
+  for (int64_t l = 0; l < num_clusters; ++l) {
+    if (!devices_of_cluster[static_cast<size_t>(l)].empty()) continue;
+    bool swapped = false;
+    std::vector<int64_t> device_order(static_cast<size_t>(num_devices));
+    for (int64_t z = 0; z < num_devices; ++z) {
+      device_order[static_cast<size_t>(z)] = z;
+    }
+    rng.Shuffle(&device_order);
+    for (int64_t z : device_order) {
+      auto& held = clusters_of_device[static_cast<size_t>(z)];
+      for (size_t slot = 0; slot < held.size(); ++slot) {
+        const int64_t k = held[slot];
+        auto& holders = devices_of_cluster[static_cast<size_t>(k)];
+        if (holders.size() < 2) continue;
+        holders.erase(std::find(holders.begin(), holders.end(), z));
+        held[slot] = l;
+        devices_of_cluster[static_cast<size_t>(l)].push_back(z);
+        swapped = true;
+        break;
+      }
+      if (swapped) break;
+    }
+    if (!swapped) {
+      const int64_t z = rng.UniformInt(num_devices);
+      devices_of_cluster[static_cast<size_t>(l)].push_back(z);
+      clusters_of_device[static_cast<size_t>(z)].push_back(l);
+    }
+  }
+
+  // Deal each cluster's points round-robin over its devices (shuffled so
+  // the split is random, balanced in expectation).
+  std::vector<std::vector<int64_t>> member_columns(
+      static_cast<size_t>(num_clusters));
+  for (int64_t i = 0; i < total; ++i) {
+    member_columns[static_cast<size_t>(dataset.labels[static_cast<size_t>(i)])]
+        .push_back(i);
+  }
+  std::vector<std::vector<int64_t>> device_columns(
+      static_cast<size_t>(num_devices));
+  for (int64_t l = 0; l < num_clusters; ++l) {
+    auto& columns = member_columns[static_cast<size_t>(l)];
+    rng.Shuffle(&columns);
+    const auto& holders = devices_of_cluster[static_cast<size_t>(l)];
+    for (size_t p = 0; p < columns.size(); ++p) {
+      device_columns[static_cast<size_t>(holders[p % holders.size()])]
+          .push_back(columns[p]);
+    }
+  }
+
+  FederatedDataset fed;
+  fed.num_clusters = num_clusters;
+  fed.total_points = total;
+  fed.ambient_dim = dataset.points.rows();
+  fed.points.reserve(static_cast<size_t>(num_devices));
+  fed.labels.reserve(static_cast<size_t>(num_devices));
+  fed.global_index.reserve(static_cast<size_t>(num_devices));
+  for (int64_t z = 0; z < num_devices; ++z) {
+    auto& columns = device_columns[static_cast<size_t>(z)];
+    std::sort(columns.begin(), columns.end());
+    fed.points.push_back(dataset.points.GatherCols(columns));
+    std::vector<int64_t> device_labels;
+    device_labels.reserve(columns.size());
+    for (int64_t c : columns) {
+      device_labels.push_back(dataset.labels[static_cast<size_t>(c)]);
+    }
+    fed.labels.push_back(std::move(device_labels));
+    fed.global_index.push_back(std::move(columns));
+  }
+  return fed;
+}
+
+}  // namespace fedsc

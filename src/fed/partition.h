@@ -1,0 +1,67 @@
+// Partitioning a dataset across the devices of a simulated federated
+// network, in the two regimes of Section VI: IID (every device draws from
+// all L clusters) and non-IID (each device draws from a random subset of L'
+// clusters — the paper's statistical heterogeneity, L^(z) = L' < L).
+
+#ifndef FEDSC_FED_PARTITION_H_
+#define FEDSC_FED_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "data/synthetic.h"
+#include "linalg/matrix.h"
+
+namespace fedsc {
+
+// A dataset split across Z devices. Device z holds points[z] (n x N^(z));
+// labels[z] are ground truth (for evaluation only — the algorithms never see
+// them), and global_index[z][i] maps local point i back to its column in the
+// original dataset.
+struct FederatedDataset {
+  std::vector<Matrix> points;
+  std::vector<std::vector<int64_t>> labels;
+  std::vector<std::vector<int64_t>> global_index;
+  int64_t num_clusters = 0;
+  int64_t total_points = 0;
+  int64_t ambient_dim = 0;
+
+  int64_t num_devices() const { return static_cast<int64_t>(points.size()); }
+
+  // Scatters per-device values back into dataset order (the inverse of the
+  // partition). values.size() must match the partition layout.
+  std::vector<int64_t> ToGlobalOrder(
+      const std::vector<std::vector<int64_t>>& per_device_values) const;
+
+  // Ground-truth labels in dataset order.
+  std::vector<int64_t> GlobalTruth() const;
+
+  // Z_l for every cluster l: the number of devices holding at least one of
+  // its points (Section III-B).
+  std::vector<int64_t> DevicesPerCluster() const;
+
+  // L^(z) for every device z: the number of distinct clusters present.
+  std::vector<int64_t> ClustersPerDevice() const;
+};
+
+struct PartitionOptions {
+  int64_t num_devices = 10;
+  // Clusters per device (L'). <= 0 or >= L means IID (all clusters).
+  int64_t clusters_per_device = 0;
+  // When > clusters_per_device, each device independently draws its cluster
+  // count uniformly from [clusters_per_device, clusters_per_device_max]
+  // (Table III's 2 <= L^(z) <= 4 setting). 0 means fixed L'.
+  int64_t clusters_per_device_max = 0;
+  uint64_t seed = 0x5eed'9a47ULL;
+};
+
+// Distributes the dataset: each device picks its cluster subset, then each
+// cluster's points are dealt round-robin among the devices that picked it
+// (every cluster is guaranteed at least one device).
+Result<FederatedDataset> PartitionAcrossDevices(
+    const Dataset& dataset, const PartitionOptions& options);
+
+}  // namespace fedsc
+
+#endif  // FEDSC_FED_PARTITION_H_

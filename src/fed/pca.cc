@@ -1,0 +1,35 @@
+#include "fed/pca.h"
+
+#include <algorithm>
+
+#include "linalg/blas.h"
+#include "linalg/svd.h"
+
+namespace fedsc {
+
+Result<PcaResult> Pca(const Matrix& x, int64_t dim) {
+  const int64_t n = x.rows();
+  const int64_t num_points = x.cols();
+  if (num_points == 0) return Status::InvalidArgument("PCA of no points");
+  if (dim < 1) return Status::InvalidArgument("PCA dim must be >= 1");
+
+  PcaResult result;
+  result.mean.assign(static_cast<size_t>(n), 0.0);
+  for (int64_t j = 0; j < num_points; ++j) {
+    Axpy(1.0, x.ColData(j), result.mean.data(), n);
+  }
+  Scal(1.0 / static_cast<double>(num_points), result.mean.data(), n);
+
+  Matrix centered = x;
+  for (int64_t j = 0; j < num_points; ++j) {
+    Axpy(-1.0, result.mean.data(), centered.ColData(j), n);
+  }
+
+  const int64_t keep = std::min<int64_t>(dim, std::min(n, num_points));
+  FEDSC_ASSIGN_OR_RETURN(SvdResult svd, JacobiSvd(centered));
+  result.components = svd.u.ColRange(0, keep);
+  result.projected = MatMulTN(result.components, centered);
+  return result;
+}
+
+}  // namespace fedsc

@@ -1,0 +1,31 @@
+// Principal component analysis, used by the k-FED + PCA baselines of
+// Table III/IV: each device projects its *local* data onto its own top
+// principal components before clustering. (The projections of different
+// devices live in incompatible coordinate systems — exactly why the paper
+// finds PCA + k-FED performs near chance on high-dimensional data.)
+
+#ifndef FEDSC_FED_PCA_H_
+#define FEDSC_FED_PCA_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace fedsc {
+
+struct PcaResult {
+  Matrix projected;  // dim x N scores
+  Matrix components;  // n x dim orthonormal principal directions
+  Vector mean;        // n, the subtracted column mean
+};
+
+// Projects the columns of x onto their top `dim` principal components
+// (centering first). If dim exceeds the available rank, the projection keeps
+// every component and pads nothing; projected.rows() is min(dim, rank
+// bound).
+Result<PcaResult> Pca(const Matrix& x, int64_t dim);
+
+}  // namespace fedsc
+
+#endif  // FEDSC_FED_PCA_H_

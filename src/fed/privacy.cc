@@ -1,0 +1,39 @@
+#include "fed/privacy.h"
+
+#include <cmath>
+
+#include "linalg/blas.h"
+
+namespace fedsc {
+
+Result<double> GaussianMechanismSigma(const DpOptions& options) {
+  if (options.epsilon <= 0.0 || options.epsilon > 1.0) {
+    return Status::InvalidArgument(
+        "Gaussian mechanism needs 0 < epsilon <= 1");
+  }
+  if (options.delta <= 0.0 || options.delta >= 1.0) {
+    return Status::InvalidArgument("delta must be in (0, 1)");
+  }
+  if (options.sensitivity <= 0.0) {
+    return Status::InvalidArgument("sensitivity must be positive");
+  }
+  return options.sensitivity *
+         std::sqrt(2.0 * std::log(1.25 / options.delta)) / options.epsilon;
+}
+
+Result<Matrix> PrivatizeSamples(const Matrix& samples,
+                                const DpOptions& options, Rng* rng) {
+  FEDSC_ASSIGN_OR_RETURN(const double sigma, GaussianMechanismSigma(options));
+  const double clip = options.sensitivity / 2.0;
+  Matrix released = samples;
+  const int64_t n = released.rows();
+  for (int64_t j = 0; j < released.cols(); ++j) {
+    double* col = released.ColData(j);
+    const double norm = Norm2(col, n);
+    if (norm > clip) Scal(clip / norm, col, n);
+    for (int64_t i = 0; i < n; ++i) col[i] += sigma * rng->Gaussian();
+  }
+  return released;
+}
+
+}  // namespace fedsc

@@ -1,0 +1,44 @@
+// Differential privacy for the uplink (the paper's Remark 2 notes that DP
+// "can be incorporated into Fed-SC to further protect the privacy while
+// uploading Theta^(z)"; this module incorporates it).
+//
+// The uploaded samples are unit vectors, so the l2 sensitivity of replacing
+// one device's sample is at most 2. The Gaussian mechanism with
+//
+//   sigma = sensitivity * sqrt(2 ln(1.25 / delta)) / epsilon
+//
+// gives each uploaded sample (epsilon, delta)-DP (Dwork-Roth, Thm. A.1;
+// valid for epsilon <= 1). Because every device uploads each sample exactly
+// once, the per-sample guarantee is also the per-round device guarantee
+// under parallel composition across devices.
+
+#ifndef FEDSC_FED_PRIVACY_H_
+#define FEDSC_FED_PRIVACY_H_
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "linalg/matrix.h"
+
+namespace fedsc {
+
+struct DpOptions {
+  double epsilon = 1.0;
+  double delta = 1e-5;
+  // l2 sensitivity of one uploaded vector; 2 for unit-norm samples.
+  double sensitivity = 2.0;
+};
+
+// Noise scale of the Gaussian mechanism for these parameters. Fails for
+// epsilon <= 0, epsilon > 1 (outside the theorem's regime), or
+// delta outside (0, 1).
+Result<double> GaussianMechanismSigma(const DpOptions& options);
+
+// Clips every column of `samples` to l2 norm <= options.sensitivity / 2 and
+// adds i.i.d. N(0, sigma^2) noise: the released matrix is
+// (epsilon, delta)-DP with respect to replacing any single column.
+Result<Matrix> PrivatizeSamples(const Matrix& samples,
+                                const DpOptions& options, Rng* rng);
+
+}  // namespace fedsc
+
+#endif  // FEDSC_FED_PRIVACY_H_

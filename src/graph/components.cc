@@ -1,0 +1,39 @@
+#include "graph/components.h"
+
+#include "common/check.h"
+
+namespace fedsc {
+
+ComponentsResult ConnectedComponents(const SparseMatrix& adjacency) {
+  FEDSC_CHECK(adjacency.rows() == adjacency.cols());
+  const int64_t n = adjacency.rows();
+  const SparseMatrix transposed = adjacency.Transposed();
+
+  ComponentsResult result;
+  result.labels.assign(static_cast<size_t>(n), -1);
+  std::vector<int64_t> stack;
+  for (int64_t start = 0; start < n; ++start) {
+    if (result.labels[static_cast<size_t>(start)] != -1) continue;
+    const int64_t component = result.count++;
+    stack.push_back(start);
+    result.labels[static_cast<size_t>(start)] = component;
+    while (!stack.empty()) {
+      const int64_t u = stack.back();
+      stack.pop_back();
+      for (const SparseMatrix* m : {&adjacency, &transposed}) {
+        for (int64_t k = m->row_ptr()[static_cast<size_t>(u)];
+             k < m->row_ptr()[static_cast<size_t>(u) + 1]; ++k) {
+          if (m->values()[static_cast<size_t>(k)] == 0.0) continue;
+          const int64_t v = m->col_idx()[static_cast<size_t>(k)];
+          if (result.labels[static_cast<size_t>(v)] == -1) {
+            result.labels[static_cast<size_t>(v)] = component;
+            stack.push_back(v);
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace fedsc

@@ -1,0 +1,33 @@
+// The eigengap heuristic (Eq. 3 of the paper): estimate the number of
+// clusters in an affinity graph as the position of the largest gap in the
+// sorted spectrum of the normalized Laplacian.
+
+#ifndef FEDSC_GRAPH_EIGENGAP_H_
+#define FEDSC_GRAPH_EIGENGAP_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace fedsc {
+
+struct EigengapOptions {
+  // Only gaps at positions 1..max_clusters are considered (the paper caps
+  // r^(z) by an upper bound on real-world data; <= 0 means no cap).
+  int64_t max_clusters = 0;
+};
+
+// r = argmax_{i in [N-1]} (sigma_{i+1} - sigma_i) over the ascending
+// eigenvalues of the normalized Laplacian of `w`. Returns a value in
+// [1, N-1] (or [1, max_clusters]).
+Result<int64_t> EstimateClusterCount(const Matrix& w,
+                                     const EigengapOptions& options = {});
+
+// Same heuristic applied to an already-computed ascending spectrum.
+Result<int64_t> EstimateClusterCountFromSpectrum(
+    const Vector& ascending_eigenvalues, const EigengapOptions& options = {});
+
+}  // namespace fedsc
+
+#endif  // FEDSC_GRAPH_EIGENGAP_H_

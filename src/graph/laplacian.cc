@@ -1,0 +1,78 @@
+#include "graph/laplacian.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace fedsc {
+
+namespace {
+
+// 1/sqrt(d) with the zero-degree convention (isolated vertices scale to 0).
+Vector InverseSqrt(const Vector& degrees) {
+  Vector inv(degrees.size(), 0.0);
+  for (size_t i = 0; i < degrees.size(); ++i) {
+    if (degrees[i] > 0.0) inv[i] = 1.0 / std::sqrt(degrees[i]);
+  }
+  return inv;
+}
+
+}  // namespace
+
+Vector Degrees(const Matrix& w) {
+  FEDSC_CHECK(w.rows() == w.cols()) << "affinity matrix must be square";
+  Vector degrees(static_cast<size_t>(w.rows()), 0.0);
+  for (int64_t j = 0; j < w.cols(); ++j) {
+    const double* col = w.ColData(j);
+    for (int64_t i = 0; i < w.rows(); ++i) {
+      degrees[static_cast<size_t>(i)] += col[i];
+    }
+  }
+  return degrees;
+}
+
+Matrix NormalizedAdjacency(const Matrix& w) {
+  const Vector inv = InverseSqrt(Degrees(w));
+  const int64_t n = w.rows();
+  Matrix m(n, n);
+  for (int64_t j = 0; j < n; ++j) {
+    const double sj = inv[static_cast<size_t>(j)];
+    const double* src = w.ColData(j);
+    double* dst = m.ColData(j);
+    for (int64_t i = 0; i < n; ++i) {
+      dst[i] = inv[static_cast<size_t>(i)] * src[i] * sj;
+    }
+  }
+  return m;
+}
+
+SparseMatrix NormalizedAdjacency(const SparseMatrix& w) {
+  FEDSC_CHECK(w.rows() == w.cols()) << "affinity matrix must be square";
+  const Vector inv = InverseSqrt(w.RowSums());
+  std::vector<Triplet> triplets;
+  triplets.reserve(static_cast<size_t>(w.nnz()));
+  for (int64_t r = 0; r < w.rows(); ++r) {
+    for (int64_t k = w.row_ptr()[static_cast<size_t>(r)];
+         k < w.row_ptr()[static_cast<size_t>(r) + 1]; ++k) {
+      const int64_t c = w.col_idx()[static_cast<size_t>(k)];
+      const double v = inv[static_cast<size_t>(r)] *
+                       w.values()[static_cast<size_t>(k)] *
+                       inv[static_cast<size_t>(c)];
+      if (v != 0.0) triplets.push_back({r, c, v});
+    }
+  }
+  return SparseMatrix::FromTriplets(w.rows(), w.cols(), std::move(triplets));
+}
+
+Matrix NormalizedLaplacian(const Matrix& w) {
+  const Vector degrees = Degrees(w);
+  Matrix l = NormalizedAdjacency(w);
+  l *= -1.0;
+  for (int64_t i = 0; i < l.rows(); ++i) {
+    if (degrees[static_cast<size_t>(i)] > 0.0) l(i, i) += 1.0;
+    // Isolated vertex: leave the (zero) row/column, eigenvalue 0.
+  }
+  return l;
+}
+
+}  // namespace fedsc

@@ -1,0 +1,31 @@
+// Normalized graph Laplacian utilities.
+//
+// For an affinity graph W with degree matrix D, the symmetric normalized
+// Laplacian is L = I - D^{-1/2} W D^{-1/2} (Section IV-B of the paper).
+// Zero-degree vertices (isolated points) are handled by zeroing their row
+// and column, so each isolated vertex contributes one zero eigenvalue —
+// consistent with "one connected component per isolated vertex".
+
+#ifndef FEDSC_GRAPH_LAPLACIAN_H_
+#define FEDSC_GRAPH_LAPLACIAN_H_
+
+#include "linalg/matrix.h"
+#include "linalg/sparse.h"
+
+namespace fedsc {
+
+// Row sums of a dense affinity matrix.
+Vector Degrees(const Matrix& w);
+
+// D^{-1/2} W D^{-1/2} (the "normalized adjacency"). The k largest
+// eigenvectors of this matrix are the k smallest of the normalized
+// Laplacian, which is what spectral clustering embeds with.
+Matrix NormalizedAdjacency(const Matrix& w);
+SparseMatrix NormalizedAdjacency(const SparseMatrix& w);
+
+// I - D^{-1/2} W D^{-1/2}, with isolated vertices' diagonal set to 0.
+Matrix NormalizedLaplacian(const Matrix& w);
+
+}  // namespace fedsc
+
+#endif  // FEDSC_GRAPH_LAPLACIAN_H_

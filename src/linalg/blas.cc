@@ -1,0 +1,170 @@
+#include "linalg/blas.h"
+
+#include <cmath>
+
+#include <algorithm>
+
+namespace fedsc {
+
+double Dot(const double* x, const double* y, int64_t n) {
+  // Four partial sums break the dependency chain so the loop vectorizes.
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += x[i] * y[i];
+    s1 += x[i + 1] * y[i + 1];
+    s2 += x[i + 2] * y[i + 2];
+    s3 += x[i + 3] * y[i + 3];
+  }
+  for (; i < n; ++i) s0 += x[i] * y[i];
+  return (s0 + s1) + (s2 + s3);
+}
+
+double Norm2(const double* x, int64_t n) {
+  return std::sqrt(Dot(x, x, n));
+}
+
+void Axpy(double alpha, const double* x, double* y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void Scal(double alpha, double* x, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+namespace {
+
+// C(m x n) = alpha * A(m x k) * B(k x n) + C, all column-major.
+// "gaxpy" order: the inner loop streams one column of A into one column of C.
+void GemmNN(double alpha, const Matrix& a, const Matrix& b, Matrix* c) {
+  const int64_t m = a.rows(), k = a.cols(), n = b.cols();
+  for (int64_t j = 0; j < n; ++j) {
+    double* cj = c->ColData(j);
+    const double* bj = b.ColData(j);
+    for (int64_t p = 0; p < k; ++p) {
+      const double w = alpha * bj[p];
+      if (w != 0.0) Axpy(w, a.ColData(p), cj, m);
+    }
+  }
+}
+
+// C(m x n) = alpha * A^T(m x k) * B(k x n) + C where A is (k x m).
+// Each entry is a dot of two contiguous columns.
+void GemmTN(double alpha, const Matrix& a, const Matrix& b, Matrix* c) {
+  const int64_t m = a.cols(), k = a.rows(), n = b.cols();
+  for (int64_t j = 0; j < n; ++j) {
+    const double* bj = b.ColData(j);
+    double* cj = c->ColData(j);
+    for (int64_t i = 0; i < m; ++i) {
+      cj[i] += alpha * Dot(a.ColData(i), bj, k);
+    }
+  }
+}
+
+// C(m x n) = alpha * A(m x k) * B^T(k x n) + C where B is (n x k).
+void GemmNT(double alpha, const Matrix& a, const Matrix& b, Matrix* c) {
+  const int64_t m = a.rows(), k = a.cols(), n = b.rows();
+  for (int64_t p = 0; p < k; ++p) {
+    const double* ap = a.ColData(p);
+    // B(j, p) runs down column p of B: contiguous.
+    const double* bp = b.ColData(p);
+    for (int64_t j = 0; j < n; ++j) {
+      const double w = alpha * bp[j];
+      if (w != 0.0) Axpy(w, ap, c->ColData(j), m);
+    }
+  }
+}
+
+// C(m x n) = alpha * A^T(m x k) * B^T(k x n) + C; A is (k x m), B is (n x k).
+// Rare in this codebase; computed via an explicit transpose of B.
+void GemmTT(double alpha, const Matrix& a, const Matrix& b, Matrix* c) {
+  GemmTN(alpha, a, b.Transposed(), c);
+}
+
+}  // namespace
+
+void Gemm(Trans trans_a, Trans trans_b, double alpha, const Matrix& a,
+          const Matrix& b, double beta, Matrix* c) {
+  const int64_t m = trans_a == Trans::kNo ? a.rows() : a.cols();
+  const int64_t ka = trans_a == Trans::kNo ? a.cols() : a.rows();
+  const int64_t kb = trans_b == Trans::kNo ? b.rows() : b.cols();
+  const int64_t n = trans_b == Trans::kNo ? b.cols() : b.rows();
+  FEDSC_CHECK(ka == kb) << "gemm inner dims " << ka << " vs " << kb;
+  FEDSC_CHECK(c->rows() == m && c->cols() == n)
+      << "gemm output is " << c->rows() << "x" << c->cols() << ", want " << m
+      << "x" << n;
+  FEDSC_CHECK(c != &a && c != &b) << "gemm output aliases an input";
+
+  if (beta == 0.0) {
+    c->Fill(0.0);
+  } else if (beta != 1.0) {
+    *c *= beta;
+  }
+  if (alpha == 0.0 || ka == 0) return;
+
+  if (trans_a == Trans::kNo && trans_b == Trans::kNo) {
+    GemmNN(alpha, a, b, c);
+  } else if (trans_a == Trans::kTrans && trans_b == Trans::kNo) {
+    GemmTN(alpha, a, b, c);
+  } else if (trans_a == Trans::kNo && trans_b == Trans::kTrans) {
+    GemmNT(alpha, a, b, c);
+  } else {
+    GemmTT(alpha, a, b, c);
+  }
+}
+
+void Gemv(Trans trans_a, double alpha, const Matrix& a, const double* x,
+          double beta, double* y) {
+  const int64_t m = trans_a == Trans::kNo ? a.rows() : a.cols();
+  const int64_t n = trans_a == Trans::kNo ? a.cols() : a.rows();
+  if (beta == 0.0) {
+    std::fill(y, y + m, 0.0);
+  } else if (beta != 1.0) {
+    Scal(beta, y, m);
+  }
+  if (alpha == 0.0) return;
+  if (trans_a == Trans::kNo) {
+    for (int64_t j = 0; j < n; ++j) {
+      const double w = alpha * x[j];
+      if (w != 0.0) Axpy(w, a.ColData(j), y, m);
+    }
+  } else {
+    for (int64_t i = 0; i < m; ++i) {
+      y[i] += alpha * Dot(a.ColData(i), x, n);
+    }
+  }
+}
+
+Vector Gemv(Trans trans_a, const Matrix& a, const Vector& x) {
+  const int64_t m = trans_a == Trans::kNo ? a.rows() : a.cols();
+  const int64_t n = trans_a == Trans::kNo ? a.cols() : a.rows();
+  FEDSC_CHECK(static_cast<int64_t>(x.size()) == n)
+      << "gemv x has size " << x.size() << ", want " << n;
+  Vector y(static_cast<size_t>(m), 0.0);
+  Gemv(trans_a, 1.0, a, x.data(), 0.0, y.data());
+  return y;
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  Gemm(Trans::kNo, Trans::kNo, 1.0, a, b, 0.0, &c);
+  return c;
+}
+
+Matrix MatMulTN(const Matrix& a, const Matrix& b) {
+  Matrix c(a.cols(), b.cols());
+  Gemm(Trans::kTrans, Trans::kNo, 1.0, a, b, 0.0, &c);
+  return c;
+}
+
+Matrix MatMulNT(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.rows());
+  Gemm(Trans::kNo, Trans::kTrans, 1.0, a, b, 0.0, &c);
+  return c;
+}
+
+Matrix Gram(const Matrix& x) { return MatMulTN(x, x); }
+
+Matrix OuterGram(const Matrix& x) { return MatMulNT(x, x); }
+
+}  // namespace fedsc

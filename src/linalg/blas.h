@@ -1,0 +1,54 @@
+// Hand-rolled BLAS-like kernels (no external BLAS is available in this
+// environment). Loop orders are chosen for column-major storage so the hot
+// inner loops stream contiguous memory and autovectorize.
+
+#ifndef FEDSC_LINALG_BLAS_H_
+#define FEDSC_LINALG_BLAS_H_
+
+#include <cstdint>
+
+#include "linalg/matrix.h"
+
+namespace fedsc {
+
+enum class Trans { kNo, kTrans };
+
+// --- Vector kernels (raw pointers; callers own bounds) ---
+
+double Dot(const double* x, const double* y, int64_t n);
+double Norm2(const double* x, int64_t n);
+// y += alpha * x
+void Axpy(double alpha, const double* x, double* y, int64_t n);
+// x *= alpha
+void Scal(double alpha, double* x, int64_t n);
+
+inline double Dot(const Vector& x, const Vector& y) {
+  FEDSC_DCHECK(x.size() == y.size());
+  return Dot(x.data(), y.data(), static_cast<int64_t>(x.size()));
+}
+inline double Norm2(const Vector& x) {
+  return Norm2(x.data(), static_cast<int64_t>(x.size()));
+}
+
+// --- Matrix kernels ---
+
+// C = alpha * op(A) * op(B) + beta * C. C must already have the result
+// shape; aliasing C with A or B is not allowed.
+void Gemm(Trans trans_a, Trans trans_b, double alpha, const Matrix& a,
+          const Matrix& b, double beta, Matrix* c);
+
+// y = alpha * op(A) * x + beta * y.
+void Gemv(Trans trans_a, double alpha, const Matrix& a, const double* x,
+          double beta, double* y);
+Vector Gemv(Trans trans_a, const Matrix& a, const Vector& x);
+
+// Convenience products returning fresh matrices.
+Matrix MatMul(const Matrix& a, const Matrix& b);         // A * B
+Matrix MatMulTN(const Matrix& a, const Matrix& b);       // A^T * B
+Matrix MatMulNT(const Matrix& a, const Matrix& b);       // A * B^T
+Matrix Gram(const Matrix& x);                            // X^T X
+Matrix OuterGram(const Matrix& x);                       // X X^T
+
+}  // namespace fedsc
+
+#endif  // FEDSC_LINALG_BLAS_H_

@@ -1,0 +1,80 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+#include "linalg/blas.h"
+
+namespace fedsc {
+
+Result<Matrix> CholeskyFactor(const Matrix& a) {
+  const int64_t n = a.rows();
+  if (n != a.cols()) {
+    return Status::InvalidArgument("Cholesky of a non-square matrix");
+  }
+  Matrix l(n, n);
+  for (int64_t j = 0; j < n; ++j) {
+    // Column j: l(j,j) then l(i,j) for i > j. Left-looking, with dots over
+    // contiguous column prefixes of L^T... rows of L are strided, so work
+    // row-wise on the lower triangle using previously computed columns.
+    double diag = a(j, j);
+    for (int64_t p = 0; p < j; ++p) diag -= l(j, p) * l(j, p);
+    if (diag <= 0.0 || !std::isfinite(diag)) {
+      return Status::FailedPrecondition(
+          "matrix is not positive definite at pivot " + std::to_string(j));
+    }
+    const double root = std::sqrt(diag);
+    l(j, j) = root;
+    const double inv = 1.0 / root;
+    for (int64_t i = j + 1; i < n; ++i) {
+      double v = a(i, j);
+      for (int64_t p = 0; p < j; ++p) v -= l(i, p) * l(j, p);
+      l(i, j) = v * inv;
+    }
+  }
+  return l;
+}
+
+void SolveLowerInPlace(const Matrix& l, Matrix* b) {
+  const int64_t n = l.rows();
+  FEDSC_CHECK(l.cols() == n && b->rows() == n);
+  for (int64_t c = 0; c < b->cols(); ++c) {
+    double* y = b->ColData(c);
+    for (int64_t i = 0; i < n; ++i) {
+      double v = y[i];
+      for (int64_t p = 0; p < i; ++p) v -= l(i, p) * y[p];
+      y[i] = v / l(i, i);
+    }
+  }
+}
+
+void SolveLowerTransposedInPlace(const Matrix& l, Matrix* b) {
+  const int64_t n = l.rows();
+  FEDSC_CHECK(l.cols() == n && b->rows() == n);
+  for (int64_t c = 0; c < b->cols(); ++c) {
+    double* y = b->ColData(c);
+    for (int64_t i = n - 1; i >= 0; --i) {
+      double v = y[i];
+      // l(p, i) for p > i walks down column i of L: contiguous.
+      const double* li = l.ColData(i);
+      for (int64_t p = i + 1; p < n; ++p) v -= li[p] * y[p];
+      y[i] = v / li[i];
+    }
+  }
+}
+
+Result<Matrix> SolveSpd(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows()) {
+    return Status::InvalidArgument("SolveSpd shape mismatch");
+  }
+  FEDSC_ASSIGN_OR_RETURN(Matrix l, CholeskyFactor(a));
+  Matrix x = b;
+  SolveLowerInPlace(l, &x);
+  SolveLowerTransposedInPlace(l, &x);
+  return x;
+}
+
+Result<Matrix> SpdInverse(const Matrix& a) {
+  return SolveSpd(a, Matrix::Identity(a.rows()));
+}
+
+}  // namespace fedsc

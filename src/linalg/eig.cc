@@ -1,0 +1,207 @@
+#include "linalg/eig.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace fedsc {
+
+namespace {
+
+double Pythag(double a, double b) { return std::hypot(a, b); }
+
+// Householder reduction of the symmetric matrix in `z` to tridiagonal form
+// (EISPACK tred2). On exit `d` holds the diagonal, `e` the subdiagonal
+// (e[0] unused), and if accumulate is true `z` holds the orthogonal
+// transformation; otherwise z's contents are scratch.
+void Tred2(Matrix* zm, Vector* dv, Vector* ev, bool accumulate) {
+  Matrix& z = *zm;
+  Vector& d = *dv;
+  Vector& e = *ev;
+  const int64_t n = z.rows();
+  d.assign(static_cast<size_t>(n), 0.0);
+  e.assign(static_cast<size_t>(n), 0.0);
+
+  for (int64_t i = n - 1; i > 0; --i) {
+    const int64_t l = i - 1;
+    double h = 0.0;
+    double scale = 0.0;
+    if (l > 0) {
+      for (int64_t k = 0; k <= l; ++k) scale += std::fabs(z(i, k));
+      if (scale == 0.0) {
+        e[static_cast<size_t>(i)] = z(i, l);
+      } else {
+        for (int64_t k = 0; k <= l; ++k) {
+          z(i, k) /= scale;
+          h += z(i, k) * z(i, k);
+        }
+        double f = z(i, l);
+        double g = f >= 0.0 ? -std::sqrt(h) : std::sqrt(h);
+        e[static_cast<size_t>(i)] = scale * g;
+        h -= f * g;
+        z(i, l) = f - g;
+        f = 0.0;
+        for (int64_t j = 0; j <= l; ++j) {
+          if (accumulate) z(j, i) = z(i, j) / h;
+          g = 0.0;
+          for (int64_t k = 0; k <= j; ++k) g += z(j, k) * z(i, k);
+          for (int64_t k = j + 1; k <= l; ++k) g += z(k, j) * z(i, k);
+          e[static_cast<size_t>(j)] = g / h;
+          f += e[static_cast<size_t>(j)] * z(i, j);
+        }
+        const double hh = f / (h + h);
+        for (int64_t j = 0; j <= l; ++j) {
+          f = z(i, j);
+          g = e[static_cast<size_t>(j)] - hh * f;
+          e[static_cast<size_t>(j)] = g;
+          for (int64_t k = 0; k <= j; ++k) {
+            z(j, k) -= f * e[static_cast<size_t>(k)] + g * z(i, k);
+          }
+        }
+      }
+    } else {
+      e[static_cast<size_t>(i)] = z(i, l);
+    }
+    d[static_cast<size_t>(i)] = h;
+  }
+  if (accumulate) d[0] = 0.0;
+  e[0] = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    if (accumulate) {
+      if (d[static_cast<size_t>(i)] != 0.0) {
+        for (int64_t j = 0; j < i; ++j) {
+          double g = 0.0;
+          for (int64_t k = 0; k < i; ++k) g += z(i, k) * z(k, j);
+          for (int64_t k = 0; k < i; ++k) z(k, j) -= g * z(k, i);
+        }
+      }
+      d[static_cast<size_t>(i)] = z(i, i);
+      z(i, i) = 1.0;
+      for (int64_t j = 0; j < i; ++j) {
+        z(j, i) = 0.0;
+        z(i, j) = 0.0;
+      }
+    } else {
+      d[static_cast<size_t>(i)] = z(i, i);
+    }
+  }
+}
+
+// QL with implicit shifts on a tridiagonal matrix (EISPACK tql2). If
+// accumulate is true, rotations are applied to the columns of z.
+Status Tql2(Vector* dv, Vector* ev, Matrix* zm, bool accumulate) {
+  Vector& d = *dv;
+  Vector& e = *ev;
+  Matrix& z = *zm;
+  const int64_t n = static_cast<int64_t>(d.size());
+  if (n == 0) return Status::OK();
+  for (int64_t i = 1; i < n; ++i) {
+    e[static_cast<size_t>(i - 1)] = e[static_cast<size_t>(i)];
+  }
+  e[static_cast<size_t>(n - 1)] = 0.0;
+
+  constexpr int kMaxIterations = 50;
+  const double eps = std::numeric_limits<double>::epsilon();
+  for (int64_t l = 0; l < n; ++l) {
+    int iterations = 0;
+    int64_t m;
+    do {
+      for (m = l; m < n - 1; ++m) {
+        const double dd = std::fabs(d[static_cast<size_t>(m)]) +
+                          std::fabs(d[static_cast<size_t>(m + 1)]);
+        if (std::fabs(e[static_cast<size_t>(m)]) <= eps * dd) break;
+      }
+      if (m != l) {
+        if (iterations++ == kMaxIterations) {
+          return Status::NotConverged("tql2 exceeded iteration limit");
+        }
+        double g = (d[static_cast<size_t>(l + 1)] - d[static_cast<size_t>(l)]) /
+                   (2.0 * e[static_cast<size_t>(l)]);
+        double r = Pythag(g, 1.0);
+        g = d[static_cast<size_t>(m)] - d[static_cast<size_t>(l)] +
+            e[static_cast<size_t>(l)] / (g + std::copysign(r, g));
+        double s = 1.0;
+        double c = 1.0;
+        double p = 0.0;
+        int64_t i = m - 1;
+        for (; i >= l; --i) {
+          double f = s * e[static_cast<size_t>(i)];
+          const double b = c * e[static_cast<size_t>(i)];
+          r = Pythag(f, g);
+          e[static_cast<size_t>(i + 1)] = r;
+          if (r == 0.0) {
+            d[static_cast<size_t>(i + 1)] -= p;
+            e[static_cast<size_t>(m)] = 0.0;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[static_cast<size_t>(i + 1)] - p;
+          r = (d[static_cast<size_t>(i)] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[static_cast<size_t>(i + 1)] = g + p;
+          g = c * r - b;
+          if (accumulate) {
+            for (int64_t k = 0; k < n; ++k) {
+              f = z(k, i + 1);
+              z(k, i + 1) = s * z(k, i) + c * f;
+              z(k, i) = c * z(k, i) - s * f;
+            }
+          }
+        }
+        if (r == 0.0 && i >= l) continue;
+        d[static_cast<size_t>(l)] -= p;
+        e[static_cast<size_t>(l)] = g;
+        e[static_cast<size_t>(m)] = 0.0;
+      }
+    } while (m != l);
+  }
+  return Status::OK();
+}
+
+Status CheckSquare(const Matrix& a) {
+  if (a.rows() == 0 || a.rows() != a.cols()) {
+    return Status::InvalidArgument("eigendecomposition needs a non-empty "
+                                   "square matrix");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<EigResult> SymmetricEigen(const Matrix& a) {
+  FEDSC_RETURN_NOT_OK(CheckSquare(a));
+  Matrix z = a;
+  Vector d, e;
+  Tred2(&z, &d, &e, /*accumulate=*/true);
+  FEDSC_RETURN_NOT_OK(Tql2(&d, &e, &z, /*accumulate=*/true));
+
+  // Sort ascending, permuting eigenvectors along.
+  const int64_t n = a.rows();
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int64_t i, int64_t j) {
+    return d[static_cast<size_t>(i)] < d[static_cast<size_t>(j)];
+  });
+  EigResult result;
+  result.values.resize(static_cast<size_t>(n));
+  result.vectors = Matrix(n, n);
+  for (int64_t j = 0; j < n; ++j) {
+    const int64_t src = order[static_cast<size_t>(j)];
+    result.values[static_cast<size_t>(j)] = d[static_cast<size_t>(src)];
+    result.vectors.SetCol(j, z.ColData(src));
+  }
+  return result;
+}
+
+Result<Vector> SymmetricEigenvalues(const Matrix& a) {
+  FEDSC_RETURN_NOT_OK(CheckSquare(a));
+  Matrix z = a;
+  Vector d, e;
+  Tred2(&z, &d, &e, /*accumulate=*/false);
+  FEDSC_RETURN_NOT_OK(Tql2(&d, &e, &z, /*accumulate=*/false));
+  std::sort(d.begin(), d.end());
+  return d;
+}
+
+}  // namespace fedsc

@@ -1,0 +1,30 @@
+// Dense symmetric eigendecomposition: Householder tridiagonalization
+// followed by the implicit-shift QL iteration (the classic EISPACK
+// tred2/tql2 pair). Used for spectral clustering of small/medium affinity
+// graphs and for the eigengap heuristic; large sparse graphs use Lanczos
+// (linalg/lanczos.h) instead.
+
+#ifndef FEDSC_LINALG_EIG_H_
+#define FEDSC_LINALG_EIG_H_
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace fedsc {
+
+struct EigResult {
+  Vector values;   // ascending
+  Matrix vectors;  // column j is the eigenvector of values[j]; orthonormal
+};
+
+// Full eigendecomposition of a symmetric matrix. Only the lower triangle is
+// read; symmetry is the caller's contract.
+Result<EigResult> SymmetricEigen(const Matrix& a);
+
+// Only the eigenvalues, ascending (skips eigenvector accumulation; about
+// 2-3x faster for the eigengap heuristic which needs no vectors).
+Result<Vector> SymmetricEigenvalues(const Matrix& a);
+
+}  // namespace fedsc
+
+#endif  // FEDSC_LINALG_EIG_H_

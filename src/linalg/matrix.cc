@@ -1,0 +1,184 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+namespace fedsc {
+
+Matrix::Matrix(int64_t rows, int64_t cols) : rows_(rows), cols_(cols) {
+  FEDSC_CHECK(rows >= 0 && cols >= 0)
+      << "bad matrix shape " << rows << "x" << cols;
+  data_.assign(static_cast<size_t>(rows * cols), 0.0);
+}
+
+Matrix Matrix::Identity(int64_t n) {
+  Matrix eye(n, n);
+  for (int64_t i = 0; i < n; ++i) eye(i, i) = 1.0;
+  return eye;
+}
+
+Matrix Matrix::FromColumn(const Vector& column) {
+  Matrix m(static_cast<int64_t>(column.size()), 1);
+  std::copy(column.begin(), column.end(), m.data());
+  return m;
+}
+
+Matrix Matrix::FromColumns(const std::vector<Vector>& columns) {
+  if (columns.empty()) return Matrix();
+  const int64_t rows = static_cast<int64_t>(columns[0].size());
+  Matrix m(rows, static_cast<int64_t>(columns.size()));
+  for (size_t j = 0; j < columns.size(); ++j) {
+    FEDSC_CHECK(static_cast<int64_t>(columns[j].size()) == rows)
+        << "ragged column " << j;
+    m.SetCol(static_cast<int64_t>(j), columns[j]);
+  }
+  return m;
+}
+
+Vector Matrix::Col(int64_t j) const {
+  const double* src = ColData(j);
+  return Vector(src, src + rows_);
+}
+
+void Matrix::SetCol(int64_t j, const Vector& values) {
+  FEDSC_CHECK(static_cast<int64_t>(values.size()) == rows_)
+      << "column length " << values.size() << " != rows " << rows_;
+  SetCol(j, values.data());
+}
+
+void Matrix::SetCol(int64_t j, const double* values) {
+  std::memcpy(ColData(j), values, static_cast<size_t>(rows_) * sizeof(double));
+}
+
+Matrix Matrix::GatherCols(const std::vector<int64_t>& indices) const {
+  Matrix out(rows_, static_cast<int64_t>(indices.size()));
+  for (size_t j = 0; j < indices.size(); ++j) {
+    const int64_t src = indices[j];
+    FEDSC_CHECK(0 <= src && src < cols_) << "column index " << src;
+    out.SetCol(static_cast<int64_t>(j), ColData(src));
+  }
+  return out;
+}
+
+Matrix Matrix::ColRange(int64_t begin, int64_t end) const {
+  FEDSC_CHECK(0 <= begin && begin <= end && end <= cols_)
+      << "bad column range [" << begin << ", " << end << ")";
+  Matrix out(rows_, end - begin);
+  std::memcpy(out.data(), data() + begin * rows_,
+              static_cast<size_t>((end - begin) * rows_) * sizeof(double));
+  return out;
+}
+
+Matrix Matrix::RowRange(int64_t begin, int64_t end) const {
+  FEDSC_CHECK(0 <= begin && begin <= end && end <= rows_)
+      << "bad row range [" << begin << ", " << end << ")";
+  Matrix out(end - begin, cols_);
+  for (int64_t j = 0; j < cols_; ++j) {
+    std::memcpy(out.ColData(j), ColData(j) + begin,
+                static_cast<size_t>(end - begin) * sizeof(double));
+  }
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  // Block the transpose so both sides stay cache-resident.
+  constexpr int64_t kBlock = 32;
+  for (int64_t jb = 0; jb < cols_; jb += kBlock) {
+    const int64_t jend = std::min(jb + kBlock, cols_);
+    for (int64_t ib = 0; ib < rows_; ib += kBlock) {
+      const int64_t iend = std::min(ib + kBlock, rows_);
+      for (int64_t j = jb; j < jend; ++j) {
+        for (int64_t i = ib; i < iend; ++i) {
+          out(j, i) = (*this)(i, j);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+int64_t Matrix::NormalizeColumns(double eps) {
+  int64_t normalized = 0;
+  for (int64_t j = 0; j < cols_; ++j) {
+    double* col = ColData(j);
+    double norm = 0.0;
+    for (int64_t i = 0; i < rows_; ++i) norm += col[i] * col[i];
+    norm = std::sqrt(norm);
+    if (norm > eps) {
+      const double inv = 1.0 / norm;
+      for (int64_t i = 0; i < rows_; ++i) col[i] *= inv;
+      ++normalized;
+    }
+  }
+  return normalized;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double sum = 0.0;
+  for (double v : data_) sum += v * v;
+  return std::sqrt(sum);
+}
+
+double Matrix::MaxAbs() const {
+  double best = 0.0;
+  for (double v : data_) best = std::max(best, std::fabs(v));
+  return best;
+}
+
+void Matrix::Fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  FEDSC_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  FEDSC_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) {
+  for (auto& v : data_) v *= scalar;
+  return *this;
+}
+
+std::string Matrix::ToString(int max_rows, int max_cols) const {
+  std::ostringstream out;
+  out << rows_ << "x" << cols_ << " [";
+  const int64_t show_rows = std::min<int64_t>(rows_, max_rows);
+  const int64_t show_cols = std::min<int64_t>(cols_, max_cols);
+  for (int64_t i = 0; i < show_rows; ++i) {
+    out << (i == 0 ? "" : "; ");
+    for (int64_t j = 0; j < show_cols; ++j) {
+      out << (j == 0 ? "" : " ") << (*this)(i, j);
+    }
+    if (show_cols < cols_) out << " ...";
+  }
+  if (show_rows < rows_) out << "; ...";
+  out << "]";
+  return out.str();
+}
+
+Matrix operator+(Matrix lhs, const Matrix& rhs) { return lhs += rhs; }
+Matrix operator-(Matrix lhs, const Matrix& rhs) { return lhs -= rhs; }
+Matrix operator*(Matrix lhs, double scalar) { return lhs *= scalar; }
+Matrix operator*(double scalar, Matrix rhs) { return rhs *= scalar; }
+
+bool AllClose(const Matrix& a, const Matrix& b, double tol) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (int64_t j = 0; j < a.cols(); ++j) {
+    for (int64_t i = 0; i < a.rows(); ++i) {
+      if (std::fabs(a(i, j) - b(i, j)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace fedsc

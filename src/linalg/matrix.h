@@ -1,0 +1,117 @@
+// Dense column-major matrix of doubles.
+//
+// Data points are stored as columns throughout the library (X in R^{n x N},
+// matching the paper's notation), so per-point access touches contiguous
+// memory. Vectors are plain std::vector<double>; the kernels that operate on
+// them live in linalg/blas.h.
+
+#ifndef FEDSC_LINALG_MATRIX_H_
+#define FEDSC_LINALG_MATRIX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace fedsc {
+
+using Vector = std::vector<double>;
+
+class Matrix {
+ public:
+  // An empty 0x0 matrix.
+  Matrix() = default;
+
+  // Zero-initialized rows x cols matrix.
+  Matrix(int64_t rows, int64_t cols);
+
+  Matrix(const Matrix&) = default;
+  Matrix& operator=(const Matrix&) = default;
+  Matrix(Matrix&&) noexcept = default;
+  Matrix& operator=(Matrix&&) noexcept = default;
+
+  static Matrix Identity(int64_t n);
+
+  // Builds an n x 1 column matrix from a vector.
+  static Matrix FromColumn(const Vector& column);
+
+  // Builds a matrix whose j-th column is columns[j]. All columns must share
+  // one length; an empty list yields a 0x0 matrix.
+  static Matrix FromColumns(const std::vector<Vector>& columns);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t size() const { return rows_ * cols_; }
+  bool empty() const { return size() == 0; }
+
+  double& operator()(int64_t i, int64_t j) {
+    FEDSC_DCHECK(0 <= i && i < rows_ && 0 <= j && j < cols_);
+    return data_[static_cast<size_t>(j * rows_ + i)];
+  }
+  double operator()(int64_t i, int64_t j) const {
+    FEDSC_DCHECK(0 <= i && i < rows_ && 0 <= j && j < cols_);
+    return data_[static_cast<size_t>(j * rows_ + i)];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  // Pointer to the first element of column j (contiguous, length rows()).
+  double* ColData(int64_t j) {
+    FEDSC_DCHECK(0 <= j && j < cols_);
+    return data_.data() + j * rows_;
+  }
+  const double* ColData(int64_t j) const {
+    FEDSC_DCHECK(0 <= j && j < cols_);
+    return data_.data() + j * rows_;
+  }
+
+  Vector Col(int64_t j) const;
+  void SetCol(int64_t j, const Vector& values);
+  void SetCol(int64_t j, const double* values);
+
+  // Gathers the listed columns (duplicates allowed) into a new matrix.
+  Matrix GatherCols(const std::vector<int64_t>& indices) const;
+
+  // Columns [begin, end).
+  Matrix ColRange(int64_t begin, int64_t end) const;
+
+  // Rows [begin, end).
+  Matrix RowRange(int64_t begin, int64_t end) const;
+
+  Matrix Transposed() const;
+
+  // Scales every column to unit l2 norm; columns with norm <= eps are left
+  // untouched. Returns the number of columns normalized.
+  int64_t NormalizeColumns(double eps = 1e-300);
+
+  double FrobeniusNorm() const;
+  double MaxAbs() const;
+
+  void Fill(double value);
+
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double scalar);
+
+  // Human-readable dump for debugging ("3x2 [ ... ]").
+  std::string ToString(int max_rows = 8, int max_cols = 8) const;
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+Matrix operator+(Matrix lhs, const Matrix& rhs);
+Matrix operator-(Matrix lhs, const Matrix& rhs);
+Matrix operator*(Matrix lhs, double scalar);
+Matrix operator*(double scalar, Matrix rhs);
+
+// True if the two matrices have equal shape and max|a-b| <= tol.
+bool AllClose(const Matrix& a, const Matrix& b, double tol);
+
+}  // namespace fedsc
+
+#endif  // FEDSC_LINALG_MATRIX_H_

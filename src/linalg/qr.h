@@ -1,0 +1,26 @@
+// Householder QR decomposition and column orthonormalization.
+
+#ifndef FEDSC_LINALG_QR_H_
+#define FEDSC_LINALG_QR_H_
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace fedsc {
+
+struct QrResult {
+  Matrix q;  // m x k with orthonormal columns, k = min(m, n)
+  Matrix r;  // k x n upper triangular
+};
+
+// Thin QR of an m x n matrix via Householder reflections.
+Result<QrResult> HouseholderQr(const Matrix& a);
+
+// Orthonormal basis for the column span of `a`: QR with column norms checked
+// against `tol` * (largest original column norm); dependent columns are
+// dropped. Returns an m x r matrix with r = numerical rank (possibly 0).
+Matrix OrthonormalColumnBasis(const Matrix& a, double tol = 1e-10);
+
+}  // namespace fedsc
+
+#endif  // FEDSC_LINALG_QR_H_

@@ -1,0 +1,139 @@
+#include "linalg/sparse.h"
+
+#include <cmath>
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace fedsc {
+
+SparseMatrix SparseMatrix::FromTriplets(int64_t rows, int64_t cols,
+                                        std::vector<Triplet> triplets) {
+  FEDSC_CHECK(rows >= 0 && cols >= 0);
+  for (const Triplet& t : triplets) {
+    FEDSC_CHECK(0 <= t.row && t.row < rows && 0 <= t.col && t.col < cols)
+        << "triplet (" << t.row << ", " << t.col << ") outside " << rows
+        << "x" << cols;
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+
+  SparseMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_.assign(static_cast<size_t>(rows) + 1, 0);
+  m.col_idx_.reserve(triplets.size());
+  m.values_.reserve(triplets.size());
+
+  size_t i = 0;
+  for (int64_t r = 0; r < rows; ++r) {
+    m.row_ptr_[static_cast<size_t>(r)] = static_cast<int64_t>(m.values_.size());
+    while (i < triplets.size() && triplets[i].row == r) {
+      const int64_t c = triplets[i].col;
+      double sum = 0.0;
+      while (i < triplets.size() && triplets[i].row == r &&
+             triplets[i].col == c) {
+        sum += triplets[i].value;
+        ++i;
+      }
+      if (sum != 0.0) {
+        m.col_idx_.push_back(c);
+        m.values_.push_back(sum);
+      }
+    }
+  }
+  m.row_ptr_[static_cast<size_t>(rows)] =
+      static_cast<int64_t>(m.values_.size());
+  return m;
+}
+
+void SparseMatrix::Multiply(const double* x, double* y) const {
+  for (int64_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    const int64_t begin = row_ptr_[static_cast<size_t>(r)];
+    const int64_t end = row_ptr_[static_cast<size_t>(r) + 1];
+    for (int64_t k = begin; k < end; ++k) {
+      sum += values_[static_cast<size_t>(k)] *
+             x[col_idx_[static_cast<size_t>(k)]];
+    }
+    y[r] = sum;
+  }
+}
+
+Vector SparseMatrix::Multiply(const Vector& x) const {
+  FEDSC_CHECK(static_cast<int64_t>(x.size()) == cols_);
+  Vector y(static_cast<size_t>(rows_), 0.0);
+  Multiply(x.data(), y.data());
+  return y;
+}
+
+SparseMatrix SparseMatrix::Transposed() const {
+  std::vector<Triplet> triplets;
+  triplets.reserve(values_.size());
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t k = row_ptr_[static_cast<size_t>(r)];
+         k < row_ptr_[static_cast<size_t>(r) + 1]; ++k) {
+      triplets.push_back({col_idx_[static_cast<size_t>(k)], r,
+                          values_[static_cast<size_t>(k)]});
+    }
+  }
+  return FromTriplets(cols_, rows_, std::move(triplets));
+}
+
+SparseMatrix SparseMatrix::PlusTransposed() const {
+  FEDSC_CHECK(rows_ == cols_) << "PlusTransposed needs a square matrix";
+  std::vector<Triplet> triplets;
+  triplets.reserve(2 * values_.size());
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t k = row_ptr_[static_cast<size_t>(r)];
+         k < row_ptr_[static_cast<size_t>(r) + 1]; ++k) {
+      const int64_t c = col_idx_[static_cast<size_t>(k)];
+      const double v = values_[static_cast<size_t>(k)];
+      triplets.push_back({r, c, v});
+      triplets.push_back({c, r, v});
+    }
+  }
+  return FromTriplets(rows_, cols_, std::move(triplets));
+}
+
+Vector SparseMatrix::RowSums() const {
+  Vector sums(static_cast<size_t>(rows_), 0.0);
+  for (int64_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    for (int64_t k = row_ptr_[static_cast<size_t>(r)];
+         k < row_ptr_[static_cast<size_t>(r) + 1]; ++k) {
+      sum += values_[static_cast<size_t>(k)];
+    }
+    sums[static_cast<size_t>(r)] = sum;
+  }
+  return sums;
+}
+
+Matrix SparseMatrix::ToDense() const {
+  Matrix dense(rows_, cols_);
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t k = row_ptr_[static_cast<size_t>(r)];
+         k < row_ptr_[static_cast<size_t>(r) + 1]; ++k) {
+      dense(r, col_idx_[static_cast<size_t>(k)]) +=
+          values_[static_cast<size_t>(k)];
+    }
+  }
+  return dense;
+}
+
+SparseMatrix SparsifyDense(const Matrix& dense, double threshold) {
+  std::vector<Triplet> triplets;
+  for (int64_t j = 0; j < dense.cols(); ++j) {
+    for (int64_t i = 0; i < dense.rows(); ++i) {
+      const double v = dense(i, j);
+      if (std::fabs(v) > threshold) triplets.push_back({i, j, v});
+    }
+  }
+  return SparseMatrix::FromTriplets(dense.rows(), dense.cols(),
+                                    std::move(triplets));
+}
+
+}  // namespace fedsc

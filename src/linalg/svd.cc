@@ -1,0 +1,140 @@
+#include "linalg/svd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "linalg/blas.h"
+
+namespace fedsc {
+
+namespace {
+
+// One-sided Jacobi on a with m >= n: orthogonalizes the columns of a working
+// copy by plane rotations, accumulating them into V.
+Result<SvdResult> JacobiSvdTall(const Matrix& a, const SvdOptions& options) {
+  const int64_t m = a.rows();
+  const int64_t n = a.cols();
+  Matrix work = a;
+  Matrix v = Matrix::Identity(n);
+
+  bool converged = false;
+  for (int sweep = 0; sweep < options.max_sweeps && !converged; ++sweep) {
+    converged = true;
+    for (int64_t p = 0; p < n - 1; ++p) {
+      for (int64_t q = p + 1; q < n; ++q) {
+        double* cp = work.ColData(p);
+        double* cq = work.ColData(q);
+        const double app = Dot(cp, cp, m);
+        const double aqq = Dot(cq, cq, m);
+        const double apq = Dot(cp, cq, m);
+        // sqrt(app) * sqrt(aqq), NOT sqrt(app * aqq): the product under- or
+        // overflows for extremely scaled inputs (|x| ~ 1e-120 or 1e+120).
+        if (std::fabs(apq) <=
+            options.tol * std::sqrt(app) * std::sqrt(aqq)) {
+          continue;
+        }
+        converged = false;
+
+        // Rotation that zeroes the (p, q) entry of the implicit Gram matrix.
+        const double zeta = (aqq - app) / (2.0 * apq);
+        const double t = std::copysign(
+            1.0 / (std::fabs(zeta) + std::sqrt(1.0 + zeta * zeta)), zeta);
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (int64_t i = 0; i < m; ++i) {
+          const double wp = cp[i];
+          cp[i] = c * wp - s * cq[i];
+          cq[i] = s * wp + c * cq[i];
+        }
+        double* vp = v.ColData(p);
+        double* vq = v.ColData(q);
+        for (int64_t i = 0; i < n; ++i) {
+          const double wp = vp[i];
+          vp[i] = c * wp - s * vq[i];
+          vq[i] = s * wp + c * vq[i];
+        }
+      }
+    }
+  }
+  if (!converged) {
+    return Status::NotConverged("Jacobi SVD did not converge within " +
+                                std::to_string(options.max_sweeps) +
+                                " sweeps");
+  }
+
+  // Singular values are the column norms; sort descending.
+  Vector sigma(static_cast<size_t>(n));
+  for (int64_t j = 0; j < n; ++j) {
+    sigma[static_cast<size_t>(j)] = Norm2(work.ColData(j), m);
+  }
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int64_t i, int64_t j) {
+    return sigma[static_cast<size_t>(i)] > sigma[static_cast<size_t>(j)];
+  });
+
+  SvdResult result;
+  result.u = Matrix(m, n);
+  result.v = Matrix(n, n);
+  result.s.resize(static_cast<size_t>(n));
+  for (int64_t j = 0; j < n; ++j) {
+    const int64_t src = order[static_cast<size_t>(j)];
+    const double sv = sigma[static_cast<size_t>(src)];
+    result.s[static_cast<size_t>(j)] = sv;
+    result.v.SetCol(j, v.ColData(src));
+    if (sv > 0.0) {
+      const double* col = work.ColData(src);
+      double* u = result.u.ColData(j);
+      const double inv = 1.0 / sv;
+      for (int64_t i = 0; i < m; ++i) u[i] = col[i] * inv;
+    }
+    // sv == 0: the U column stays zero; callers truncate by rank.
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<SvdResult> JacobiSvd(const Matrix& a, const SvdOptions& options) {
+  if (a.rows() == 0 || a.cols() == 0) {
+    return Status::InvalidArgument("SVD of an empty matrix");
+  }
+  if (a.rows() >= a.cols()) return JacobiSvdTall(a, options);
+  // Wide matrix: factor the transpose and swap U <-> V.
+  FEDSC_ASSIGN_OR_RETURN(SvdResult t, JacobiSvdTall(a.Transposed(), options));
+  SvdResult result;
+  result.u = std::move(t.v);
+  result.v = std::move(t.u);
+  result.s = std::move(t.s);
+  return result;
+}
+
+int64_t NumericalRank(const Vector& s, double rel_tol) {
+  if (s.empty() || s[0] <= 0.0) return 0;
+  const double threshold = rel_tol * s[0];
+  int64_t rank = 0;
+  for (double sv : s) {
+    if (sv > threshold) ++rank;
+  }
+  return rank;
+}
+
+Result<Matrix> PrincipalSubspace(const Matrix& a, int64_t rank,
+                                 double rel_tol) {
+  FEDSC_ASSIGN_OR_RETURN(SvdResult svd, JacobiSvd(a));
+  int64_t r = rank > 0 ? std::min<int64_t>(rank, svd.u.cols())
+                       : NumericalRank(svd.s, rel_tol);
+  if (r <= 0) {
+    return Status::FailedPrecondition("matrix has numerical rank 0");
+  }
+  // Never keep a direction with an exactly zero singular value: its U
+  // column is not defined.
+  while (r > 0 && svd.s[static_cast<size_t>(r - 1)] <= 0.0) --r;
+  if (r <= 0) {
+    return Status::FailedPrecondition("matrix has numerical rank 0");
+  }
+  return svd.u.ColRange(0, r);
+}
+
+}  // namespace fedsc

@@ -1,0 +1,41 @@
+// Thin singular value decomposition via one-sided (Hestenes) Jacobi
+// rotations. Accurate for the small-to-medium factorizations this library
+// needs (subspace basis estimation, PCA, canonical angles).
+
+#ifndef FEDSC_LINALG_SVD_H_
+#define FEDSC_LINALG_SVD_H_
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace fedsc {
+
+struct SvdResult {
+  Matrix u;  // m x k, orthonormal columns (zero columns for null directions)
+  Vector s;  // k singular values, descending
+  Matrix v;  // n x k, orthonormal columns
+};
+
+struct SvdOptions {
+  int max_sweeps = 60;
+  // Column pairs with |<a_p, a_q>| <= tol * ||a_p|| * ||a_q|| count as
+  // orthogonal.
+  double tol = 1e-12;
+};
+
+// Thin SVD, k = min(m, n). Fails only on empty input or non-convergence
+// (which does not occur in practice within 60 sweeps).
+Result<SvdResult> JacobiSvd(const Matrix& a, const SvdOptions& options = {});
+
+// Number of singular values > rel_tol * s[0] (0 if s is empty or all zero).
+int64_t NumericalRank(const Vector& s, double rel_tol = 1e-8);
+
+// The first `rank` left singular vectors of `a`: the orthonormal basis
+// Fed-SC estimates for span of a local cluster (Section IV-B). If
+// rank <= 0, the rank is chosen by NumericalRank with `rel_tol`.
+Result<Matrix> PrincipalSubspace(const Matrix& a, int64_t rank,
+                                 double rel_tol = 1e-8);
+
+}  // namespace fedsc
+
+#endif  // FEDSC_LINALG_SVD_H_

@@ -1,0 +1,87 @@
+#include "metrics/clustering_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "metrics/hungarian.h"
+
+namespace fedsc {
+
+namespace {
+
+int64_t MaxLabel(const std::vector<int64_t>& labels) {
+  int64_t max_label = -1;
+  for (int64_t v : labels) {
+    FEDSC_CHECK(v >= 0) << "labels must be non-negative, got " << v;
+    max_label = std::max(max_label, v);
+  }
+  return max_label;
+}
+
+}  // namespace
+
+Matrix ContingencyTable(const std::vector<int64_t>& truth,
+                        const std::vector<int64_t>& predicted) {
+  FEDSC_CHECK(truth.size() == predicted.size())
+      << "label vectors differ in length: " << truth.size() << " vs "
+      << predicted.size();
+  FEDSC_CHECK(!truth.empty()) << "empty labelings";
+  const int64_t rows = MaxLabel(truth) + 1;
+  const int64_t cols = MaxLabel(predicted) + 1;
+  Matrix counts(rows, cols);
+  for (size_t i = 0; i < truth.size(); ++i) {
+    counts(truth[i], predicted[i]) += 1.0;
+  }
+  return counts;
+}
+
+double ClusteringAccuracy(const std::vector<int64_t>& truth,
+                          const std::vector<int64_t>& predicted) {
+  Matrix counts = ContingencyTable(truth, predicted);
+  // Hungarian wants rows <= cols; the table is symmetric in roles for ACC.
+  if (counts.rows() > counts.cols()) counts = counts.Transposed();
+  std::vector<int64_t> assignment;
+  const double matched = SolveMaxAssignment(counts, &assignment);
+  return 100.0 * matched / static_cast<double>(truth.size());
+}
+
+double NormalizedMutualInformation(const std::vector<int64_t>& truth,
+                                   const std::vector<int64_t>& predicted) {
+  const Matrix counts = ContingencyTable(truth, predicted);
+  const double n = static_cast<double>(truth.size());
+
+  Vector row_sums(static_cast<size_t>(counts.rows()), 0.0);
+  Vector col_sums(static_cast<size_t>(counts.cols()), 0.0);
+  for (int64_t j = 0; j < counts.cols(); ++j) {
+    for (int64_t i = 0; i < counts.rows(); ++i) {
+      row_sums[static_cast<size_t>(i)] += counts(i, j);
+      col_sums[static_cast<size_t>(j)] += counts(i, j);
+    }
+  }
+
+  double h_truth = 0.0;
+  for (double v : row_sums) {
+    if (v > 0.0) h_truth -= (v / n) * std::log(v / n);
+  }
+  double h_pred = 0.0;
+  for (double v : col_sums) {
+    if (v > 0.0) h_pred -= (v / n) * std::log(v / n);
+  }
+
+  double mi = 0.0;
+  for (int64_t j = 0; j < counts.cols(); ++j) {
+    for (int64_t i = 0; i < counts.rows(); ++i) {
+      const double c = counts(i, j);
+      if (c <= 0.0) continue;
+      mi += (c / n) * std::log(c * n / (row_sums[static_cast<size_t>(i)] *
+                                        col_sums[static_cast<size_t>(j)]));
+    }
+  }
+
+  const double denom = h_truth + h_pred;
+  if (denom <= 0.0) return 100.0;  // both labelings constant => identical
+  return 100.0 * 2.0 * std::max(mi, 0.0) / denom;
+}
+
+}  // namespace fedsc

@@ -1,0 +1,34 @@
+// Clustering quality metrics used throughout Section VI of the paper:
+// clustering accuracy (ACC, Eq. 10) via optimal label alignment, and
+// normalized mutual information (NMI, Eq. 11). Both are reported as
+// percentages in [0, 100].
+
+#ifndef FEDSC_METRICS_CLUSTERING_METRICS_H_
+#define FEDSC_METRICS_CLUSTERING_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace fedsc {
+
+// Contingency counts: entry (t, p) is the number of points with ground-truth
+// label t and predicted label p. Labels may be any non-negative integers;
+// rows/cols cover 0..max label.
+Matrix ContingencyTable(const std::vector<int64_t>& truth,
+                        const std::vector<int64_t>& predicted);
+
+// ACC (a%): the best label permutation's agreement rate, found with the
+// Hungarian algorithm on the contingency table.
+double ClusteringAccuracy(const std::vector<int64_t>& truth,
+                          const std::vector<int64_t>& predicted);
+
+// NMI (n%): 100 * 2 MI(T; P) / (H(T) + H(P)). Defined as 100 when both
+// labelings are constant (zero entropy).
+double NormalizedMutualInformation(const std::vector<int64_t>& truth,
+                                   const std::vector<int64_t>& predicted);
+
+}  // namespace fedsc
+
+#endif  // FEDSC_METRICS_CLUSTERING_METRICS_H_

@@ -1,0 +1,37 @@
+// Affinity-graph connectivity (Section VI of the paper): for each
+// ground-truth cluster, the second-smallest eigenvalue lambda_2 of the
+// normalized Laplacian of the induced subgraph (the algebraic connectivity of
+// the cluster). CONN reports c = min_l lambda_2^(l) and the average
+// c-bar = mean_l lambda_2^(l); larger is better-connected (less prone to
+// over-segmentation).
+
+#ifndef FEDSC_METRICS_CONNECTIVITY_H_
+#define FEDSC_METRICS_CONNECTIVITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+#include "linalg/sparse.h"
+
+namespace fedsc {
+
+struct ConnectivityResult {
+  double min_lambda2 = 0.0;   // c
+  double mean_lambda2 = 0.0;  // c-bar (the value Table III reports)
+  Vector per_cluster;         // lambda_2 per ground-truth label
+};
+
+// `affinity` is the symmetric affinity graph over all N points;
+// `truth` gives each point's ground-truth cluster. Singleton clusters
+// contribute lambda_2 = 0.
+Result<ConnectivityResult> GraphConnectivity(
+    const SparseMatrix& affinity, const std::vector<int64_t>& truth);
+
+Result<ConnectivityResult> GraphConnectivity(
+    const Matrix& affinity, const std::vector<int64_t>& truth);
+
+}  // namespace fedsc
+
+#endif  // FEDSC_METRICS_CONNECTIVITY_H_

@@ -1,0 +1,81 @@
+#include "metrics/hungarian.h"
+
+#include <limits>
+
+#include "common/check.h"
+
+namespace fedsc {
+
+double SolveAssignment(const Matrix& cost, std::vector<int64_t>* assignment) {
+  const int64_t n = cost.rows();
+  const int64_t m = cost.cols();
+  FEDSC_CHECK(n >= 1 && n <= m)
+      << "assignment needs 1 <= rows <= cols, got " << n << "x" << m;
+
+  // Potentials-based shortest augmenting path formulation (1-indexed).
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> u(static_cast<size_t>(n) + 1, 0.0);
+  std::vector<double> v(static_cast<size_t>(m) + 1, 0.0);
+  std::vector<int64_t> p(static_cast<size_t>(m) + 1, 0);  // row matched to col
+  std::vector<int64_t> way(static_cast<size_t>(m) + 1, 0);
+
+  for (int64_t i = 1; i <= n; ++i) {
+    p[0] = i;
+    int64_t j0 = 0;
+    std::vector<double> minv(static_cast<size_t>(m) + 1, kInf);
+    std::vector<char> used(static_cast<size_t>(m) + 1, 0);
+    do {
+      used[static_cast<size_t>(j0)] = 1;
+      const int64_t i0 = p[static_cast<size_t>(j0)];
+      double delta = kInf;
+      int64_t j1 = 0;
+      for (int64_t j = 1; j <= m; ++j) {
+        if (used[static_cast<size_t>(j)]) continue;
+        const double cur = cost(i0 - 1, j - 1) - u[static_cast<size_t>(i0)] -
+                           v[static_cast<size_t>(j)];
+        if (cur < minv[static_cast<size_t>(j)]) {
+          minv[static_cast<size_t>(j)] = cur;
+          way[static_cast<size_t>(j)] = j0;
+        }
+        if (minv[static_cast<size_t>(j)] < delta) {
+          delta = minv[static_cast<size_t>(j)];
+          j1 = j;
+        }
+      }
+      for (int64_t j = 0; j <= m; ++j) {
+        if (used[static_cast<size_t>(j)]) {
+          u[static_cast<size_t>(p[static_cast<size_t>(j)])] += delta;
+          v[static_cast<size_t>(j)] -= delta;
+        } else {
+          minv[static_cast<size_t>(j)] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[static_cast<size_t>(j0)] != 0);
+    do {
+      const int64_t j1 = way[static_cast<size_t>(j0)];
+      p[static_cast<size_t>(j0)] = p[static_cast<size_t>(j1)];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  assignment->assign(static_cast<size_t>(n), -1);
+  double total = 0.0;
+  for (int64_t j = 1; j <= m; ++j) {
+    const int64_t row = p[static_cast<size_t>(j)];
+    if (row > 0) {
+      (*assignment)[static_cast<size_t>(row - 1)] = j - 1;
+      total += cost(row - 1, j - 1);
+    }
+  }
+  return total;
+}
+
+double SolveMaxAssignment(const Matrix& weight,
+                          std::vector<int64_t>* assignment) {
+  Matrix negated = weight;
+  negated *= -1.0;
+  return -SolveAssignment(negated, assignment);
+}
+
+}  // namespace fedsc

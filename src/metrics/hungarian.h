@@ -1,0 +1,26 @@
+// Hungarian (Kuhn-Munkres) algorithm for the linear assignment problem,
+// O(n^2 m). Clustering accuracy (Eq. 10 of the paper) maximizes the label
+// alignment between predicted and ground-truth clusters with it.
+
+#ifndef FEDSC_METRICS_HUNGARIAN_H_
+#define FEDSC_METRICS_HUNGARIAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace fedsc {
+
+// Minimum-cost assignment of rows to distinct columns of `cost`
+// (rows() <= cols() required). Returns the total cost;
+// (*assignment)[row] = chosen column.
+double SolveAssignment(const Matrix& cost, std::vector<int64_t>* assignment);
+
+// Maximum-weight variant (negates and delegates).
+double SolveMaxAssignment(const Matrix& weight,
+                          std::vector<int64_t>* assignment);
+
+}  // namespace fedsc
+
+#endif  // FEDSC_METRICS_HUNGARIAN_H_

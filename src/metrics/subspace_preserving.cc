@@ -1,0 +1,55 @@
+#include "metrics/subspace_preserving.h"
+
+#include <cmath>
+
+namespace fedsc {
+
+namespace {
+
+Status Validate(const SparseMatrix& affinity,
+                const std::vector<int64_t>& truth) {
+  if (affinity.rows() != affinity.cols() ||
+      affinity.rows() != static_cast<int64_t>(truth.size())) {
+    return Status::InvalidArgument("affinity/labels size mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<double> SubspacePreservingError(const SparseMatrix& affinity,
+                                       const std::vector<int64_t>& truth) {
+  FEDSC_RETURN_NOT_OK(Validate(affinity, truth));
+  double cross = 0.0;
+  double total = 0.0;
+  for (int64_t r = 0; r < affinity.rows(); ++r) {
+    for (int64_t k = affinity.row_ptr()[static_cast<size_t>(r)];
+         k < affinity.row_ptr()[static_cast<size_t>(r) + 1]; ++k) {
+      const int64_t c = affinity.col_idx()[static_cast<size_t>(k)];
+      const double v = std::fabs(affinity.values()[static_cast<size_t>(k)]);
+      total += v;
+      if (truth[static_cast<size_t>(r)] != truth[static_cast<size_t>(c)]) {
+        cross += v;
+      }
+    }
+  }
+  return total > 0.0 ? 100.0 * cross / total : 0.0;
+}
+
+Result<bool> HoldsSelfExpressiveness(const SparseMatrix& affinity,
+                                     const std::vector<int64_t>& truth) {
+  FEDSC_RETURN_NOT_OK(Validate(affinity, truth));
+  for (int64_t r = 0; r < affinity.rows(); ++r) {
+    for (int64_t k = affinity.row_ptr()[static_cast<size_t>(r)];
+         k < affinity.row_ptr()[static_cast<size_t>(r) + 1]; ++k) {
+      const int64_t c = affinity.col_idx()[static_cast<size_t>(k)];
+      if (affinity.values()[static_cast<size_t>(k)] != 0.0 &&
+          truth[static_cast<size_t>(r)] != truth[static_cast<size_t>(c)]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace fedsc

@@ -1,0 +1,29 @@
+// Subspace-preserving representation error, the standard diagnostic of the
+// SSC literature (You et al. call it e%): the fraction of affinity /
+// coefficient mass that connects points of *different* ground-truth
+// clusters. 0 means the graph satisfies the self-expressiveness property
+// (SEP) exactly — the criterion of the paper's Theorem 1.
+
+#ifndef FEDSC_METRICS_SUBSPACE_PRESERVING_H_
+#define FEDSC_METRICS_SUBSPACE_PRESERVING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/sparse.h"
+
+namespace fedsc {
+
+// Returns 100 * (cross-cluster |weight| mass) / (total |weight| mass), in
+// [0, 100]. An empty graph scores 0.
+Result<double> SubspacePreservingError(const SparseMatrix& affinity,
+                                       const std::vector<int64_t>& truth);
+
+// True iff no edge crosses ground-truth clusters (SEP holds exactly).
+Result<bool> HoldsSelfExpressiveness(const SparseMatrix& affinity,
+                                     const std::vector<int64_t>& truth);
+
+}  // namespace fedsc
+
+#endif  // FEDSC_METRICS_SUBSPACE_PRESERVING_H_

@@ -1,0 +1,69 @@
+#include "sc/affinity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace fedsc {
+
+SparseMatrix AffinityFromCoefficients(const SparseMatrix& c) {
+  FEDSC_CHECK(c.rows() == c.cols()) << "coefficient matrix must be square";
+  std::vector<Triplet> triplets;
+  triplets.reserve(static_cast<size_t>(2 * c.nnz()));
+  for (int64_t r = 0; r < c.rows(); ++r) {
+    for (int64_t k = c.row_ptr()[static_cast<size_t>(r)];
+         k < c.row_ptr()[static_cast<size_t>(r) + 1]; ++k) {
+      const int64_t col = c.col_idx()[static_cast<size_t>(k)];
+      const double v = std::fabs(c.values()[static_cast<size_t>(k)]);
+      if (v == 0.0) continue;
+      triplets.push_back({r, col, v});
+      triplets.push_back({col, r, v});
+    }
+  }
+  return SparseMatrix::FromTriplets(c.rows(), c.cols(), std::move(triplets));
+}
+
+SparseMatrix SparsifyCoefficients(const Matrix& c, int64_t top_k,
+                                  double drop_tol) {
+  FEDSC_CHECK(c.rows() == c.cols()) << "coefficient matrix must be square";
+  const int64_t n = c.rows();
+  std::vector<Triplet> triplets;
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  for (int64_t j = 0; j < n; ++j) {
+    const double* col = c.ColData(j);
+    double max_abs = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      if (i != j) max_abs = std::max(max_abs, std::fabs(col[i]));
+    }
+    if (max_abs <= 0.0) continue;
+    const double threshold = drop_tol * max_abs;
+
+    if (top_k > 0 && top_k < n - 1) {
+      std::iota(order.begin(), order.end(), 0);
+      const auto kth = order.begin() + top_k;
+      std::nth_element(order.begin(), kth, order.end(),
+                       [&](int64_t a, int64_t b) {
+                         const double fa = a == j ? -1.0 : std::fabs(col[a]);
+                         const double fb = b == j ? -1.0 : std::fabs(col[b]);
+                         return fa > fb;
+                       });
+      for (auto it = order.begin(); it != kth; ++it) {
+        const int64_t i = *it;
+        if (i == j) continue;
+        const double v = col[i];
+        if (std::fabs(v) > threshold) triplets.push_back({i, j, v});
+      }
+    } else {
+      for (int64_t i = 0; i < n; ++i) {
+        if (i == j) continue;
+        const double v = col[i];
+        if (std::fabs(v) > threshold) triplets.push_back({i, j, v});
+      }
+    }
+  }
+  return SparseMatrix::FromTriplets(n, n, std::move(triplets));
+}
+
+}  // namespace fedsc

@@ -1,0 +1,179 @@
+#include "sc/ensc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "linalg/blas.h"
+
+namespace fedsc {
+
+namespace {
+
+double SoftThreshold(double v, double t) {
+  if (v > t) return v - t;
+  if (v < -t) return v + t;
+  return 0.0;
+}
+
+// FISTA for min_c mix ||c||_1 + (1-mix)/2 ||c||^2 + gamma/2 ||b - A c||^2
+// over a small dictionary A (n x m). The prox of the elastic-net penalty
+// with step t is soft-threshold by t*mix followed by scaling 1/(1+t(1-mix)).
+Vector FistaElasticNet(const Matrix& a, const Vector& b, double mix,
+                       double gamma, int max_iterations, double tol) {
+  const int64_t n = a.rows();
+  const int64_t m = a.cols();
+  // Lipschitz constant of the smooth part: gamma * ||A||_2^2, bounded by
+  // gamma * ||A||_F^2 (cheap and safe for small m).
+  double lipschitz = 0.0;
+  for (int64_t j = 0; j < m; ++j) {
+    lipschitz += Dot(a.ColData(j), a.ColData(j), n);
+  }
+  lipschitz = std::max(lipschitz * gamma, 1e-12);
+  const double step = 1.0 / lipschitz;
+
+  Vector c(static_cast<size_t>(m), 0.0);
+  Vector y = c;
+  Vector grad(static_cast<size_t>(m), 0.0);
+  Vector residual(static_cast<size_t>(n), 0.0);
+  double momentum = 1.0;
+
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    // grad = -gamma A^T (b - A y)
+    std::copy(b.begin(), b.end(), residual.begin());
+    Gemv(Trans::kNo, -1.0, a, y.data(), 1.0, residual.data());
+    Gemv(Trans::kTrans, -gamma, a, residual.data(), 0.0, grad.data());
+
+    double max_change = 0.0;
+    Vector next(static_cast<size_t>(m));
+    const double shrink = 1.0 / (1.0 + step * (1.0 - mix));
+    for (int64_t i = 0; i < m; ++i) {
+      const double v = y[static_cast<size_t>(i)] -
+                       step * grad[static_cast<size_t>(i)];
+      next[static_cast<size_t>(i)] =
+          SoftThreshold(v, step * mix) * shrink;
+      max_change = std::max(max_change,
+                            std::fabs(next[static_cast<size_t>(i)] -
+                                      c[static_cast<size_t>(i)]));
+    }
+    const double next_momentum =
+        (1.0 + std::sqrt(1.0 + 4.0 * momentum * momentum)) / 2.0;
+    const double beta = (momentum - 1.0) / next_momentum;
+    for (int64_t i = 0; i < m; ++i) {
+      y[static_cast<size_t>(i)] =
+          next[static_cast<size_t>(i)] +
+          beta * (next[static_cast<size_t>(i)] - c[static_cast<size_t>(i)]);
+    }
+    c = std::move(next);
+    momentum = next_momentum;
+    if (max_change < tol) break;
+  }
+  return c;
+}
+
+}  // namespace
+
+Result<SparseMatrix> EnscSelfExpression(const Matrix& x,
+                                        const EnscOptions& options) {
+  const int64_t n = x.rows();
+  const int64_t num_points = x.cols();
+  if (num_points < 2) {
+    return Status::InvalidArgument("EnSC needs at least 2 points");
+  }
+  if (options.mix <= 0.0 || options.mix > 1.0) {
+    return Status::InvalidArgument("EnSC mix must be in (0, 1]");
+  }
+
+  // Mutual coherence floor (same rule as SSC) sets the data weight.
+  Vector corr(static_cast<size_t>(num_points), 0.0);
+  double mu = std::numeric_limits<double>::infinity();
+  for (int64_t j = 0; j < num_points; ++j) {
+    Gemv(Trans::kTrans, 1.0, x, x.ColData(j), 0.0, corr.data());
+    double max_abs = 0.0;
+    for (int64_t i = 0; i < num_points; ++i) {
+      if (i != j) max_abs = std::max(max_abs, std::fabs(corr[i]));
+    }
+    mu = std::min(mu, max_abs);
+  }
+  if (mu <= 0.0) {
+    return Status::FailedPrecondition(
+        "all points are mutually orthogonal; self-expression is degenerate");
+  }
+  const double gamma = options.gamma_scale / mu;
+
+  std::vector<Triplet> triplets;
+  std::vector<int64_t> order(static_cast<size_t>(num_points));
+  Vector delta(static_cast<size_t>(n), 0.0);
+
+  for (int64_t j = 0; j < num_points; ++j) {
+    const Vector b = x.Col(j);
+    // Rank atoms by correlation with x_j; the initial active set takes the
+    // most correlated ones.
+    Gemv(Trans::kTrans, 1.0, x, b.data(), 0.0, corr.data());
+    corr[static_cast<size_t>(j)] = -1.0;
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](int64_t p, int64_t q) {
+      return std::fabs(corr[static_cast<size_t>(p)]) >
+             std::fabs(corr[static_cast<size_t>(q)]);
+    });
+
+    std::vector<int64_t> active;
+    std::vector<char> in_active(static_cast<size_t>(num_points), 0);
+    in_active[static_cast<size_t>(j)] = 1;
+    for (int64_t t = 0;
+         t < num_points &&
+         static_cast<int64_t>(active.size()) < options.initial_active;
+         ++t) {
+      const int64_t i = order[static_cast<size_t>(t)];
+      if (in_active[static_cast<size_t>(i)]) continue;
+      active.push_back(i);
+      in_active[static_cast<size_t>(i)] = 1;
+    }
+
+    Vector coeffs;
+    for (int round = 0; round < options.max_outer_rounds; ++round) {
+      const Matrix sub = x.GatherCols(active);
+      coeffs = FistaElasticNet(sub, b, options.mix, gamma,
+                               options.max_fista_iterations,
+                               options.fista_tol);
+
+      // Oracle check: delta = gamma (b - sub * coeffs); excluded atoms must
+      // satisfy |x_i^T delta| <= mix (+ small slack).
+      std::copy(b.begin(), b.end(), delta.begin());
+      Gemv(Trans::kNo, -1.0, sub, coeffs.data(), 1.0, delta.data());
+      Scal(gamma, delta.data(), n);
+      Gemv(Trans::kTrans, 1.0, x, delta.data(), 0.0, corr.data());
+
+      std::vector<int64_t> violators;
+      for (int64_t i = 0; i < num_points; ++i) {
+        if (in_active[static_cast<size_t>(i)]) continue;
+        if (std::fabs(corr[static_cast<size_t>(i)]) >
+            options.mix + 1e-6) {
+          violators.push_back(i);
+        }
+      }
+      if (violators.empty()) break;
+      std::sort(violators.begin(), violators.end(), [&](int64_t p, int64_t q) {
+        return std::fabs(corr[static_cast<size_t>(p)]) >
+               std::fabs(corr[static_cast<size_t>(q)]);
+      });
+      const int64_t grow =
+          std::min<int64_t>(options.growth,
+                            static_cast<int64_t>(violators.size()));
+      for (int64_t t = 0; t < grow; ++t) {
+        active.push_back(violators[static_cast<size_t>(t)]);
+        in_active[static_cast<size_t>(violators[static_cast<size_t>(t)])] = 1;
+      }
+    }
+
+    for (size_t t = 0; t < active.size(); ++t) {
+      if (t < coeffs.size() && std::fabs(coeffs[t]) > 1e-10) {
+        triplets.push_back({active[t], j, coeffs[t]});
+      }
+    }
+  }
+  return SparseMatrix::FromTriplets(num_points, num_points,
+                                    std::move(triplets));
+}
+
+}  // namespace fedsc

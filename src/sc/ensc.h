@@ -1,0 +1,46 @@
+// Elastic-net subspace clustering (You et al., ref [26] of the paper).
+//
+// Per-point objective (their parameterization):
+//
+//   min_c  mix * ||c||_1 + (1 - mix)/2 ||c||_2^2
+//          + gamma/2 ||x_j - X c||_2^2          s.t. c_j = 0
+//
+// solved with FISTA over an *active set* that grows until the oracle
+// condition holds: every excluded atom i satisfies
+// |x_i^T delta| <= mix, where delta = gamma (x_j - X c) is the oracle point.
+// (The paper's reference uses an oracle-guided active set; this
+// correlation-ranked variant reaches the same optimum — the KKT check is
+// exact — and is documented as a substitution in DESIGN.md.)
+
+#ifndef FEDSC_SC_ENSC_H_
+#define FEDSC_SC_ENSC_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+#include "linalg/sparse.h"
+
+namespace fedsc {
+
+struct EnscOptions {
+  // L1/L2 mixing in (0, 1]; 1 recovers pure SSC-Lasso.
+  double mix = 0.9;
+  // Data-term weight gamma = gamma_scale / mu with mu the mutual coherence
+  // floor (mirrors SscAdmmOptions::alpha).
+  double gamma_scale = 50.0;
+  // Initial active-set size and growth per outer round.
+  int64_t initial_active = 16;
+  int64_t growth = 16;
+  int max_outer_rounds = 8;
+  int max_fista_iterations = 200;
+  double fista_tol = 1e-7;
+};
+
+// Sparse self-expression matrix C; columns of x should be l2-normalized.
+Result<SparseMatrix> EnscSelfExpression(const Matrix& x,
+                                        const EnscOptions& options = {});
+
+}  // namespace fedsc
+
+#endif  // FEDSC_SC_ENSC_H_

@@ -1,0 +1,166 @@
+#include "sc/esc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+#include "linalg/blas.h"
+#include "linalg/cholesky.h"
+
+namespace fedsc {
+
+namespace {
+
+// OMP coding of `target` over the columns of `dictionary` listed in `atoms`;
+// returns the support (indices into `atoms`) and coefficients, and writes
+// the residual norm. Small supports: normal equations are fine.
+struct Coding {
+  std::vector<int64_t> support;  // indices into the atom list
+  Vector coefficients;
+  double residual_norm = 0.0;
+};
+
+Coding OmpCode(const Matrix& x, const std::vector<int64_t>& atoms,
+               const double* target, int64_t max_support) {
+  const int64_t n = x.rows();
+  Coding out;
+  Vector residual(target, target + n);
+  out.residual_norm = Norm2(residual.data(), n);
+  if (atoms.empty()) return out;
+
+  std::vector<char> used(atoms.size(), 0);
+  const int64_t k_max =
+      std::min<int64_t>(max_support, static_cast<int64_t>(atoms.size()));
+  for (int64_t step = 0; step < k_max; ++step) {
+    if (out.residual_norm < 1e-9) break;
+    int64_t best = -1;
+    double best_score = 1e-14;
+    for (size_t a = 0; a < atoms.size(); ++a) {
+      if (used[a]) continue;
+      const double score =
+          std::fabs(Dot(x.ColData(atoms[a]), residual.data(), n));
+      if (score > best_score) {
+        best_score = score;
+        best = static_cast<int64_t>(a);
+      }
+    }
+    if (best < 0) break;
+    used[static_cast<size_t>(best)] = 1;
+    out.support.push_back(best);
+
+    // Least squares on the chosen atoms.
+    std::vector<int64_t> columns;
+    columns.reserve(out.support.size());
+    for (int64_t a : out.support) {
+      columns.push_back(atoms[static_cast<size_t>(a)]);
+    }
+    const Matrix sub = x.GatherCols(columns);
+    Matrix gram = Gram(sub);
+    for (int64_t d = 0; d < gram.rows(); ++d) gram(d, d) += 1e-12;
+    Vector rhs(out.support.size(), 0.0);
+    Gemv(Trans::kTrans, 1.0, sub, target, 0.0, rhs.data());
+    auto solved = SolveSpd(gram, Matrix::FromColumn(rhs));
+    if (!solved.ok()) break;
+    out.coefficients = solved->Col(0);
+
+    std::copy(target, target + n, residual.begin());
+    Gemv(Trans::kNo, -1.0, sub, out.coefficients.data(), 1.0,
+         residual.data());
+    out.residual_norm = Norm2(residual.data(), n);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<int64_t>> SelectExemplars(const Matrix& x,
+                                             const EscOptions& options) {
+  const int64_t num_points = x.cols();
+  if (num_points < 1) return Status::InvalidArgument("no points");
+  if (options.num_exemplars < 1) {
+    return Status::InvalidArgument("need num_exemplars >= 1");
+  }
+  const int64_t k =
+      std::min<int64_t>(options.num_exemplars, num_points);
+  Rng rng(options.seed);
+
+  std::vector<int64_t> exemplars{rng.UniformInt(num_points)};
+  std::vector<char> chosen(static_cast<size_t>(num_points), 0);
+  chosen[static_cast<size_t>(exemplars[0])] = 1;
+
+  while (static_cast<int64_t>(exemplars.size()) < k) {
+    // Farthest-first: the point with the largest OMP residual over the
+    // current exemplar set joins it.
+    int64_t worst = -1;
+    double worst_residual = -1.0;
+    for (int64_t j = 0; j < num_points; ++j) {
+      if (chosen[static_cast<size_t>(j)]) continue;
+      const Coding coding =
+          OmpCode(x, exemplars, x.ColData(j), options.support);
+      if (coding.residual_norm > worst_residual) {
+        worst_residual = coding.residual_norm;
+        worst = j;
+      }
+    }
+    if (worst < 0) break;
+    exemplars.push_back(worst);
+    chosen[static_cast<size_t>(worst)] = 1;
+  }
+  return exemplars;
+}
+
+Result<SparseMatrix> EscAffinity(const Matrix& x, const EscOptions& options) {
+  const int64_t num_points = x.cols();
+  if (num_points < 2) {
+    return Status::InvalidArgument("ESC needs at least 2 points");
+  }
+  if (options.q_neighbors < 1 || options.q_neighbors >= num_points) {
+    return Status::InvalidArgument("ESC needs 1 <= q_neighbors < N");
+  }
+  FEDSC_ASSIGN_OR_RETURN(const std::vector<int64_t> exemplars,
+                         SelectExemplars(x, options));
+  const int64_t k = static_cast<int64_t>(exemplars.size());
+
+  // Representation vectors: column j of R holds x_j's coding over E.
+  Matrix representations(k, num_points);
+  for (int64_t j = 0; j < num_points; ++j) {
+    const Coding coding = OmpCode(x, exemplars, x.ColData(j),
+                                  options.support);
+    for (size_t t = 0; t < coding.support.size(); ++t) {
+      if (t < coding.coefficients.size()) {
+        representations(coding.support[t], j) = coding.coefficients[t];
+      }
+    }
+  }
+  representations.NormalizeColumns();
+
+  // q-NN graph by |cosine| in representation space.
+  std::vector<Triplet> triplets;
+  triplets.reserve(static_cast<size_t>(2 * options.q_neighbors * num_points));
+  Vector similarity(static_cast<size_t>(num_points), 0.0);
+  std::vector<int64_t> order(static_cast<size_t>(num_points));
+  for (int64_t j = 0; j < num_points; ++j) {
+    Gemv(Trans::kTrans, 1.0, representations, representations.ColData(j),
+         0.0, similarity.data());
+    for (auto& v : similarity) v = std::fabs(v);
+    similarity[static_cast<size_t>(j)] = -1.0;
+    std::iota(order.begin(), order.end(), 0);
+    const auto kth = order.begin() + options.q_neighbors;
+    std::nth_element(order.begin(), kth, order.end(),
+                     [&](int64_t a, int64_t b) {
+                       return similarity[static_cast<size_t>(a)] >
+                              similarity[static_cast<size_t>(b)];
+                     });
+    for (auto it = order.begin(); it != kth; ++it) {
+      const double w = similarity[static_cast<size_t>(*it)];
+      if (w <= 0.0) continue;
+      triplets.push_back({*it, j, w});
+      triplets.push_back({j, *it, w});
+    }
+  }
+  return SparseMatrix::FromTriplets(num_points, num_points,
+                                    std::move(triplets));
+}
+
+}  // namespace fedsc

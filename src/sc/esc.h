@@ -1,0 +1,49 @@
+// Exemplar-based subspace clustering (You et al. 2018, ref [25] of the
+// paper — the scalable, class-imbalance-robust member of the SSC family).
+//
+// 1. Select a small exemplar set E by farthest-first search in
+//    representation cost: repeatedly add the point that the current
+//    exemplars reconstruct worst.
+// 2. Sparse-code every point over E (orthogonal matching pursuit).
+// 3. Connect each point to its q nearest neighbors in representation space
+//    (cosine similarity of coding vectors).
+//
+// Cost is O(k) codings per point instead of O(N), so it scales to datasets
+// the full SSC program cannot touch. Not part of the paper's evaluation
+// tables; shipped as the natural scalable alternative for large
+// federations' central step and exposed through ScMethod::kEsc.
+
+#ifndef FEDSC_SC_ESC_H_
+#define FEDSC_SC_ESC_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+#include "linalg/sparse.h"
+
+namespace fedsc {
+
+struct EscOptions {
+  // Number of exemplars to select; clamped to N. A few per expected cluster
+  // suffices. Must be >= 1.
+  int64_t num_exemplars = 32;
+  // OMP support size when coding points over the exemplars.
+  int64_t support = 5;
+  // Neighbors per point in the representation-space affinity graph.
+  int64_t q_neighbors = 6;
+  uint64_t seed = 0x5eed'E5CULL;
+};
+
+// Indices of the selected exemplars (farthest-first in representation
+// residual), exposed for inspection/tests.
+Result<std::vector<int64_t>> SelectExemplars(const Matrix& x,
+                                             const EscOptions& options);
+
+// Symmetric affinity graph over the (l2-normalized) columns of x.
+Result<SparseMatrix> EscAffinity(const Matrix& x,
+                                 const EscOptions& options = {});
+
+}  // namespace fedsc
+
+#endif  // FEDSC_SC_ESC_H_

@@ -1,0 +1,103 @@
+#include "sc/nsn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/blas.h"
+
+namespace fedsc {
+
+Result<SparseMatrix> NsnAffinity(const Matrix& x, const NsnOptions& options) {
+  const int64_t n = x.rows();
+  const int64_t num_points = x.cols();
+  if (num_points < 2) {
+    return Status::InvalidArgument("NSN needs at least 2 points");
+  }
+  if (options.num_neighbors < 1 || options.num_neighbors >= num_points) {
+    return Status::InvalidArgument("NSN needs 1 <= num_neighbors < N");
+  }
+  const int64_t dim_cap = options.max_subspace_dim > 0
+                              ? std::min(options.max_subspace_dim, n)
+                              : n;
+
+  std::vector<Triplet> triplets;
+  triplets.reserve(
+      static_cast<size_t>(2 * options.num_neighbors * num_points));
+
+  // score[i] accumulates ||Q^T x_i||^2 for the growing orthonormal basis Q
+  // of the greedy subspace; adding basis vector q adds (q^T x_i)^2.
+  Vector score(static_cast<size_t>(num_points), 0.0);
+  Vector projections(static_cast<size_t>(num_points), 0.0);
+  Matrix basis(n, dim_cap);
+  Vector candidate(static_cast<size_t>(n), 0.0);
+
+  for (int64_t j = 0; j < num_points; ++j) {
+    std::fill(score.begin(), score.end(), 0.0);
+    std::vector<char> selected(static_cast<size_t>(num_points), 0);
+    selected[static_cast<size_t>(j)] = 1;
+
+    // Seed the subspace with the point itself.
+    int64_t basis_size = 0;
+    std::copy(x.ColData(j), x.ColData(j) + n, basis.ColData(0));
+    if (Norm2(basis.ColData(0), n) > 1e-12) {
+      Scal(1.0 / Norm2(basis.ColData(0), n), basis.ColData(0), n);
+      basis_size = 1;
+      Gemv(Trans::kTrans, 1.0, x, basis.ColData(0), 0.0, projections.data());
+      for (int64_t i = 0; i < num_points; ++i) {
+        score[static_cast<size_t>(i)] +=
+            projections[static_cast<size_t>(i)] *
+            projections[static_cast<size_t>(i)];
+      }
+    }
+
+    for (int64_t step = 0; step < options.num_neighbors; ++step) {
+      // Neighbor with the largest projection onto the current subspace.
+      int64_t best = -1;
+      double best_score = -1.0;
+      for (int64_t i = 0; i < num_points; ++i) {
+        if (selected[static_cast<size_t>(i)]) continue;
+        if (score[static_cast<size_t>(i)] > best_score) {
+          best_score = score[static_cast<size_t>(i)];
+          best = i;
+        }
+      }
+      if (best < 0) break;
+      selected[static_cast<size_t>(best)] = 1;
+      triplets.push_back({best, j, 1.0});
+      triplets.push_back({j, best, 1.0});
+
+      // Grow the subspace with the new neighbor (until the cap).
+      if (basis_size < dim_cap) {
+        std::copy(x.ColData(best), x.ColData(best) + n, candidate.begin());
+        for (int pass = 0; pass < 2; ++pass) {
+          for (int64_t b = 0; b < basis_size; ++b) {
+            const double proj = Dot(basis.ColData(b), candidate.data(), n);
+            Axpy(-proj, basis.ColData(b), candidate.data(), n);
+          }
+        }
+        const double norm = Norm2(candidate.data(), n);
+        if (norm > 1e-10) {
+          Scal(1.0 / norm, candidate.data(), n);
+          basis.SetCol(basis_size, candidate.data());
+          Gemv(Trans::kTrans, 1.0, x, basis.ColData(basis_size), 0.0,
+               projections.data());
+          for (int64_t i = 0; i < num_points; ++i) {
+            score[static_cast<size_t>(i)] +=
+                projections[static_cast<size_t>(i)] *
+                projections[static_cast<size_t>(i)];
+          }
+          ++basis_size;
+        }
+      }
+    }
+  }
+
+  // Mutual selections produce duplicate triplets that FromTriplets sums;
+  // clamp back to a 0/1 graph.
+  SparseMatrix affinity = SparseMatrix::FromTriplets(num_points, num_points,
+                                                     std::move(triplets));
+  for (auto& v : *affinity.mutable_values()) v = 1.0;
+  return affinity;
+}
+
+}  // namespace fedsc

@@ -1,0 +1,31 @@
+// Nearest Subspace Neighbor (Park, Caramanis & Sanghavi, ref [27] of the
+// paper): for each point, greedily collect neighbors that maximize the norm
+// of their projection onto the subspace spanned so far, then build a 0/1
+// neighborhood affinity.
+
+#ifndef FEDSC_SC_NSN_H_
+#define FEDSC_SC_NSN_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+#include "linalg/sparse.h"
+
+namespace fedsc {
+
+struct NsnOptions {
+  // Number of neighbors collected per point.
+  int64_t num_neighbors = 10;
+  // Cap on the dimension of the greedy subspace; once reached, remaining
+  // neighbors are picked by projection onto the fixed subspace (the kmax
+  // parameter of the original algorithm). <= 0 means no cap.
+  int64_t max_subspace_dim = 0;
+};
+
+// Symmetric 0/1 neighbor affinity over the (l2-normalized) columns of x.
+Result<SparseMatrix> NsnAffinity(const Matrix& x, const NsnOptions& options);
+
+}  // namespace fedsc
+
+#endif  // FEDSC_SC_NSN_H_

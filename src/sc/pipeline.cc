@@ -1,0 +1,79 @@
+#include "sc/pipeline.h"
+
+#include "common/stopwatch.h"
+#include "sc/affinity.h"
+
+namespace fedsc {
+
+const char* ScMethodName(ScMethod method) {
+  switch (method) {
+    case ScMethod::kSsc:
+      return "SSC";
+    case ScMethod::kSscOmp:
+      return "SSCOMP";
+    case ScMethod::kEnsc:
+      return "EnSC";
+    case ScMethod::kTsc:
+      return "TSC";
+    case ScMethod::kNsn:
+      return "NSN";
+    case ScMethod::kEsc:
+      return "ESC";
+  }
+  return "?";
+}
+
+Result<SparseMatrix> BuildAffinity(const Matrix& x,
+                                   const ScPipelineOptions& options) {
+  switch (options.method) {
+    case ScMethod::kSsc: {
+      FEDSC_ASSIGN_OR_RETURN(SparseMatrix c,
+                             SscSelfExpression(x, options.ssc));
+      return AffinityFromCoefficients(c);
+    }
+    case ScMethod::kSscOmp: {
+      FEDSC_ASSIGN_OR_RETURN(SparseMatrix c,
+                             SscOmpSelfExpression(x, options.ssc_omp));
+      return AffinityFromCoefficients(c);
+    }
+    case ScMethod::kEnsc: {
+      FEDSC_ASSIGN_OR_RETURN(SparseMatrix c,
+                             EnscSelfExpression(x, options.ensc));
+      return AffinityFromCoefficients(c);
+    }
+    case ScMethod::kTsc:
+      return TscAffinity(x, options.tsc);
+    case ScMethod::kNsn:
+      return NsnAffinity(x, options.nsn);
+    case ScMethod::kEsc:
+      return EscAffinity(x, options.esc);
+  }
+  return Status::InvalidArgument("unknown subspace clustering method");
+}
+
+Result<ScResult> RunSubspaceClustering(const Matrix& x, int64_t num_clusters,
+                                       const ScPipelineOptions& options) {
+  if (num_clusters < 1 || num_clusters > x.cols()) {
+    return Status::InvalidArgument("need 1 <= num_clusters <= N");
+  }
+  Stopwatch timer;
+  Matrix normalized;
+  const Matrix* input = &x;
+  if (options.normalize_columns) {
+    normalized = x;
+    normalized.NormalizeColumns();
+    input = &normalized;
+  }
+  FEDSC_ASSIGN_OR_RETURN(SparseMatrix affinity,
+                         BuildAffinity(*input, options));
+  FEDSC_ASSIGN_OR_RETURN(
+      SpectralResult spectral,
+      SpectralCluster(affinity, num_clusters, options.spectral));
+  ScResult result;
+  result.labels = std::move(spectral.labels);
+  result.affinity = std::move(affinity);
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace fedsc

@@ -1,0 +1,61 @@
+// End-to-end centralized subspace clustering: affinity construction with any
+// of the library's methods, then normalized spectral clustering. Benches use
+// this to run the paper's centralized baselines (SSC, SSC-OMP, EnSC, TSC,
+// NSN) under one interface.
+
+#ifndef FEDSC_SC_PIPELINE_H_
+#define FEDSC_SC_PIPELINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/spectral.h"
+#include "common/result.h"
+#include "linalg/matrix.h"
+#include "linalg/sparse.h"
+#include "sc/ensc.h"
+#include "sc/esc.h"
+#include "sc/nsn.h"
+#include "sc/ssc_admm.h"
+#include "sc/ssc_omp.h"
+#include "sc/tsc.h"
+
+namespace fedsc {
+
+enum class ScMethod { kSsc, kSscOmp, kEnsc, kTsc, kNsn, kEsc };
+
+const char* ScMethodName(ScMethod method);
+
+struct ScPipelineOptions {
+  ScMethod method = ScMethod::kSsc;
+  SscAdmmOptions ssc;
+  SscOmpOptions ssc_omp;
+  EnscOptions ensc;
+  EscOptions esc;
+  TscOptions tsc;
+  NsnOptions nsn;
+  SpectralOptions spectral;
+  // Normalize input columns to unit l2 norm before clustering (the paper's
+  // standing assumption).
+  bool normalize_columns = true;
+};
+
+struct ScResult {
+  std::vector<int64_t> labels;  // size N, values in [0, num_clusters)
+  SparseMatrix affinity;        // the symmetric W spectral clustering saw
+  double seconds = 0.0;         // wall-clock of affinity + spectral steps
+};
+
+// Builds W with the selected method over the columns of x and segments them
+// into num_clusters groups.
+Result<ScResult> RunSubspaceClustering(const Matrix& x, int64_t num_clusters,
+                                       const ScPipelineOptions& options = {});
+
+// Affinity-only entry point (shared by the federated scheme).
+Result<SparseMatrix> BuildAffinity(const Matrix& x,
+                                   const ScPipelineOptions& options);
+
+}  // namespace fedsc
+
+#endif  // FEDSC_SC_PIPELINE_H_

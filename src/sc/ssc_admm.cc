@@ -1,0 +1,204 @@
+#include "sc/ssc_admm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "linalg/blas.h"
+#include "linalg/cholesky.h"
+#include "sc/affinity.h"
+
+namespace fedsc {
+
+namespace {
+
+// mu = min_i max_{j != i} |x_j^T x_i|, from the Gram matrix.
+double MutualCoherenceFloor(const Matrix& gram) {
+  const int64_t n = gram.rows();
+  double mu = std::numeric_limits<double>::infinity();
+  for (int64_t i = 0; i < n; ++i) {
+    double max_abs = 0.0;
+    const double* col = gram.ColData(i);
+    for (int64_t j = 0; j < n; ++j) {
+      if (j != i) max_abs = std::max(max_abs, std::fabs(col[j]));
+    }
+    mu = std::min(mu, max_abs);
+  }
+  return mu;
+}
+
+double SoftThreshold(double v, double t) {
+  if (v > t) return v - t;
+  if (v < -t) return v + t;
+  return 0.0;
+}
+
+}  // namespace
+
+double SscLambda(const Matrix& x, double alpha) {
+  const double mu = MutualCoherenceFloor(Gram(x));
+  return mu > 0.0 ? alpha / mu : alpha;
+}
+
+Result<SparseMatrix> SscSelfExpression(const Matrix& x,
+                                       const SscAdmmOptions& options) {
+  const int64_t n = x.rows();
+  const int64_t num_points = x.cols();
+  if (num_points < 2) {
+    return Status::InvalidArgument("SSC needs at least 2 points");
+  }
+  if (options.alpha <= 1.0) {
+    return Status::InvalidArgument("SSC alpha must exceed 1");
+  }
+
+  const Matrix gram = Gram(x);  // X^T X
+  const double mu = MutualCoherenceFloor(gram);
+  if (mu <= 0.0) {
+    return Status::FailedPrecondition(
+        "all points are mutually orthogonal; self-expression is degenerate");
+  }
+  const double lambda = options.alpha / mu;
+  const double rho = options.rho > 0.0 ? options.rho : options.alpha;
+
+  // Precompute the Z-update operator. Z-update solves
+  //   (lambda X^T X + rho I) Z = lambda X^T X + rho (C - U).
+  // Small-N path: invert the N x N system directly. Large-N path (n < N):
+  // Woodbury,
+  //   (lambda G + rho I)^{-1} M
+  //     = (1/rho) (M - lambda X^T (rho I_n + lambda X X^T)^{-1} X M).
+  const bool use_woodbury = n < num_points;
+  Matrix h_inverse;       // (lambda G + rho I)^{-1}, direct path
+  Matrix s_inverse;       // (rho I_n + lambda X X^T)^{-1}, Woodbury path
+  if (use_woodbury) {
+    Matrix s = OuterGram(x);
+    s *= lambda;
+    for (int64_t i = 0; i < n; ++i) s(i, i) += rho;
+    FEDSC_ASSIGN_OR_RETURN(s_inverse, SpdInverse(s));
+  } else {
+    Matrix h = gram;
+    h *= lambda;
+    for (int64_t i = 0; i < num_points; ++i) h(i, i) += rho;
+    FEDSC_ASSIGN_OR_RETURN(h_inverse, SpdInverse(h));
+  }
+
+  Matrix c(num_points, num_points);
+  Matrix u(num_points, num_points);
+  Matrix z(num_points, num_points);
+  Matrix rhs(num_points, num_points);
+  Matrix xm;  // scratch for the Woodbury path
+  Matrix sxm;
+  if (use_woodbury) {
+    xm = Matrix(n, num_points);
+    sxm = Matrix(n, num_points);
+  }
+
+  // Applies (lambda G + rho I)^{-1} to `rhs`, writing into `z`.
+  auto apply_inverse = [&](const Matrix& m, Matrix* out) {
+    if (use_woodbury) {
+      if (xm.cols() != m.cols()) {
+        xm = Matrix(n, m.cols());
+        sxm = Matrix(n, m.cols());
+      }
+      // (1/rho) (m - lambda X^T S^{-1} X m)
+      Gemm(Trans::kNo, Trans::kNo, 1.0, x, m, 0.0, &xm);
+      Gemm(Trans::kNo, Trans::kNo, 1.0, s_inverse, xm, 0.0, &sxm);
+      *out = m;
+      Gemm(Trans::kTrans, Trans::kNo, -lambda, x, sxm, 1.0, out);
+      *out *= 1.0 / rho;
+    } else {
+      Gemm(Trans::kNo, Trans::kNo, 1.0, h_inverse, m, 0.0, out);
+    }
+  };
+
+  // Affine mode: Sherman-Morrison data for (lambda G + rho I + rho 1 1^T),
+  // plus the scaled dual of the 1^T Z = 1^T constraint.
+  Vector h_ones;          // H * 1
+  double affine_scale = 0.0;  // rho / (1 + rho * 1^T H 1)
+  Vector u_affine;        // scaled dual, length N
+  if (options.affine) {
+    Matrix ones(num_points, 1);
+    ones.Fill(1.0);
+    Matrix h1(num_points, 1);
+    apply_inverse(ones, &h1);
+    h_ones = h1.Col(0);
+    double dot_1h1 = 0.0;
+    for (double v : h_ones) dot_1h1 += v;
+    affine_scale = rho / (1.0 + rho * dot_1h1);
+    u_affine.assign(static_cast<size_t>(num_points), 0.0);
+  }
+
+  Stopwatch deadline_timer;
+  double residual = std::numeric_limits<double>::infinity();
+  int iteration = 0;
+  for (; iteration < options.max_iterations; ++iteration) {
+    if (options.deadline_seconds > 0.0 &&
+        deadline_timer.ElapsedSeconds() > options.deadline_seconds) {
+      return Status::DeadlineExceeded("SSC ADMM exceeded its time budget of " +
+                                      std::to_string(options.deadline_seconds) +
+                                      "s");
+    }
+    // rhs = lambda G + rho (C - U) [+ rho 1 (1 - u_affine)^T in affine mode]
+    rhs = c;
+    rhs -= u;
+    rhs *= rho;
+    Axpy(lambda, gram.data(), rhs.data(), gram.size());
+    if (options.affine) {
+      for (int64_t j = 0; j < num_points; ++j) {
+        const double w = rho * (1.0 - u_affine[static_cast<size_t>(j)]);
+        double* col = rhs.ColData(j);
+        for (int64_t i = 0; i < num_points; ++i) col[i] += w;
+      }
+    }
+
+    apply_inverse(rhs, &z);
+    if (options.affine) {
+      // Sherman-Morrison correction for the rho 1 1^T term:
+      // Z -= (H 1) * affine_scale * (1^T Z).
+      for (int64_t j = 0; j < num_points; ++j) {
+        double* col = z.ColData(j);
+        double colsum = 0.0;
+        for (int64_t i = 0; i < num_points; ++i) colsum += col[i];
+        Axpy(-affine_scale * colsum, h_ones.data(), col, num_points);
+      }
+      // Dual update for 1^T Z = 1^T.
+      for (int64_t j = 0; j < num_points; ++j) {
+        double colsum = 0.0;
+        const double* col = z.ColData(j);
+        for (int64_t i = 0; i < num_points; ++i) colsum += col[i];
+        u_affine[static_cast<size_t>(j)] += colsum - 1.0;
+      }
+    }
+
+    // C-update: soft-threshold Z + U at 1/rho, zero the diagonal. Track the
+    // largest change for the stopping rule.
+    const double threshold = 1.0 / rho;
+    double max_dc = 0.0;
+    double max_zc = 0.0;
+    for (int64_t j = 0; j < num_points; ++j) {
+      double* cj = c.ColData(j);
+      const double* zj = z.ColData(j);
+      double* uj = u.ColData(j);
+      for (int64_t i = 0; i < num_points; ++i) {
+        const double next =
+            i == j ? 0.0 : SoftThreshold(zj[i] + uj[i], threshold);
+        max_dc = std::max(max_dc, std::fabs(next - cj[i]));
+        cj[i] = next;
+        const double gap = zj[i] - next;
+        max_zc = std::max(max_zc, std::fabs(gap));
+        uj[i] += gap;  // dual update folded into the same pass
+      }
+    }
+
+    residual = std::max(max_dc, max_zc);
+    if (residual < options.tol) break;
+  }
+  if (residual >= options.tol) {
+    FEDSC_LOG(Debug) << "SSC ADMM stopped at max_iterations with residual "
+                     << residual;
+  }
+
+  return SparsifyCoefficients(c, options.top_k, options.drop_tol);
+}
+
+}  // namespace fedsc

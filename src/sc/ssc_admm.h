@@ -1,0 +1,57 @@
+// Sparse subspace clustering self-expression via ADMM (Elhamifar & Vidal,
+// ref [9] of the paper; ADMM per Boyd et al., ref [50]).
+//
+// Solves the Lasso program (Eq. 2 of the paper) for all points at once:
+//
+//   min_C  ||C||_1 + lambda/2 ||X - X C||_F^2   s.t.  diag(C) = 0
+//
+// with lambda = alpha / mu, mu = min_i max_{j != i} |x_j^T x_i| (Proposition
+// 1 of Elhamifar-Vidal; the paper uses alpha = 50). The linear system of the
+// Z-update is inverted once through whichever of the N x N and n x n
+// (Woodbury) formulations is smaller, so the per-iteration cost is
+// O(min(n, N) * N^2).
+
+#ifndef FEDSC_SC_SSC_ADMM_H_
+#define FEDSC_SC_SSC_ADMM_H_
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+#include "linalg/sparse.h"
+
+namespace fedsc {
+
+struct SscAdmmOptions {
+  // lambda = alpha / mu. Must be > 1 for the Lasso solution to be nonzero.
+  double alpha = 50.0;
+  // Adds the affine constraint 1^T c_i = 1, for data on a union of *affine*
+  // subspaces (Elhamifar-Vidal Section 4.1; e.g. motion trajectories). The
+  // constraint enters the ADMM as a penalty rho/2 ||1^T C - 1^T||^2 with its
+  // own dual variable, and the augmented system is inverted with a
+  // Sherman-Morrison rank-1 update on top of the usual operator.
+  bool affine = false;
+  // ADMM penalty parameter; <= 0 picks rho = alpha (Elhamifar-Vidal's
+  // reference implementation default).
+  double rho = -1.0;
+  int max_iterations = 200;
+  // Stop when max(||Z - C||_inf, ||C - C_prev||_inf) < tol.
+  double tol = 2e-4;
+  // Sparsification of the returned coefficients (see SparsifyCoefficients).
+  int64_t top_k = 0;
+  double drop_tol = 1e-6;
+  // Wall-clock budget; > 0 aborts with DeadlineExceeded when the solve
+  // overruns it (the paper's Table III enforces a 1-day cut-off on
+  // centralized SSC the same way).
+  double deadline_seconds = 0.0;
+};
+
+// Sparse self-expression matrix C for the columns of x (which should be
+// l2-normalized). Requires N >= 2.
+Result<SparseMatrix> SscSelfExpression(const Matrix& x,
+                                       const SscAdmmOptions& options = {});
+
+// The lambda the solver would use for `x` (exposed for tests/diagnostics).
+double SscLambda(const Matrix& x, double alpha);
+
+}  // namespace fedsc
+
+#endif  // FEDSC_SC_SSC_ADMM_H_

@@ -1,0 +1,82 @@
+#include "sc/ssc_omp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/blas.h"
+#include "linalg/cholesky.h"
+
+namespace fedsc {
+
+Result<SparseMatrix> SscOmpSelfExpression(const Matrix& x,
+                                          const SscOmpOptions& options) {
+  const int64_t n = x.rows();
+  const int64_t num_points = x.cols();
+  if (num_points < 2) {
+    return Status::InvalidArgument("SSC-OMP needs at least 2 points");
+  }
+  if (options.max_support < 1) {
+    return Status::InvalidArgument("SSC-OMP max_support must be >= 1");
+  }
+  const int64_t k_max =
+      std::min<int64_t>(options.max_support, num_points - 1);
+
+  std::vector<Triplet> triplets;
+  triplets.reserve(static_cast<size_t>(k_max * num_points));
+
+  Vector residual(static_cast<size_t>(n), 0.0);
+  Vector scores(static_cast<size_t>(num_points), 0.0);
+  std::vector<int64_t> support;
+  std::vector<char> in_support(static_cast<size_t>(num_points), 0);
+
+  for (int64_t j = 0; j < num_points; ++j) {
+    std::copy(x.ColData(j), x.ColData(j) + n, residual.begin());
+    support.clear();
+    std::fill(in_support.begin(), in_support.end(), 0);
+    in_support[static_cast<size_t>(j)] = 1;  // c_jj = 0
+    Vector coeffs;
+
+    for (int64_t step = 0; step < k_max; ++step) {
+      if (Norm2(residual.data(), n) < options.residual_tol) break;
+      // Most correlated unused atom.
+      Gemv(Trans::kTrans, 1.0, x, residual.data(), 0.0, scores.data());
+      int64_t best = -1;
+      double best_score = 0.0;
+      for (int64_t i = 0; i < num_points; ++i) {
+        if (in_support[static_cast<size_t>(i)]) continue;
+        const double s = std::fabs(scores[static_cast<size_t>(i)]);
+        if (s > best_score) {
+          best_score = s;
+          best = i;
+        }
+      }
+      if (best < 0 || best_score <= 1e-14) break;
+      support.push_back(best);
+      in_support[static_cast<size_t>(best)] = 1;
+
+      // Least squares on the current support via normal equations (supports
+      // stay tiny, and a diagonal jitter guards collinear atoms).
+      const Matrix sub = x.GatherCols(support);
+      Matrix gram = Gram(sub);
+      for (int64_t d = 0; d < gram.rows(); ++d) gram(d, d) += 1e-12;
+      const Vector rhs = Gemv(Trans::kTrans, sub, x.Col(j));
+      auto solved = SolveSpd(gram, Matrix::FromColumn(rhs));
+      if (!solved.ok()) break;
+      coeffs = solved->Col(0);
+
+      // residual = x_j - sub * coeffs
+      std::copy(x.ColData(j), x.ColData(j) + n, residual.begin());
+      Gemv(Trans::kNo, -1.0, sub, coeffs.data(), 1.0, residual.data());
+    }
+
+    for (size_t t = 0; t < support.size(); ++t) {
+      if (coeffs.size() > t && coeffs[t] != 0.0) {
+        triplets.push_back({support[t], j, coeffs[t]});
+      }
+    }
+  }
+  return SparseMatrix::FromTriplets(num_points, num_points,
+                                    std::move(triplets));
+}
+
+}  // namespace fedsc

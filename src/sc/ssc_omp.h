@@ -1,0 +1,31 @@
+// SSC-OMP (You, Robinson & Vidal, ref [42] of the paper): per-point sparse
+// self-expression by orthogonal matching pursuit instead of the Lasso.
+// Greedy, O(k_max * n * N) per point; the scalable centralized baseline.
+
+#ifndef FEDSC_SC_SSC_OMP_H_
+#define FEDSC_SC_SSC_OMP_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+#include "linalg/sparse.h"
+
+namespace fedsc {
+
+struct SscOmpOptions {
+  // Maximum support size per point (set near the expected subspace
+  // dimension).
+  int64_t max_support = 10;
+  // Stop early once the residual norm drops below this threshold.
+  double residual_tol = 1e-6;
+};
+
+// Sparse self-expression matrix C with OMP-selected supports; columns of x
+// should be l2-normalized.
+Result<SparseMatrix> SscOmpSelfExpression(const Matrix& x,
+                                          const SscOmpOptions& options = {});
+
+}  // namespace fedsc
+
+#endif  // FEDSC_SC_SSC_OMP_H_

@@ -1,0 +1,26 @@
+// Thresholding-based subspace clustering (Heckel & Bölcskei, ref [10] of
+// the paper): connect every point to its q nearest neighbors in spherical
+// distance, weighting edges by exp(-2 * arccos(|<x_i, x_j>|)).
+
+#ifndef FEDSC_SC_TSC_H_
+#define FEDSC_SC_TSC_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+#include "linalg/sparse.h"
+
+namespace fedsc {
+
+struct TscOptions {
+  // Number of nearest neighbors kept per point. Must satisfy 1 <= q < N.
+  int64_t q = 3;
+};
+
+// Symmetric TSC affinity graph over the (l2-normalized) columns of x.
+Result<SparseMatrix> TscAffinity(const Matrix& x, const TscOptions& options);
+
+}  // namespace fedsc
+
+#endif  // FEDSC_SC_TSC_H_

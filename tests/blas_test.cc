@@ -1,0 +1,144 @@
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/blas.h"
+
+namespace fedsc {
+namespace {
+
+Matrix RandomMatrix(int64_t rows, int64_t cols, Rng* rng) {
+  Matrix m(rows, cols);
+  for (int64_t j = 0; j < cols; ++j) {
+    for (int64_t i = 0; i < rows; ++i) m(i, j) = rng->Gaussian();
+  }
+  return m;
+}
+
+// Naive triple loop reference for C = alpha op(A) op(B) + beta C.
+Matrix ReferenceGemm(Trans ta, Trans tb, double alpha, const Matrix& a,
+                     const Matrix& b, double beta, const Matrix& c0) {
+  const int64_t m = ta == Trans::kNo ? a.rows() : a.cols();
+  const int64_t k = ta == Trans::kNo ? a.cols() : a.rows();
+  const int64_t n = tb == Trans::kNo ? b.cols() : b.rows();
+  Matrix c = c0;
+  for (int64_t j = 0; j < n; ++j) {
+    for (int64_t i = 0; i < m; ++i) {
+      double sum = 0.0;
+      for (int64_t p = 0; p < k; ++p) {
+        const double av = ta == Trans::kNo ? a(i, p) : a(p, i);
+        const double bv = tb == Trans::kNo ? b(p, j) : b(j, p);
+        sum += av * bv;
+      }
+      c(i, j) = alpha * sum + beta * c0(i, j);
+    }
+  }
+  return c;
+}
+
+TEST(BlasTest, DotBasics) {
+  const Vector x{1, 2, 3, 4, 5};
+  const Vector y{5, 4, 3, 2, 1};
+  EXPECT_EQ(Dot(x, y), 35.0);
+  EXPECT_NEAR(Norm2(x), std::sqrt(55.0), 1e-12);
+}
+
+TEST(BlasTest, AxpyAndScal) {
+  Vector y{1, 1, 1};
+  const Vector x{1, 2, 3};
+  Axpy(2.0, x.data(), y.data(), 3);
+  EXPECT_EQ(y, (Vector{3, 5, 7}));
+  Scal(0.5, y.data(), 3);
+  EXPECT_EQ(y, (Vector{1.5, 2.5, 3.5}));
+}
+
+struct GemmCase {
+  Trans ta;
+  Trans tb;
+  double alpha;
+  double beta;
+};
+
+class GemmParamTest : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmParamTest, MatchesReference) {
+  const GemmCase param = GetParam();
+  Rng rng(31);
+  for (auto [m, k, n] : {std::tuple<int64_t, int64_t, int64_t>{3, 4, 5},
+                         {1, 7, 2},
+                         {8, 1, 8},
+                         {13, 11, 9}}) {
+    const Matrix a = param.ta == Trans::kNo ? RandomMatrix(m, k, &rng)
+                                            : RandomMatrix(k, m, &rng);
+    const Matrix b = param.tb == Trans::kNo ? RandomMatrix(k, n, &rng)
+                                            : RandomMatrix(n, k, &rng);
+    const Matrix c0 = RandomMatrix(m, n, &rng);
+    Matrix c = c0;
+    Gemm(param.ta, param.tb, param.alpha, a, b, param.beta, &c);
+    const Matrix expected =
+        ReferenceGemm(param.ta, param.tb, param.alpha, a, b, param.beta, c0);
+    EXPECT_TRUE(AllClose(c, expected, 1e-10))
+        << "shape " << m << "x" << k << "x" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTransCombos, GemmParamTest,
+    ::testing::Values(GemmCase{Trans::kNo, Trans::kNo, 1.0, 0.0},
+                      GemmCase{Trans::kTrans, Trans::kNo, 1.0, 0.0},
+                      GemmCase{Trans::kNo, Trans::kTrans, 1.0, 0.0},
+                      GemmCase{Trans::kTrans, Trans::kTrans, 1.0, 0.0},
+                      GemmCase{Trans::kNo, Trans::kNo, -2.5, 1.0},
+                      GemmCase{Trans::kTrans, Trans::kNo, 0.5, 3.0},
+                      GemmCase{Trans::kNo, Trans::kTrans, 2.0, -1.0},
+                      GemmCase{Trans::kTrans, Trans::kTrans, -1.0, 0.5}));
+
+TEST(BlasTest, GemvMatchesGemm) {
+  Rng rng(37);
+  const Matrix a = RandomMatrix(6, 4, &rng);
+  const Vector x{1, -2, 3, -4};
+  const Vector y = Gemv(Trans::kNo, a, x);
+  const Matrix via_gemm = MatMul(a, Matrix::FromColumn(x));
+  for (int64_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(y[static_cast<size_t>(i)], via_gemm(i, 0), 1e-12);
+  }
+  const Vector yt = Gemv(Trans::kTrans, a, Vector{1, 2, 3, 4, 5, 6});
+  const Matrix via_tn =
+      MatMulTN(a, Matrix::FromColumn(Vector{1, 2, 3, 4, 5, 6}));
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(yt[static_cast<size_t>(i)], via_tn(i, 0), 1e-12);
+  }
+}
+
+TEST(BlasTest, GemvAccumulatesWithBeta) {
+  const Matrix a = Matrix::Identity(3);
+  Vector y{1, 1, 1};
+  const Vector x{2, 3, 4};
+  Gemv(Trans::kNo, 1.0, a, x.data(), 2.0, y.data());
+  EXPECT_EQ(y, (Vector{4, 5, 6}));
+}
+
+TEST(BlasTest, GramIsSymmetricPsd) {
+  Rng rng(41);
+  const Matrix x = RandomMatrix(5, 8, &rng);
+  const Matrix g = Gram(x);
+  EXPECT_EQ(g.rows(), 8);
+  EXPECT_TRUE(AllClose(g, g.Transposed(), 1e-12));
+  for (int64_t i = 0; i < 8; ++i) EXPECT_GE(g(i, i), 0.0);
+  const Matrix og = OuterGram(x);
+  EXPECT_EQ(og.rows(), 5);
+  EXPECT_TRUE(AllClose(og, og.Transposed(), 1e-12));
+}
+
+TEST(BlasDeathTest, ShapeMismatchDies) {
+  const Matrix a(2, 3);
+  const Matrix b(2, 3);
+  Matrix c(2, 3);
+  EXPECT_DEATH(Gemm(Trans::kNo, Trans::kNo, 1.0, a, b, 0.0, &c),
+               "gemm inner dims");
+}
+
+}  // namespace
+}  // namespace fedsc

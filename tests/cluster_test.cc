@@ -1,0 +1,191 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "cluster/kmeans.h"
+#include "cluster/spectral.h"
+#include "common/rng.h"
+#include "linalg/sparse.h"
+#include "metrics/clustering_metrics.h"
+
+namespace fedsc {
+namespace {
+
+// k well-separated Gaussian blobs in R^dim; returns points + truth labels.
+std::pair<Matrix, std::vector<int64_t>> MakeBlobs(int64_t k, int64_t per_blob,
+                                                  int64_t dim, double spread,
+                                                  Rng* rng) {
+  Matrix points(dim, k * per_blob);
+  std::vector<int64_t> truth;
+  for (int64_t c = 0; c < k; ++c) {
+    Vector center(static_cast<size_t>(dim));
+    for (auto& v : center) v = 20.0 * rng->Gaussian();
+    for (int64_t p = 0; p < per_blob; ++p) {
+      const int64_t col = c * per_blob + p;
+      for (int64_t i = 0; i < dim; ++i) {
+        points(i, col) = center[static_cast<size_t>(i)] +
+                         spread * rng->Gaussian();
+      }
+      truth.push_back(c);
+    }
+  }
+  return {std::move(points), std::move(truth)};
+}
+
+TEST(KMeansTest, SeparatedBlobsClusterPerfectly) {
+  Rng rng(1);
+  auto [points, truth] = MakeBlobs(4, 30, 5, 0.3, &rng);
+  auto result = KMeans(points, 4);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(ClusteringAccuracy(truth, result->labels), 100.0);
+  EXPECT_EQ(result->centroids.cols(), 4);
+}
+
+TEST(KMeansTest, SingleClusterGivesCentroidMean) {
+  Matrix points = Matrix::FromColumns({{0, 0}, {2, 0}, {4, 0}});
+  auto result = KMeans(points, 1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->centroids(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR(result->centroids(1, 0), 0.0, 1e-12);
+  for (int64_t l : result->labels) EXPECT_EQ(l, 0);
+}
+
+TEST(KMeansTest, KEqualsNIsExact) {
+  Matrix points = Matrix::FromColumns({{0, 0}, {5, 0}, {0, 5}});
+  auto result = KMeans(points, 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->inertia, 0.0, 1e-18);
+  std::set<int64_t> labels(result->labels.begin(), result->labels.end());
+  EXPECT_EQ(labels.size(), 3u);
+}
+
+TEST(KMeansTest, DuplicatePointsDoNotCrash) {
+  Matrix points(3, 10);  // all zeros
+  auto result = KMeans(points, 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->labels.size(), 10u);
+}
+
+TEST(KMeansTest, InvalidKRejected) {
+  Matrix points(2, 5);
+  EXPECT_FALSE(KMeans(points, 0).ok());
+  EXPECT_FALSE(KMeans(points, 6).ok());
+}
+
+TEST(KMeansTest, MoreRestartsNeverWorse) {
+  Rng rng(2);
+  auto [points, truth] = MakeBlobs(6, 20, 4, 1.5, &rng);
+  KMeansOptions one;
+  one.num_init = 1;
+  one.seed = 99;
+  KMeansOptions many;
+  many.num_init = 8;
+  many.seed = 99;
+  auto r1 = KMeans(points, 6, one);
+  auto r8 = KMeans(points, 6, many);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r8.ok());
+  EXPECT_LE(r8->inertia, r1->inertia + 1e-9);
+}
+
+TEST(KMeansTest, FarthestFirstInitWorks) {
+  Rng rng(3);
+  auto [points, truth] = MakeBlobs(3, 25, 4, 0.2, &rng);
+  KMeansOptions options;
+  options.init = KMeansInit::kFarthestFirst;
+  auto result = KMeans(points, 3, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(ClusteringAccuracy(truth, result->labels), 100.0);
+}
+
+TEST(FarthestFirstTest, PicksDistinctSpreadIndices) {
+  Rng rng(4);
+  Matrix points = Matrix::FromColumns(
+      {{0, 0}, {0.1, 0}, {10, 0}, {10.1, 0}, {0, 10}});
+  const auto picked = FarthestFirstIndices(points, 3, &rng);
+  ASSERT_EQ(picked.size(), 3u);
+  std::set<int64_t> unique(picked.begin(), picked.end());
+  EXPECT_EQ(unique.size(), 3u);
+  // The three picks must hit all three far-apart groups {0,1}, {2,3}, {4}.
+  std::set<int64_t> groups;
+  for (int64_t i : picked) groups.insert(i <= 1 ? 0 : (i <= 3 ? 1 : 2));
+  EXPECT_EQ(groups.size(), 3u);
+}
+
+Matrix BlockAffinity(const std::vector<int64_t>& sizes) {
+  int64_t n = 0;
+  for (int64_t s : sizes) n += s;
+  Matrix w(n, n);
+  int64_t offset = 0;
+  for (int64_t s : sizes) {
+    for (int64_t i = 0; i < s; ++i) {
+      for (int64_t j = 0; j < s; ++j) {
+        if (i != j) w(offset + i, offset + j) = 1.0;
+      }
+    }
+    offset += s;
+  }
+  return w;
+}
+
+TEST(SpectralTest, RecoversBlocksDense) {
+  const Matrix w = BlockAffinity({10, 15, 12});
+  std::vector<int64_t> truth;
+  for (int64_t c = 0; c < 3; ++c) {
+    for (int64_t i = 0; i < std::vector<int64_t>{10, 15, 12}[c]; ++i) {
+      truth.push_back(c);
+    }
+  }
+  auto result = SpectralCluster(w, 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(ClusteringAccuracy(truth, result->labels), 100.0);
+}
+
+TEST(SpectralTest, SparseLanczosPathMatchesTruth) {
+  // Force the Lanczos path with a low threshold.
+  std::vector<int64_t> sizes{40, 50, 35};
+  const Matrix w = BlockAffinity(sizes);
+  std::vector<int64_t> truth;
+  for (size_t c = 0; c < sizes.size(); ++c) {
+    for (int64_t i = 0; i < sizes[c]; ++i) {
+      truth.push_back(static_cast<int64_t>(c));
+    }
+  }
+  SpectralOptions options;
+  options.lanczos_threshold = 10;
+  auto result = SpectralCluster(SparsifyDense(w), 3, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(ClusteringAccuracy(truth, result->labels), 100.0);
+}
+
+TEST(SpectralTest, WeaklyCoupledBlocksStillSeparate) {
+  Matrix w = BlockAffinity({12, 12});
+  // faint cross edges
+  for (int64_t i = 0; i < 12; ++i) {
+    w(i, 12 + i) = 0.01;
+    w(12 + i, i) = 0.01;
+  }
+  std::vector<int64_t> truth(24, 0);
+  std::fill(truth.begin() + 12, truth.end(), 1);
+  auto result = SpectralCluster(w, 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(ClusteringAccuracy(truth, result->labels), 100.0);
+}
+
+TEST(SpectralTest, RejectsBadArguments) {
+  EXPECT_FALSE(SpectralCluster(Matrix(3, 4), 2).ok());
+  EXPECT_FALSE(SpectralCluster(Matrix::Identity(3), 0).ok());
+  EXPECT_FALSE(SpectralCluster(Matrix::Identity(3), 4).ok());
+}
+
+TEST(SpectralTest, EmbeddingHasRequestedShape) {
+  const Matrix w = BlockAffinity({6, 6});
+  auto result = SpectralCluster(w, 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->embedding.rows(), 12);
+  EXPECT_EQ(result->embedding.cols(), 2);
+}
+
+}  // namespace
+}  // namespace fedsc

@@ -1,0 +1,261 @@
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+
+namespace fedsc {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad k");
+  EXPECT_EQ(s.ToString(), "invalid argument: bad k");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status s = Status::NotConverged("x");
+  Status copy = s;
+  EXPECT_EQ(copy, s);
+  Status assigned;
+  assigned = s;
+  EXPECT_EQ(assigned.code(), StatusCode::kNotConverged);
+}
+
+TEST(StatusTest, EveryCodeHasName) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument,
+        StatusCode::kFailedPrecondition, StatusCode::kOutOfRange,
+        StatusCode::kNotConverged, StatusCode::kInternal,
+        StatusCode::kDeadlineExceeded, StatusCode::kNotFound}) {
+    EXPECT_STRNE(StatusCodeName(code), "unknown");
+  }
+}
+
+TEST(StatusTest, ReturnNotOkMacro) {
+  auto fails = []() -> Status {
+    FEDSC_RETURN_NOT_OK(Status::OutOfRange("boom"));
+    return Status::OK();
+  };
+  EXPECT_EQ(fails().code(), StatusCode::kOutOfRange);
+  auto passes = []() -> Status {
+    FEDSC_RETURN_NOT_OK(Status::OK());
+    return Status::InvalidArgument("reached");
+  };
+  EXPECT_EQ(passes().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 7;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(std::move(r).ValueOr(42), 42);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  auto inner = [](bool fail) -> Result<int> {
+    if (fail) return Status::Internal("inner");
+    return 5;
+  };
+  auto outer = [&](bool fail) -> Result<int> {
+    FEDSC_ASSIGN_OR_RETURN(int v, inner(fail));
+    return v + 1;
+  };
+  EXPECT_EQ(*outer(false), 6);
+  EXPECT_EQ(outer(true).status().code(), StatusCode::kInternal);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.Next() == b.Next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversAndBounds) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(7);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(RngTest, UnitSphereHasUnitNormAndIsotropy) {
+  Rng rng(13);
+  const int64_t dim = 8;
+  std::vector<double> mean(dim, 0.0);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const std::vector<double> v = rng.UnitSphere(dim);
+    double norm2 = 0.0;
+    for (double x : v) norm2 += x * x;
+    ASSERT_NEAR(norm2, 1.0, 1e-12);
+    for (int64_t j = 0; j < dim; ++j) mean[static_cast<size_t>(j)] += v[j];
+  }
+  for (double m : mean) EXPECT_NEAR(m / n, 0.0, 0.02);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinctAndInRange) {
+  Rng rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto sample = rng.SampleWithoutReplacement(20, 8);
+    ASSERT_EQ(sample.size(), 8u);
+    std::set<int64_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 8u);
+    for (int64_t v : sample) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, 20);
+    }
+  }
+  EXPECT_EQ(rng.SampleWithoutReplacement(5, 0).size(), 0u);
+  const auto all = rng.SampleWithoutReplacement(5, 5);
+  EXPECT_EQ(std::set<int64_t>(all.begin(), all.end()).size(), 5u);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(19);
+  std::vector<int> values(50);
+  std::iota(values.begin(), values.end(), 0);
+  auto shuffled = values;
+  rng.Shuffle(&shuffled);
+  EXPECT_NE(shuffled, values);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(RngTest, ForkStreamsAreIndependent) {
+  Rng parent(23);
+  Rng child = parent.Fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += parent.Next() == child.Next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+  EXPECT_GE(sink, 0.0);  // keep the loop observable
+  EXPECT_GT(watch.ElapsedSeconds(), 0.0);
+  const double before = watch.ElapsedSeconds();
+  watch.Restart();
+  EXPECT_LE(watch.ElapsedSeconds(), before + 1.0);
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Schedule([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+  // The pool is reusable after Wait().
+  pool.Schedule([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 101);
+}
+
+TEST(ThreadPoolTest, AtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::atomic<int> counter{0};
+  pool.Schedule([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ParallelForTest, CoversRangeExactlyOnce) {
+  for (int threads : {1, 2, 8}) {
+    std::vector<std::atomic<int>> hits(50);
+    for (auto& h : hits) h.store(0);
+    ParallelFor(0, 50, threads, [&hits](int64_t i) {
+      hits[static_cast<size_t>(i)].fetch_add(1);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelForTest, EmptyAndSingletonRanges) {
+  int calls = 0;
+  ParallelFor(3, 3, 4, [&calls](int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  ParallelFor(7, 8, 4, [&calls](int64_t i) {
+    ++calls;
+    EXPECT_EQ(i, 7);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(LoggingTest, LevelFiltering) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  // Suppressed and emitted messages must both be safe to construct.
+  FEDSC_LOG(Debug) << "suppressed " << 42;
+  FEDSC_LOG(Error) << "emitted " << 43;
+  SetLogLevel(original);
+}
+
+}  // namespace
+}  // namespace fedsc

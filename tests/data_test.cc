@@ -1,0 +1,215 @@
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include <cstdio>
+
+#include "data/io.h"
+#include "data/realworld_sim.h"
+#include "data/synthetic.h"
+#include "linalg/blas.h"
+
+namespace fedsc {
+namespace {
+
+TEST(RandomBasisTest, Orthonormal) {
+  Rng rng(1);
+  for (auto [n, d] : {std::pair<int64_t, int64_t>{10, 3}, {5, 5}, {100, 1}}) {
+    const Matrix basis = RandomOrthonormalBasis(n, d, &rng);
+    EXPECT_EQ(basis.rows(), n);
+    EXPECT_EQ(basis.cols(), d);
+    EXPECT_TRUE(AllClose(Gram(basis), Matrix::Identity(d), 1e-10));
+  }
+}
+
+TEST(SyntheticTest, ShapesLabelsAndNorms) {
+  SyntheticOptions options;
+  options.ambient_dim = 12;
+  options.subspace_dim = 4;
+  options.num_subspaces = 5;
+  options.points_per_subspace = 9;
+  auto data = GenerateUnionOfSubspaces(options);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->points.rows(), 12);
+  EXPECT_EQ(data->points.cols(), 45);
+  EXPECT_EQ(data->labels.size(), 45u);
+  EXPECT_EQ(data->num_clusters, 5);
+  EXPECT_EQ(data->bases.size(), 5u);
+  for (int64_t j = 0; j < 45; ++j) {
+    EXPECT_NEAR(Norm2(data->points.ColData(j), 12), 1.0, 1e-10);
+  }
+  // Each label appears exactly points_per_subspace times.
+  std::vector<int64_t> counts(5, 0);
+  for (int64_t l : data->labels) ++counts[static_cast<size_t>(l)];
+  for (int64_t c : counts) EXPECT_EQ(c, 9);
+}
+
+TEST(SyntheticTest, NoiselessPointsLieInTheirSubspace) {
+  SyntheticOptions options;
+  options.ambient_dim = 15;
+  options.subspace_dim = 3;
+  options.num_subspaces = 4;
+  options.points_per_subspace = 10;
+  auto data = GenerateUnionOfSubspaces(options);
+  ASSERT_TRUE(data.ok());
+  for (int64_t j = 0; j < data->points.cols(); ++j) {
+    const Matrix& basis =
+        data->bases[static_cast<size_t>(data->labels[static_cast<size_t>(j)])];
+    // Projection onto the basis reproduces the point.
+    Vector coords = Gemv(Trans::kTrans, basis, data->points.Col(j));
+    Vector reconstructed = Gemv(Trans::kNo, basis, coords);
+    Axpy(-1.0, data->points.ColData(j), reconstructed.data(), 15);
+    EXPECT_LT(Norm2(reconstructed.data(), 15), 1e-10);
+  }
+}
+
+TEST(SyntheticTest, NoiseMovesPointsOffSubspace) {
+  SyntheticOptions options;
+  options.ambient_dim = 15;
+  options.subspace_dim = 3;
+  options.num_subspaces = 2;
+  options.points_per_subspace = 10;
+  options.noise_stddev = 0.1;
+  auto data = GenerateUnionOfSubspaces(options);
+  ASSERT_TRUE(data.ok());
+  double max_off = 0.0;
+  for (int64_t j = 0; j < data->points.cols(); ++j) {
+    const Matrix& basis =
+        data->bases[static_cast<size_t>(data->labels[static_cast<size_t>(j)])];
+    Vector coords = Gemv(Trans::kTrans, basis, data->points.Col(j));
+    Vector reconstructed = Gemv(Trans::kNo, basis, coords);
+    Axpy(-1.0, data->points.ColData(j), reconstructed.data(), 15);
+    max_off = std::max(max_off, Norm2(reconstructed.data(), 15));
+  }
+  EXPECT_GT(max_off, 1e-4);
+}
+
+TEST(SyntheticTest, UnbalancedCounts) {
+  auto data = GenerateUnionOfSubspaces(10, 2, {5, 0, 12}, 0.0, true, 7);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->points.cols(), 17);
+  EXPECT_EQ(data->num_clusters, 3);
+}
+
+TEST(SyntheticTest, Validation) {
+  EXPECT_FALSE(GenerateUnionOfSubspaces(5, 6, {3}, 0.0, true, 1).ok());
+  EXPECT_FALSE(GenerateUnionOfSubspaces(5, 2, {}, 0.0, true, 1).ok());
+  EXPECT_FALSE(GenerateUnionOfSubspaces(5, 2, {0, 0}, 0.0, true, 1).ok());
+  EXPECT_FALSE(GenerateUnionOfSubspaces(5, 2, {-1, 4}, 0.0, true, 1).ok());
+  SyntheticOptions bad;
+  bad.num_subspaces = 0;
+  EXPECT_FALSE(GenerateUnionOfSubspaces(bad).ok());
+}
+
+TEST(SyntheticTest, SeedReproducibility) {
+  SyntheticOptions options;
+  options.seed = 123;
+  auto a = GenerateUnionOfSubspaces(options);
+  auto b = GenerateUnionOfSubspaces(options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(AllClose(a->points, b->points, 0.0));
+  options.seed = 124;
+  auto c = GenerateUnionOfSubspaces(options);
+  ASSERT_TRUE(c.ok());
+  EXPECT_FALSE(AllClose(a->points, c->points, 1e-6));
+}
+
+TEST(EmnistSimTest, UnbalancedHighDimensional) {
+  EmnistSimOptions options;
+  options.num_classes = 6;
+  options.ambient_dim = 64;
+  options.min_class_size = 10;
+  options.max_class_size = 40;
+  auto data = GenerateEmnistSim(options);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->num_clusters, 6);
+  EXPECT_EQ(data->points.rows(), 64);
+  std::vector<int64_t> counts(6, 0);
+  for (int64_t l : data->labels) ++counts[static_cast<size_t>(l)];
+  std::set<int64_t> distinct(counts.begin(), counts.end());
+  EXPECT_GT(distinct.size(), 1u);  // unbalanced with overwhelming probability
+  for (int64_t c : counts) {
+    EXPECT_GE(c, 10);
+    EXPECT_LE(c, 40);
+  }
+  EXPECT_FALSE(GenerateEmnistSim({.min_class_size = 0}).ok());
+}
+
+TEST(Coil100SimTest, NormalizedAndAugmented) {
+  Coil100SimOptions options;
+  options.num_classes = 5;
+  options.ambient_dim = 48;
+  options.images_per_class = 20;
+  auto data = GenerateCoil100Sim(options);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->points.cols(), 100);
+  for (int64_t j = 0; j < data->points.cols(); ++j) {
+    EXPECT_NEAR(Norm2(data->points.ColData(j), 48), 1.0, 1e-10);
+  }
+  // Augmentation pushes points off the clean pose subspace.
+  double max_off = 0.0;
+  for (int64_t j = 0; j < data->points.cols(); ++j) {
+    const Matrix& basis =
+        data->bases[static_cast<size_t>(data->labels[static_cast<size_t>(j)])];
+    Vector coords = Gemv(Trans::kTrans, basis, data->points.Col(j));
+    Vector reconstructed = Gemv(Trans::kNo, basis, coords);
+    Axpy(-1.0, data->points.ColData(j), reconstructed.data(), 48);
+    max_off = std::max(max_off, Norm2(reconstructed.data(), 48));
+  }
+  EXPECT_GT(max_off, 1e-4);
+  EXPECT_FALSE(GenerateCoil100Sim({.images_per_class = 0}).ok());
+}
+
+TEST(DatasetIoTest, CsvRoundTrip) {
+  SyntheticOptions options;
+  options.ambient_dim = 7;
+  options.subspace_dim = 2;
+  options.num_subspaces = 3;
+  options.points_per_subspace = 5;
+  options.seed = 55;
+  auto original = GenerateUnionOfSubspaces(options);
+  ASSERT_TRUE(original.ok());
+
+  const std::string path = ::testing::TempDir() + "/fedsc_io_roundtrip.csv";
+  ASSERT_TRUE(SaveDatasetCsv(path, *original).ok());
+  auto loaded = LoadDatasetCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->labels, original->labels);
+  EXPECT_EQ(loaded->num_clusters, original->num_clusters);
+  EXPECT_TRUE(AllClose(loaded->points, original->points, 1e-15));
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, LoadRejectsMalformedFiles) {
+  const std::string dir = ::testing::TempDir();
+  auto write_and_load = [&](const std::string& name,
+                            const std::string& content) {
+    const std::string path = dir + "/" + name;
+    FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs(content.c_str(), f);
+    std::fclose(f);
+    auto result = LoadDatasetCsv(path);
+    std::remove(path.c_str());
+    return result.status();
+  };
+  EXPECT_FALSE(write_and_load("ragged.csv", "0,1,2\n1,3\n").ok());
+  EXPECT_FALSE(write_and_load("badlabel.csv", "x,1,2\n").ok());
+  EXPECT_FALSE(write_and_load("neglabel.csv", "-1,1,2\n").ok());
+  EXPECT_FALSE(write_and_load("nofeat.csv", "0\n").ok());
+  EXPECT_FALSE(write_and_load("empty.csv", "").ok());
+  EXPECT_EQ(LoadDatasetCsv(dir + "/does_not_exist.csv").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(DatasetIoTest, SaveValidatesShape) {
+  Dataset bad;
+  bad.points = Matrix(3, 2);
+  bad.labels = {0};  // mismatched
+  EXPECT_FALSE(SaveDatasetCsv(::testing::TempDir() + "/bad.csv", bad).ok());
+}
+
+}  // namespace
+}  // namespace fedsc

@@ -1,0 +1,175 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/components.h"
+#include "graph/eigengap.h"
+#include "graph/laplacian.h"
+#include "linalg/eig.h"
+
+namespace fedsc {
+namespace {
+
+// Block-diagonal affinity: `blocks` cliques of the given sizes with
+// within-block weight 1 plus optional cross-block noise.
+Matrix BlockAffinity(const std::vector<int64_t>& sizes, double cross_weight,
+                     Rng* rng) {
+  int64_t n = 0;
+  for (int64_t s : sizes) n += s;
+  Matrix w(n, n);
+  int64_t offset = 0;
+  for (int64_t s : sizes) {
+    for (int64_t i = 0; i < s; ++i) {
+      for (int64_t j = 0; j < s; ++j) {
+        if (i != j) w(offset + i, offset + j) = 1.0;
+      }
+    }
+    offset += s;
+  }
+  if (cross_weight > 0.0) {
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = i + 1; j < n; ++j) {
+        if (w(i, j) == 0.0) {
+          const double v = cross_weight * rng->Uniform();
+          w(i, j) = v;
+          w(j, i) = v;
+        }
+      }
+    }
+  }
+  return w;
+}
+
+TEST(LaplacianTest, Degrees) {
+  Matrix w(2, 2);
+  w(0, 1) = 2.0;
+  w(1, 0) = 2.0;
+  const Vector d = Degrees(w);
+  EXPECT_EQ(d[0], 2.0);
+  EXPECT_EQ(d[1], 2.0);
+}
+
+TEST(LaplacianTest, SpectrumInZeroTwo) {
+  Rng rng(1);
+  const Matrix w = BlockAffinity({5, 7}, 0.3, &rng);
+  auto values = SymmetricEigenvalues(NormalizedLaplacian(w));
+  ASSERT_TRUE(values.ok());
+  for (double v : *values) {
+    EXPECT_GE(v, -1e-10);
+    EXPECT_LE(v, 2.0 + 1e-10);
+  }
+}
+
+TEST(LaplacianTest, ZeroEigenvaluesCountComponents) {
+  Rng rng(2);
+  const Matrix w = BlockAffinity({4, 6, 5}, 0.0, &rng);
+  auto values = SymmetricEigenvalues(NormalizedLaplacian(w));
+  ASSERT_TRUE(values.ok());
+  int zeros = 0;
+  for (double v : *values) zeros += std::fabs(v) < 1e-10;
+  EXPECT_EQ(zeros, 3);
+}
+
+TEST(LaplacianTest, IsolatedVertexContributesZeroRow) {
+  Matrix w(3, 3);
+  w(0, 1) = 1.0;
+  w(1, 0) = 1.0;  // vertex 2 isolated
+  const Matrix l = NormalizedLaplacian(w);
+  for (int64_t j = 0; j < 3; ++j) {
+    EXPECT_EQ(l(2, j), 0.0);
+    EXPECT_EQ(l(j, 2), 0.0);
+  }
+  auto values = SymmetricEigenvalues(l);
+  ASSERT_TRUE(values.ok());
+  int zeros = 0;
+  for (double v : *values) zeros += std::fabs(v) < 1e-10;
+  EXPECT_EQ(zeros, 2);  // the pair + the isolated vertex
+}
+
+TEST(LaplacianTest, SparseAndDenseNormalizedAdjacencyAgree) {
+  Rng rng(3);
+  const Matrix w = BlockAffinity({3, 4}, 0.5, &rng);
+  const Matrix dense = NormalizedAdjacency(w);
+  const Matrix via_sparse = NormalizedAdjacency(SparsifyDense(w)).ToDense();
+  EXPECT_TRUE(AllClose(dense, via_sparse, 1e-12));
+}
+
+TEST(ComponentsTest, CountsAndLabels) {
+  // 0-1, 2-3-4, 5 alone.
+  const SparseMatrix adj = SparseMatrix::FromTriplets(
+      6, 6, {{0, 1, 1.0}, {2, 3, 1.0}, {3, 4, 1.0}});
+  const ComponentsResult r = ConnectedComponents(adj);
+  EXPECT_EQ(r.count, 3);
+  EXPECT_EQ(r.labels[0], r.labels[1]);
+  EXPECT_EQ(r.labels[2], r.labels[3]);
+  EXPECT_EQ(r.labels[3], r.labels[4]);
+  EXPECT_NE(r.labels[0], r.labels[2]);
+  EXPECT_NE(r.labels[5], r.labels[0]);
+  EXPECT_NE(r.labels[5], r.labels[2]);
+}
+
+TEST(ComponentsTest, AsymmetricEntriesConnectBothWays) {
+  // Edge stored in one triangle only.
+  const SparseMatrix adj =
+      SparseMatrix::FromTriplets(3, 3, {{0, 2, 1.0}});
+  const ComponentsResult r = ConnectedComponents(adj);
+  EXPECT_EQ(r.count, 2);
+  EXPECT_EQ(r.labels[0], r.labels[2]);
+}
+
+TEST(ComponentsTest, EmptyGraph) {
+  const ComponentsResult r =
+      ConnectedComponents(SparseMatrix::FromTriplets(4, 4, {}));
+  EXPECT_EQ(r.count, 4);
+}
+
+class EigengapBlockTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EigengapBlockTest, DetectsComponentCount) {
+  const int k = GetParam();
+  Rng rng(100 + k);
+  std::vector<int64_t> sizes;
+  for (int i = 0; i < k; ++i) sizes.push_back(4 + rng.UniformInt(5));
+  const Matrix w = BlockAffinity(sizes, 0.0, &rng);
+  auto r = EstimateClusterCount(w);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, k);
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockCounts, EigengapBlockTest,
+                         ::testing::Values(2, 3, 5, 8));
+
+TEST(EigengapTest, RobustToWeakCrossConnections) {
+  Rng rng(7);
+  const Matrix w = BlockAffinity({8, 8, 8}, 0.05, &rng);
+  auto r = EstimateClusterCount(w);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 3);
+}
+
+TEST(EigengapTest, MaxClustersCap) {
+  Rng rng(8);
+  const Matrix w = BlockAffinity({5, 5, 5, 5, 5}, 0.0, &rng);
+  EigengapOptions options;
+  options.max_clusters = 3;
+  auto r = EstimateClusterCount(w, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(*r, 3);
+  EXPECT_GE(*r, 1);
+}
+
+TEST(EigengapTest, FromSpectrumDirect) {
+  auto r = EstimateClusterCountFromSpectrum({0.0, 0.0, 0.0, 0.9, 1.0, 1.1});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 3);
+  EXPECT_FALSE(EstimateClusterCountFromSpectrum({0.5}).ok());
+}
+
+TEST(EigengapTest, RejectsTinyInput) {
+  EXPECT_FALSE(EstimateClusterCount(Matrix(1, 1)).ok());
+  EXPECT_FALSE(EstimateClusterCount(Matrix(3, 2)).ok());
+}
+
+}  // namespace
+}  // namespace fedsc

@@ -1,0 +1,157 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/matrix.h"
+
+namespace fedsc {
+namespace {
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.cols(), 0);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(MatrixTest, ConstructZeroInitialized) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  for (int64_t j = 0; j < 4; ++j) {
+    for (int64_t i = 0; i < 3; ++i) EXPECT_EQ(m(i, j), 0.0);
+  }
+}
+
+TEST(MatrixTest, ColumnMajorLayout) {
+  Matrix m(2, 3);
+  m(0, 0) = 1;
+  m(1, 0) = 2;
+  m(0, 1) = 3;
+  const double* data = m.data();
+  EXPECT_EQ(data[0], 1);
+  EXPECT_EQ(data[1], 2);
+  EXPECT_EQ(data[2], 3);
+  EXPECT_EQ(m.ColData(1), data + 2);
+}
+
+TEST(MatrixTest, Identity) {
+  const Matrix eye = Matrix::Identity(3);
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int64_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(eye(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, FromColumnsAndCol) {
+  const Matrix m = Matrix::FromColumns({{1, 2}, {3, 4}, {5, 6}});
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m(0, 2), 5);
+  EXPECT_EQ(m.Col(1), (Vector{3, 4}));
+  EXPECT_TRUE(Matrix::FromColumns({}).empty());
+}
+
+TEST(MatrixTest, SetCol) {
+  Matrix m(2, 2);
+  m.SetCol(1, Vector{7, 8});
+  EXPECT_EQ(m(0, 1), 7);
+  EXPECT_EQ(m(1, 1), 8);
+}
+
+TEST(MatrixTest, GatherColsWithDuplicates) {
+  const Matrix m = Matrix::FromColumns({{1, 1}, {2, 2}, {3, 3}});
+  const Matrix g = m.GatherCols({2, 0, 2});
+  EXPECT_EQ(g.cols(), 3);
+  EXPECT_EQ(g(0, 0), 3);
+  EXPECT_EQ(g(0, 1), 1);
+  EXPECT_EQ(g(0, 2), 3);
+}
+
+TEST(MatrixTest, ColRangeAndRowRange) {
+  Matrix m(3, 4);
+  for (int64_t j = 0; j < 4; ++j) {
+    for (int64_t i = 0; i < 3; ++i) m(i, j) = static_cast<double>(10 * i + j);
+  }
+  const Matrix cols = m.ColRange(1, 3);
+  EXPECT_EQ(cols.cols(), 2);
+  EXPECT_EQ(cols(2, 0), 21);
+  const Matrix rows = m.RowRange(1, 2);
+  EXPECT_EQ(rows.rows(), 1);
+  EXPECT_EQ(rows(0, 3), 13);
+  EXPECT_EQ(m.ColRange(2, 2).cols(), 0);
+}
+
+TEST(MatrixTest, TransposedRoundTrip) {
+  Rng rng(5);
+  Matrix m(7, 13);
+  for (int64_t j = 0; j < m.cols(); ++j) {
+    for (int64_t i = 0; i < m.rows(); ++i) m(i, j) = rng.Gaussian();
+  }
+  const Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 13);
+  EXPECT_EQ(t.cols(), 7);
+  for (int64_t j = 0; j < m.cols(); ++j) {
+    for (int64_t i = 0; i < m.rows(); ++i) EXPECT_EQ(t(j, i), m(i, j));
+  }
+  EXPECT_TRUE(AllClose(t.Transposed(), m, 0.0));
+}
+
+TEST(MatrixTest, NormalizeColumns) {
+  Matrix m = Matrix::FromColumns({{3, 4}, {0, 0}, {1, 0}});
+  const int64_t normalized = m.NormalizeColumns();
+  EXPECT_EQ(normalized, 2);  // the zero column is left alone
+  EXPECT_NEAR(m(0, 0), 0.6, 1e-12);
+  EXPECT_NEAR(m(1, 0), 0.8, 1e-12);
+  EXPECT_EQ(m(0, 1), 0.0);
+  EXPECT_NEAR(m(0, 2), 1.0, 1e-12);
+}
+
+TEST(MatrixTest, NormsAndFill) {
+  Matrix m = Matrix::FromColumns({{3, 0}, {0, -4}});
+  EXPECT_NEAR(m.FrobeniusNorm(), 5.0, 1e-12);
+  EXPECT_EQ(m.MaxAbs(), 4.0);
+  m.Fill(2.0);
+  EXPECT_EQ(m.FrobeniusNorm(), 4.0);
+}
+
+TEST(MatrixTest, Arithmetic) {
+  const Matrix a = Matrix::FromColumns({{1, 2}, {3, 4}});
+  const Matrix b = Matrix::FromColumns({{10, 20}, {30, 40}});
+  const Matrix sum = a + b;
+  EXPECT_EQ(sum(1, 1), 44);
+  const Matrix diff = b - a;
+  EXPECT_EQ(diff(0, 0), 9);
+  const Matrix scaled = 2.0 * a;
+  EXPECT_EQ(scaled(1, 0), 4);
+  EXPECT_TRUE(AllClose(a * 2.0, scaled, 0.0));
+}
+
+TEST(MatrixTest, AllCloseShapesAndTolerance) {
+  const Matrix a = Matrix::FromColumns({{1, 2}});
+  const Matrix b = Matrix::FromColumns({{1.0005, 2}});
+  EXPECT_TRUE(AllClose(a, b, 1e-3));
+  EXPECT_FALSE(AllClose(a, b, 1e-5));
+  EXPECT_FALSE(AllClose(a, Matrix(2, 2), 1.0));
+}
+
+TEST(MatrixTest, ToStringTruncates) {
+  Matrix m(20, 20);
+  const std::string s = m.ToString(2, 2);
+  EXPECT_NE(s.find("20x20"), std::string::npos);
+  EXPECT_NE(s.find("..."), std::string::npos);
+}
+
+TEST(MatrixDeathTest, OutOfRangeAccessDiesInDebug) {
+#ifndef NDEBUG
+  Matrix m(2, 2);
+  EXPECT_DEATH(m(2, 0), "FEDSC_CHECK");
+#else
+  GTEST_SKIP() << "bounds checks compiled out in release";
+#endif
+}
+
+}  // namespace
+}  // namespace fedsc

@@ -1,0 +1,247 @@
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "metrics/clustering_metrics.h"
+#include "metrics/connectivity.h"
+#include "metrics/hungarian.h"
+#include "metrics/subspace_preserving.h"
+
+namespace fedsc {
+namespace {
+
+// Brute-force optimal assignment for small square cost matrices.
+double BruteForceAssignment(const Matrix& cost) {
+  std::vector<int64_t> perm(static_cast<size_t>(cost.cols()));
+  std::iota(perm.begin(), perm.end(), 0);
+  double best = std::numeric_limits<double>::infinity();
+  do {
+    double total = 0.0;
+    for (int64_t i = 0; i < cost.rows(); ++i) {
+      total += cost(i, perm[static_cast<size_t>(i)]);
+    }
+    best = std::min(best, total);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+TEST(HungarianTest, KnownThreeByThree) {
+  Matrix cost(3, 3);
+  // Classic example: optimal = 5 (0->1, 1->0, 2->2).
+  const double values[3][3] = {{4, 1, 3}, {2, 0, 5}, {3, 2, 2}};
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) cost(i, j) = values[i][j];
+  }
+  std::vector<int64_t> assignment;
+  EXPECT_DOUBLE_EQ(SolveAssignment(cost, &assignment), 5.0);
+  EXPECT_EQ(assignment, (std::vector<int64_t>{1, 0, 2}));
+}
+
+class HungarianRandomTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(HungarianRandomTest, MatchesBruteForce) {
+  const int64_t n = GetParam();
+  Rng rng(500 + n);
+  for (int trial = 0; trial < 20; ++trial) {
+    Matrix cost(n, n);
+    for (int64_t j = 0; j < n; ++j) {
+      for (int64_t i = 0; i < n; ++i) cost(i, j) = rng.Uniform(-5.0, 5.0);
+    }
+    std::vector<int64_t> assignment;
+    const double solved = SolveAssignment(cost, &assignment);
+    EXPECT_NEAR(solved, BruteForceAssignment(cost), 1e-9);
+    // Assignment is a permutation.
+    std::vector<int64_t> sorted = assignment;
+    std::sort(sorted.begin(), sorted.end());
+    for (int64_t i = 0; i < n; ++i) EXPECT_EQ(sorted[static_cast<size_t>(i)], i);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HungarianRandomTest,
+                         ::testing::Values<int64_t>(1, 2, 3, 5, 6));
+
+TEST(HungarianTest, RectangularRowsLessThanCols) {
+  Matrix cost(2, 4);
+  const double values[2][4] = {{9, 1, 9, 9}, {9, 9, 9, 2}};
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 4; ++j) cost(i, j) = values[i][j];
+  }
+  std::vector<int64_t> assignment;
+  EXPECT_DOUBLE_EQ(SolveAssignment(cost, &assignment), 3.0);
+  EXPECT_EQ(assignment, (std::vector<int64_t>{1, 3}));
+}
+
+TEST(HungarianTest, MaxAssignment) {
+  Matrix weight(2, 2);
+  weight(0, 0) = 1;
+  weight(0, 1) = 5;
+  weight(1, 0) = 2;
+  weight(1, 1) = 1;
+  std::vector<int64_t> assignment;
+  EXPECT_DOUBLE_EQ(SolveMaxAssignment(weight, &assignment), 7.0);
+  EXPECT_EQ(assignment, (std::vector<int64_t>{1, 0}));
+}
+
+TEST(AccuracyTest, PerfectAndPermuted) {
+  const std::vector<int64_t> truth{0, 0, 1, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(ClusteringAccuracy(truth, truth), 100.0);
+  // Same clustering with relabeled cluster ids.
+  const std::vector<int64_t> permuted{2, 2, 0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(ClusteringAccuracy(truth, permuted), 100.0);
+}
+
+TEST(AccuracyTest, KnownPartialAgreement) {
+  const std::vector<int64_t> truth{0, 0, 0, 1, 1, 1};
+  const std::vector<int64_t> pred{0, 0, 1, 1, 1, 1};
+  // Best alignment matches 5 of 6.
+  EXPECT_NEAR(ClusteringAccuracy(truth, pred), 100.0 * 5 / 6, 1e-9);
+}
+
+TEST(AccuracyTest, DifferentClusterCounts) {
+  const std::vector<int64_t> truth{0, 0, 1, 1};
+  const std::vector<int64_t> pred{0, 1, 2, 3};  // over-segmented
+  EXPECT_NEAR(ClusteringAccuracy(truth, pred), 50.0, 1e-9);
+  const std::vector<int64_t> merged{0, 0, 0, 0};  // under-segmented
+  EXPECT_NEAR(ClusteringAccuracy(truth, merged), 50.0, 1e-9);
+}
+
+TEST(NmiTest, PerfectIsHundredInvariantToRelabeling) {
+  const std::vector<int64_t> truth{0, 0, 1, 1, 2, 2};
+  EXPECT_NEAR(NormalizedMutualInformation(truth, truth), 100.0, 1e-9);
+  const std::vector<int64_t> permuted{1, 1, 2, 2, 0, 0};
+  EXPECT_NEAR(NormalizedMutualInformation(truth, permuted), 100.0, 1e-9);
+}
+
+TEST(NmiTest, IndependentLabelingsNearZero) {
+  // Prediction splits orthogonally to truth.
+  const std::vector<int64_t> truth{0, 0, 1, 1};
+  const std::vector<int64_t> pred{0, 1, 0, 1};
+  EXPECT_NEAR(NormalizedMutualInformation(truth, pred), 0.0, 1e-9);
+}
+
+TEST(NmiTest, ConstantLabelings) {
+  const std::vector<int64_t> constant{0, 0, 0};
+  EXPECT_DOUBLE_EQ(NormalizedMutualInformation(constant, constant), 100.0);
+  const std::vector<int64_t> split{0, 1, 0};
+  // One side constant: MI = 0, denominator > 0.
+  EXPECT_NEAR(NormalizedMutualInformation(constant, split), 0.0, 1e-9);
+}
+
+TEST(NmiTest, BetweenZeroAndHundredOnRandomLabelings) {
+  Rng rng(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<int64_t> a(50), b(50);
+    for (auto& v : a) v = rng.UniformInt(4);
+    for (auto& v : b) v = rng.UniformInt(6);
+    const double nmi = NormalizedMutualInformation(a, b);
+    EXPECT_GE(nmi, 0.0);
+    EXPECT_LE(nmi, 100.0 + 1e-9);
+  }
+}
+
+TEST(ContingencyTest, Counts) {
+  const Matrix table = ContingencyTable({0, 0, 1}, {1, 1, 0});
+  EXPECT_EQ(table.rows(), 2);
+  EXPECT_EQ(table.cols(), 2);
+  EXPECT_EQ(table(0, 1), 2.0);
+  EXPECT_EQ(table(1, 0), 1.0);
+  EXPECT_EQ(table(0, 0), 0.0);
+}
+
+TEST(ConnectivityTest, ConnectedClusterPositiveDisconnectedZero) {
+  // Cluster 0: a connected triangle. Cluster 1: two pairs with no link
+  // between them (disconnected within the cluster).
+  Matrix w(7, 7);
+  auto connect = [&w](int64_t a, int64_t b) {
+    w(a, b) = 1.0;
+    w(b, a) = 1.0;
+  };
+  connect(0, 1);
+  connect(1, 2);
+  connect(0, 2);
+  connect(3, 4);
+  connect(5, 6);
+  const std::vector<int64_t> truth{0, 0, 0, 1, 1, 1, 1};
+  auto conn = GraphConnectivity(w, truth);
+  ASSERT_TRUE(conn.ok());
+  EXPECT_GT(conn->per_cluster[0], 0.5);
+  EXPECT_NEAR(conn->per_cluster[1], 0.0, 1e-9);
+  EXPECT_NEAR(conn->min_lambda2, 0.0, 1e-9);
+  EXPECT_NEAR(conn->mean_lambda2,
+              conn->per_cluster[0] / 2.0, 1e-9);
+}
+
+TEST(ConnectivityTest, SparseMatchesDense) {
+  Rng rng(11);
+  Matrix w(10, 10);
+  for (int64_t i = 0; i < 10; ++i) {
+    for (int64_t j = i + 1; j < 10; ++j) {
+      if (rng.Uniform() < 0.4) {
+        const double v = rng.Uniform();
+        w(i, j) = v;
+        w(j, i) = v;
+      }
+    }
+  }
+  std::vector<int64_t> truth(10);
+  for (size_t i = 0; i < 10; ++i) truth[i] = static_cast<int64_t>(i % 2);
+  auto dense = GraphConnectivity(w, truth);
+  auto sparse = GraphConnectivity(SparsifyDense(w), truth);
+  ASSERT_TRUE(dense.ok());
+  ASSERT_TRUE(sparse.ok());
+  for (size_t c = 0; c < 2; ++c) {
+    EXPECT_NEAR(dense->per_cluster[c], sparse->per_cluster[c], 1e-9);
+  }
+}
+
+TEST(ConnectivityTest, SingletonClusterContributesZero) {
+  Matrix w(3, 3);
+  w(0, 1) = 1.0;
+  w(1, 0) = 1.0;
+  auto conn = GraphConnectivity(w, {0, 0, 1});
+  ASSERT_TRUE(conn.ok());
+  EXPECT_EQ(conn->per_cluster[1], 0.0);
+}
+
+TEST(ConnectivityTest, SizeMismatchRejected) {
+  EXPECT_FALSE(GraphConnectivity(Matrix(3, 3), {0, 1}).ok());
+}
+
+TEST(SubspacePreservingTest, PureAndMixedGraphs) {
+  // 4 points, clusters {0,1} and {2,3}.
+  const std::vector<int64_t> truth{0, 0, 1, 1};
+  const SparseMatrix clean = SparseMatrix::FromTriplets(
+      4, 4, {{0, 1, 1.0}, {1, 0, 1.0}, {2, 3, 2.0}, {3, 2, 2.0}});
+  auto e_clean = SubspacePreservingError(clean, truth);
+  ASSERT_TRUE(e_clean.ok());
+  EXPECT_DOUBLE_EQ(*e_clean, 0.0);
+  auto sep_clean = HoldsSelfExpressiveness(clean, truth);
+  ASSERT_TRUE(sep_clean.ok());
+  EXPECT_TRUE(*sep_clean);
+
+  // Add one cross edge carrying 1/4 of the total mass (|weights| sum: 6+2).
+  const SparseMatrix mixed = SparseMatrix::FromTriplets(
+      4, 4, {{0, 1, 1.0}, {1, 0, 1.0}, {2, 3, 2.0}, {3, 2, 2.0},
+             {0, 2, -1.0}, {2, 0, -1.0}});
+  auto e_mixed = SubspacePreservingError(mixed, truth);
+  ASSERT_TRUE(e_mixed.ok());
+  EXPECT_NEAR(*e_mixed, 100.0 * 2.0 / 8.0, 1e-12);
+  auto sep_mixed = HoldsSelfExpressiveness(mixed, truth);
+  ASSERT_TRUE(sep_mixed.ok());
+  EXPECT_FALSE(*sep_mixed);
+}
+
+TEST(SubspacePreservingTest, EmptyGraphAndValidation) {
+  const SparseMatrix empty = SparseMatrix::FromTriplets(3, 3, {});
+  auto e = SubspacePreservingError(empty, {0, 1, 2});
+  ASSERT_TRUE(e.ok());
+  EXPECT_DOUBLE_EQ(*e, 0.0);
+  EXPECT_FALSE(SubspacePreservingError(empty, {0, 1}).ok());
+  EXPECT_FALSE(HoldsSelfExpressiveness(empty, {0}).ok());
+}
+
+}  // namespace
+}  // namespace fedsc

@@ -1,0 +1,149 @@
+#include <cmath>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/blas.h"
+#include "linalg/cholesky.h"
+#include "linalg/qr.h"
+
+namespace fedsc {
+namespace {
+
+Matrix RandomMatrix(int64_t rows, int64_t cols, Rng* rng) {
+  Matrix m(rows, cols);
+  for (int64_t j = 0; j < cols; ++j) {
+    for (int64_t i = 0; i < rows; ++i) m(i, j) = rng->Gaussian();
+  }
+  return m;
+}
+
+Matrix RandomSpd(int64_t n, Rng* rng) {
+  const Matrix a = RandomMatrix(n, n, rng);
+  Matrix spd = Gram(a);
+  for (int64_t i = 0; i < n; ++i) spd(i, i) += static_cast<double>(n);
+  return spd;
+}
+
+class QrShapeTest
+    : public ::testing::TestWithParam<std::pair<int64_t, int64_t>> {};
+
+TEST_P(QrShapeTest, ReconstructsAndIsOrthonormal) {
+  const auto [rows, cols] = GetParam();
+  Rng rng(100 + rows * 31 + cols);
+  const Matrix a = RandomMatrix(rows, cols, &rng);
+  auto qr = HouseholderQr(a);
+  ASSERT_TRUE(qr.ok()) << qr.status().ToString();
+  const int64_t k = std::min(rows, cols);
+  EXPECT_EQ(qr->q.rows(), rows);
+  EXPECT_EQ(qr->q.cols(), k);
+  EXPECT_EQ(qr->r.rows(), k);
+  EXPECT_EQ(qr->r.cols(), cols);
+
+  // A = Q R.
+  EXPECT_TRUE(AllClose(MatMul(qr->q, qr->r), a, 1e-10));
+  // Q^T Q = I.
+  EXPECT_TRUE(AllClose(Gram(qr->q), Matrix::Identity(k), 1e-12));
+  // R upper triangular.
+  for (int64_t j = 0; j < cols; ++j) {
+    for (int64_t i = j + 1; i < k; ++i) EXPECT_EQ(qr->r(i, j), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, QrShapeTest,
+                         ::testing::Values(std::pair<int64_t, int64_t>{1, 1},
+                                           std::pair<int64_t, int64_t>{5, 5},
+                                           std::pair<int64_t, int64_t>{12, 4},
+                                           std::pair<int64_t, int64_t>{4, 12},
+                                           std::pair<int64_t, int64_t>{30, 7},
+                                           std::pair<int64_t, int64_t>{64,
+                                                                       64}));
+
+TEST(QrTest, EmptyInputFails) {
+  EXPECT_FALSE(HouseholderQr(Matrix()).ok());
+}
+
+TEST(QrTest, HandlesDependentColumns) {
+  Matrix a = Matrix::FromColumns({{1, 0, 0}, {2, 0, 0}, {0, 1, 0}});
+  auto qr = HouseholderQr(a);
+  ASSERT_TRUE(qr.ok());
+  EXPECT_TRUE(AllClose(MatMul(qr->q, qr->r), a, 1e-12));
+}
+
+TEST(OrthonormalBasisTest, DropsDependentColumns) {
+  const Matrix a = Matrix::FromColumns({{1, 0, 0}, {2, 0, 0}, {0, 3, 0}});
+  const Matrix basis = OrthonormalColumnBasis(a);
+  EXPECT_EQ(basis.cols(), 2);
+  EXPECT_TRUE(AllClose(Gram(basis), Matrix::Identity(2), 1e-12));
+}
+
+TEST(OrthonormalBasisTest, ZeroMatrixGivesEmptyBasis) {
+  EXPECT_EQ(OrthonormalColumnBasis(Matrix(4, 3)).cols(), 0);
+}
+
+TEST(OrthonormalBasisTest, SpansTheSameSpace) {
+  Rng rng(7);
+  const Matrix a = RandomMatrix(10, 4, &rng);
+  const Matrix basis = OrthonormalColumnBasis(a);
+  ASSERT_EQ(basis.cols(), 4);
+  // Every original column is reproduced by its projection onto the basis.
+  const Matrix coeffs = MatMulTN(basis, a);
+  EXPECT_TRUE(AllClose(MatMul(basis, coeffs), a, 1e-10));
+}
+
+TEST(CholeskyTest, FactorReconstructs) {
+  Rng rng(11);
+  for (int64_t n : {1, 2, 5, 20, 60}) {
+    const Matrix a = RandomSpd(n, &rng);
+    auto l = CholeskyFactor(a);
+    ASSERT_TRUE(l.ok()) << l.status().ToString();
+    EXPECT_TRUE(AllClose(MatMulNT(*l, *l), a, 1e-8 * a.MaxAbs()));
+    for (int64_t j = 0; j < n; ++j) {
+      for (int64_t i = 0; i < j; ++i) EXPECT_EQ((*l)(i, j), 0.0);
+    }
+  }
+}
+
+TEST(CholeskyTest, RejectsNonSpd) {
+  Matrix a = Matrix::Identity(3);
+  a(2, 2) = -1.0;
+  EXPECT_EQ(CholeskyFactor(a).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(CholeskyFactor(Matrix(2, 3)).ok());
+}
+
+TEST(CholeskyTest, SolveSpdMatchesMultiply) {
+  Rng rng(13);
+  const Matrix a = RandomSpd(8, &rng);
+  const Matrix x_true = RandomMatrix(8, 3, &rng);
+  const Matrix b = MatMul(a, x_true);
+  auto x = SolveSpd(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_TRUE(AllClose(*x, x_true, 1e-8));
+}
+
+TEST(CholeskyTest, SpdInverse) {
+  Rng rng(17);
+  const Matrix a = RandomSpd(6, &rng);
+  auto inv = SpdInverse(a);
+  ASSERT_TRUE(inv.ok());
+  EXPECT_TRUE(AllClose(MatMul(a, *inv), Matrix::Identity(6), 1e-8));
+}
+
+TEST(CholeskyTest, TriangularSolvesInPlace) {
+  Matrix l(2, 2);
+  l(0, 0) = 2.0;
+  l(1, 0) = 1.0;
+  l(1, 1) = 3.0;
+  Matrix b = Matrix::FromColumn({4.0, 11.0});
+  SolveLowerInPlace(l, &b);   // y0 = 2, y1 = (11 - 2)/3 = 3
+  EXPECT_NEAR(b(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR(b(1, 0), 3.0, 1e-12);
+  SolveLowerTransposedInPlace(l, &b);  // x1 = 1, x0 = (2 - 1)/2 = 0.5
+  EXPECT_NEAR(b(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR(b(0, 0), 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace fedsc

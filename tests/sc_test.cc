@@ -1,0 +1,332 @@
+#include <algorithm>
+#include <set>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "linalg/blas.h"
+#include "metrics/clustering_metrics.h"
+#include "sc/affinity.h"
+#include "sc/pipeline.h"
+
+namespace fedsc {
+namespace {
+
+// Fraction of affinity mass that crosses ground-truth clusters; 0 means the
+// graph satisfies the self-expressiveness property (SEP).
+double CrossClusterMass(const SparseMatrix& w,
+                        const std::vector<int64_t>& truth) {
+  double cross = 0.0;
+  double total = 0.0;
+  for (int64_t r = 0; r < w.rows(); ++r) {
+    for (int64_t k = w.row_ptr()[static_cast<size_t>(r)];
+         k < w.row_ptr()[static_cast<size_t>(r) + 1]; ++k) {
+      const int64_t c = w.col_idx()[static_cast<size_t>(k)];
+      const double v = std::fabs(w.values()[static_cast<size_t>(k)]);
+      total += v;
+      if (truth[static_cast<size_t>(r)] != truth[static_cast<size_t>(c)]) {
+        cross += v;
+      }
+    }
+  }
+  return total > 0.0 ? cross / total : 0.0;
+}
+
+Dataset EasySubspaces(int64_t num_subspaces, int64_t per_subspace,
+                      uint64_t seed) {
+  SyntheticOptions options;
+  options.ambient_dim = 30;
+  options.subspace_dim = 3;
+  options.num_subspaces = num_subspaces;
+  options.points_per_subspace = per_subspace;
+  options.seed = seed;
+  auto data = GenerateUnionOfSubspaces(options);
+  EXPECT_TRUE(data.ok());
+  return std::move(data).value();
+}
+
+TEST(AffinityTest, FromCoefficientsSymmetrizesAbs) {
+  const SparseMatrix c =
+      SparseMatrix::FromTriplets(3, 3, {{0, 1, -2.0}, {2, 1, 1.0}});
+  const Matrix w = AffinityFromCoefficients(c).ToDense();
+  EXPECT_EQ(w(0, 1), 2.0);
+  EXPECT_EQ(w(1, 0), 2.0);
+  EXPECT_EQ(w(2, 1), 1.0);
+  EXPECT_EQ(w(1, 2), 1.0);
+  EXPECT_TRUE(AllClose(w, w.Transposed(), 0.0));
+}
+
+TEST(AffinityTest, SparsifyKeepsTopKPerColumn) {
+  Matrix c(4, 4);
+  c(0, 1) = 5.0;
+  c(2, 1) = 3.0;
+  c(3, 1) = 1.0;
+  c(1, 1) = 9.0;  // diagonal must be dropped
+  const SparseMatrix s = SparsifyCoefficients(c, 2);
+  const Matrix dense = s.ToDense();
+  EXPECT_EQ(dense(0, 1), 5.0);
+  EXPECT_EQ(dense(2, 1), 3.0);
+  EXPECT_EQ(dense(3, 1), 0.0);
+  EXPECT_EQ(dense(1, 1), 0.0);
+}
+
+TEST(SscAdmmTest, SelfExpressionReconstructsPoints) {
+  const Dataset data = EasySubspaces(3, 25, 42);
+  auto c = SscSelfExpression(data.points);
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  // X C ~ X column-wise.
+  const Matrix dense_c = c->ToDense();
+  const Matrix reconstruction = MatMul(data.points, dense_c);
+  const Matrix diff = reconstruction - data.points;
+  EXPECT_LT(diff.FrobeniusNorm() / data.points.FrobeniusNorm(), 0.05);
+  // Diagonal is zero.
+  for (int64_t i = 0; i < dense_c.rows(); ++i) {
+    EXPECT_EQ(dense_c(i, i), 0.0);
+  }
+}
+
+TEST(SscAdmmTest, SepOnWellSeparatedSubspaces) {
+  const Dataset data = EasySubspaces(4, 30, 7);
+  auto c = SscSelfExpression(data.points);
+  ASSERT_TRUE(c.ok());
+  EXPECT_LT(CrossClusterMass(AffinityFromCoefficients(*c), data.labels),
+            0.02);
+}
+
+TEST(SscAdmmTest, LambdaRuleAndValidation) {
+  const Dataset data = EasySubspaces(2, 10, 3);
+  EXPECT_GT(SscLambda(data.points, 50.0), 0.0);
+  SscAdmmOptions bad;
+  bad.alpha = 0.5;
+  EXPECT_FALSE(SscSelfExpression(data.points, bad).ok());
+  EXPECT_FALSE(SscSelfExpression(Matrix(3, 1)).ok());
+}
+
+TEST(SscAdmmTest, OrthogonalPairIsDegenerate) {
+  // Two exactly orthogonal points: mu = 0.
+  const Matrix x = Matrix::FromColumns({{1, 0}, {0, 1}});
+  EXPECT_EQ(SscSelfExpression(x).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SscOmpTest, SupportsStayWithinSubspace) {
+  const Dataset data = EasySubspaces(4, 25, 11);
+  SscOmpOptions options;
+  options.max_support = 3;
+  auto c = SscOmpSelfExpression(data.points, options);
+  ASSERT_TRUE(c.ok());
+  EXPECT_LT(CrossClusterMass(AffinityFromCoefficients(*c), data.labels),
+            0.05);
+  EXPECT_FALSE(SscOmpSelfExpression(Matrix(3, 1)).ok());
+}
+
+TEST(TscTest, NeighborsAreWithinSubspace) {
+  const Dataset data = EasySubspaces(4, 30, 13);
+  TscOptions options;
+  options.q = 3;
+  auto w = TscAffinity(data.points, options);
+  ASSERT_TRUE(w.ok());
+  EXPECT_LT(CrossClusterMass(*w, data.labels), 0.05);
+}
+
+TEST(TscTest, WeightsAreSphericalDistances) {
+  // Three points: x1 close to x0, x2 orthogonal-ish.
+  Matrix x = Matrix::FromColumns({{1, 0}, {0.9, std::sqrt(1 - 0.81)}, {0, 1}});
+  TscOptions options;
+  options.q = 1;
+  auto w = TscAffinity(x, options);
+  ASSERT_TRUE(w.ok());
+  const Matrix dense = w->ToDense();
+  // Edge 0-1 carries weight >= exp(-2 acos(0.9)).
+  EXPECT_GE(dense(0, 1), std::exp(-2.0 * std::acos(0.9)) - 1e-9);
+  EXPECT_FALSE(TscAffinity(x, {.q = 0}).ok());
+  EXPECT_FALSE(TscAffinity(x, {.q = 3}).ok());
+}
+
+TEST(NsnTest, NeighborsAreWithinSubspace) {
+  const Dataset data = EasySubspaces(4, 30, 17);
+  NsnOptions options;
+  options.num_neighbors = 4;
+  options.max_subspace_dim = 3;
+  auto w = NsnAffinity(data.points, options);
+  ASSERT_TRUE(w.ok());
+  EXPECT_LT(CrossClusterMass(*w, data.labels), 0.08);
+  // 0/1 weights.
+  for (double v : w->values()) EXPECT_EQ(v, 1.0);
+}
+
+TEST(NsnTest, RejectsBadNeighborCount) {
+  EXPECT_FALSE(NsnAffinity(Matrix(3, 5), {.num_neighbors = 0}).ok());
+  EXPECT_FALSE(NsnAffinity(Matrix(3, 5), {.num_neighbors = 5}).ok());
+}
+
+TEST(EnscTest, SelfExpressionHoldsSep) {
+  const Dataset data = EasySubspaces(4, 25, 19);
+  auto c = EnscSelfExpression(data.points);
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  EXPECT_LT(CrossClusterMass(AffinityFromCoefficients(*c), data.labels),
+            0.05);
+}
+
+TEST(EnscTest, MixValidation) {
+  EXPECT_FALSE(EnscSelfExpression(Matrix(3, 5), {.mix = 0.0}).ok());
+  EXPECT_FALSE(EnscSelfExpression(Matrix(3, 5), {.mix = 1.5}).ok());
+}
+
+class PipelineMethodTest : public ::testing::TestWithParam<ScMethod> {};
+
+TEST_P(PipelineMethodTest, ClustersEasySubspacesAccurately) {
+  const Dataset data = EasySubspaces(4, 30, 23);
+  ScPipelineOptions options;
+  options.method = GetParam();
+  options.tsc.q = 5;
+  options.nsn.num_neighbors = 5;
+  options.ssc_omp.max_support = 3;
+  auto result = RunSubspaceClustering(data.points, data.num_clusters, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GE(ClusteringAccuracy(data.labels, result->labels), 97.0)
+      << ScMethodName(GetParam());
+  EXPECT_GT(result->seconds, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, PipelineMethodTest,
+                         ::testing::Values(ScMethod::kSsc, ScMethod::kSscOmp,
+                                           ScMethod::kEnsc, ScMethod::kTsc,
+                                           ScMethod::kNsn, ScMethod::kEsc),
+                         [](const auto& info) {
+                           return ScMethodName(info.param);
+                         });
+
+TEST(PipelineTest, NoisyDataStillClusters) {
+  SyntheticOptions options;
+  options.ambient_dim = 30;
+  options.subspace_dim = 3;
+  options.num_subspaces = 3;
+  options.points_per_subspace = 40;
+  options.noise_stddev = 0.03;
+  options.seed = 29;
+  auto data = GenerateUnionOfSubspaces(options);
+  ASSERT_TRUE(data.ok());
+  auto result = RunSubspaceClustering(data->points, 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(ClusteringAccuracy(data->labels, result->labels), 95.0);
+}
+
+TEST(PipelineTest, InvalidClusterCount) {
+  EXPECT_FALSE(RunSubspaceClustering(Matrix(3, 5), 0).ok());
+  EXPECT_FALSE(RunSubspaceClustering(Matrix(3, 5), 6).ok());
+}
+
+TEST(PipelineTest, MethodNames) {
+  EXPECT_STREQ(ScMethodName(ScMethod::kSsc), "SSC");
+  EXPECT_STREQ(ScMethodName(ScMethod::kSscOmp), "SSCOMP");
+  EXPECT_STREQ(ScMethodName(ScMethod::kEnsc), "EnSC");
+  EXPECT_STREQ(ScMethodName(ScMethod::kTsc), "TSC");
+  EXPECT_STREQ(ScMethodName(ScMethod::kNsn), "NSN");
+}
+
+TEST(SscAdmmTest, DeadlineExceededSurfacesAsStatus) {
+  const Dataset data = EasySubspaces(4, 60, 31);
+  SscAdmmOptions options;
+  options.deadline_seconds = 1e-9;  // impossible budget
+  EXPECT_EQ(SscSelfExpression(data.points, options).status().code(),
+            StatusCode::kDeadlineExceeded);
+  options.deadline_seconds = 60.0;  // generous budget: solves normally
+  EXPECT_TRUE(SscSelfExpression(data.points, options).ok());
+}
+
+// Union of affine subspaces: offset points need the 1^T c = 1 constraint.
+Dataset AffineSubspaces(uint64_t seed) {
+  Rng rng(seed);
+  Dataset data;
+  data.num_clusters = 3;
+  const int64_t n = 12;
+  const int64_t per = 25;
+  data.points = Matrix(n, 3 * per);
+  for (int64_t l = 0; l < 3; ++l) {
+    const Matrix basis = RandomOrthonormalBasis(n, 2, &rng);
+    Vector offset(static_cast<size_t>(n));
+    for (auto& v : offset) v = 2.0 * rng.Gaussian();
+    for (int64_t p = 0; p < per; ++p) {
+      double* col = data.points.ColData(l * per + p);
+      const Vector coeff = rng.GaussianVector(2);
+      Gemv(Trans::kNo, 1.0, basis, coeff.data(), 0.0, col);
+      Axpy(1.0, offset.data(), col, n);
+      data.labels.push_back(l);
+    }
+  }
+  return data;
+}
+
+TEST(SscAdmmTest, AffineConstraintIsSatisfied) {
+  const Dataset data = AffineSubspaces(71);
+  SscAdmmOptions options;
+  options.affine = true;
+  options.drop_tol = 0.0;
+  options.max_iterations = 400;
+  auto c = SscSelfExpression(data.points, options);
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  const Matrix dense = c->ToDense();
+  for (int64_t j = 0; j < dense.cols(); ++j) {
+    double colsum = 0.0;
+    for (int64_t i = 0; i < dense.rows(); ++i) colsum += dense(i, j);
+    EXPECT_NEAR(colsum, 1.0, 0.05) << "column " << j;
+  }
+}
+
+TEST(SscAdmmTest, AffineModeClustersAffineData) {
+  const Dataset data = AffineSubspaces(73);
+  ScPipelineOptions options;
+  options.method = ScMethod::kSsc;
+  options.normalize_columns = false;  // normalization destroys offsets
+  options.ssc.affine = true;
+  auto affine = RunSubspaceClustering(data.points, 3, options);
+  ASSERT_TRUE(affine.ok()) << affine.status().ToString();
+  EXPECT_GE(ClusteringAccuracy(data.labels, affine->labels), 95.0);
+}
+
+TEST(EscTest, ExemplarsAreDistinctAndSpreadAcrossClusters) {
+  const Dataset data = EasySubspaces(4, 30, 79);
+  EscOptions options;
+  options.num_exemplars = 12;
+  auto exemplars = SelectExemplars(data.points, options);
+  ASSERT_TRUE(exemplars.ok()) << exemplars.status().ToString();
+  ASSERT_EQ(exemplars->size(), 12u);
+  std::set<int64_t> unique(exemplars->begin(), exemplars->end());
+  EXPECT_EQ(unique.size(), 12u);
+  // Farthest-first in representation cost must touch every cluster.
+  std::set<int64_t> covered;
+  for (int64_t e : *exemplars) {
+    covered.insert(data.labels[static_cast<size_t>(e)]);
+  }
+  EXPECT_EQ(covered.size(), 4u);
+}
+
+TEST(EscTest, AffinityHoldsSepAndClusters) {
+  const Dataset data = EasySubspaces(4, 30, 83);
+  EscOptions options;
+  options.num_exemplars = 16;
+  options.q_neighbors = 5;
+  auto w = EscAffinity(data.points, options);
+  ASSERT_TRUE(w.ok());
+  EXPECT_LT(CrossClusterMass(*w, data.labels), 0.10);
+
+  ScPipelineOptions pipeline;
+  pipeline.method = ScMethod::kEsc;
+  pipeline.esc = options;
+  auto result = RunSubspaceClustering(data.points, 4, pipeline);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(ClusteringAccuracy(data.labels, result->labels), 95.0);
+}
+
+TEST(EscTest, Validation) {
+  EXPECT_FALSE(EscAffinity(Matrix(3, 1), {}).ok());
+  EXPECT_FALSE(EscAffinity(Matrix(3, 5), {.num_exemplars = 0}).ok());
+  EXPECT_FALSE(
+      EscAffinity(Matrix(3, 5), {.num_exemplars = 2, .q_neighbors = 5}).ok());
+}
+
+}  // namespace
+}  // namespace fedsc

@@ -1,0 +1,188 @@
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/blas.h"
+#include "linalg/eig.h"
+#include "linalg/svd.h"
+
+namespace fedsc {
+namespace {
+
+Matrix RandomMatrix(int64_t rows, int64_t cols, Rng* rng) {
+  Matrix m(rows, cols);
+  for (int64_t j = 0; j < cols; ++j) {
+    for (int64_t i = 0; i < rows; ++i) m(i, j) = rng->Gaussian();
+  }
+  return m;
+}
+
+Matrix Reconstruct(const SvdResult& svd) {
+  Matrix us = svd.u;
+  for (int64_t j = 0; j < us.cols(); ++j) {
+    Scal(svd.s[static_cast<size_t>(j)], us.ColData(j), us.rows());
+  }
+  return MatMulNT(us, svd.v);
+}
+
+class SvdShapeTest
+    : public ::testing::TestWithParam<std::pair<int64_t, int64_t>> {};
+
+TEST_P(SvdShapeTest, ReconstructsWithOrthonormalFactors) {
+  const auto [rows, cols] = GetParam();
+  Rng rng(1000 + rows * 17 + cols);
+  const Matrix a = RandomMatrix(rows, cols, &rng);
+  auto svd = JacobiSvd(a);
+  ASSERT_TRUE(svd.ok()) << svd.status().ToString();
+  const int64_t k = std::min(rows, cols);
+  ASSERT_EQ(static_cast<int64_t>(svd->s.size()), k);
+  EXPECT_EQ(svd->u.rows(), rows);
+  EXPECT_EQ(svd->v.rows(), cols);
+
+  // Descending singular values.
+  for (size_t i = 1; i < svd->s.size(); ++i) {
+    EXPECT_GE(svd->s[i - 1], svd->s[i]);
+    EXPECT_GE(svd->s[i], 0.0);
+  }
+  // A = U diag(s) V^T.
+  EXPECT_TRUE(AllClose(Reconstruct(*svd), a, 1e-9 * std::max(1.0, svd->s[0])));
+  // Orthonormal factors (all singular values are positive for Gaussian a).
+  EXPECT_TRUE(AllClose(Gram(svd->u), Matrix::Identity(k), 1e-10));
+  EXPECT_TRUE(AllClose(Gram(svd->v), Matrix::Identity(k), 1e-10));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SvdShapeTest,
+                         ::testing::Values(std::pair<int64_t, int64_t>{1, 1},
+                                           std::pair<int64_t, int64_t>{6, 6},
+                                           std::pair<int64_t, int64_t>{20, 5},
+                                           std::pair<int64_t, int64_t>{5, 20},
+                                           std::pair<int64_t, int64_t>{40, 40},
+                                           std::pair<int64_t, int64_t>{100,
+                                                                       12}));
+
+TEST(SvdTest, KnownDiagonal) {
+  Matrix a(3, 3);
+  a(0, 0) = 3.0;
+  a(1, 1) = -5.0;
+  a(2, 2) = 1.0;
+  auto svd = JacobiSvd(a);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_NEAR(svd->s[0], 5.0, 1e-12);
+  EXPECT_NEAR(svd->s[1], 3.0, 1e-12);
+  EXPECT_NEAR(svd->s[2], 1.0, 1e-12);
+}
+
+TEST(SvdTest, RankDeficientMatrix) {
+  // Two identical columns: rank 1.
+  const Matrix a = Matrix::FromColumns({{1, 2, 3}, {1, 2, 3}});
+  auto svd = JacobiSvd(a);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_NEAR(svd->s[1], 0.0, 1e-10);
+  EXPECT_EQ(NumericalRank(svd->s, 1e-8), 1);
+  EXPECT_TRUE(AllClose(Reconstruct(*svd), a, 1e-10));
+}
+
+TEST(SvdTest, EmptyFails) { EXPECT_FALSE(JacobiSvd(Matrix()).ok()); }
+
+TEST(NumericalRankTest, Thresholding) {
+  EXPECT_EQ(NumericalRank({10.0, 1.0, 1e-10}, 1e-8), 2);
+  EXPECT_EQ(NumericalRank({10.0, 1.0, 1e-10}, 1e-12), 3);
+  EXPECT_EQ(NumericalRank({}, 1e-8), 0);
+  EXPECT_EQ(NumericalRank({0.0, 0.0}, 1e-8), 0);
+}
+
+TEST(PrincipalSubspaceTest, RecoversSpan) {
+  Rng rng(23);
+  // Points on a 3-dimensional subspace of R^10.
+  const Matrix basis = RandomMatrix(10, 3, &rng);
+  const Matrix coeffs = RandomMatrix(3, 30, &rng);
+  const Matrix points = MatMul(basis, coeffs);
+  auto u = PrincipalSubspace(points, 0, 1e-8);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->cols(), 3);
+  // Projection of the points onto the basis reproduces them.
+  const Matrix proj = MatMul(*u, MatMulTN(*u, points));
+  EXPECT_TRUE(AllClose(proj, points, 1e-8 * points.MaxAbs()));
+}
+
+TEST(PrincipalSubspaceTest, FixedRankAndZeroMatrix) {
+  Rng rng(29);
+  const Matrix a = RandomMatrix(8, 5, &rng);
+  auto u = PrincipalSubspace(a, 2);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->cols(), 2);
+  EXPECT_FALSE(PrincipalSubspace(Matrix(4, 4), 0).ok());
+}
+
+TEST(EigTest, KnownTwoByTwo) {
+  Matrix a(2, 2);
+  a(0, 0) = 2.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 2.0;
+  auto eig = SymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig->values[0], 1.0, 1e-12);
+  EXPECT_NEAR(eig->values[1], 3.0, 1e-12);
+}
+
+class EigSizeTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(EigSizeTest, DecomposesRandomSymmetric) {
+  const int64_t n = GetParam();
+  Rng rng(2000 + n);
+  Matrix a = RandomMatrix(n, n, &rng);
+  a += a.Transposed();  // symmetrize
+
+  auto eig = SymmetricEigen(a);
+  ASSERT_TRUE(eig.ok()) << eig.status().ToString();
+
+  // Ascending eigenvalues.
+  for (size_t i = 1; i < eig->values.size(); ++i) {
+    EXPECT_LE(eig->values[i - 1], eig->values[i]);
+  }
+  // Orthonormal eigenvectors.
+  EXPECT_TRUE(AllClose(Gram(eig->vectors), Matrix::Identity(n), 1e-9));
+  // A V = V diag(values).
+  const Matrix av = MatMul(a, eig->vectors);
+  Matrix vd = eig->vectors;
+  for (int64_t j = 0; j < n; ++j) {
+    Scal(eig->values[static_cast<size_t>(j)], vd.ColData(j), n);
+  }
+  EXPECT_TRUE(AllClose(av, vd, 1e-8 * std::max(1.0, a.MaxAbs())));
+
+  // Eigenvalues-only path agrees.
+  auto values_only = SymmetricEigenvalues(a);
+  ASSERT_TRUE(values_only.ok());
+  for (size_t i = 0; i < eig->values.size(); ++i) {
+    EXPECT_NEAR((*values_only)[i], eig->values[i], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigSizeTest,
+                         ::testing::Values<int64_t>(1, 2, 3, 10, 33, 80));
+
+TEST(EigTest, TraceAndDeterminantInvariants) {
+  Rng rng(31);
+  Matrix a = RandomMatrix(6, 6, &rng);
+  a += a.Transposed();
+  auto eig = SymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  double trace = 0.0;
+  for (int64_t i = 0; i < 6; ++i) trace += a(i, i);
+  double eig_sum = 0.0;
+  for (double v : eig->values) eig_sum += v;
+  EXPECT_NEAR(trace, eig_sum, 1e-9);
+}
+
+TEST(EigTest, RejectsEmptyAndNonSquare) {
+  EXPECT_FALSE(SymmetricEigen(Matrix()).ok());
+  EXPECT_FALSE(SymmetricEigen(Matrix(2, 3)).ok());
+  EXPECT_FALSE(SymmetricEigenvalues(Matrix(0, 0)).ok());
+}
+
+}  // namespace
+}  // namespace fedsc

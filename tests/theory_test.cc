@@ -1,0 +1,259 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/theory.h"
+#include "fed/partition.h"
+#include "data/synthetic.h"
+#include "linalg/blas.h"
+
+namespace fedsc {
+namespace {
+
+Matrix BasisFromColumns(std::vector<Vector> cols) {
+  return Matrix::FromColumns(cols);
+}
+
+TEST(CanonicalAnglesTest, IdenticalSubspaces) {
+  Rng rng(1);
+  const Matrix u = RandomOrthonormalBasis(10, 3, &rng);
+  auto cosines = CanonicalAngleCosines(u, u);
+  ASSERT_TRUE(cosines.ok());
+  for (double c : *cosines) EXPECT_NEAR(c, 1.0, 1e-10);
+}
+
+TEST(CanonicalAnglesTest, OrthogonalSubspaces) {
+  const Matrix u1 = BasisFromColumns({{1, 0, 0, 0}, {0, 1, 0, 0}});
+  const Matrix u2 = BasisFromColumns({{0, 0, 1, 0}, {0, 0, 0, 1}});
+  auto cosines = CanonicalAngleCosines(u1, u2);
+  ASSERT_TRUE(cosines.ok());
+  for (double c : *cosines) EXPECT_NEAR(c, 0.0, 1e-12);
+}
+
+TEST(CanonicalAnglesTest, KnownAngle) {
+  // Lines spanned by e1 and (cos t, sin t): single angle t.
+  const double t = 0.3;
+  const Matrix u1 = BasisFromColumns({{1, 0}});
+  const Matrix u2 = BasisFromColumns({{std::cos(t), std::sin(t)}});
+  auto cosines = CanonicalAngleCosines(u1, u2);
+  ASSERT_TRUE(cosines.ok());
+  ASSERT_EQ(cosines->size(), 1u);
+  EXPECT_NEAR((*cosines)[0], std::cos(t), 1e-12);
+}
+
+TEST(SubspaceAffinityTest, RangesAndExtremes) {
+  Rng rng(2);
+  const Matrix u = RandomOrthonormalBasis(12, 4, &rng);
+  auto self_aff = SubspaceAffinity(u, u);
+  ASSERT_TRUE(self_aff.ok());
+  EXPECT_NEAR(*self_aff, std::sqrt(4.0), 1e-9);  // sqrt(d) for identical
+
+  const Matrix v = RandomOrthonormalBasis(12, 4, &rng);
+  auto aff = SubspaceAffinity(u, v);
+  ASSERT_TRUE(aff.ok());
+  EXPECT_GE(*aff, 0.0);
+  EXPECT_LE(*aff, std::sqrt(4.0) + 1e-9);
+  // Symmetry.
+  auto aff_rev = SubspaceAffinity(v, u);
+  ASSERT_TRUE(aff_rev.ok());
+  EXPECT_NEAR(*aff, *aff_rev, 1e-9);
+}
+
+TEST(SubspaceAffinityTest, Validation) {
+  Rng rng(3);
+  const Matrix u = RandomOrthonormalBasis(6, 2, &rng);
+  const Matrix w = RandomOrthonormalBasis(8, 2, &rng);
+  EXPECT_FALSE(SubspaceAffinity(u, w).ok());
+  EXPECT_FALSE(SubspaceAffinity(u, Matrix(6, 0)).ok());
+}
+
+TEST(DualDirectionTest, SolvesSimpleLp) {
+  // Dictionary = +-identity directions in R^2: the feasible set
+  // {nu : ||X^T nu||_inf <= 1} is the unit square; maximizing <x, nu> with
+  // x = (1, 0.5) picks the corner (1, 1).
+  const Matrix dictionary = BasisFromColumns({{1, 0}, {0, 1}});
+  auto nu = DualDirection({1.0, 0.5}, dictionary);
+  ASSERT_TRUE(nu.ok());
+  EXPECT_NEAR((*nu)[0], 1.0, 1e-4);
+  EXPECT_NEAR((*nu)[1], 1.0, 1e-4);
+}
+
+TEST(DualDirectionTest, FeasibilityHolds) {
+  Rng rng(4);
+  const Matrix basis = RandomOrthonormalBasis(8, 3, &rng);
+  Matrix coeffs(3, 10);
+  for (int64_t j = 0; j < 10; ++j) {
+    for (int64_t i = 0; i < 3; ++i) coeffs(i, j) = rng.Gaussian();
+  }
+  Matrix dictionary = MatMul(basis, coeffs);
+  dictionary.NormalizeColumns();
+  const Vector x = dictionary.Col(0);
+  const Matrix rest = dictionary.ColRange(1, 10);
+  auto nu = DualDirection(x, rest);
+  ASSERT_TRUE(nu.ok());
+  const Vector constraint = Gemv(Trans::kTrans, rest, *nu);
+  for (double v : constraint) EXPECT_LE(std::fabs(v), 1.0 + 1e-4);
+}
+
+TEST(IncoherenceTest, OrthogonalSubspacesHaveZeroIncoherence) {
+  // Points in span(e1, e2); "others" in span(e3, e4): Example 1 says mu = 0.
+  Rng rng(5);
+  Matrix xl(6, 8);
+  Matrix others(6, 8);
+  for (int64_t j = 0; j < 8; ++j) {
+    xl(0, j) = rng.Gaussian();
+    xl(1, j) = rng.Gaussian();
+    others(2, j) = rng.Gaussian();
+    others(3, j) = rng.Gaussian();
+  }
+  xl.NormalizeColumns();
+  others.NormalizeColumns();
+  Matrix basis(6, 2);
+  basis(0, 0) = 1.0;
+  basis(1, 1) = 1.0;
+  auto mu = SubspaceIncoherence(xl, others, basis);
+  ASSERT_TRUE(mu.ok()) << mu.status().ToString();
+  EXPECT_NEAR(*mu, 0.0, 1e-6);
+}
+
+TEST(IncoherenceTest, CloseSubspacesHaveLargeIncoherence) {
+  // Others identical to X_l's subspace: incoherence should be large.
+  Rng rng(6);
+  Matrix xl(6, 10);
+  Matrix others(6, 10);
+  for (int64_t j = 0; j < 10; ++j) {
+    xl(0, j) = rng.Gaussian();
+    xl(1, j) = rng.Gaussian();
+    others(0, j) = rng.Gaussian();
+    others(1, j) = rng.Gaussian();
+  }
+  xl.NormalizeColumns();
+  others.NormalizeColumns();
+  Matrix basis(6, 2);
+  basis(0, 0) = 1.0;
+  basis(1, 1) = 1.0;
+  auto mu = SubspaceIncoherence(xl, others, basis);
+  ASSERT_TRUE(mu.ok());
+  EXPECT_GT(*mu, 0.3);
+  EXPECT_FALSE(SubspaceIncoherence(xl.ColRange(0, 1), others, basis).ok());
+}
+
+TEST(InradiusTest, CrossPolytope) {
+  // X = [e1 ... ed]: P(X) is the cross-polytope, inradius 1/sqrt(d).
+  for (int64_t d : {2, 3, 5}) {
+    const Matrix x = Matrix::Identity(d);
+    auto r = InradiusEstimate(x);
+    ASSERT_TRUE(r.ok());
+    EXPECT_NEAR(*r, 1.0 / std::sqrt(static_cast<double>(d)), 2e-2);
+  }
+}
+
+TEST(InradiusTest, WellSpreadBeatsSkewed) {
+  Rng rng(7);
+  // Well-spread: many uniform directions on the circle. Skewed: directions
+  // bunched in a narrow cone.
+  const int64_t m = 40;
+  Matrix spread(2, m), skewed(2, m);
+  for (int64_t j = 0; j < m; ++j) {
+    const double a = 2.0 * M_PI * rng.Uniform();
+    spread(0, j) = std::cos(a);
+    spread(1, j) = std::sin(a);
+    const double b = 0.2 * rng.Uniform();
+    skewed(0, j) = std::cos(b);
+    skewed(1, j) = std::sin(b);
+  }
+  auto r_spread = InradiusEstimate(spread);
+  auto r_skewed = InradiusEstimate(skewed);
+  ASSERT_TRUE(r_spread.ok());
+  ASSERT_TRUE(r_skewed.ok());
+  EXPECT_GT(*r_spread, *r_skewed + 0.2);
+  EXPECT_FALSE(InradiusEstimate(Matrix(3, 0)).ok());
+}
+
+TEST(ActiveSetsTest, ReflectsCoResidence) {
+  // 3 clusters; device 0 holds {0,1}, device 1 holds {1,2}.
+  Dataset data;
+  data.num_clusters = 3;
+  data.points = Matrix(2, 6);
+  data.labels = {0, 0, 1, 1, 2, 2};
+  FederatedDataset fed;
+  fed.num_clusters = 3;
+  fed.total_points = 6;
+  fed.ambient_dim = 2;
+  fed.points = {Matrix(2, 4), Matrix(2, 4)};
+  fed.labels = {{0, 0, 1, 1}, {1, 1, 2, 2}};
+  fed.global_index = {{0, 1, 2, 3}, {2, 3, 4, 5}};  // overlap is irrelevant
+  const auto active = ComputeActiveSets(fed);
+  ASSERT_EQ(active.size(), 3u);
+  EXPECT_EQ(active[0], (std::vector<int64_t>{1}));
+  EXPECT_EQ(active[1], (std::vector<int64_t>{0, 2}));
+  EXPECT_EQ(active[2], (std::vector<int64_t>{1}));
+}
+
+TEST(CorollaryBoundsTest, HeterogeneityRelaxesTheBounds) {
+  // Corollary 1/2: smaller Z' (more heterogeneity) => higher affinity bound
+  // (weaker requirement), in the regime the paper discusses (small d).
+  const double d = 5, L = 20, r_prime = 5;
+  const double loose_ssc = Corollary1AffinityBound(d, 50, L, r_prime);
+  const double tight_ssc = Corollary1AffinityBound(d, 5000, L, r_prime);
+  EXPECT_GT(loose_ssc, 0.0);
+  EXPECT_GT(tight_ssc, 0.0);
+
+  const double loose_tsc = Corollary2AffinityBound(d, 50, L, r_prime);
+  const double tight_tsc = Corollary2AffinityBound(d, 5000, L, r_prime);
+  EXPECT_GT(loose_tsc, tight_tsc);
+
+  // Degenerate parameters yield 0.
+  EXPECT_EQ(Corollary1AffinityBound(5, 5, L, r_prime), 0.0);
+  EXPECT_EQ(Corollary2AffinityBound(0, 50, L, r_prime), 0.0);
+}
+
+TEST(CorollaryBoundsTest, BoundGrowsWithDimension) {
+  EXPECT_GT(Corollary2AffinityBound(16, 100, 20, 5),
+            Corollary2AffinityBound(4, 100, 20, 5));
+}
+
+TEST(TheoremCheckTest, WellSeparatedFederationPassesDeterministicSide) {
+  SyntheticOptions synth;
+  synth.ambient_dim = 30;
+  synth.subspace_dim = 3;
+  synth.num_subspaces = 4;
+  synth.points_per_subspace = 40;
+  synth.seed = 91;
+  auto data = GenerateUnionOfSubspaces(synth);
+  ASSERT_TRUE(data.ok());
+  PartitionOptions partition;
+  partition.num_devices = 30;
+  partition.clusters_per_device = 2;
+  partition.seed = 92;
+  auto fed = PartitionAcrossDevices(*data, partition);
+  ASSERT_TRUE(fed.ok());
+
+  TheoremCheckOptions options;
+  options.inradius.restarts = 24;  // keep the diagnostic quick
+  auto check = CheckTheoremConditions(*data, *fed, options);
+  ASSERT_TRUE(check.ok()) << check.status().ToString();
+  ASSERT_EQ(check->inradius.size(), 4u);
+  for (int64_t l = 0; l < 4; ++l) {
+    EXPECT_GT(check->inradius[static_cast<size_t>(l)], 0.0);
+    EXPECT_TRUE(check->deterministic_ok[static_cast<size_t>(l)])
+        << "cluster " << l << ": r=" << check->inradius[static_cast<size_t>(l)]
+        << " mu=" << check->active_incoherence[static_cast<size_t>(l)];
+  }
+  EXPECT_GT(check->max_affinity, 0.0);
+  EXPECT_GT(check->corollary2_bound, 0.0);
+}
+
+TEST(TheoremCheckTest, Validation) {
+  Dataset no_bases;
+  no_bases.num_clusters = 2;
+  no_bases.points = Matrix(4, 4);
+  no_bases.labels = {0, 0, 1, 1};
+  FederatedDataset fed;
+  fed.num_clusters = 2;
+  EXPECT_FALSE(CheckTheoremConditions(no_bases, fed).ok());
+}
+
+}  // namespace
+}  // namespace fedsc
