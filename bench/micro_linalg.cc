@@ -44,6 +44,23 @@ void BM_GemmNN(benchmark::State& state) {
 }
 BENCHMARK(BM_GemmNN)->Arg(64)->Arg(256)->Arg(512);
 
+// Thread-count sweep over the deterministic parallel GEMM; results are
+// bit-identical across the sweep, only the wall time moves.
+void BM_GemmNNThreads(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const int threads = static_cast<int>(state.range(1));
+  Rng rng(1);
+  const Matrix a = RandomMatrix(n, n, &rng);
+  const Matrix b = RandomMatrix(n, n, &rng);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    Gemm(Trans::kNo, Trans::kNo, 1.0, a, b, 0.0, &c, threads);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmNNThreads)->ArgsProduct({{256}, {1, 2, 4, 8}});
+
 void BM_GemmTN(benchmark::State& state) {
   const int64_t n = state.range(0);
   Rng rng(2);
@@ -91,6 +108,22 @@ void BM_JacobiSvd(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_JacobiSvd)->Arg(16)->Arg(64);
+
+// Thread-count sweep over the round-robin Jacobi sweep (the 4*cols x cols
+// input is above the round-robin cutoff for cols >= 64).
+void BM_JacobiSvdThreads(benchmark::State& state) {
+  const int64_t cols = state.range(0);
+  const int threads = static_cast<int>(state.range(1));
+  Rng rng(5);
+  const Matrix a = RandomMatrix(4 * cols, cols, &rng);
+  SvdOptions options;
+  options.num_threads = threads;
+  for (auto _ : state) {
+    auto svd = JacobiSvd(a, options);
+    benchmark::DoNotOptimize(svd->s.data());
+  }
+}
+BENCHMARK(BM_JacobiSvdThreads)->ArgsProduct({{64}, {1, 2, 4, 8}});
 
 void BM_SymmetricEigen(benchmark::State& state) {
   const int64_t n = state.range(0);

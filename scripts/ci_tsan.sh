@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# ThreadSanitizer gate for the threaded kernels: builds the pool, the
+# determinism suite, and the end-to-end Fed-SC tests under TSAN and fails on
+# any reported race. Run from anywhere; build artifacts go to build-tsan/.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${repo_root}/build-tsan"
+
+cmake -S "${repo_root}" -B "${build_dir}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DFEDSC_SANITIZE=thread
+
+cmake --build "${build_dir}" -j "$(nproc)" \
+  --target thread_pool_test parallel_determinism_test fedsc_test
+
+# halt_on_error makes the first race fail the run instead of just logging.
+export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
+
+"${build_dir}/tests/thread_pool_test"
+"${build_dir}/tests/parallel_determinism_test"
+"${build_dir}/tests/fedsc_test"
+
+echo "TSAN: all threaded suites passed with zero reported races."

@@ -7,6 +7,17 @@
 
 namespace fedsc {
 
+namespace {
+
+// Set for the lifetime of every pool worker thread (workers are dedicated,
+// so it is never reset). Lets nested parallel regions degrade to inline
+// serial execution instead of spawning pools-within-pools.
+thread_local bool tls_in_pool_worker = false;
+
+}  // namespace
+
+bool InThreadPoolWorker() { return tls_in_pool_worker; }
+
 ThreadPool::ThreadPool(int num_threads) {
   const int count = std::max(1, num_threads);
   workers_.reserve(static_cast<size_t>(count));
@@ -30,32 +41,42 @@ void ThreadPool::Schedule(std::function<void()> task) {
     std::unique_lock<std::mutex> lock(mutex_);
     FEDSC_CHECK(!shutting_down_) << "Schedule() after shutdown";
     queue_.push(std::move(task));
-    ++in_flight_;
+    ++scheduled_;
   }
   work_available_.notify_one();
 }
 
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  // Snapshot the epoch under the lock: this Wait only covers tasks already
+  // scheduled. completed_ is monotone, so the predicate can never "un-become"
+  // true — a concurrent Schedule from another controller raises scheduled_
+  // but not our target, closing the window where the old in_flight_ == 0
+  // handshake left a waiter blocked on work it never scheduled.
+  const int64_t target = scheduled_;
+  all_done_.wait(lock, [this, target] { return completed_ >= target; });
 }
 
 void ThreadPool::WorkerLoop() {
+  tls_in_pool_worker = true;
   while (true) {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_available_.wait(
           lock, [this] { return shutting_down_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // shutting down
+      if (queue_.empty()) return;  // shutting down, backlog drained
       task = std::move(queue_.front());
       queue_.pop();
     }
     task();
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      if (--in_flight_ == 0) all_done_.notify_all();
+      ++completed_;
     }
+    // Every completion may satisfy some epoch waiter (not just the last
+    // one), so notify unconditionally; notifying without waiters is cheap.
+    all_done_.notify_all();
   }
 }
 
@@ -64,7 +85,7 @@ void ParallelFor(int64_t begin, int64_t end, int num_threads,
   FEDSC_CHECK(begin <= end);
   const int64_t count = end - begin;
   if (count == 0) return;
-  if (num_threads <= 1 || count == 1) {
+  if (num_threads <= 1 || count == 1 || InThreadPoolWorker()) {
     for (int64_t i = begin; i < end; ++i) body(i);
     return;
   }
@@ -83,6 +104,36 @@ void ParallelFor(int64_t begin, int64_t end, int num_threads,
     });
   }
   pool.Wait();
+}
+
+int ParallelChunkCount(int64_t begin, int64_t end, int num_threads) {
+  FEDSC_CHECK(begin <= end);
+  const int64_t count = end - begin;
+  if (count == 0) return 0;
+  if (num_threads <= 1 || InThreadPoolWorker()) return 1;
+  return static_cast<int>(std::min<int64_t>(num_threads, count));
+}
+
+int ParallelForRanges(
+    int64_t begin, int64_t end, int num_threads,
+    const std::function<void(int64_t, int64_t, int)>& body) {
+  const int chunks = ParallelChunkCount(begin, end, num_threads);
+  if (chunks == 0) return 0;
+  if (chunks == 1) {
+    body(begin, end, 0);
+    return 1;
+  }
+  const int64_t count = end - begin;
+  ThreadPool pool(chunks);
+  for (int c = 0; c < chunks; ++c) {
+    // Pure function of (begin, count, chunks): balanced contiguous ranges.
+    const int64_t lo = begin + count * c / chunks;
+    const int64_t hi = begin + count * (c + 1) / chunks;
+    if (lo == hi) continue;
+    pool.Schedule([lo, hi, c, &body] { body(lo, hi, c); });
+  }
+  pool.Wait();
+  return chunks;
 }
 
 }  // namespace fedsc

@@ -1,10 +1,26 @@
-// Fixed-size worker pool with a ParallelFor helper.
+// Fixed-size worker pool with deterministic parallel-for helpers.
 //
 // Fed-SC's devices are independent in Phase 1, which is where the paper's
 // parallel running time O(N^2 + Z^2) (Section IV-E) comes from; RunFedSc
 // uses this pool to run local clustering concurrently when
-// FedScOptions::num_threads > 1. Determinism is preserved by assigning every
-// device its seed before dispatch.
+// FedScOptions::num_threads > 1. Since that PR the pool also backs the
+// kernel-level hot paths (blocked GEMM/GEMV, Jacobi SVD sweeps, per-column
+// SSC solves). Two helpers cover the two safe parallel shapes:
+//
+//  * ParallelFor      — self-scheduling over single indices. Use only when
+//                       every iteration writes a disjoint output slot, so
+//                       execution order cannot matter.
+//  * ParallelForRanges — fixed partitioning of [begin, end) into contiguous
+//                       index ranges, one task per range. This is the
+//                       required shape whenever results are merged or
+//                       reduced afterwards: the partition depends only on
+//                       (range, num_threads), never on timing, so merging
+//                       per-range results in range order is bit-exact equal
+//                       to the serial pass. See "Threading model &
+//                       determinism contract" in DESIGN.md.
+//
+// Determinism is preserved by assigning every task its seed and its output
+// range before dispatch.
 
 #ifndef FEDSC_COMMON_THREAD_POOL_H_
 #define FEDSC_COMMON_THREAD_POOL_H_
@@ -23,6 +39,7 @@ class ThreadPool {
  public:
   // Spawns `num_threads` workers (at least 1).
   explicit ThreadPool(int num_threads);
+  // Drains any still-queued tasks, then joins the workers.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -33,7 +50,12 @@ class ThreadPool {
   // Enqueues a task; it may run on any worker, in any order.
   void Schedule(std::function<void()> task);
 
-  // Blocks until every scheduled task has finished.
+  // Blocks until every task scheduled *before this call* has finished.
+  // Tasks scheduled concurrently by other controller threads do not extend
+  // this wait (epoch semantics), so interleaved Schedule/Wait from several
+  // controllers can never strand a waiter on someone else's backlog. The
+  // pool is reusable: Schedule after Wait is always safe, including while
+  // workers are still draining another controller's tasks.
   void Wait();
 
  private:
@@ -43,16 +65,47 @@ class ThreadPool {
   std::condition_variable work_available_;
   std::condition_variable all_done_;
   std::queue<std::function<void()>> queue_;
-  int64_t in_flight_ = 0;
+  // Monotone epoch counters: a waiter snapshots scheduled_ and sleeps until
+  // completed_ catches up. Counting both sides (instead of one in_flight_
+  // counter) is what makes Wait immune to the lost-drain window where
+  // another controller re-arms the pool between the last completion and the
+  // waiter's predicate check.
+  int64_t scheduled_ = 0;
+  int64_t completed_ = 0;
   bool shutting_down_ = false;
   std::vector<std::thread> workers_;
 };
 
+// True when called from inside a ThreadPool worker. The parallel-for
+// helpers consult this to run nested parallel regions inline (serially)
+// instead of spawning pools-within-pools; results are unchanged because
+// every helper is bit-exact across thread counts by construction.
+bool InThreadPoolWorker();
+
 // Runs body(i) for i in [begin, end), spread across `num_threads` workers
-// (inline when num_threads <= 1 or the range is tiny). The body must not
-// touch data owned by other iterations without its own synchronization.
+// (inline when num_threads <= 1, the range is tiny, or the caller is itself
+// a pool worker). Workers self-schedule single indices, so uneven
+// per-iteration costs (devices of different sizes) balance; use this ONLY
+// when each iteration owns a disjoint output slot.
 void ParallelFor(int64_t begin, int64_t end, int num_threads,
                  const std::function<void(int64_t)>& body);
+
+// Splits [begin, end) into at most `num_threads` contiguous ranges and runs
+// body(chunk_begin, chunk_end, chunk_index) for each, in parallel. The
+// partition is a pure function of (begin, end, num_threads): chunk c covers
+// [begin + c*count/chunks, begin + (c+1)*count/chunks). Runs inline, as the
+// single chunk [begin, end), when num_threads <= 1 or the caller is a pool
+// worker. Returns the number of chunks used, so callers can preallocate
+// per-chunk accumulators; with num_threads <= 1 that is 1 (or 0 for an
+// empty range).
+int ParallelForRanges(
+    int64_t begin, int64_t end, int num_threads,
+    const std::function<void(int64_t, int64_t, int)>& body);
+
+// The number of chunks ParallelForRanges will use for this configuration
+// (without running anything). Lets deterministic reducers size their
+// per-chunk slots up front.
+int ParallelChunkCount(int64_t begin, int64_t end, int num_threads);
 
 }  // namespace fedsc
 

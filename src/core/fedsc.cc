@@ -264,6 +264,10 @@ Result<FedScResult> RunFedSc(const FederatedDataset& data,
   // Channel noise can leave samples slightly off the unit sphere;
   // renormalize like the paper's analysis assumes.
   central.normalize_columns = true;
+  // Phase 2 runs on the coordinator after every device reported, so the
+  // same worker budget that fanned Phase 1 out across devices now threads
+  // the central affinity kernels (bit-identical for any thread count).
+  central.num_threads = options.num_threads;
   FEDSC_ASSIGN_OR_RETURN(
       ScResult central_result,
       RunSubspaceClustering(result.samples, num_clusters, central));

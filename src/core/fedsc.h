@@ -80,10 +80,13 @@ struct FedScOptions {
   DpOptions dp;
 
   // Workers used for Phase 1, where devices are independent — the source of
-  // the paper's parallel running time O(N^2 + Z^2) (Section IV-E). Results
-  // are identical for any thread count (each device's seed is fixed before
-  // dispatch); reported local_seconds stays the *sum* over devices, matching
-  // the paper's T = sum_z T^(z) + T_c.
+  // the paper's parallel running time O(N^2 + Z^2) (Section IV-E) — and for
+  // the Phase-2 central clustering kernels (GEMM, per-column solves), via
+  // ScPipelineOptions::num_threads. Results are bit-identical for any
+  // thread count (each device's seed is fixed before dispatch, and every
+  // threaded kernel partitions its output by fixed index ranges); reported
+  // local_seconds stays the *sum* over devices, matching the paper's
+  // T = sum_z T^(z) + T_c.
   int num_threads = 1;
 
   uint64_t seed = 0x5eed'F5CULL;

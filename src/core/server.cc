@@ -88,6 +88,7 @@ Status FedScServer::Cluster() {
   central.tsc.q = std::min<int64_t>(central.tsc.q, total_samples_ - 1);
   central.spectral = options_.central_spectral;
   central.spectral.kmeans.seed = options_.seed ^ 0x5e47e4ULL;
+  central.num_threads = options_.num_threads;
   FEDSC_ASSIGN_OR_RETURN(ScResult result,
                          RunSubspaceClustering(pooled, num_clusters_,
                                                central));

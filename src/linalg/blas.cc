@@ -4,6 +4,8 @@
 
 #include <algorithm>
 
+#include "common/thread_pool.h"
+
 namespace fedsc {
 
 double Dot(const double* x, const double* y, int64_t n) {
@@ -34,11 +36,18 @@ void Scal(double alpha, double* x, int64_t n) {
 
 namespace {
 
+// Every GEMM variant is written as a column-panel kernel over columns
+// [j0, j1) of C: each output column is produced by the same sequence of
+// Axpy/Dot calls no matter how the panel is split, so running the panels
+// in parallel is bit-exact equal to one serial [0, n) pass (see the
+// determinism contract in DESIGN.md). Panels of C are disjoint memory.
+
 // C(m x n) = alpha * A(m x k) * B(k x n) + C, all column-major.
 // "gaxpy" order: the inner loop streams one column of A into one column of C.
-void GemmNN(double alpha, const Matrix& a, const Matrix& b, Matrix* c) {
-  const int64_t m = a.rows(), k = a.cols(), n = b.cols();
-  for (int64_t j = 0; j < n; ++j) {
+void GemmNNPanel(double alpha, const Matrix& a, const Matrix& b, Matrix* c,
+                 int64_t j0, int64_t j1) {
+  const int64_t m = a.rows(), k = a.cols();
+  for (int64_t j = j0; j < j1; ++j) {
     double* cj = c->ColData(j);
     const double* bj = b.ColData(j);
     for (int64_t p = 0; p < k; ++p) {
@@ -50,9 +59,10 @@ void GemmNN(double alpha, const Matrix& a, const Matrix& b, Matrix* c) {
 
 // C(m x n) = alpha * A^T(m x k) * B(k x n) + C where A is (k x m).
 // Each entry is a dot of two contiguous columns.
-void GemmTN(double alpha, const Matrix& a, const Matrix& b, Matrix* c) {
-  const int64_t m = a.cols(), k = a.rows(), n = b.cols();
-  for (int64_t j = 0; j < n; ++j) {
+void GemmTNPanel(double alpha, const Matrix& a, const Matrix& b, Matrix* c,
+                 int64_t j0, int64_t j1) {
+  const int64_t m = a.cols(), k = a.rows();
+  for (int64_t j = j0; j < j1; ++j) {
     const double* bj = b.ColData(j);
     double* cj = c->ColData(j);
     for (int64_t i = 0; i < m; ++i) {
@@ -62,29 +72,26 @@ void GemmTN(double alpha, const Matrix& a, const Matrix& b, Matrix* c) {
 }
 
 // C(m x n) = alpha * A(m x k) * B^T(k x n) + C where B is (n x k).
-void GemmNT(double alpha, const Matrix& a, const Matrix& b, Matrix* c) {
-  const int64_t m = a.rows(), k = a.cols(), n = b.rows();
-  for (int64_t p = 0; p < k; ++p) {
-    const double* ap = a.ColData(p);
-    // B(j, p) runs down column p of B: contiguous.
-    const double* bp = b.ColData(p);
-    for (int64_t j = 0; j < n; ++j) {
-      const double w = alpha * bp[j];
-      if (w != 0.0) Axpy(w, ap, c->ColData(j), m);
+// Column j of C accumulates w_p * A(:, p) in ascending p — the same
+// per-column update order as the classic p-outer loop, just regrouped so
+// the panel owns its output columns.
+void GemmNTPanel(double alpha, const Matrix& a, const Matrix& b, Matrix* c,
+                 int64_t j0, int64_t j1) {
+  const int64_t m = a.rows(), k = a.cols();
+  for (int64_t j = j0; j < j1; ++j) {
+    double* cj = c->ColData(j);
+    for (int64_t p = 0; p < k; ++p) {
+      // B(j, p) sits in column p of B.
+      const double w = alpha * b.ColData(p)[j];
+      if (w != 0.0) Axpy(w, a.ColData(p), cj, m);
     }
   }
-}
-
-// C(m x n) = alpha * A^T(m x k) * B^T(k x n) + C; A is (k x m), B is (n x k).
-// Rare in this codebase; computed via an explicit transpose of B.
-void GemmTT(double alpha, const Matrix& a, const Matrix& b, Matrix* c) {
-  GemmTN(alpha, a, b.Transposed(), c);
 }
 
 }  // namespace
 
 void Gemm(Trans trans_a, Trans trans_b, double alpha, const Matrix& a,
-          const Matrix& b, double beta, Matrix* c) {
+          const Matrix& b, double beta, Matrix* c, int num_threads) {
   const int64_t m = trans_a == Trans::kNo ? a.rows() : a.cols();
   const int64_t ka = trans_a == Trans::kNo ? a.cols() : a.rows();
   const int64_t kb = trans_b == Trans::kNo ? b.rows() : b.cols();
@@ -102,19 +109,33 @@ void Gemm(Trans trans_a, Trans trans_b, double alpha, const Matrix& a,
   }
   if (alpha == 0.0 || ka == 0) return;
 
-  if (trans_a == Trans::kNo && trans_b == Trans::kNo) {
-    GemmNN(alpha, a, b, c);
-  } else if (trans_a == Trans::kTrans && trans_b == Trans::kNo) {
-    GemmTN(alpha, a, b, c);
-  } else if (trans_a == Trans::kNo && trans_b == Trans::kTrans) {
-    GemmNT(alpha, a, b, c);
-  } else {
-    GemmTT(alpha, a, b, c);
+  // TT is rare in this codebase; reduce it to TN on an explicit transpose
+  // so the panel kernels below cover every case.
+  Matrix bt;
+  if (trans_a == Trans::kTrans && trans_b == Trans::kTrans) {
+    bt = b.Transposed();
+    trans_b = Trans::kNo;
   }
+  const Matrix& rb = bt.empty() ? b : bt;
+
+  // Don't spin up workers for panels too small to amortize a thread: each
+  // column of C costs ~2*m*ka flops.
+  const int threads =
+      m * ka * n < (1 << 16) ? 1 : std::min<int>(num_threads, 64);
+  ParallelForRanges(0, n, threads,
+                    [&](int64_t j0, int64_t j1, int /*chunk*/) {
+                      if (trans_a == Trans::kNo && trans_b == Trans::kNo) {
+                        GemmNNPanel(alpha, a, rb, c, j0, j1);
+                      } else if (trans_a == Trans::kTrans) {
+                        GemmTNPanel(alpha, a, rb, c, j0, j1);
+                      } else {
+                        GemmNTPanel(alpha, a, rb, c, j0, j1);
+                      }
+                    });
 }
 
 void Gemv(Trans trans_a, double alpha, const Matrix& a, const double* x,
-          double beta, double* y) {
+          double beta, double* y, int num_threads) {
   const int64_t m = trans_a == Trans::kNo ? a.rows() : a.cols();
   const int64_t n = trans_a == Trans::kNo ? a.cols() : a.rows();
   if (beta == 0.0) {
@@ -123,15 +144,28 @@ void Gemv(Trans trans_a, double alpha, const Matrix& a, const double* x,
     Scal(beta, y, m);
   }
   if (alpha == 0.0) return;
+  const int threads = m * n < (1 << 15) ? 1 : std::min<int>(num_threads, 64);
   if (trans_a == Trans::kNo) {
-    for (int64_t j = 0; j < n; ++j) {
-      const double w = alpha * x[j];
-      if (w != 0.0) Axpy(w, a.ColData(j), y, m);
-    }
+    // Partition the rows of y; each task runs the same Axpy on its subrange
+    // of every column, so element i of y sees the identical j-ascending
+    // update sequence as the serial pass.
+    ParallelForRanges(0, m, threads,
+                      [&](int64_t r0, int64_t r1, int /*chunk*/) {
+                        for (int64_t j = 0; j < n; ++j) {
+                          const double w = alpha * x[j];
+                          if (w != 0.0) {
+                            Axpy(w, a.ColData(j) + r0, y + r0, r1 - r0);
+                          }
+                        }
+                      });
   } else {
-    for (int64_t i = 0; i < m; ++i) {
-      y[i] += alpha * Dot(a.ColData(i), x, n);
-    }
+    // One independent dot per output element.
+    ParallelForRanges(0, m, threads,
+                      [&](int64_t r0, int64_t r1, int /*chunk*/) {
+                        for (int64_t i = r0; i < r1; ++i) {
+                          y[i] += alpha * Dot(a.ColData(i), x, n);
+                        }
+                      });
   }
 }
 
@@ -145,26 +179,30 @@ Vector Gemv(Trans trans_a, const Matrix& a, const Vector& x) {
   return y;
 }
 
-Matrix MatMul(const Matrix& a, const Matrix& b) {
+Matrix MatMul(const Matrix& a, const Matrix& b, int num_threads) {
   Matrix c(a.rows(), b.cols());
-  Gemm(Trans::kNo, Trans::kNo, 1.0, a, b, 0.0, &c);
+  Gemm(Trans::kNo, Trans::kNo, 1.0, a, b, 0.0, &c, num_threads);
   return c;
 }
 
-Matrix MatMulTN(const Matrix& a, const Matrix& b) {
+Matrix MatMulTN(const Matrix& a, const Matrix& b, int num_threads) {
   Matrix c(a.cols(), b.cols());
-  Gemm(Trans::kTrans, Trans::kNo, 1.0, a, b, 0.0, &c);
+  Gemm(Trans::kTrans, Trans::kNo, 1.0, a, b, 0.0, &c, num_threads);
   return c;
 }
 
-Matrix MatMulNT(const Matrix& a, const Matrix& b) {
+Matrix MatMulNT(const Matrix& a, const Matrix& b, int num_threads) {
   Matrix c(a.rows(), b.rows());
-  Gemm(Trans::kNo, Trans::kTrans, 1.0, a, b, 0.0, &c);
+  Gemm(Trans::kNo, Trans::kTrans, 1.0, a, b, 0.0, &c, num_threads);
   return c;
 }
 
-Matrix Gram(const Matrix& x) { return MatMulTN(x, x); }
+Matrix Gram(const Matrix& x, int num_threads) {
+  return MatMulTN(x, x, num_threads);
+}
 
-Matrix OuterGram(const Matrix& x) { return MatMulNT(x, x); }
+Matrix OuterGram(const Matrix& x, int num_threads) {
+  return MatMulNT(x, x, num_threads);
+}
 
 }  // namespace fedsc

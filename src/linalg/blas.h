@@ -31,23 +31,32 @@ inline double Norm2(const Vector& x) {
 }
 
 // --- Matrix kernels ---
+//
+// The matrix kernels accept an optional num_threads and split the *output*
+// into column panels (GEMM) or element ranges (GEMV), each produced by the
+// identical serial subkernel — so results are bit-exact equal for every
+// thread count (the determinism contract in DESIGN.md). Tiny problems and
+// calls made from inside pool workers always run inline.
 
 // C = alpha * op(A) * op(B) + beta * C. C must already have the result
 // shape; aliasing C with A or B is not allowed.
 void Gemm(Trans trans_a, Trans trans_b, double alpha, const Matrix& a,
-          const Matrix& b, double beta, Matrix* c);
+          const Matrix& b, double beta, Matrix* c, int num_threads = 1);
 
 // y = alpha * op(A) * x + beta * y.
 void Gemv(Trans trans_a, double alpha, const Matrix& a, const double* x,
-          double beta, double* y);
+          double beta, double* y, int num_threads = 1);
 Vector Gemv(Trans trans_a, const Matrix& a, const Vector& x);
 
 // Convenience products returning fresh matrices.
-Matrix MatMul(const Matrix& a, const Matrix& b);         // A * B
-Matrix MatMulTN(const Matrix& a, const Matrix& b);       // A^T * B
-Matrix MatMulNT(const Matrix& a, const Matrix& b);       // A * B^T
-Matrix Gram(const Matrix& x);                            // X^T X
-Matrix OuterGram(const Matrix& x);                       // X X^T
+Matrix MatMul(const Matrix& a, const Matrix& b,
+              int num_threads = 1);                      // A * B
+Matrix MatMulTN(const Matrix& a, const Matrix& b,
+                int num_threads = 1);                    // A^T * B
+Matrix MatMulNT(const Matrix& a, const Matrix& b,
+                int num_threads = 1);                    // A * B^T
+Matrix Gram(const Matrix& x, int num_threads = 1);       // X^T X
+Matrix OuterGram(const Matrix& x, int num_threads = 1);  // X X^T
 
 }  // namespace fedsc
 

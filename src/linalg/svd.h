@@ -21,6 +21,10 @@ struct SvdOptions {
   // Column pairs with |<a_p, a_q>| <= tol * ||a_p|| * ||a_q|| count as
   // orthogonal.
   double tol = 1e-12;
+  // Workers for the round-robin sweep: each round's column pairs are
+  // mutually disjoint, so they fan out with bit-identical results for every
+  // thread count.
+  int num_threads = 1;
 };
 
 // Thin SVD, k = min(m, n). Fails only on empty input or non-convergence

@@ -5,63 +5,91 @@
 #include <numeric>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace fedsc {
 
-SparseMatrix AffinityFromCoefficients(const SparseMatrix& c) {
+SparseMatrix AffinityFromCoefficients(const SparseMatrix& c,
+                                      int num_threads) {
   FEDSC_CHECK(c.rows() == c.cols()) << "coefficient matrix must be square";
+  // Symmetrization reads disjoint CSR row ranges; the per-range triplet
+  // lists concatenate in row order, matching the serial stream exactly.
+  std::vector<std::vector<Triplet>> chunk_triplets(static_cast<size_t>(
+      std::max(1, ParallelChunkCount(0, c.rows(), num_threads))));
+  ParallelForRanges(
+      0, c.rows(), num_threads, [&](int64_t r0, int64_t r1, int chunk) {
+        std::vector<Triplet>& triplets =
+            chunk_triplets[static_cast<size_t>(chunk)];
+        for (int64_t r = r0; r < r1; ++r) {
+          for (int64_t k = c.row_ptr()[static_cast<size_t>(r)];
+               k < c.row_ptr()[static_cast<size_t>(r) + 1]; ++k) {
+            const int64_t col = c.col_idx()[static_cast<size_t>(k)];
+            const double v = std::fabs(c.values()[static_cast<size_t>(k)]);
+            if (v == 0.0) continue;
+            triplets.push_back({r, col, v});
+            triplets.push_back({col, r, v});
+          }
+        }
+      });
   std::vector<Triplet> triplets;
   triplets.reserve(static_cast<size_t>(2 * c.nnz()));
-  for (int64_t r = 0; r < c.rows(); ++r) {
-    for (int64_t k = c.row_ptr()[static_cast<size_t>(r)];
-         k < c.row_ptr()[static_cast<size_t>(r) + 1]; ++k) {
-      const int64_t col = c.col_idx()[static_cast<size_t>(k)];
-      const double v = std::fabs(c.values()[static_cast<size_t>(k)]);
-      if (v == 0.0) continue;
-      triplets.push_back({r, col, v});
-      triplets.push_back({col, r, v});
-    }
+  for (const auto& chunk : chunk_triplets) {
+    triplets.insert(triplets.end(), chunk.begin(), chunk.end());
   }
   return SparseMatrix::FromTriplets(c.rows(), c.cols(), std::move(triplets));
 }
 
 SparseMatrix SparsifyCoefficients(const Matrix& c, int64_t top_k,
-                                  double drop_tol) {
+                                  double drop_tol, int num_threads) {
   FEDSC_CHECK(c.rows() == c.cols()) << "coefficient matrix must be square";
   const int64_t n = c.rows();
-  std::vector<Triplet> triplets;
-  std::vector<int64_t> order(static_cast<size_t>(n));
-  for (int64_t j = 0; j < n; ++j) {
-    const double* col = c.ColData(j);
-    double max_abs = 0.0;
-    for (int64_t i = 0; i < n; ++i) {
-      if (i != j) max_abs = std::max(max_abs, std::fabs(col[i]));
-    }
-    if (max_abs <= 0.0) continue;
-    const double threshold = drop_tol * max_abs;
-
-    if (top_k > 0 && top_k < n - 1) {
-      std::iota(order.begin(), order.end(), 0);
-      const auto kth = order.begin() + top_k;
-      std::nth_element(order.begin(), kth, order.end(),
-                       [&](int64_t a, int64_t b) {
-                         const double fa = a == j ? -1.0 : std::fabs(col[a]);
-                         const double fb = b == j ? -1.0 : std::fabs(col[b]);
-                         return fa > fb;
-                       });
-      for (auto it = order.begin(); it != kth; ++it) {
-        const int64_t i = *it;
-        if (i == j) continue;
-        const double v = col[i];
-        if (std::fabs(v) > threshold) triplets.push_back({i, j, v});
-      }
-    } else {
+  // Per-column top-k selection is independent; per-range triplet lists
+  // concatenate in column order, matching the serial stream exactly.
+  std::vector<std::vector<Triplet>> chunk_triplets(static_cast<size_t>(
+      std::max(1, ParallelChunkCount(0, n, num_threads))));
+  ParallelForRanges(0, n, num_threads, [&](int64_t c0, int64_t c1,
+                                           int chunk) {
+    std::vector<Triplet>& triplets =
+        chunk_triplets[static_cast<size_t>(chunk)];
+    std::vector<int64_t> order(static_cast<size_t>(n));
+    for (int64_t j = c0; j < c1; ++j) {
+      const double* col = c.ColData(j);
+      double max_abs = 0.0;
       for (int64_t i = 0; i < n; ++i) {
-        if (i == j) continue;
-        const double v = col[i];
-        if (std::fabs(v) > threshold) triplets.push_back({i, j, v});
+        if (i != j) max_abs = std::max(max_abs, std::fabs(col[i]));
+      }
+      if (max_abs <= 0.0) continue;
+      const double threshold = drop_tol * max_abs;
+
+      if (top_k > 0 && top_k < n - 1) {
+        std::iota(order.begin(), order.end(), 0);
+        const auto kth = order.begin() + top_k;
+        std::nth_element(order.begin(), kth, order.end(),
+                         [&](int64_t a, int64_t b) {
+                           const double fa =
+                               a == j ? -1.0 : std::fabs(col[a]);
+                           const double fb =
+                               b == j ? -1.0 : std::fabs(col[b]);
+                           return fa > fb;
+                         });
+        for (auto it = order.begin(); it != kth; ++it) {
+          const int64_t i = *it;
+          if (i == j) continue;
+          const double v = col[i];
+          if (std::fabs(v) > threshold) triplets.push_back({i, j, v});
+        }
+      } else {
+        for (int64_t i = 0; i < n; ++i) {
+          if (i == j) continue;
+          const double v = col[i];
+          if (std::fabs(v) > threshold) triplets.push_back({i, j, v});
+        }
       }
     }
+  });
+  std::vector<Triplet> triplets;
+  for (const auto& chunk : chunk_triplets) {
+    triplets.insert(triplets.end(), chunk.begin(), chunk.end());
   }
   return SparseMatrix::FromTriplets(n, n, std::move(triplets));
 }

@@ -12,14 +12,19 @@
 
 namespace fedsc {
 
+// Both helpers fan the per-row / per-column work out over `num_threads`
+// fixed index ranges; results are bit-identical for every thread count.
+
 // W = |C| + |C|^T from a sparse coefficient matrix.
-SparseMatrix AffinityFromCoefficients(const SparseMatrix& c);
+SparseMatrix AffinityFromCoefficients(const SparseMatrix& c,
+                                      int num_threads = 1);
 
 // Sparsifies a dense coefficient matrix column-wise: keeps the top_k largest
 // |c_ij| per column (all if top_k <= 0), drops entries with
 // |c_ij| <= drop_tol * max_i |c_ij|, and zeroes the diagonal.
 SparseMatrix SparsifyCoefficients(const Matrix& c, int64_t top_k,
-                                  double drop_tol = 1e-8);
+                                  double drop_tol = 1e-8,
+                                  int num_threads = 1);
 
 }  // namespace fedsc
 

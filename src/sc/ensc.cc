@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/thread_pool.h"
 #include "linalg/blas.h"
 
 namespace fedsc {
@@ -84,28 +85,51 @@ Result<SparseMatrix> EnscSelfExpression(const Matrix& x,
     return Status::InvalidArgument("EnSC mix must be in (0, 1]");
   }
 
-  // Mutual coherence floor (same rule as SSC) sets the data weight.
-  Vector corr(static_cast<size_t>(num_points), 0.0);
+  // Mutual coherence floor (same rule as SSC) sets the data weight. The
+  // per-column maxima land in disjoint slots, so the pass fans out; min over
+  // them is exact regardless of order, keeping mu bit-identical.
+  Vector col_max(static_cast<size_t>(num_points), 0.0);
+  ParallelForRanges(0, num_points, options.num_threads,
+                    [&](int64_t c0, int64_t c1, int /*chunk*/) {
+                      Vector corr(static_cast<size_t>(num_points), 0.0);
+                      for (int64_t j = c0; j < c1; ++j) {
+                        Gemv(Trans::kTrans, 1.0, x, x.ColData(j), 0.0,
+                             corr.data());
+                        double max_abs = 0.0;
+                        for (int64_t i = 0; i < num_points; ++i) {
+                          if (i != j) {
+                            max_abs = std::max(
+                                max_abs,
+                                std::fabs(corr[static_cast<size_t>(i)]));
+                          }
+                        }
+                        col_max[static_cast<size_t>(j)] = max_abs;
+                      }
+                    });
   double mu = std::numeric_limits<double>::infinity();
-  for (int64_t j = 0; j < num_points; ++j) {
-    Gemv(Trans::kTrans, 1.0, x, x.ColData(j), 0.0, corr.data());
-    double max_abs = 0.0;
-    for (int64_t i = 0; i < num_points; ++i) {
-      if (i != j) max_abs = std::max(max_abs, std::fabs(corr[i]));
-    }
-    mu = std::min(mu, max_abs);
-  }
+  for (double v : col_max) mu = std::min(mu, v);
   if (mu <= 0.0) {
     return Status::FailedPrecondition(
         "all points are mutually orthogonal; self-expression is degenerate");
   }
   const double gamma = options.gamma_scale / mu;
 
-  std::vector<Triplet> triplets;
+  // Per-column active-set solves are independent; fan out over fixed column
+  // ranges, concatenating the per-range triplets in column order so the
+  // stream matches the serial pass exactly.
+  std::vector<std::vector<Triplet>> chunk_triplets(static_cast<size_t>(
+      std::max(1, ParallelChunkCount(0, num_points, options.num_threads))));
+
+  ParallelForRanges(0, num_points, options.num_threads, [&](int64_t chunk_c0,
+                                                            int64_t chunk_c1,
+                                                            int chunk) {
+  std::vector<Triplet>& triplets =
+      chunk_triplets[static_cast<size_t>(chunk)];
+  Vector corr(static_cast<size_t>(num_points), 0.0);
   std::vector<int64_t> order(static_cast<size_t>(num_points));
   Vector delta(static_cast<size_t>(n), 0.0);
 
-  for (int64_t j = 0; j < num_points; ++j) {
+  for (int64_t j = chunk_c0; j < chunk_c1; ++j) {
     const Vector b = x.Col(j);
     // Rank atoms by correlation with x_j; the initial active set takes the
     // most correlated ones.
@@ -171,6 +195,12 @@ Result<SparseMatrix> EnscSelfExpression(const Matrix& x,
         triplets.push_back({active[t], j, coeffs[t]});
       }
     }
+  }
+  });
+
+  std::vector<Triplet> triplets;
+  for (const auto& chunk : chunk_triplets) {
+    triplets.insert(triplets.end(), chunk.begin(), chunk.end());
   }
   return SparseMatrix::FromTriplets(num_points, num_points,
                                     std::move(triplets));

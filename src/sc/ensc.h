@@ -35,6 +35,9 @@ struct EnscOptions {
   int max_outer_rounds = 8;
   int max_fista_iterations = 200;
   double fista_tol = 1e-7;
+  // Workers for the per-column solves (columns are independent; results are
+  // bit-identical for every thread count).
+  int num_threads = 1;
 };
 
 // Sparse self-expression matrix C; columns of x should be l2-normalized.

@@ -1,5 +1,7 @@
 #include "sc/pipeline.h"
 
+#include <algorithm>
+
 #include "common/stopwatch.h"
 #include "sc/affinity.h"
 
@@ -25,24 +27,35 @@ const char* ScMethodName(ScMethod method) {
 
 Result<SparseMatrix> BuildAffinity(const Matrix& x,
                                    const ScPipelineOptions& options) {
+  // The pipeline knob lifts method-level defaults; an explicit per-method
+  // setting above 1 is respected as-is.
+  const auto resolved = [&options](int method_threads) {
+    return std::max(method_threads, options.num_threads);
+  };
   switch (options.method) {
     case ScMethod::kSsc: {
-      FEDSC_ASSIGN_OR_RETURN(SparseMatrix c,
-                             SscSelfExpression(x, options.ssc));
-      return AffinityFromCoefficients(c);
+      SscAdmmOptions ssc = options.ssc;
+      ssc.num_threads = resolved(ssc.num_threads);
+      FEDSC_ASSIGN_OR_RETURN(SparseMatrix c, SscSelfExpression(x, ssc));
+      return AffinityFromCoefficients(c, options.num_threads);
     }
     case ScMethod::kSscOmp: {
-      FEDSC_ASSIGN_OR_RETURN(SparseMatrix c,
-                             SscOmpSelfExpression(x, options.ssc_omp));
-      return AffinityFromCoefficients(c);
+      SscOmpOptions omp = options.ssc_omp;
+      omp.num_threads = resolved(omp.num_threads);
+      FEDSC_ASSIGN_OR_RETURN(SparseMatrix c, SscOmpSelfExpression(x, omp));
+      return AffinityFromCoefficients(c, options.num_threads);
     }
     case ScMethod::kEnsc: {
-      FEDSC_ASSIGN_OR_RETURN(SparseMatrix c,
-                             EnscSelfExpression(x, options.ensc));
-      return AffinityFromCoefficients(c);
+      EnscOptions ensc = options.ensc;
+      ensc.num_threads = resolved(ensc.num_threads);
+      FEDSC_ASSIGN_OR_RETURN(SparseMatrix c, EnscSelfExpression(x, ensc));
+      return AffinityFromCoefficients(c, options.num_threads);
     }
-    case ScMethod::kTsc:
-      return TscAffinity(x, options.tsc);
+    case ScMethod::kTsc: {
+      TscOptions tsc = options.tsc;
+      tsc.num_threads = resolved(tsc.num_threads);
+      return TscAffinity(x, tsc);
+    }
     case ScMethod::kNsn:
       return NsnAffinity(x, options.nsn);
     case ScMethod::kEsc:

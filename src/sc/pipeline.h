@@ -39,6 +39,11 @@ struct ScPipelineOptions {
   // Normalize input columns to unit l2 norm before clustering (the paper's
   // standing assumption).
   bool normalize_columns = true;
+  // Pipeline-level worker count. Raises the per-method num_threads (SSC,
+  // SSC-OMP, EnSC, TSC) and the affinity symmetrization to this value when
+  // they are left at their default of 1; a method-level setting above 1
+  // wins. Results are bit-identical for every thread count.
+  int num_threads = 1;
 };
 
 struct ScResult {

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "linalg/blas.h"
 #include "linalg/cholesky.h"
 #include "sc/affinity.h"
@@ -52,7 +53,7 @@ Result<SparseMatrix> SscSelfExpression(const Matrix& x,
     return Status::InvalidArgument("SSC alpha must exceed 1");
   }
 
-  const Matrix gram = Gram(x);  // X^T X
+  const Matrix gram = Gram(x, options.num_threads);  // X^T X
   const double mu = MutualCoherenceFloor(gram);
   if (mu <= 0.0) {
     return Status::FailedPrecondition(
@@ -71,7 +72,7 @@ Result<SparseMatrix> SscSelfExpression(const Matrix& x,
   Matrix h_inverse;       // (lambda G + rho I)^{-1}, direct path
   Matrix s_inverse;       // (rho I_n + lambda X X^T)^{-1}, Woodbury path
   if (use_woodbury) {
-    Matrix s = OuterGram(x);
+    Matrix s = OuterGram(x, options.num_threads);
     s *= lambda;
     for (int64_t i = 0; i < n; ++i) s(i, i) += rho;
     FEDSC_ASSIGN_OR_RETURN(s_inverse, SpdInverse(s));
@@ -101,13 +102,16 @@ Result<SparseMatrix> SscSelfExpression(const Matrix& x,
         sxm = Matrix(n, m.cols());
       }
       // (1/rho) (m - lambda X^T S^{-1} X m)
-      Gemm(Trans::kNo, Trans::kNo, 1.0, x, m, 0.0, &xm);
-      Gemm(Trans::kNo, Trans::kNo, 1.0, s_inverse, xm, 0.0, &sxm);
+      Gemm(Trans::kNo, Trans::kNo, 1.0, x, m, 0.0, &xm, options.num_threads);
+      Gemm(Trans::kNo, Trans::kNo, 1.0, s_inverse, xm, 0.0, &sxm,
+           options.num_threads);
       *out = m;
-      Gemm(Trans::kTrans, Trans::kNo, -lambda, x, sxm, 1.0, out);
+      Gemm(Trans::kTrans, Trans::kNo, -lambda, x, sxm, 1.0, out,
+           options.num_threads);
       *out *= 1.0 / rho;
     } else {
-      Gemm(Trans::kNo, Trans::kNo, 1.0, h_inverse, m, 0.0, out);
+      Gemm(Trans::kNo, Trans::kNo, 1.0, h_inverse, m, 0.0, out,
+           options.num_threads);
     }
   };
 
@@ -171,26 +175,42 @@ Result<SparseMatrix> SscSelfExpression(const Matrix& x,
     }
 
     // C-update: soft-threshold Z + U at 1/rho, zero the diagonal. Track the
-    // largest change for the stopping rule.
+    // largest change for the stopping rule. Column panels are disjoint, and
+    // the stopping-rule maxima reduce per chunk then combine — max is exact
+    // in any order, so the residual is bit-identical across thread counts.
     const double threshold = 1.0 / rho;
-    double max_dc = 0.0;
-    double max_zc = 0.0;
-    for (int64_t j = 0; j < num_points; ++j) {
-      double* cj = c.ColData(j);
-      const double* zj = z.ColData(j);
-      double* uj = u.ColData(j);
-      for (int64_t i = 0; i < num_points; ++i) {
-        const double next =
-            i == j ? 0.0 : SoftThreshold(zj[i] + uj[i], threshold);
-        max_dc = std::max(max_dc, std::fabs(next - cj[i]));
-        cj[i] = next;
-        const double gap = zj[i] - next;
-        max_zc = std::max(max_zc, std::fabs(gap));
-        uj[i] += gap;  // dual update folded into the same pass
-      }
-    }
+    const int chunks = std::max(
+        1, ParallelChunkCount(0, num_points, options.num_threads));
+    std::vector<double> chunk_dc(static_cast<size_t>(chunks), 0.0);
+    std::vector<double> chunk_zc(static_cast<size_t>(chunks), 0.0);
+    ParallelForRanges(
+        0, num_points, options.num_threads,
+        [&](int64_t j0, int64_t j1, int chunk) {
+          double max_dc = 0.0;
+          double max_zc = 0.0;
+          for (int64_t j = j0; j < j1; ++j) {
+            double* cj = c.ColData(j);
+            const double* zj = z.ColData(j);
+            double* uj = u.ColData(j);
+            for (int64_t i = 0; i < num_points; ++i) {
+              const double next =
+                  i == j ? 0.0 : SoftThreshold(zj[i] + uj[i], threshold);
+              max_dc = std::max(max_dc, std::fabs(next - cj[i]));
+              cj[i] = next;
+              const double gap = zj[i] - next;
+              max_zc = std::max(max_zc, std::fabs(gap));
+              uj[i] += gap;  // dual update folded into the same pass
+            }
+          }
+          chunk_dc[static_cast<size_t>(chunk)] = max_dc;
+          chunk_zc[static_cast<size_t>(chunk)] = max_zc;
+        });
 
-    residual = std::max(max_dc, max_zc);
+    residual = 0.0;
+    for (int t = 0; t < chunks; ++t) {
+      residual = std::max(residual, chunk_dc[static_cast<size_t>(t)]);
+      residual = std::max(residual, chunk_zc[static_cast<size_t>(t)]);
+    }
     if (residual < options.tol) break;
   }
   if (residual >= options.tol) {
@@ -198,7 +218,8 @@ Result<SparseMatrix> SscSelfExpression(const Matrix& x,
                      << residual;
   }
 
-  return SparsifyCoefficients(c, options.top_k, options.drop_tol);
+  return SparsifyCoefficients(c, options.top_k, options.drop_tol,
+                              options.num_threads);
 }
 
 }  // namespace fedsc

@@ -42,6 +42,11 @@ struct SscAdmmOptions {
   // overruns it (the paper's Table III enforces a 1-day cut-off on
   // centralized SSC the same way).
   double deadline_seconds = 0.0;
+  // Workers for the matrix-form updates: the Gram/Z-update GEMMs and the
+  // soft-threshold pass partition their output column panels, and the final
+  // sparsification fans out per column — all bit-identical for every thread
+  // count.
+  int num_threads = 1;
 };
 
 // Sparse self-expression matrix C for the columns of x (which should be

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/thread_pool.h"
 #include "linalg/blas.h"
 #include "linalg/cholesky.h"
 
@@ -21,59 +22,79 @@ Result<SparseMatrix> SscOmpSelfExpression(const Matrix& x,
   const int64_t k_max =
       std::min<int64_t>(options.max_support, num_points - 1);
 
-  std::vector<Triplet> triplets;
-  triplets.reserve(static_cast<size_t>(k_max * num_points));
+  // Each column's pursuit is independent: the solves fan out over fixed
+  // column ranges, each range collecting its triplets locally. The per-range
+  // lists concatenate in column order below, reproducing the serial triplet
+  // order exactly (FromTriplets sums duplicates in input order, so order is
+  // part of the determinism contract).
+  std::vector<std::vector<Triplet>> chunk_triplets(static_cast<size_t>(
+      std::max(1, ParallelChunkCount(0, num_points, options.num_threads))));
 
-  Vector residual(static_cast<size_t>(n), 0.0);
-  Vector scores(static_cast<size_t>(num_points), 0.0);
-  std::vector<int64_t> support;
-  std::vector<char> in_support(static_cast<size_t>(num_points), 0);
+  ParallelForRanges(0, num_points, options.num_threads, [&](int64_t c0,
+                                                            int64_t c1,
+                                                            int chunk) {
+    std::vector<Triplet>& triplets =
+        chunk_triplets[static_cast<size_t>(chunk)];
+    triplets.reserve(static_cast<size_t>(k_max * (c1 - c0)));
 
-  for (int64_t j = 0; j < num_points; ++j) {
-    std::copy(x.ColData(j), x.ColData(j) + n, residual.begin());
-    support.clear();
-    std::fill(in_support.begin(), in_support.end(), 0);
-    in_support[static_cast<size_t>(j)] = 1;  // c_jj = 0
-    Vector coeffs;
+    Vector residual(static_cast<size_t>(n), 0.0);
+    Vector scores(static_cast<size_t>(num_points), 0.0);
+    std::vector<int64_t> support;
+    std::vector<char> in_support(static_cast<size_t>(num_points), 0);
 
-    for (int64_t step = 0; step < k_max; ++step) {
-      if (Norm2(residual.data(), n) < options.residual_tol) break;
-      // Most correlated unused atom.
-      Gemv(Trans::kTrans, 1.0, x, residual.data(), 0.0, scores.data());
-      int64_t best = -1;
-      double best_score = 0.0;
-      for (int64_t i = 0; i < num_points; ++i) {
-        if (in_support[static_cast<size_t>(i)]) continue;
-        const double s = std::fabs(scores[static_cast<size_t>(i)]);
-        if (s > best_score) {
-          best_score = s;
-          best = i;
+    for (int64_t j = c0; j < c1; ++j) {
+      std::copy(x.ColData(j), x.ColData(j) + n, residual.begin());
+      support.clear();
+      std::fill(in_support.begin(), in_support.end(), 0);
+      in_support[static_cast<size_t>(j)] = 1;  // c_jj = 0
+      Vector coeffs;
+
+      for (int64_t step = 0; step < k_max; ++step) {
+        if (Norm2(residual.data(), n) < options.residual_tol) break;
+        // Most correlated unused atom.
+        Gemv(Trans::kTrans, 1.0, x, residual.data(), 0.0, scores.data());
+        int64_t best = -1;
+        double best_score = 0.0;
+        for (int64_t i = 0; i < num_points; ++i) {
+          if (in_support[static_cast<size_t>(i)]) continue;
+          const double s = std::fabs(scores[static_cast<size_t>(i)]);
+          if (s > best_score) {
+            best_score = s;
+            best = i;
+          }
+        }
+        if (best < 0 || best_score <= 1e-14) break;
+        support.push_back(best);
+        in_support[static_cast<size_t>(best)] = 1;
+
+        // Least squares on the current support via normal equations
+        // (supports stay tiny, and a diagonal jitter guards collinear
+        // atoms).
+        const Matrix sub = x.GatherCols(support);
+        Matrix gram = Gram(sub);
+        for (int64_t d = 0; d < gram.rows(); ++d) gram(d, d) += 1e-12;
+        const Vector rhs = Gemv(Trans::kTrans, sub, x.Col(j));
+        auto solved = SolveSpd(gram, Matrix::FromColumn(rhs));
+        if (!solved.ok()) break;
+        coeffs = solved->Col(0);
+
+        // residual = x_j - sub * coeffs
+        std::copy(x.ColData(j), x.ColData(j) + n, residual.begin());
+        Gemv(Trans::kNo, -1.0, sub, coeffs.data(), 1.0, residual.data());
+      }
+
+      for (size_t t = 0; t < support.size(); ++t) {
+        if (coeffs.size() > t && coeffs[t] != 0.0) {
+          triplets.push_back({support[t], j, coeffs[t]});
         }
       }
-      if (best < 0 || best_score <= 1e-14) break;
-      support.push_back(best);
-      in_support[static_cast<size_t>(best)] = 1;
-
-      // Least squares on the current support via normal equations (supports
-      // stay tiny, and a diagonal jitter guards collinear atoms).
-      const Matrix sub = x.GatherCols(support);
-      Matrix gram = Gram(sub);
-      for (int64_t d = 0; d < gram.rows(); ++d) gram(d, d) += 1e-12;
-      const Vector rhs = Gemv(Trans::kTrans, sub, x.Col(j));
-      auto solved = SolveSpd(gram, Matrix::FromColumn(rhs));
-      if (!solved.ok()) break;
-      coeffs = solved->Col(0);
-
-      // residual = x_j - sub * coeffs
-      std::copy(x.ColData(j), x.ColData(j) + n, residual.begin());
-      Gemv(Trans::kNo, -1.0, sub, coeffs.data(), 1.0, residual.data());
     }
+  });
 
-    for (size_t t = 0; t < support.size(); ++t) {
-      if (coeffs.size() > t && coeffs[t] != 0.0) {
-        triplets.push_back({support[t], j, coeffs[t]});
-      }
-    }
+  std::vector<Triplet> triplets;
+  triplets.reserve(static_cast<size_t>(k_max * num_points));
+  for (const auto& chunk : chunk_triplets) {
+    triplets.insert(triplets.end(), chunk.begin(), chunk.end());
   }
   return SparseMatrix::FromTriplets(num_points, num_points,
                                     std::move(triplets));

@@ -19,6 +19,9 @@ struct SscOmpOptions {
   int64_t max_support = 10;
   // Stop early once the residual norm drops below this threshold.
   double residual_tol = 1e-6;
+  // Workers for the per-column pursuits (columns are independent; results
+  // are bit-identical for every thread count).
+  int num_threads = 1;
 };
 
 // Sparse self-expression matrix C with OMP-selected supports; columns of x

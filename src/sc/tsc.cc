@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/thread_pool.h"
 #include "linalg/blas.h"
 
 namespace fedsc {
@@ -19,35 +20,52 @@ Result<SparseMatrix> TscAffinity(const Matrix& x, const TscOptions& options) {
                                    std::to_string(options.q));
   }
 
+  // Neighbor selection is independent per column; fan out over fixed column
+  // ranges and concatenate the per-range triplet lists in column order so
+  // the triplet stream matches the serial pass bit-for-bit.
+  std::vector<std::vector<Triplet>> chunk_triplets(static_cast<size_t>(
+      std::max(1, ParallelChunkCount(0, num_points, options.num_threads))));
+
+  ParallelForRanges(0, num_points, options.num_threads, [&](int64_t c0,
+                                                            int64_t c1,
+                                                            int chunk) {
+    std::vector<Triplet>& triplets =
+        chunk_triplets[static_cast<size_t>(chunk)];
+    triplets.reserve(static_cast<size_t>(2 * options.q * (c1 - c0)));
+    Vector corr(static_cast<size_t>(num_points), 0.0);
+    std::vector<int64_t> order(static_cast<size_t>(num_points));
+
+    for (int64_t j = c0; j < c1; ++j) {
+      // |x_i^T x_j| for all i (one column of |X^T X| at a time keeps memory
+      // O(N) even for large N).
+      Gemv(Trans::kTrans, 1.0, x, x.ColData(j), 0.0, corr.data());
+      for (auto& v : corr) v = std::fabs(v);
+      corr[static_cast<size_t>(j)] = -1.0;  // never self-select
+
+      std::iota(order.begin(), order.end(), 0);
+      const auto kth = order.begin() + options.q;
+      std::nth_element(order.begin(), kth, order.end(),
+                       [&](int64_t a, int64_t b) {
+                         return corr[static_cast<size_t>(a)] >
+                                corr[static_cast<size_t>(b)];
+                       });
+      for (auto it = order.begin(); it != kth; ++it) {
+        const int64_t i = *it;
+        const double c = std::min(1.0, corr[static_cast<size_t>(i)]);
+        if (c <= 0.0) continue;
+        const double weight = std::exp(-2.0 * std::acos(c));
+        triplets.push_back({i, j, weight});
+        triplets.push_back({j, i, weight});
+      }
+    }
+  });
+  (void)n;
+
   std::vector<Triplet> triplets;
   triplets.reserve(static_cast<size_t>(2 * options.q * num_points));
-  Vector corr(static_cast<size_t>(num_points), 0.0);
-  std::vector<int64_t> order(static_cast<size_t>(num_points));
-
-  for (int64_t j = 0; j < num_points; ++j) {
-    // |x_i^T x_j| for all i (one column of |X^T X| at a time keeps memory
-    // O(N) even for large N).
-    Gemv(Trans::kTrans, 1.0, x, x.ColData(j), 0.0, corr.data());
-    for (auto& v : corr) v = std::fabs(v);
-    corr[static_cast<size_t>(j)] = -1.0;  // never self-select
-
-    std::iota(order.begin(), order.end(), 0);
-    const auto kth = order.begin() + options.q;
-    std::nth_element(order.begin(), kth, order.end(),
-                     [&](int64_t a, int64_t b) {
-                       return corr[static_cast<size_t>(a)] >
-                              corr[static_cast<size_t>(b)];
-                     });
-    for (auto it = order.begin(); it != kth; ++it) {
-      const int64_t i = *it;
-      const double c = std::min(1.0, corr[static_cast<size_t>(i)]);
-      if (c <= 0.0) continue;
-      const double weight = std::exp(-2.0 * std::acos(c));
-      triplets.push_back({i, j, weight});
-      triplets.push_back({j, i, weight});
-    }
+  for (const auto& chunk : chunk_triplets) {
+    triplets.insert(triplets.end(), chunk.begin(), chunk.end());
   }
-  (void)n;
 
   // Duplicate (i, j) entries (mutual neighbors) sum; halve them back to the
   // single-edge weight by averaging.

@@ -16,6 +16,9 @@ namespace fedsc {
 struct TscOptions {
   // Number of nearest neighbors kept per point. Must satisfy 1 <= q < N.
   int64_t q = 3;
+  // Workers for the per-column neighbor selection (columns are independent;
+  // results are bit-identical for every thread count).
+  int num_threads = 1;
 };
 
 // Symmetric TSC affinity graph over the (l2-normalized) columns of x.

@@ -1,0 +1,204 @@
+// Bit-exactness of every threaded kernel: for num_threads in {1, 2, 8} the
+// outputs must be *identical at the bit level* to the serial pass, not just
+// close. This is the determinism contract from DESIGN.md — threaded kernels
+// partition their output index space into fixed contiguous ranges and run
+// the same serial subkernel per range, so no floating-point operation is
+// reordered and no tolerance is needed here.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/fedsc.h"
+#include "data/synthetic.h"
+#include "fed/partition.h"
+#include "linalg/blas.h"
+#include "linalg/svd.h"
+#include "sc/ssc_omp.h"
+
+namespace fedsc {
+namespace {
+
+const int kThreadCounts[] = {2, 8};
+
+Matrix RandomMatrix(int64_t rows, int64_t cols, Rng* rng) {
+  Matrix m(rows, cols);
+  for (int64_t j = 0; j < cols; ++j) {
+    for (int64_t i = 0; i < rows; ++i) m(i, j) = rng->Gaussian();
+  }
+  return m;
+}
+
+void ExpectBitIdentical(const Matrix& a, const Matrix& b, const char* what) {
+  ASSERT_EQ(a.rows(), b.rows()) << what;
+  ASSERT_EQ(a.cols(), b.cols()) << what;
+  for (int64_t j = 0; j < a.cols(); ++j) {
+    for (int64_t i = 0; i < a.rows(); ++i) {
+      ASSERT_EQ(a(i, j), b(i, j))
+          << what << " differs at (" << i << ", " << j << ")";
+    }
+  }
+}
+
+TEST(GemmDeterminismTest, AllTransposeCombosMatchSerialBitForBit) {
+  // 48^3 flops is above the kernel's serial cutoff, so the threaded path
+  // genuinely engages.
+  constexpr int64_t n = 48;
+  Rng rng(11);
+  const Matrix a = RandomMatrix(n, n, &rng);
+  const Matrix b = RandomMatrix(n, n, &rng);
+  const Matrix c0 = RandomMatrix(n, n, &rng);  // exercises beta != 0
+
+  const Trans kinds[] = {Trans::kNo, Trans::kTrans};
+  for (Trans ta : kinds) {
+    for (Trans tb : kinds) {
+      Matrix serial = c0;
+      Gemm(ta, tb, 1.25, a, b, 0.5, &serial, 1);
+      for (int threads : kThreadCounts) {
+        Matrix threaded = c0;
+        Gemm(ta, tb, 1.25, a, b, 0.5, &threaded, threads);
+        ExpectBitIdentical(serial, threaded, "Gemm");
+      }
+    }
+  }
+}
+
+TEST(GemvDeterminismTest, BothOrientationsMatchSerialBitForBit) {
+  constexpr int64_t n = 200;  // 200*200 engages the threaded path
+  Rng rng(12);
+  const Matrix a = RandomMatrix(n, n, &rng);
+  Vector x(static_cast<size_t>(n));
+  Vector y0(static_cast<size_t>(n));
+  for (auto& v : x) v = rng.Gaussian();
+  for (auto& v : y0) v = rng.Gaussian();
+
+  for (Trans trans : {Trans::kNo, Trans::kTrans}) {
+    Vector serial = y0;
+    Gemv(trans, 0.75, a, x.data(), 1.5, serial.data(), 1);
+    for (int threads : kThreadCounts) {
+      Vector threaded = y0;
+      Gemv(trans, 0.75, a, x.data(), 1.5, threaded.data(), threads);
+      for (int64_t i = 0; i < n; ++i) {
+        ASSERT_EQ(serial[static_cast<size_t>(i)],
+                  threaded[static_cast<size_t>(i)])
+            << "Gemv differs at " << i << " with " << threads << " threads";
+      }
+    }
+  }
+}
+
+TEST(SvdDeterminismTest, LargeInputMatchesSerialBitForBit) {
+  // 160 x 110 is above the round-robin cutoff: the parallel tournament
+  // sweep runs for every thread count, including 1.
+  Rng rng(13);
+  const Matrix a = RandomMatrix(160, 110, &rng);
+
+  SvdOptions serial_options;
+  serial_options.num_threads = 1;
+  auto serial = JacobiSvd(a, serial_options);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+
+  for (int threads : kThreadCounts) {
+    SvdOptions options;
+    options.num_threads = threads;
+    auto threaded = JacobiSvd(a, options);
+    ASSERT_TRUE(threaded.ok()) << threaded.status().ToString();
+    ASSERT_EQ(serial->s, threaded->s) << threads << " threads";
+    ExpectBitIdentical(serial->u, threaded->u, "SVD U");
+    ExpectBitIdentical(serial->v, threaded->v, "SVD V");
+  }
+}
+
+TEST(SvdDeterminismTest, SmallInputIsThreadCountInvariantToo) {
+  // Below the cutoff the sweep is cyclic and serial regardless of
+  // num_threads; the knob must still be a no-op on the bits.
+  Rng rng(14);
+  const Matrix a = RandomMatrix(40, 24, &rng);
+
+  SvdOptions serial_options;
+  auto serial = JacobiSvd(a, serial_options);
+  ASSERT_TRUE(serial.ok());
+
+  for (int threads : kThreadCounts) {
+    SvdOptions options;
+    options.num_threads = threads;
+    auto threaded = JacobiSvd(a, options);
+    ASSERT_TRUE(threaded.ok());
+    ASSERT_EQ(serial->s, threaded->s);
+    ExpectBitIdentical(serial->u, threaded->u, "SVD U");
+    ExpectBitIdentical(serial->v, threaded->v, "SVD V");
+  }
+}
+
+TEST(SscOmpDeterminismTest, CoefficientMatrixMatchesSerialExactly) {
+  SyntheticOptions synth;
+  synth.ambient_dim = 24;
+  synth.subspace_dim = 3;
+  synth.num_subspaces = 3;
+  synth.points_per_subspace = 40;
+  synth.seed = 21;
+  auto data = GenerateUnionOfSubspaces(synth);
+  ASSERT_TRUE(data.ok());
+  Matrix x = data->points;
+  x.NormalizeColumns();
+
+  SscOmpOptions serial_options;
+  serial_options.num_threads = 1;
+  auto serial = SscOmpSelfExpression(x, serial_options);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+
+  for (int threads : kThreadCounts) {
+    SscOmpOptions options;
+    options.num_threads = threads;
+    auto threaded = SscOmpSelfExpression(x, options);
+    ASSERT_TRUE(threaded.ok()) << threaded.status().ToString();
+    // The CSR arrays — structure AND values — must match exactly: the
+    // threaded builder concatenates per-chunk triplet lists in chunk order
+    // to reproduce the serial triplet stream.
+    ASSERT_EQ(serial->row_ptr(), threaded->row_ptr()) << threads;
+    ASSERT_EQ(serial->col_idx(), threaded->col_idx()) << threads;
+    ASSERT_EQ(serial->values(), threaded->values()) << threads;
+  }
+}
+
+TEST(FedScDeterminismTest, FullRunMatchesSerialForEveryThreadCount) {
+  SyntheticOptions synth;
+  synth.ambient_dim = 24;
+  synth.subspace_dim = 3;
+  synth.num_subspaces = 4;
+  synth.points_per_subspace = 30;
+  synth.seed = 31;
+  auto data = GenerateUnionOfSubspaces(synth);
+  ASSERT_TRUE(data.ok());
+  PartitionOptions partition;
+  partition.num_devices = 6;
+  partition.clusters_per_device = 2;
+  partition.seed = 31 ^ 0xABCDEF;
+  auto fed = PartitionAcrossDevices(*data, partition);
+  ASSERT_TRUE(fed.ok());
+
+  FedScOptions serial_options;
+  serial_options.num_threads = 1;
+  auto serial = RunFedSc(*fed, synth.num_subspaces, serial_options);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+
+  for (int threads : kThreadCounts) {
+    FedScOptions options;
+    options.num_threads = threads;
+    auto threaded = RunFedSc(*fed, synth.num_subspaces, options);
+    ASSERT_TRUE(threaded.ok()) << threaded.status().ToString();
+
+    EXPECT_EQ(serial->global_labels, threaded->global_labels) << threads;
+    EXPECT_EQ(serial->device_labels, threaded->device_labels) << threads;
+    EXPECT_EQ(serial->local_cluster_counts, threaded->local_cluster_counts)
+        << threads;
+    EXPECT_EQ(serial->total_samples, threaded->total_samples) << threads;
+    EXPECT_EQ(serial->sample_labels, threaded->sample_labels) << threads;
+    ExpectBitIdentical(serial->samples, threaded->samples, "pooled samples");
+  }
+}
+
+}  // namespace
+}  // namespace fedsc

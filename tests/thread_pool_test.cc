@@ -1,0 +1,282 @@
+// Unit tests for the worker pool and its deterministic parallel-for
+// helpers, including a regression test for the Schedule-after-Wait
+// lost-wakeup window (two controllers interleaving on one pool).
+
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fedsc {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryScheduledTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Schedule([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ReusableAfterWait) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    for (int i = 0; i < 20; ++i) {
+      pool.Schedule([&count] { count.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(count.load(), (batch + 1) * 20);
+  }
+}
+
+TEST(ThreadPoolTest, WaitWithNothingScheduledReturnsImmediately) {
+  ThreadPool pool(3);
+  pool.Wait();
+  pool.Wait();
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, DestructionDrainsQueuedWork) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      pool.Schedule([&count] {
+        std::this_thread::sleep_for(std::chrono::microseconds(10));
+        count.fetch_add(1);
+      });
+    }
+    // No Wait(): the destructor must drain the queue before joining.
+  }
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPoolTest, AtLeastOneWorkerEvenWhenAskedForZero) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1);
+  std::atomic<int> count{0};
+  pool.Schedule([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+}
+
+// Regression test for the lost-wakeup window in the old in_flight_ == 0
+// handshake: with two controllers interleaving Schedule and Wait on the
+// same pool, a waiter could observe in_flight_ pushed back above zero by
+// the other controller and sleep past its own batch's completion. The
+// epoch-counter Wait must guarantee: every task scheduled by this thread
+// before its Wait() call has run once Wait() returns.
+TEST(ThreadPoolTest, InterleavedScheduleWaitFromTwoControllers) {
+  ThreadPool pool(4);
+  constexpr int kIterations = 400;
+  constexpr int kTasksPerBatch = 8;
+
+  auto controller = [&pool](std::atomic<int>* count) {
+    int scheduled = 0;
+    for (int iter = 0; iter < kIterations; ++iter) {
+      for (int t = 0; t < kTasksPerBatch; ++t) {
+        pool.Schedule([count] { count->fetch_add(1); });
+        ++scheduled;
+      }
+      pool.Wait();
+      // Everything this controller scheduled before Wait() must be done;
+      // the other controller's concurrent batches must not extend or
+      // starve this wait.
+      ASSERT_GE(count->load(), scheduled);
+    }
+  };
+
+  std::atomic<int> count_a{0};
+  std::atomic<int> count_b{0};
+  std::thread a(controller, &count_a);
+  std::thread b(controller, &count_b);
+  a.join();
+  b.join();
+  EXPECT_EQ(count_a.load(), kIterations * kTasksPerBatch);
+  EXPECT_EQ(count_b.load(), kIterations * kTasksPerBatch);
+}
+
+TEST(InThreadPoolWorkerTest, TrueOnlyInsideWorkers) {
+  EXPECT_FALSE(InThreadPoolWorker());
+  ThreadPool pool(2);
+  std::atomic<bool> inside{false};
+  pool.Schedule([&inside] { inside.store(InThreadPoolWorker()); });
+  pool.Wait();
+  EXPECT_TRUE(inside.load());
+  EXPECT_FALSE(InThreadPoolWorker());
+}
+
+TEST(ParallelForTest, EmptyRangeRunsNothing) {
+  std::atomic<int> count{0};
+  ParallelFor(5, 5, 4, [&count](int64_t) { count.fetch_add(1); });
+  ParallelFor(0, 0, 1, [&count](int64_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 0);
+}
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  constexpr int64_t kBegin = 3;
+  constexpr int64_t kEnd = 1003;
+  std::vector<std::atomic<int>> visits(kEnd - kBegin);
+  ParallelFor(kBegin, kEnd, 4, [&visits, kBegin = kBegin](int64_t i) {
+    visits[static_cast<size_t>(i - kBegin)].fetch_add(1);
+  });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelForTest, RangeSmallerThanThreadCount) {
+  std::vector<std::atomic<int>> visits(3);
+  ParallelFor(0, 3, 16, [&visits](int64_t i) {
+    visits[static_cast<size_t>(i)].fetch_add(1);
+  });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelForTest, SingleThreadRunsInline) {
+  // num_threads <= 1 must run on the calling thread (no pool spawned).
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(4);
+  ParallelFor(0, 4, 1, [&seen, caller](int64_t i) {
+    seen[static_cast<size_t>(i)] = std::this_thread::get_id();
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+  for (const auto& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ParallelForTest, StressThousandsOfTinyTasks) {
+  constexpr int64_t kCount = 20000;
+  std::atomic<int64_t> sum{0};
+  ParallelFor(0, kCount, 8, [&sum](int64_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), kCount * (kCount - 1) / 2);
+}
+
+TEST(ParallelForTest, NestedCallsDegradeToInline) {
+  // A parallel region launched from inside a pool worker must run inline
+  // (serially) rather than spawn a nested pool.
+  std::atomic<int> outer{0};
+  std::atomic<int> inner{0};
+  ParallelFor(0, 4, 4, [&outer, &inner](int64_t) {
+    EXPECT_TRUE(InThreadPoolWorker());
+    outer.fetch_add(1);
+    const auto worker = std::this_thread::get_id();
+    ParallelFor(0, 8, 4, [&inner, worker](int64_t) {
+      EXPECT_EQ(std::this_thread::get_id(), worker);
+      inner.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(outer.load(), 4);
+  EXPECT_EQ(inner.load(), 4 * 8);
+}
+
+TEST(ParallelForRangesTest, EmptyRangeReturnsZeroChunks) {
+  int calls = 0;
+  const int chunks = ParallelForRanges(
+      2, 2, 8, [&calls](int64_t, int64_t, int) { ++calls; });
+  EXPECT_EQ(chunks, 0);
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(ParallelChunkCount(2, 2, 8), 0);
+}
+
+TEST(ParallelForRangesTest, SingleThreadIsOneInlineChunk) {
+  int calls = 0;
+  int64_t b = -1;
+  int64_t e = -1;
+  const int chunks = ParallelForRanges(
+      10, 50, 1, [&](int64_t chunk_begin, int64_t chunk_end, int chunk) {
+        ++calls;
+        b = chunk_begin;
+        e = chunk_end;
+        EXPECT_EQ(chunk, 0);
+      });
+  EXPECT_EQ(chunks, 1);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(b, 10);
+  EXPECT_EQ(e, 50);
+}
+
+TEST(ParallelForRangesTest, ChunksTileTheRangeInOrder) {
+  constexpr int64_t kBegin = 7;
+  constexpr int64_t kEnd = 107;
+  constexpr int kThreads = 6;
+  const int expected_chunks = ParallelChunkCount(kBegin, kEnd, kThreads);
+
+  std::mutex mutex;
+  std::vector<std::pair<int64_t, int64_t>> ranges(
+      static_cast<size_t>(expected_chunks), {-1, -1});
+  const int chunks = ParallelForRanges(
+      kBegin, kEnd, kThreads,
+      [&](int64_t chunk_begin, int64_t chunk_end, int chunk) {
+        std::lock_guard<std::mutex> lock(mutex);
+        ASSERT_GE(chunk, 0);
+        ASSERT_LT(chunk, expected_chunks);
+        ranges[static_cast<size_t>(chunk)] = {chunk_begin, chunk_end};
+      });
+  EXPECT_EQ(chunks, expected_chunks);
+
+  // Consecutive chunks must tile [begin, end) exactly, in index order.
+  int64_t next = kBegin;
+  for (const auto& [chunk_begin, chunk_end] : ranges) {
+    EXPECT_EQ(chunk_begin, next);
+    EXPECT_LT(chunk_begin, chunk_end);
+    next = chunk_end;
+  }
+  EXPECT_EQ(next, kEnd);
+}
+
+TEST(ParallelForRangesTest, RangeSmallerThanThreadCount) {
+  std::vector<std::atomic<int>> visits(2);
+  const int chunks = ParallelForRanges(
+      0, 2, 16, [&visits](int64_t chunk_begin, int64_t chunk_end, int) {
+        for (int64_t i = chunk_begin; i < chunk_end; ++i) {
+          visits[static_cast<size_t>(i)].fetch_add(1);
+        }
+      });
+  EXPECT_LE(chunks, 2);
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelForRangesTest, PartitionIsAPureFunctionOfInputs) {
+  // Two identical calls must produce the identical partition: this is the
+  // property that makes per-chunk accumulators deterministic.
+  auto capture = [](int64_t begin, int64_t end, int threads) {
+    std::mutex mutex;
+    std::vector<std::pair<int64_t, int64_t>> ranges(
+        static_cast<size_t>(ParallelChunkCount(begin, end, threads)));
+    ParallelForRanges(begin, end, threads,
+                      [&](int64_t chunk_begin, int64_t chunk_end, int chunk) {
+                        std::lock_guard<std::mutex> lock(mutex);
+                        ranges[static_cast<size_t>(chunk)] = {chunk_begin,
+                                                              chunk_end};
+                      });
+    return ranges;
+  };
+  EXPECT_EQ(capture(0, 1000, 7), capture(0, 1000, 7));
+  EXPECT_EQ(capture(13, 999, 5), capture(13, 999, 5));
+}
+
+TEST(ParallelForRangesTest, NestedCallsRunAsOneInlineChunk) {
+  std::atomic<int> inner_chunks{0};
+  ParallelForRanges(0, 8, 4, [&](int64_t, int64_t, int) {
+    const int nested = ParallelForRanges(
+        0, 100, 8, [](int64_t chunk_begin, int64_t chunk_end, int chunk) {
+          EXPECT_EQ(chunk, 0);
+          EXPECT_EQ(chunk_begin, 0);
+          EXPECT_EQ(chunk_end, 100);
+        });
+    inner_chunks.fetch_add(nested);
+  });
+  // Every nested region collapsed to a single inline chunk.
+  EXPECT_EQ(inner_chunks.load(), ParallelChunkCount(0, 8, 4));
+}
+
+}  // namespace
+}  // namespace fedsc
