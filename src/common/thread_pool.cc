@@ -35,49 +35,85 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) worker.join();
 }
 
+int ThreadPool::num_threads() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return static_cast<int>(workers_.size());
+}
+
+void ThreadPool::GrowTo(int num_threads) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  FEDSC_CHECK(!shutting_down_) << "GrowTo() after shutdown";
+  while (static_cast<int>(workers_.size()) < num_threads) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
 void ThreadPool::Schedule(std::function<void()> task) {
   FEDSC_CHECK(task != nullptr);
   {
     std::unique_lock<std::mutex> lock(mutex_);
     FEDSC_CHECK(!shutting_down_) << "Schedule() after shutdown";
-    queue_.push(std::move(task));
-    ++scheduled_;
+    queue_.emplace(next_seq_++, std::move(task));
   }
   work_available_.notify_one();
 }
 
+int64_t ThreadPool::MinIncompleteSeqLocked() const {
+  // Workers dequeue in FIFO order, so running tasks always predate queued
+  // ones; take the min of both anyway so the invariant is not load-bearing.
+  int64_t min_seq = next_seq_;
+  if (!running_.empty()) min_seq = std::min(min_seq, *running_.begin());
+  if (!queue_.empty()) min_seq = std::min(min_seq, queue_.front().first);
+  return min_seq;
+}
+
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mutex_);
-  // Snapshot the epoch under the lock: this Wait only covers tasks already
-  // scheduled. completed_ is monotone, so the predicate can never "un-become"
-  // true — a concurrent Schedule from another controller raises scheduled_
-  // but not our target, closing the window where the old in_flight_ == 0
-  // handshake left a waiter blocked on work it never scheduled.
-  const int64_t target = scheduled_;
-  all_done_.wait(lock, [this, target] { return completed_ >= target; });
+  // Snapshot under the lock: this Wait covers exactly the tasks with a
+  // sequence number below the snapshot. Tracking incomplete sequences
+  // (instead of a global completion count) means a short task scheduled
+  // after the snapshot finishing early can never push the predicate true
+  // while a pre-snapshot task is still running.
+  const int64_t target = next_seq_;
+  all_done_.wait(lock,
+                 [this, target] { return MinIncompleteSeqLocked() >= target; });
 }
 
 void ThreadPool::WorkerLoop() {
   tls_in_pool_worker = true;
   while (true) {
+    int64_t seq;
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_available_.wait(
           lock, [this] { return shutting_down_ || !queue_.empty(); });
       if (queue_.empty()) return;  // shutting down, backlog drained
-      task = std::move(queue_.front());
+      seq = queue_.front().first;
+      task = std::move(queue_.front().second);
       queue_.pop();
+      running_.insert(seq);
     }
     task();
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      ++completed_;
+      running_.erase(seq);
     }
-    // Every completion may satisfy some epoch waiter (not just the last
-    // one), so notify unconditionally; notifying without waiters is cheap.
+    // Every completion may satisfy some waiter (not just the last one), so
+    // notify unconditionally; notifying without waiters is cheap.
     all_done_.notify_all();
   }
+}
+
+ThreadPool& SharedThreadPool(int min_threads) {
+  // Deliberately persistent: spawning and joining a pool per parallel
+  // region (one per Jacobi round, one per Gemm call inside ADMM, ...) costs
+  // more than the work for mid-size problems. Worker count only ever grows;
+  // results never depend on it because every helper partitions work as a
+  // pure function of (range, num_threads).
+  static ThreadPool pool(std::max(1, min_threads));
+  pool.GrowTo(min_threads);
+  return pool;
 }
 
 void ParallelFor(int64_t begin, int64_t end, int num_threads,
@@ -89,10 +125,10 @@ void ParallelFor(int64_t begin, int64_t end, int num_threads,
     for (int64_t i = begin; i < end; ++i) body(i);
     return;
   }
-  ThreadPool pool(static_cast<int>(
-      std::min<int64_t>(num_threads, count)));
+  const int tasks = static_cast<int>(std::min<int64_t>(num_threads, count));
+  ThreadPool& pool = SharedThreadPool(tasks);
   std::atomic<int64_t> next{begin};
-  for (int t = 0; t < pool.num_threads(); ++t) {
+  for (int t = 0; t < tasks; ++t) {
     pool.Schedule([&next, end, &body] {
       // Self-scheduling: workers pull indices until the range drains, so
       // uneven per-iteration costs (devices of different sizes) balance.
@@ -124,7 +160,7 @@ int ParallelForRanges(
     return 1;
   }
   const int64_t count = end - begin;
-  ThreadPool pool(chunks);
+  ThreadPool& pool = SharedThreadPool(chunks);
   for (int c = 0; c < chunks; ++c) {
     // Pure function of (begin, count, chunks): balanced contiguous ranges.
     const int64_t lo = begin + count * c / chunks;

@@ -30,7 +30,9 @@
 #include <functional>
 #include <mutex>
 #include <queue>
+#include <set>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace fedsc {
@@ -45,36 +47,50 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  int num_threads() const { return static_cast<int>(workers_.size()); }
+  int num_threads() const;
+
+  // Adds workers until the pool has at least `num_threads` of them. Safe to
+  // call while tasks are queued or running; existing workers are untouched.
+  void GrowTo(int num_threads);
 
   // Enqueues a task; it may run on any worker, in any order.
   void Schedule(std::function<void()> task);
 
   // Blocks until every task scheduled *before this call* has finished.
-  // Tasks scheduled concurrently by other controller threads do not extend
-  // this wait (epoch semantics), so interleaved Schedule/Wait from several
-  // controllers can never strand a waiter on someone else's backlog. The
-  // pool is reusable: Schedule after Wait is always safe, including while
-  // workers are still draining another controller's tasks.
+  // Completion is tracked per task (by schedule sequence number), so a task
+  // scheduled after this call starts can neither extend the wait nor — by
+  // finishing quickly while an earlier task is still running — satisfy it
+  // early. The pool is reusable: Schedule after Wait is always safe,
+  // including while workers are still draining another controller's tasks.
   void Wait();
 
  private:
   void WorkerLoop();
+  // Smallest schedule sequence number not yet completed (next_seq_ when the
+  // pool is idle). Caller must hold mutex_.
+  int64_t MinIncompleteSeqLocked() const;
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable all_done_;
-  std::queue<std::function<void()>> queue_;
-  // Monotone epoch counters: a waiter snapshots scheduled_ and sleeps until
-  // completed_ catches up. Counting both sides (instead of one in_flight_
-  // counter) is what makes Wait immune to the lost-drain window where
-  // another controller re-arms the pool between the last completion and the
-  // waiter's predicate check.
-  int64_t scheduled_ = 0;
-  int64_t completed_ = 0;
+  // Each task carries the sequence number Schedule assigned it. A waiter
+  // snapshots next_seq_ and sleeps until no queued or running task has a
+  // smaller sequence: out-of-order completions of later tasks cannot wake
+  // it early, and a concurrent Schedule from another controller raises
+  // next_seq_ but not the snapshot, so nobody waits on work scheduled after
+  // their Wait began.
+  std::queue<std::pair<int64_t, std::function<void()>>> queue_;
+  std::set<int64_t> running_;
+  int64_t next_seq_ = 0;
   bool shutting_down_ = false;
   std::vector<std::thread> workers_;
 };
+
+// The process-wide pool backing ParallelFor / ParallelForRanges: created
+// lazily on first use and grown (never shrunk) to the largest thread count
+// any caller has requested, so hot loops reuse warm workers instead of
+// paying thread spawn/join per parallel region. Joined at process exit.
+ThreadPool& SharedThreadPool(int min_threads);
 
 // True when called from inside a ThreadPool worker. The parallel-for
 // helpers consult this to run nested parallel regions inline (serially)
@@ -82,16 +98,18 @@ class ThreadPool {
 // every helper is bit-exact across thread counts by construction.
 bool InThreadPoolWorker();
 
-// Runs body(i) for i in [begin, end), spread across `num_threads` workers
-// (inline when num_threads <= 1, the range is tiny, or the caller is itself
-// a pool worker). Workers self-schedule single indices, so uneven
-// per-iteration costs (devices of different sizes) balance; use this ONLY
-// when each iteration owns a disjoint output slot.
+// Runs body(i) for i in [begin, end), spread across `num_threads` tasks on
+// the shared pool (inline when num_threads <= 1, the range is tiny, or the
+// caller is itself a pool worker). Workers self-schedule single indices, so
+// uneven per-iteration costs (devices of different sizes) balance; use this
+// ONLY when each iteration owns a disjoint output slot.
 void ParallelFor(int64_t begin, int64_t end, int num_threads,
                  const std::function<void(int64_t)>& body);
 
 // Splits [begin, end) into at most `num_threads` contiguous ranges and runs
-// body(chunk_begin, chunk_end, chunk_index) for each, in parallel. The
+// body(chunk_begin, chunk_end, chunk_index) for each, in parallel on the
+// shared pool (the partition — and therefore the result — never depends on
+// how many workers that pool happens to have). The
 // partition is a pure function of (begin, end, num_threads): chunk c covers
 // [begin + c*count/chunks, begin + (c+1)*count/chunks). Runs inline, as the
 // single chunk [begin, end), when num_threads <= 1 or the caller is a pool

@@ -84,13 +84,29 @@ SvdResult FinishTall(Matrix work, Matrix v, int64_t m, int64_t n) {
   return result;
 }
 
-// Below this work size (rows * cols) the sweep stays in the classic cyclic
-// (p, q) order and never fans out. The pair ordering is a pure function of
-// the problem size — NOT of num_threads — so JacobiSvd is bit-identical
-// across thread counts at every size: small problems always take the cyclic
-// path, large ones always take the round-robin path (whose rounds are
-// order-independent; see below).
+// Below this work size (rows * cols) SvdPairOrder::kAuto stays in the
+// classic cyclic (p, q) order and never fans out. The pair ordering is a
+// pure function of the problem size and the pair_order option — NOT of
+// num_threads — so JacobiSvd is bit-identical across thread counts at every
+// size: small problems always take the cyclic path, large ones always take
+// the round-robin path (whose rounds are order-independent; see below).
+// The two orders produce different low-order output bits, so results for
+// large inputs differ from the pre-round-robin (always-cyclic) versions and
+// are discontinuous across this cutoff; pin SvdPairOrder::kCyclic to
+// reproduce stored pre-threading outputs.
 constexpr int64_t kRoundRobinCutoff = 1 << 14;
+
+bool UseRoundRobin(int64_t m, int64_t n, const SvdOptions& options) {
+  switch (options.pair_order) {
+    case SvdPairOrder::kCyclic:
+      return false;
+    case SvdPairOrder::kRoundRobin:
+      return true;
+    case SvdPairOrder::kAuto:
+      break;
+  }
+  return m * n >= kRoundRobinCutoff;
+}
 
 // One-sided Jacobi on a with m >= n: orthogonalizes the columns of a working
 // copy by plane rotations, accumulating them into V.
@@ -109,7 +125,7 @@ Result<SvdResult> JacobiSvdTall(const Matrix& a, const SvdOptions& options) {
   Matrix work = a;
   Matrix v = Matrix::Identity(n);
 
-  if (m * n < kRoundRobinCutoff) {
+  if (!UseRoundRobin(m, n, options)) {
     bool cyclic_converged = false;
     for (int sweep = 0; sweep < options.max_sweeps && !cyclic_converged;
          ++sweep) {

@@ -16,6 +16,25 @@ struct SvdResult {
   Matrix v;  // n x k, orthonormal columns
 };
 
+// Which order a Jacobi sweep visits column pairs in. The two orders reach
+// the same factorization up to roundoff, but the individual rotations — and
+// therefore the low-order bits of the output and the sweep count — differ,
+// so this is a *result-affecting* choice, not a scheduling detail.
+enum class SvdPairOrder {
+  // Pick by problem size: cyclic below a fixed work cutoff (rows * cols <
+  // 2^14), round-robin at or above it. The choice depends only on the
+  // problem size, never on num_threads, so results stay bit-identical
+  // across thread counts.
+  kAuto,
+  // Classic cyclic (p, q) order — the pre-threading behavior at every size.
+  // Inherently sequential: always runs serially. Pin this to reproduce
+  // outputs stored before the round-robin sweep existed.
+  kCyclic,
+  // Round-robin (tournament) order at every size: each round's pairs are
+  // mutually disjoint, so sweeps parallelize bit-exactly.
+  kRoundRobin,
+};
+
 struct SvdOptions {
   int max_sweeps = 60;
   // Column pairs with |<a_p, a_q>| <= tol * ||a_p|| * ||a_q|| count as
@@ -25,6 +44,7 @@ struct SvdOptions {
   // mutually disjoint, so they fan out with bit-identical results for every
   // thread count.
   int num_threads = 1;
+  SvdPairOrder pair_order = SvdPairOrder::kAuto;
 };
 
 // Thin SVD, k = min(m, n). Fails only on empty input or non-convergence

@@ -1,6 +1,6 @@
 #include "sc/pipeline.h"
 
-#include <algorithm>
+#include <utility>
 
 #include "common/stopwatch.h"
 #include "sc/affinity.h"
@@ -28,9 +28,10 @@ const char* ScMethodName(ScMethod method) {
 Result<SparseMatrix> BuildAffinity(const Matrix& x,
                                    const ScPipelineOptions& options) {
   // The pipeline knob lifts method-level defaults; an explicit per-method
-  // setting above 1 is respected as-is.
+  // setting above 1 is respected as-is, even when the pipeline asks for
+  // more.
   const auto resolved = [&options](int method_threads) {
-    return std::max(method_threads, options.num_threads);
+    return method_threads > 1 ? method_threads : options.num_threads;
   };
   switch (options.method) {
     case ScMethod::kSsc: {

@@ -74,8 +74,8 @@ TEST(ThreadPoolTest, AtLeastOneWorkerEvenWhenAskedForZero) {
 // handshake: with two controllers interleaving Schedule and Wait on the
 // same pool, a waiter could observe in_flight_ pushed back above zero by
 // the other controller and sleep past its own batch's completion. The
-// epoch-counter Wait must guarantee: every task scheduled by this thread
-// before its Wait() call has run once Wait() returns.
+// sequence-tracking Wait must guarantee: every task scheduled by this
+// thread before its Wait() call has run once Wait() returns.
 TEST(ThreadPoolTest, InterleavedScheduleWaitFromTwoControllers) {
   ThreadPool pool(4);
   constexpr int kIterations = 400;
@@ -104,6 +104,56 @@ TEST(ThreadPoolTest, InterleavedScheduleWaitFromTwoControllers) {
   b.join();
   EXPECT_EQ(count_a.load(), kIterations * kTasksPerBatch);
   EXPECT_EQ(count_b.load(), kIterations * kTasksPerBatch);
+}
+
+// Regression test for the premature-return window of the epoch-counter
+// Wait that replaced the in_flight_ handshake: it counted completions of
+// *any* task, so a short task scheduled after the waiter's snapshot could
+// push the completion count past the target while a long pre-snapshot task
+// was still running, and Wait() returned early. Per-task sequence tracking
+// must keep the waiter asleep until its own (earlier) task finishes, no
+// matter how many later tasks complete first.
+TEST(ThreadPoolTest, LaterFastCompletionsCannotSatisfyEarlierWait) {
+  ThreadPool pool(4);
+  std::atomic<bool> release_slow{false};
+  std::atomic<bool> slow_done{false};
+  std::atomic<int> fast_done{0};
+
+  pool.Schedule([&release_slow, &slow_done] {
+    while (!release_slow.load()) std::this_thread::yield();
+    slow_done.store(true);
+  });
+
+  std::thread waiter([&pool, &slow_done] {
+    pool.Wait();
+    // The slow task was scheduled before this thread existed, so every
+    // possible snapshot covers it: Wait() must not return on the strength
+    // of the fast tasks alone.
+    EXPECT_TRUE(slow_done.load());
+  });
+
+  // Give the waiter time to block, then run a burst of tasks scheduled
+  // after its snapshot to completion while the slow task is still held.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  for (int i = 0; i < 64; ++i) {
+    pool.Schedule([&fast_done] { fast_done.fetch_add(1); });
+  }
+  while (fast_done.load() < 64) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  release_slow.store(true);
+  waiter.join();
+  pool.Wait();
+  EXPECT_TRUE(slow_done.load());
+  EXPECT_EQ(fast_done.load(), 64);
+}
+
+TEST(SharedThreadPoolTest, PersistentAndGrowsToLargestRequest) {
+  ThreadPool& a = SharedThreadPool(2);
+  ThreadPool& b = SharedThreadPool(5);
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(b.num_threads(), 5);
+  // A smaller later request returns the same pool and never shrinks it.
+  EXPECT_GE(SharedThreadPool(1).num_threads(), 5);
 }
 
 TEST(InThreadPoolWorkerTest, TrueOnlyInsideWorkers) {
