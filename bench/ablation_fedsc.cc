@@ -106,6 +106,7 @@ void Run(bool csv) {
 }  // namespace fedsc
 
 int main(int argc, char** argv) {
+  fedsc::bench::Observability observability(argc, argv);
   fedsc::Run(fedsc::bench::HasFlag(argc, argv, "--csv"));
   return 0;
 }

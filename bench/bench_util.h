@@ -1,13 +1,19 @@
 // Shared helpers for the experiment-reproduction benches: aligned table
-// printing (the paper's rows/series) with optional CSV emission via --csv.
+// printing (the paper's rows/series) with optional CSV emission via --csv,
+// and opt-in observability (--trace-out= / --metrics-out=) shared by every
+// bench through the Observability guard.
 
 #ifndef FEDSC_BENCH_BENCH_UTIL_H_
 #define FEDSC_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
+
+#include "common/metrics.h"
+#include "common/trace.h"
 
 namespace fedsc::bench {
 
@@ -17,6 +23,71 @@ inline bool HasFlag(int argc, char** argv, const char* flag) {
   }
   return false;
 }
+
+// Declared at the top of a bench's main(), this turns tracing/metrics on
+// when --trace-out=PATH / --metrics-out=PATH were passed and writes the
+// outputs when the bench finishes. The metrics file embeds the registry
+// snapshot under the bench's name:
+//
+//   {"bench": "fig4_devices", "metrics": {...}}
+//
+// Without either flag the guard does nothing and the instrumented kernels
+// stay on their single-atomic-load disabled path.
+class Observability {
+ public:
+  Observability(int argc, char** argv) {
+    if (argc > 0) {
+      const char* slash = std::strrchr(argv[0], '/');
+      name_ = slash == nullptr ? argv[0] : slash + 1;
+    }
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
+        metrics_path_ = arg + 14;
+      } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+        trace_path_ = arg + 12;
+      }
+    }
+    if (!metrics_path_.empty()) EnableMetrics(true);
+    if (!trace_path_.empty()) EnableTracing(true);
+  }
+
+  ~Observability() { Finish(); }
+  Observability(const Observability&) = delete;
+  Observability& operator=(const Observability&) = delete;
+
+  // Idempotent; the destructor calls it for benches that just fall off the
+  // end of main().
+  void Finish() {
+    if (finished_) return;
+    finished_ = true;
+    if (!metrics_path_.empty()) {
+      std::ofstream out(metrics_path_);
+      if (!out) {
+        std::fprintf(stderr, "cannot open %s\n", metrics_path_.c_str());
+      } else {
+        out << "{\"bench\":\"" << name_ << "\",\"metrics\":"
+            << MetricsJsonString() << "}\n";
+        std::fprintf(stderr, "wrote metrics to %s\n", metrics_path_.c_str());
+      }
+    }
+    if (!trace_path_.empty()) {
+      const Status written = WriteChromeTraceFile(trace_path_);
+      if (!written.ok()) {
+        std::fprintf(stderr, "writing trace failed: %s\n",
+                     written.ToString().c_str());
+      } else {
+        std::fprintf(stderr, "wrote trace to %s\n", trace_path_.c_str());
+      }
+    }
+  }
+
+ private:
+  std::string name_ = "bench";
+  std::string metrics_path_;
+  std::string trace_path_;
+  bool finished_ = false;
+};
 
 // Accumulates rows of strings and prints them as an aligned text table or as
 // CSV.

@@ -12,7 +12,8 @@ cmake -S "${repo_root}" -B "${build_dir}" \
   -DFEDSC_SANITIZE=thread
 
 cmake --build "${build_dir}" -j "$(nproc)" \
-  --target thread_pool_test parallel_determinism_test fedsc_test
+  --target thread_pool_test parallel_determinism_test fedsc_test \
+  trace_test logging_test
 
 # halt_on_error makes the first race fail the run instead of just logging.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
@@ -20,5 +21,9 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "${build_dir}/tests/thread_pool_test"
 "${build_dir}/tests/parallel_determinism_test"
 "${build_dir}/tests/fedsc_test"
+# The observability layer records from every worker thread; run its suites
+# under TSAN too (trace recorder, metrics registry, log sink).
+"${build_dir}/tests/trace_test"
+"${build_dir}/tests/logging_test"
 
 echo "TSAN: all threaded suites passed with zero reported races."

@@ -13,3 +13,30 @@ for b in build/bench/*; do
   echo "=== $b ==="
   "$b"
 done 2>&1 | tee bench_output.txt
+
+# Observability smoke test: trace a small end-to-end run and validate the
+# exported Chrome trace (every begin matched, timestamps monotone per track).
+obs_dir="$(mktemp -d)"
+trap 'rm -rf "${obs_dir}"' EXIT
+python3 - "${obs_dir}/smoke.csv" <<'PY'
+import random
+import sys
+
+# 3 well-separated Gaussian blobs in 8 dimensions: label,f1,...,f8 per line.
+rng = random.Random(7)
+with open(sys.argv[1], "w") as f:
+    for label in range(3):
+        center = [rng.gauss(0.0, 1.0) * 10.0 for _ in range(8)]
+        for _ in range(40):
+            row = [str(label)] + [f"{c + rng.gauss(0.0, 0.3):.6f}" for c in center]
+            f.write(",".join(row) + "\n")
+PY
+build/tools/fedsc_cli --input "${obs_dir}/smoke.csv" --clusters 3 \
+  --devices 4 --threads 4 --trace-out "${obs_dir}/trace.json" \
+  --metrics-out "${obs_dir}/metrics.json"
+python3 scripts/validate_trace.py "${obs_dir}/trace.json" \
+  --expect-span fedsc/run --expect-span fedsc/phase1/device \
+  --expect-span fedsc/phase2/central
+python3 -c 'import json,sys; json.load(open(sys.argv[1]))' \
+  "${obs_dir}/metrics.json"
+echo "observability smoke test passed"

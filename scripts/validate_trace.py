@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Validates a Chrome trace-event JSON file produced by --trace-out.
+
+Checks, per (pid, tid) track:
+  * the file parses as JSON and has the {"traceEvents": [...]} shape;
+  * every duration event is "B", "E", or metadata "M" with name/ts fields;
+  * "B"/"E" events nest properly: every begin is closed by an end, no end
+    arrives without an open begin, and timestamps never decrease;
+  * optionally (--expect-span NAME, repeatable) that a named span occurs.
+
+Usage: validate_trace.py trace.json [--expect-span fedsc/run ...]
+
+Exit status 0 on a well-formed trace, 1 otherwise; the first problem is
+reported on stderr. Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(message: str) -> None:
+    print(f"validate_trace: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument(
+        "--expect-span",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="require at least one span with this exact name (repeatable)",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as f:
+            trace = json.load(f)
+    except OSError as e:
+        fail(f"cannot read {args.trace}: {e}")
+    except json.JSONDecodeError as e:
+        fail(f"{args.trace} is not valid JSON: {e}")
+
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        fail("top level must be an object with a 'traceEvents' array")
+    events = trace["traceEvents"]
+    if not isinstance(events, list):
+        fail("'traceEvents' must be an array")
+
+    stacks = {}  # (pid, tid) -> list of (name, ts)
+    last_ts = {}  # (pid, tid) -> last timestamp seen
+    seen_spans = set()
+    begins = ends = 0
+
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            fail(f"event #{index} is not an object")
+        phase = event.get("ph")
+        name = event.get("name")
+        if not isinstance(name, str):
+            fail(f"event #{index} has no string 'name'")
+        if phase == "M":
+            continue
+        if phase not in ("B", "E"):
+            fail(f"event #{index} ({name!r}) has unsupported phase {phase!r}")
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)):
+            fail(f"event #{index} ({name!r}) has no numeric 'ts'")
+        track = (event.get("pid"), event.get("tid"))
+        if ts < last_ts.get(track, float("-inf")):
+            fail(
+                f"event #{index} ({name!r}) goes back in time on "
+                f"pid/tid {track}: ts={ts}"
+            )
+        last_ts[track] = ts
+        stack = stacks.setdefault(track, [])
+        if phase == "B":
+            begins += 1
+            seen_spans.add(name)
+            stack.append((name, ts))
+        else:
+            ends += 1
+            if not stack:
+                fail(
+                    f"event #{index}: end with no open span on "
+                    f"pid/tid {track}"
+                )
+            stack.pop()
+
+    for track, stack in stacks.items():
+        if stack:
+            names = ", ".join(name for name, _ in stack)
+            fail(f"pid/tid {track} has {len(stack)} unclosed span(s): {names}")
+
+    for name in args.expect_span:
+        if name not in seen_spans:
+            fail(f"expected span {name!r} never occurs")
+
+    print(
+        f"validate_trace: OK — {begins} spans "
+        f"({begins + ends} events) across {len(stacks)} thread track(s)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/metrics.h"
 #include "linalg/blas.h"
 
 namespace fedsc {
@@ -167,6 +168,8 @@ Result<KMeansResult> KMeans(const Matrix& points, int64_t k,
   KMeansResult best;
   best.inertia = std::numeric_limits<double>::infinity();
   const int restarts = std::max(1, options.num_init);
+  FEDSC_METRIC_COUNTER("cluster.kmeans.runs").Increment();
+  FEDSC_METRIC_COUNTER("cluster.kmeans.restarts").Add(restarts);
   for (int attempt = 0; attempt < restarts; ++attempt) {
     Matrix init;
     if (options.init == KMeansInit::kPlusPlus) {
@@ -175,6 +178,7 @@ Result<KMeansResult> KMeans(const Matrix& points, int64_t k,
       init = points.GatherCols(FarthestFirstIndices(points, k, &rng));
     }
     LloydOutcome outcome = Lloyd(points, std::move(init), options, &rng);
+    FEDSC_METRIC_COUNTER("cluster.kmeans.iterations").Add(outcome.iterations);
     if (outcome.inertia < best.inertia) {
       best.inertia = outcome.inertia;
       best.labels = std::move(outcome.labels);

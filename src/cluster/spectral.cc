@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/trace.h"
 #include "graph/laplacian.h"
 #include "linalg/blas.h"
 #include "linalg/eig.h"
@@ -43,6 +44,7 @@ Result<SpectralResult> FinishFromEmbedding(Matrix embedding,
   SpectralResult result;
   result.labels = std::move(km.labels);
   result.embedding = std::move(embedding);
+  result.kmeans_iterations = km.iterations;
   return result;
 }
 
@@ -51,6 +53,8 @@ Result<SpectralResult> FinishFromEmbedding(Matrix embedding,
 Result<SpectralResult> SpectralCluster(const Matrix& affinity, int64_t k,
                                        const SpectralOptions& options) {
   FEDSC_RETURN_NOT_OK(ValidateArgs(affinity.rows(), affinity.cols(), k));
+  FEDSC_TRACE_SPAN("cluster/spectral",
+                   {{"n", affinity.rows()}, {"k", k}, {"kind", "dense"}});
   const Matrix m = NormalizedAdjacency(affinity);
   FEDSC_ASSIGN_OR_RETURN(EigResult eig, SymmetricEigen(m));
   // Largest k eigenvectors of M == smallest k of the normalized Laplacian.
@@ -69,6 +73,8 @@ Result<SpectralResult> SpectralCluster(const SparseMatrix& affinity, int64_t k,
   if (n < options.lanczos_threshold) {
     return SpectralCluster(affinity.ToDense(), k, options);
   }
+  FEDSC_TRACE_SPAN("cluster/spectral",
+                   {{"n", n}, {"k", k}, {"kind", "sparse"}});
   const SparseMatrix m = NormalizedAdjacency(affinity);
   const SymmetricOperator apply = [&m](const double* x, double* y) {
     m.Multiply(x, y);

@@ -31,6 +31,8 @@ struct SpectralOptions {
 struct SpectralResult {
   std::vector<int64_t> labels;  // size N, values in [0, k)
   Matrix embedding;             // N x k spectral embedding (post-normalization)
+  // Lloyd iterations of the best k-means restart on the embedding.
+  int kmeans_iterations = 0;
 };
 
 Result<SpectralResult> SpectralCluster(const Matrix& affinity, int64_t k,

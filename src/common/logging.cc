@@ -1,12 +1,28 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 namespace fedsc {
 
 namespace {
-std::atomic<LogLevel> g_log_level{LogLevel::kInfo};
+
+// A single fputs of the fully assembled line: stdio locks the stream per
+// call, so concurrent loggers cannot interleave fragments of their lines.
+void DefaultSink(LogLevel /*level*/, const std::string& line) {
+  std::fputs(line.c_str(), stderr);
+}
+
+std::atomic<LogSink> g_log_sink{&DefaultSink};
+
+// Initialized from FEDSC_LOG_LEVEL exactly once, on first access.
+std::atomic<LogLevel>& LevelState() {
+  static std::atomic<LogLevel> level{LogLevelFromEnv(LogLevel::kInfo)};
+  return level;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -26,15 +42,47 @@ const char* Basename(const char* path) {
   const char* slash = std::strrchr(path, '/');
   return slash == nullptr ? path : slash + 1;
 }
+
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_log_level.store(level); }
-LogLevel GetLogLevel() { return g_log_level.load(); }
+void SetLogLevel(LogLevel level) { LevelState().store(level); }
+LogLevel GetLogLevel() { return LevelState().load(); }
+
+bool ParseLogLevel(const char* text, LogLevel* level) {
+  if (text == nullptr) return false;
+  std::string lower;
+  for (const char* p = text; *p != '\0'; ++p) {
+    lower += static_cast<char>(
+        std::tolower(static_cast<unsigned char>(*p)));
+  }
+  if (lower == "debug") {
+    *level = LogLevel::kDebug;
+  } else if (lower == "info") {
+    *level = LogLevel::kInfo;
+  } else if (lower == "warning" || lower == "warn") {
+    *level = LogLevel::kWarning;
+  } else if (lower == "error") {
+    *level = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+LogLevel LogLevelFromEnv(LogLevel fallback) {
+  LogLevel level = fallback;
+  ParseLogLevel(std::getenv("FEDSC_LOG_LEVEL"), &level);
+  return level;
+}
+
+void SetLogSink(LogSink sink) {
+  g_log_sink.store(sink == nullptr ? &DefaultSink : sink);
+}
 
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : enabled_(level >= g_log_level.load()) {
+    : enabled_(level >= GetLogLevel()), level_(level) {
   if (enabled_) {
     stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
             << "] ";
@@ -42,7 +90,9 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  if (enabled_) std::cerr << stream_.str() << std::endl;
+  if (!enabled_) return;
+  stream_ << '\n';
+  g_log_sink.load()(level_, stream_.str());
 }
 
 }  // namespace internal

@@ -1,19 +1,44 @@
 // Minimal leveled logger. Benchmarks and examples use it for progress
 // reporting; library code logs sparingly (convergence warnings and the like).
+//
+// The threshold defaults to kInfo and can be raised/lowered without code
+// changes through the FEDSC_LOG_LEVEL environment variable (debug | info |
+// warning | error, case-insensitive), read once at first use; SetLogLevel
+// overrides it afterwards. Each message is assembled in full — prefix, body,
+// trailing newline — and emitted with a single write, so lines from
+// concurrent threads never interleave mid-line.
 
 #ifndef FEDSC_COMMON_LOGGING_H_
 #define FEDSC_COMMON_LOGGING_H_
 
-#include <iostream>
 #include <sstream>
+#include <string>
 
 namespace fedsc {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-// Messages below this level are discarded. Defaults to kInfo.
+// Messages below this level are discarded. Defaults to kInfo, or to
+// FEDSC_LOG_LEVEL when that is set and parseable.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+// Case-insensitive parse of "debug" / "info" / "warning" / "error" (also
+// accepts "warn"). Returns false — leaving *level untouched — on anything
+// else, including nullptr.
+bool ParseLogLevel(const char* text, LogLevel* level);
+
+// The level FEDSC_LOG_LEVEL selects right now, or `fallback` when the
+// variable is unset or unparseable (exposed for tests; the logger itself
+// consults the environment once, at first use).
+LogLevel LogLevelFromEnv(LogLevel fallback);
+
+// Where finished lines go. The default sink writes the complete line to
+// stderr with one stdio call. Tests may install a capture sink; nullptr
+// restores the default. Not synchronized with in-flight messages — swap
+// sinks only at quiescent points.
+using LogSink = void (*)(LogLevel level, const std::string& line);
+void SetLogSink(LogSink sink);
 
 namespace internal {
 
@@ -30,6 +55,7 @@ class LogMessage {
 
  private:
   bool enabled_;
+  LogLevel level_;
   std::ostringstream stream_;
 };
 

@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "common/check.h"
+#include "common/metrics.h"
 
 namespace fedsc {
 
@@ -50,6 +51,11 @@ void ThreadPool::GrowTo(int num_threads) {
 
 void ThreadPool::Schedule(std::function<void()> task) {
   FEDSC_CHECK(task != nullptr);
+  // Task counts depend on the thread count (nt=1 paths run inline and
+  // schedule nothing), so these are execution metrics, not deterministic.
+  FEDSC_METRIC_COUNTER_KIND("threadpool.tasks_scheduled",
+                            MetricKind::kExecution)
+      .Increment();
   {
     std::unique_lock<std::mutex> lock(mutex_);
     FEDSC_CHECK(!shutting_down_) << "Schedule() after shutdown";
@@ -95,6 +101,9 @@ void ThreadPool::WorkerLoop() {
       running_.insert(seq);
     }
     task();
+    FEDSC_METRIC_COUNTER_KIND("threadpool.tasks_executed",
+                              MetricKind::kExecution)
+        .Increment();
     {
       std::unique_lock<std::mutex> lock(mutex_);
       running_.erase(seq);

@@ -5,8 +5,10 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "graph/eigengap.h"
 #include "linalg/blas.h"
 #include "linalg/svd.h"
@@ -37,6 +39,7 @@ Vector SampleFromSubspace(const Matrix& basis, Rng* rng) {
 // once and the basis refit (outlier robustness).
 Matrix ClusterBasis(const Matrix& cluster_points, const FedScOptions& options,
                     Rng* rng) {
+  FEDSC_TRACE_SPAN("local/basis", {{"members", cluster_points.cols()}});
   auto basis = PrincipalSubspace(cluster_points, options.sample_dim,
                                  options.rank_rel_tol);
   if (!basis.ok()) {
@@ -115,12 +118,17 @@ Result<LocalClusteringOutput> LocalClusterAndSample(const Matrix& points,
     out.partition.assign(static_cast<size_t>(num_points), 0);
     out.num_local_clusters = 1;
   } else {
-    FEDSC_ASSIGN_OR_RETURN(SparseMatrix coeffs,
-                           SscSelfExpression(normalized, options.local_ssc));
-    const Matrix affinity = AffinityFromCoefficients(coeffs).ToDense();
+    Matrix affinity;
+    {
+      FEDSC_TRACE_SPAN("local/ssc", {{"points", num_points}});
+      FEDSC_ASSIGN_OR_RETURN(SparseMatrix coeffs,
+                             SscSelfExpression(normalized, options.local_ssc));
+      affinity = AffinityFromCoefficients(coeffs).ToDense();
+    }
 
     int64_t r = 1;
     if (options.use_eigengap) {
+      FEDSC_TRACE_SPAN("local/eigengap");
       EigengapOptions gap;
       gap.max_clusters = options.max_local_clusters;
       FEDSC_ASSIGN_OR_RETURN(r, EstimateClusterCount(affinity, gap));
@@ -132,6 +140,7 @@ Result<LocalClusteringOutput> LocalClusterAndSample(const Matrix& points,
     if (r == 1) {
       out.partition.assign(static_cast<size_t>(num_points), 0);
     } else {
+      FEDSC_TRACE_SPAN("local/spectral", {{"r", r}});
       SpectralOptions spectral = options.local_spectral;
       spectral.kmeans.seed = rng.Next();
       FEDSC_ASSIGN_OR_RETURN(SpectralResult clusters,
@@ -141,6 +150,7 @@ Result<LocalClusteringOutput> LocalClusterAndSample(const Matrix& points,
   }
 
   // Estimate each cluster's subspace and draw the uploaded samples.
+  FEDSC_TRACE_SPAN("local/sample", {{"clusters", out.num_local_clusters}});
   const int64_t r = out.num_local_clusters;
   const int64_t per_cluster = options.samples_per_cluster;
   out.samples = Matrix(n, r * per_cluster);
@@ -176,6 +186,11 @@ Result<FedScResult> RunFedSc(const FederatedDataset& data,
     return Status::InvalidArgument("need num_clusters >= 1");
   }
 
+  FEDSC_TRACE_SPAN("fedsc/run",
+                   {{"devices", num_devices}, {"clusters", num_clusters}});
+  FEDSC_METRIC_COUNTER("fedsc.runs").Increment();
+  FEDSC_METRIC_COUNTER("fedsc.devices").Add(num_devices);
+
   Rng rng(options.seed);
   Channel channel(options.channel);
   FedScResult result;
@@ -192,39 +207,49 @@ Result<FedScResult> RunFedSc(const FederatedDataset& data,
   std::vector<double> device_seconds(static_cast<size_t>(num_devices), 0.0);
   std::vector<uint64_t> device_seeds(static_cast<size_t>(num_devices));
   for (auto& seed : device_seeds) seed = rng.Next();
-  ParallelFor(0, num_devices, options.num_threads, [&](int64_t z) {
-    Stopwatch local_timer;
-    auto local = LocalClusterAndSample(data.points[static_cast<size_t>(z)],
-                                       options,
-                                       device_seeds[static_cast<size_t>(z)]);
-    device_seconds[static_cast<size_t>(z)] = local_timer.ElapsedSeconds();
-    if (local.ok()) {
-      locals[static_cast<size_t>(z)] = std::move(local).value();
-    } else {
-      device_status[static_cast<size_t>(z)] = local.status();
-    }
-  });
+  {
+    FEDSC_TRACE_SPAN("fedsc/phase1", {{"devices", num_devices}});
+    ParallelFor(0, num_devices, options.num_threads, [&](int64_t z) {
+      FEDSC_TRACE_SPAN("fedsc/phase1/device", {{"z", z}});
+      Stopwatch local_timer;
+      auto local = LocalClusterAndSample(data.points[static_cast<size_t>(z)],
+                                         options,
+                                         device_seeds[static_cast<size_t>(z)]);
+      device_seconds[static_cast<size_t>(z)] = local_timer.ElapsedSeconds();
+      if (local.ok()) {
+        locals[static_cast<size_t>(z)] = std::move(local).value();
+      } else {
+        device_status[static_cast<size_t>(z)] = local.status();
+      }
+    });
+  }
 
   std::vector<Matrix> received(static_cast<size_t>(num_devices));
   int64_t total_samples = 0;
-  for (int64_t z = 0; z < num_devices; ++z) {
-    FEDSC_RETURN_NOT_OK(device_status[static_cast<size_t>(z)]);
-    result.local_seconds += device_seconds[static_cast<size_t>(z)];
-    result.local_cluster_counts[static_cast<size_t>(z)] =
-        locals[static_cast<size_t>(z)].num_local_clusters;
-    const Matrix* upload = &locals[static_cast<size_t>(z)].samples;
-    Matrix privatized;
-    if (options.use_dp) {
-      Rng dp_rng(device_seeds[static_cast<size_t>(z)] ^
-                 0xD1FFE4E47'1A1ULL);
-      FEDSC_ASSIGN_OR_RETURN(privatized,
-                             PrivatizeSamples(*upload, options.dp, &dp_rng));
-      upload = &privatized;
+  {
+    FEDSC_TRACE_SPAN("fedsc/uplink");
+    for (int64_t z = 0; z < num_devices; ++z) {
+      FEDSC_RETURN_NOT_OK(device_status[static_cast<size_t>(z)]);
+      result.local_seconds += device_seconds[static_cast<size_t>(z)];
+      result.local_cluster_counts[static_cast<size_t>(z)] =
+          locals[static_cast<size_t>(z)].num_local_clusters;
+      FEDSC_METRIC_COUNTER("fedsc.local_clusters")
+          .Add(locals[static_cast<size_t>(z)].num_local_clusters);
+      const Matrix* upload = &locals[static_cast<size_t>(z)].samples;
+      Matrix privatized;
+      if (options.use_dp) {
+        Rng dp_rng(device_seeds[static_cast<size_t>(z)] ^
+                   0xD1FFE4E47'1A1ULL);
+        FEDSC_ASSIGN_OR_RETURN(privatized,
+                               PrivatizeSamples(*upload, options.dp, &dp_rng));
+        upload = &privatized;
+      }
+      received[static_cast<size_t>(z)] = channel.Uplink(*upload);
+      total_samples += received[static_cast<size_t>(z)].cols();
     }
-    received[static_cast<size_t>(z)] = channel.Uplink(*upload);
-    total_samples += received[static_cast<size_t>(z)].cols();
   }
   result.total_samples = total_samples;
+  FEDSC_METRIC_COUNTER("fedsc.total_samples").Add(total_samples);
   if (total_samples < num_clusters) {
     return Status::FailedPrecondition(
         "server received fewer samples than clusters (" +
@@ -249,33 +274,37 @@ Result<FedScResult> RunFedSc(const FederatedDataset& data,
 
   // Phase 2: central clustering of the pooled samples.
   Stopwatch central_timer;
-  ScPipelineOptions central;
-  central.method = options.central_method;
-  central.ssc = options.central_ssc;
-  central.tsc = options.central_tsc;
-  if (central.tsc.q <= 0) {
-    // The paper's rule: q = max(3, ceil(Z / L)).
-    central.tsc.q = std::max<int64_t>(
-        3, (num_devices + num_clusters - 1) / num_clusters);
+  {
+    FEDSC_TRACE_SPAN("fedsc/phase2/central", {{"samples", total_samples}});
+    ScPipelineOptions central;
+    central.method = options.central_method;
+    central.ssc = options.central_ssc;
+    central.tsc = options.central_tsc;
+    if (central.tsc.q <= 0) {
+      // The paper's rule: q = max(3, ceil(Z / L)).
+      central.tsc.q = std::max<int64_t>(
+          3, (num_devices + num_clusters - 1) / num_clusters);
+    }
+    central.tsc.q = std::min<int64_t>(central.tsc.q, total_samples - 1);
+    central.spectral = options.central_spectral;
+    central.spectral.kmeans.seed = rng.Next();
+    // Channel noise can leave samples slightly off the unit sphere;
+    // renormalize like the paper's analysis assumes.
+    central.normalize_columns = true;
+    // Phase 2 runs on the coordinator after every device reported, so the
+    // same worker budget that fanned Phase 1 out across devices now threads
+    // the central affinity kernels (bit-identical for any thread count).
+    central.num_threads = options.num_threads;
+    FEDSC_ASSIGN_OR_RETURN(
+        ScResult central_result,
+        RunSubspaceClustering(result.samples, num_clusters, central));
+    result.sample_labels = std::move(central_result.labels);
+    result.central_affinity = std::move(central_result.affinity);
   }
-  central.tsc.q = std::min<int64_t>(central.tsc.q, total_samples - 1);
-  central.spectral = options.central_spectral;
-  central.spectral.kmeans.seed = rng.Next();
-  // Channel noise can leave samples slightly off the unit sphere;
-  // renormalize like the paper's analysis assumes.
-  central.normalize_columns = true;
-  // Phase 2 runs on the coordinator after every device reported, so the
-  // same worker budget that fanned Phase 1 out across devices now threads
-  // the central affinity kernels (bit-identical for any thread count).
-  central.num_threads = options.num_threads;
-  FEDSC_ASSIGN_OR_RETURN(
-      ScResult central_result,
-      RunSubspaceClustering(result.samples, num_clusters, central));
-  result.sample_labels = std::move(central_result.labels);
-  result.central_affinity = std::move(central_result.affinity);
   result.central_seconds = central_timer.ElapsedSeconds();
 
   // Phase 3: downlink assignments; devices relabel their points.
+  FEDSC_TRACE_SPAN("fedsc/phase3/relabel");
   for (int64_t z = 0; z < num_devices; ++z) {
     const LocalClusteringOutput& local = locals[static_cast<size_t>(z)];
     const int64_t offset = device_sample_offset[static_cast<size_t>(z)];

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/stopwatch.h"
+#include "common/trace.h"
 #include "fed/pca.h"
 
 namespace fedsc {
@@ -15,6 +16,8 @@ Result<KFedResult> RunKFed(const FederatedDataset& data, int64_t num_clusters,
     return Status::InvalidArgument("need num_clusters >= 1");
   }
 
+  FEDSC_TRACE_SPAN("kfed/run",
+                   {{"devices", num_devices}, {"clusters", num_clusters}});
   Rng rng(options.seed);
   Channel channel(options.channel);
   KFedResult result;
@@ -26,6 +29,7 @@ Result<KFedResult> RunKFed(const FederatedDataset& data, int64_t num_clusters,
       static_cast<size_t>(num_devices));
   uploaded.reserve(static_cast<size_t>(num_devices));
   for (int64_t z = 0; z < num_devices; ++z) {
+    FEDSC_TRACE_SPAN("kfed/device", {{"z", z}});
     const Matrix& raw = data.points[static_cast<size_t>(z)];
     Stopwatch local_timer;
     if (raw.cols() == 0) {
@@ -81,8 +85,11 @@ Result<KFedResult> RunKFed(const FederatedDataset& data, int64_t num_clusters,
   KMeansOptions server_opts = options.server_kmeans;
   server_opts.init = KMeansInit::kFarthestFirst;
   server_opts.seed = rng.Next();
-  FEDSC_ASSIGN_OR_RETURN(KMeansResult server,
-                         KMeans(pooled, num_clusters, server_opts));
+  KMeansResult server;
+  {
+    FEDSC_TRACE_SPAN("kfed/server", {{"centroids", total_centroids}});
+    FEDSC_ASSIGN_OR_RETURN(server, KMeans(pooled, num_clusters, server_opts));
+  }
   result.central_seconds = central_timer.ElapsedSeconds();
 
   // Phase 3: downlink assignments; devices relabel their points.

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <algorithm>
 
+#include "common/metrics.h"
+
 namespace fedsc {
 
 Channel::Channel(const ChannelOptions& options)
@@ -11,6 +13,9 @@ Channel::Channel(const ChannelOptions& options)
 Matrix Channel::Uplink(const Matrix& samples) {
   stats_.uplink_values += samples.size();
   stats_.uplink_bits += samples.size() * options_.bits_per_value;
+  FEDSC_METRIC_COUNTER("fed.comm.uplink_values").Add(samples.size());
+  FEDSC_METRIC_COUNTER("fed.comm.uplink_bits")
+      .Add(samples.size() * options_.bits_per_value);
   Matrix received = samples;
   if (options_.noise_delta > 0.0 && samples.cols() > 0) {
     const double stddev =
@@ -40,6 +45,16 @@ void Channel::Downlink(int64_t count, int64_t num_clusters) {
   stats_.downlink_bits +=
       static_cast<double>(count) *
       std::log2(std::max<double>(2.0, static_cast<double>(num_clusters)));
+  FEDSC_METRIC_COUNTER("fed.comm.downlink_values").Add(count);
+  // Channels are driven from serial protocol code, so the running total is a
+  // deterministic gauge (it would race if devices downlinked concurrently).
+  FEDSC_METRIC_GAUGE("fed.comm.downlink_bits", MetricKind::kDeterministic)
+      .Set(stats_.downlink_bits);
+}
+
+void Channel::FinishRound() {
+  ++stats_.rounds;
+  FEDSC_METRIC_COUNTER("fed.comm.rounds").Increment();
 }
 
 }  // namespace fedsc

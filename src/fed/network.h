@@ -51,7 +51,7 @@ class Channel {
   void Downlink(int64_t count, int64_t num_clusters);
 
   // Marks the completion of one communication round.
-  void FinishRound() { ++stats_.rounds; }
+  void FinishRound();
 
   const CommStats& stats() const { return stats_; }
 

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 
 namespace fedsc {
@@ -109,6 +110,9 @@ void Gemm(Trans trans_a, Trans trans_b, double alpha, const Matrix& a,
   }
   if (alpha == 0.0 || ka == 0) return;
 
+  FEDSC_METRIC_COUNTER("linalg.gemm.calls").Increment();
+  FEDSC_METRIC_COUNTER("linalg.gemm.flops").Add(2 * m * ka * n);
+
   // TT is rare in this codebase; reduce it to TN on an explicit transpose
   // so the panel kernels below cover every case.
   Matrix bt;
@@ -144,6 +148,8 @@ void Gemv(Trans trans_a, double alpha, const Matrix& a, const double* x,
     Scal(beta, y, m);
   }
   if (alpha == 0.0) return;
+  FEDSC_METRIC_COUNTER("linalg.gemv.calls").Increment();
+  FEDSC_METRIC_COUNTER("linalg.gemv.flops").Add(2 * m * n);
   const int threads = m * n < (1 << 15) ? 1 : std::min<int>(num_threads, 64);
   if (trans_a == Trans::kNo) {
     // Partition the rows of y; each task runs the same Axpy on its subrange

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "linalg/blas.h"
 
@@ -13,6 +14,7 @@ namespace {
 // Removes the components of v along the first `count` columns of basis
 // (two passes of classical Gram-Schmidt).
 void Reorthogonalize(const Matrix& basis, int64_t count, double* v) {
+  FEDSC_METRIC_COUNTER("linalg.lanczos.reorthogonalizations").Increment();
   const int64_t n = basis.rows();
   for (int pass = 0; pass < 2; ++pass) {
     for (int64_t j = 0; j < count; ++j) {
@@ -53,6 +55,7 @@ Result<EigResult> LanczosLargest(const SymmetricOperator& apply, int64_t dim,
   if (max_steps < k) {
     return Status::InvalidArgument("max_iterations below requested k");
   }
+  FEDSC_METRIC_COUNTER("linalg.lanczos.calls").Increment();
 
   Rng rng(options.seed);
   Matrix basis(dim, max_steps);  // Lanczos vectors q_0 ... q_{j-1}
@@ -112,6 +115,7 @@ Result<EigResult> LanczosLargest(const SymmetricOperator& apply, int64_t dim,
         beta.push_back(0.0);
         force_restart = false;
         last_restart_step = steps;
+        FEDSC_METRIC_COUNTER("linalg.lanczos.restarts").Increment();
       }
     }
 
@@ -178,6 +182,7 @@ Result<EigResult> LanczosLargest(const SymmetricOperator& apply, int64_t dim,
     if (!can_extend) break;
   }
 
+  FEDSC_METRIC_COUNTER("linalg.lanczos.iterations").Add(steps);
   if (tri_eig.values.empty()) {
     return Status::Internal("Lanczos produced no Ritz values");
   }
@@ -208,6 +213,7 @@ Result<EigResult> SubspaceIterationLargest(
   if (k <= 0 || k > dim) {
     return Status::InvalidArgument("subspace iteration k must be in [1, dim]");
   }
+  FEDSC_METRIC_COUNTER("linalg.subspace_iteration.calls").Increment();
 
   Rng rng(options.seed);
   Matrix q(dim, k);
@@ -260,6 +266,7 @@ Result<EigResult> SubspaceIterationLargest(
   Vector previous_ritz;
   EigResult small_eig;
   for (int64_t iter = 0; iter < options.max_iterations; ++iter) {
+    FEDSC_METRIC_COUNTER("linalg.subspace_iteration.iterations").Increment();
     apply_shifted(q, &y);
 
     const bool check_now = iter % 5 == 4 || iter + 1 == options.max_iterations;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "linalg/blas.h"
 
@@ -127,17 +128,23 @@ Result<SvdResult> JacobiSvdTall(const Matrix& a, const SvdOptions& options) {
 
   if (!UseRoundRobin(m, n, options)) {
     bool cyclic_converged = false;
+    int64_t rotations = 0;
+    int sweeps = 0;
     for (int sweep = 0; sweep < options.max_sweeps && !cyclic_converged;
          ++sweep) {
       cyclic_converged = true;
+      ++sweeps;
       for (int64_t p = 0; p < n - 1; ++p) {
         for (int64_t q = p + 1; q < n; ++q) {
           if (RotatePair(&work, &v, p, q, m, n, options.tol)) {
             cyclic_converged = false;
+            ++rotations;
           }
         }
       }
     }
+    FEDSC_METRIC_COUNTER("linalg.svd.sweeps").Add(sweeps);
+    FEDSC_METRIC_COUNTER("linalg.svd.rotations").Add(rotations);
     if (!cyclic_converged) {
       return Status::NotConverged("Jacobi SVD did not converge within " +
                                   std::to_string(options.max_sweeps) +
@@ -158,8 +165,11 @@ Result<SvdResult> JacobiSvdTall(const Matrix& a, const SvdOptions& options) {
   const int threads = std::min(options.num_threads, 64);
 
   bool converged = false;
+  int64_t rotations = 0;
+  int sweeps = 0;
   for (int sweep = 0; sweep < options.max_sweeps && !converged; ++sweep) {
     converged = true;
+    ++sweeps;
     std::iota(circle.begin(), circle.end(), 0);
     for (int64_t round = 0; round < padded - 1; ++round) {
       round_pairs.clear();
@@ -183,7 +193,10 @@ Result<SvdResult> JacobiSvdTall(const Matrix& a, const SvdOptions& options) {
             }
           });
       for (size_t k = 0; k < round_pairs.size(); ++k) {
-        if (rotated[k]) converged = false;
+        if (rotated[k]) {
+          converged = false;
+          ++rotations;
+        }
       }
 
       // Advance the circle: position 0 is fixed, everyone else shifts.
@@ -194,6 +207,8 @@ Result<SvdResult> JacobiSvdTall(const Matrix& a, const SvdOptions& options) {
       circle[1] = last;
     }
   }
+  FEDSC_METRIC_COUNTER("linalg.svd.sweeps").Add(sweeps);
+  FEDSC_METRIC_COUNTER("linalg.svd.rotations").Add(rotations);
   if (!converged) {
     return Status::NotConverged("Jacobi SVD did not converge within " +
                                 std::to_string(options.max_sweeps) +
@@ -208,6 +223,7 @@ Result<SvdResult> JacobiSvd(const Matrix& a, const SvdOptions& options) {
   if (a.rows() == 0 || a.cols() == 0) {
     return Status::InvalidArgument("SVD of an empty matrix");
   }
+  FEDSC_METRIC_COUNTER("linalg.svd.calls").Increment();
   if (a.rows() >= a.cols()) return JacobiSvdTall(a, options);
   // Wide matrix: factor the transpose and swap U <-> V.
   FEDSC_ASSIGN_OR_RETURN(SvdResult t, JacobiSvdTall(a.Transposed(), options));

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/stopwatch.h"
+#include "common/trace.h"
 #include "sc/affinity.h"
 
 namespace fedsc {
@@ -27,6 +28,8 @@ const char* ScMethodName(ScMethod method) {
 
 Result<SparseMatrix> BuildAffinity(const Matrix& x,
                                    const ScPipelineOptions& options) {
+  FEDSC_TRACE_SPAN("sc/affinity", {{"method", ScMethodName(options.method)},
+                                   {"points", x.cols()}});
   // The pipeline knob lifts method-level defaults; an explicit per-method
   // setting above 1 is respected as-is, even when the pipeline asks for
   // more.
@@ -80,9 +83,12 @@ Result<ScResult> RunSubspaceClustering(const Matrix& x, int64_t num_clusters,
   }
   FEDSC_ASSIGN_OR_RETURN(SparseMatrix affinity,
                          BuildAffinity(*input, options));
-  FEDSC_ASSIGN_OR_RETURN(
-      SpectralResult spectral,
-      SpectralCluster(affinity, num_clusters, options.spectral));
+  SpectralResult spectral;
+  {
+    FEDSC_TRACE_SPAN("sc/spectral", {{"k", num_clusters}});
+    FEDSC_ASSIGN_OR_RETURN(
+        spectral, SpectralCluster(affinity, num_clusters, options.spectral));
+  }
   ScResult result;
   result.labels = std::move(spectral.labels);
   result.affinity = std::move(affinity);

@@ -4,8 +4,10 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "linalg/blas.h"
 #include "linalg/cholesky.h"
 #include "sc/affinity.h"
@@ -43,7 +45,8 @@ double SscLambda(const Matrix& x, double alpha) {
 }
 
 Result<SparseMatrix> SscSelfExpression(const Matrix& x,
-                                       const SscAdmmOptions& options) {
+                                       const SscAdmmOptions& options,
+                                       SscAdmmInfo* info) {
   const int64_t n = x.rows();
   const int64_t num_points = x.cols();
   if (num_points < 2) {
@@ -52,6 +55,7 @@ Result<SparseMatrix> SscSelfExpression(const Matrix& x,
   if (options.alpha <= 1.0) {
     return Status::InvalidArgument("SSC alpha must exceed 1");
   }
+  FEDSC_TRACE_SPAN("sc/ssc_admm", {{"points", num_points}, {"dim", n}});
 
   const Matrix gram = Gram(x, options.num_threads);  // X^T X
   const double mu = MutualCoherenceFloor(gram);
@@ -213,10 +217,25 @@ Result<SparseMatrix> SscSelfExpression(const Matrix& x,
     }
     if (residual < options.tol) break;
   }
-  if (residual >= options.tol) {
+  const bool converged = residual < options.tol;
+  // The break above skips the loop's increment, so count it explicitly.
+  const int iterations = converged ? iteration + 1 : iteration;
+  if (!converged) {
     FEDSC_LOG(Debug) << "SSC ADMM stopped at max_iterations with residual "
                      << residual;
   }
+  if (info != nullptr) {
+    info->iterations = iterations;
+    info->final_residual = residual;
+    info->converged = converged;
+  }
+  FEDSC_METRIC_COUNTER("sc.ssc_admm.solves").Increment();
+  FEDSC_METRIC_COUNTER("sc.ssc_admm.iterations").Add(iterations);
+  if (converged) FEDSC_METRIC_COUNTER("sc.ssc_admm.converged").Increment();
+  FEDSC_METRIC_HISTOGRAM("sc.ssc_admm.iterations_per_solve").Record(iterations);
+  // Last-writer-wins across concurrent device solves, hence kExecution.
+  FEDSC_METRIC_GAUGE("sc.ssc_admm.last_residual", MetricKind::kExecution)
+      .Set(residual);
 
   return SparsifyCoefficients(c, options.top_k, options.drop_tol,
                               options.num_threads);

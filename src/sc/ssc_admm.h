@@ -49,10 +49,20 @@ struct SscAdmmOptions {
   int num_threads = 1;
 };
 
+// How a solve went, for callers that want to report or assert on convergence
+// (the iteration count and residual also feed the sc.ssc_admm.* metrics).
+struct SscAdmmInfo {
+  int iterations = 0;        // ADMM iterations actually run
+  double final_residual = 0.0;  // max(||Z-C||_inf, ||C-C_prev||_inf) at exit
+  bool converged = false;    // residual dropped below tol within the budget
+};
+
 // Sparse self-expression matrix C for the columns of x (which should be
-// l2-normalized). Requires N >= 2.
+// l2-normalized). Requires N >= 2. `info`, when non-null, receives the
+// solve's convergence record.
 Result<SparseMatrix> SscSelfExpression(const Matrix& x,
-                                       const SscAdmmOptions& options = {});
+                                       const SscAdmmOptions& options = {},
+                                       SscAdmmInfo* info = nullptr);
 
 // The lambda the solver would use for `x` (exposed for tests/diagnostics).
 double SscLambda(const Matrix& x, double alpha);

@@ -187,5 +187,16 @@ TEST(SpectralTest, EmbeddingHasRequestedShape) {
   EXPECT_EQ(result->embedding.cols(), 2);
 }
 
+TEST(SpectralTest, ReportsKMeansIterationsOfBestRestart) {
+  const Matrix w = BlockAffinity({10, 15, 12});
+  SpectralOptions options;
+  auto result = SpectralCluster(w, 3, options);
+  ASSERT_TRUE(result.ok());
+  // Lloyd always runs at least one iteration, and a converged run on clean
+  // blocks stops well before the budget.
+  EXPECT_GT(result->kmeans_iterations, 0);
+  EXPECT_LT(result->kmeans_iterations, options.kmeans.max_iterations);
+}
+
 }  // namespace
 }  // namespace fedsc

@@ -328,5 +328,40 @@ TEST(EscTest, Validation) {
       EscAffinity(Matrix(3, 5), {.num_exemplars = 2, .q_neighbors = 5}).ok());
 }
 
+TEST(SscAdmmInfoTest, ConvergedSolveReportsIterationsBelowBudget) {
+  const Dataset data = EasySubspaces(3, 30, 91);
+  Matrix x = data.points;
+  x.NormalizeColumns();
+
+  SscAdmmOptions options;
+  // A tolerance this dataset reaches well inside the budget; the point is
+  // that a converged solve reports iterations strictly below it.
+  options.tol = 1e-2;
+  options.max_iterations = 500;
+  SscAdmmInfo info;
+  auto c = SscSelfExpression(x, options, &info);
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  EXPECT_TRUE(info.converged);
+  EXPECT_GT(info.iterations, 0);
+  EXPECT_LT(info.iterations, options.max_iterations);
+  EXPECT_LT(info.final_residual, options.tol);
+  EXPECT_GE(info.final_residual, 0.0);
+}
+
+TEST(SscAdmmInfoTest, IterationStarvedSolveReportsNotConverged) {
+  const Dataset data = EasySubspaces(3, 20, 92);
+  Matrix x = data.points;
+  x.NormalizeColumns();
+
+  SscAdmmOptions options;
+  options.max_iterations = 2;  // far too few to reach tol
+  SscAdmmInfo info;
+  auto c = SscSelfExpression(x, options, &info);
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  EXPECT_FALSE(info.converged);
+  EXPECT_EQ(info.iterations, options.max_iterations);
+  EXPECT_GE(info.final_residual, options.tol);
+}
+
 }  // namespace
 }  // namespace fedsc

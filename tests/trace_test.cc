@@ -1,0 +1,296 @@
+// Observability subsystem tests: the metrics determinism contract (every
+// kDeterministic instrument bit-identical across thread counts on a full
+// Fed-SC run), trace well-formedness (every begin has a matching end on
+// every thread), the exporters, and the near-zero disabled path.
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "common/trace.h"
+#include "core/fedsc.h"
+#include "data/synthetic.h"
+#include "fed/partition.h"
+
+namespace fedsc {
+namespace {
+
+// The FedScDeterminismTest federation: 4 subspaces over 6 devices, small
+// enough to run three times in this test binary.
+Result<FederatedDataset> MakeFederation() {
+  SyntheticOptions synth;
+  synth.ambient_dim = 24;
+  synth.subspace_dim = 3;
+  synth.num_subspaces = 4;
+  synth.points_per_subspace = 30;
+  synth.seed = 31;
+  FEDSC_ASSIGN_OR_RETURN(Dataset data, GenerateUnionOfSubspaces(synth));
+  PartitionOptions partition;
+  partition.num_devices = 6;
+  partition.clusters_per_device = 2;
+  partition.seed = 31 ^ 0xABCDEF;
+  return PartitionAcrossDevices(data, partition);
+}
+
+// Flattens the deterministic slices of a snapshot (counters, deterministic
+// gauges, histograms — never the execution sections) into a comparable
+// string with full double precision.
+std::string DeterministicFingerprint(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  os.precision(17);
+  for (const auto& [name, value] : snapshot.counters) {
+    os << name << "=" << value << "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    os << name << "=" << value << "\n";
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    os << name << ": count=" << h.count << " sum=" << h.sum
+       << " min=" << h.min << " max=" << h.max << " buckets=";
+    for (const auto& [bits, count] : h.buckets) {
+      os << bits << ":" << count << ",";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+MetricsSnapshot RunFedScWithMetrics(const FederatedDataset& fed,
+                                    int num_threads) {
+  ResetMetrics();
+  EnableMetrics(true);
+  FedScOptions options;
+  options.num_threads = num_threads;
+  auto result = RunFedSc(fed, 4, options);
+  EnableMetrics(false);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return SnapshotMetrics();
+}
+
+// Counts occurrences of `needle` in `haystack` (non-overlapping).
+int CountOccurrences(const std::string& haystack, const std::string& needle) {
+  int count = 0;
+  for (size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+// Structural JSON sanity: braces/brackets balance outside of strings, and
+// the scan ends at depth zero. (Full parsing lives in
+// scripts/validate_trace.py; this catches broken emission in-process.)
+void ExpectBalancedJson(const std::string& json) {
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : json) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      --depth;
+      ASSERT_GE(depth, 0);
+    }
+  }
+  EXPECT_FALSE(in_string);
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(MetricsDeterminismTest, CountersBitIdenticalAcrossThreadCounts) {
+  auto fed = MakeFederation();
+  ASSERT_TRUE(fed.ok()) << fed.status().ToString();
+
+  const MetricsSnapshot serial = RunFedScWithMetrics(*fed, 1);
+  const std::string expected = DeterministicFingerprint(serial);
+
+  // Sanity: the run actually exercised the instrumented kernels.
+  EXPECT_EQ(serial.counters.at("fedsc.runs"), 1);
+  EXPECT_EQ(serial.counters.at("fedsc.devices"), 6);
+  EXPECT_GT(serial.counters.at("sc.ssc_admm.solves"), 0);
+  EXPECT_GT(serial.counters.at("sc.ssc_admm.iterations"), 0);
+  EXPECT_GT(serial.counters.at("linalg.gemm.calls"), 0);
+  EXPECT_GT(serial.counters.at("linalg.gemm.flops"), 0);
+  EXPECT_GT(serial.counters.at("linalg.svd.calls"), 0);
+  EXPECT_GT(serial.counters.at("cluster.kmeans.iterations"), 0);
+  EXPECT_GT(serial.counters.at("fed.comm.uplink_bits"), 0);
+  EXPECT_EQ(serial.counters.at("fed.comm.rounds"), 1);
+  EXPECT_GT(serial.histograms.at("sc.ssc_admm.iterations_per_solve").count, 0);
+
+  for (int threads : {2, 8}) {
+    const MetricsSnapshot threaded = RunFedScWithMetrics(*fed, threads);
+    EXPECT_EQ(expected, DeterministicFingerprint(threaded))
+        << "deterministic metrics diverged at num_threads=" << threads;
+  }
+}
+
+TEST(MetricsDeterminismTest, ExecutionCountersAreSegregated) {
+  auto fed = MakeFederation();
+  ASSERT_TRUE(fed.ok());
+  const MetricsSnapshot snapshot = RunFedScWithMetrics(*fed, 8);
+
+  // Thread-pool task counts depend on the thread count by nature; they must
+  // live in the execution section so the bit-identity check above never
+  // sees them.
+  EXPECT_TRUE(snapshot.execution_counters.count("threadpool.tasks_scheduled"));
+  EXPECT_TRUE(snapshot.execution_counters.count("threadpool.tasks_executed"));
+  EXPECT_FALSE(snapshot.counters.count("threadpool.tasks_scheduled"));
+  EXPECT_TRUE(snapshot.execution_gauges.count("sc.ssc_admm.last_residual"));
+  EXPECT_GT(snapshot.execution_counters.at("threadpool.tasks_scheduled"), 0);
+}
+
+TEST(MetricsRegistryTest, DisabledPathRecordsNothing) {
+  Counter& counter =
+      MetricsRegistry::Global().GetCounter("test.disabled_counter");
+  Gauge& gauge = MetricsRegistry::Global().GetGauge("test.disabled_gauge");
+  Histogram& histogram =
+      MetricsRegistry::Global().GetHistogram("test.disabled_histogram");
+  ResetMetrics();
+  EnableMetrics(false);
+
+  counter.Add(7);
+  gauge.Set(3.5);
+  histogram.Record(11);
+  EXPECT_EQ(counter.value(), 0);
+  EXPECT_EQ(gauge.value(), 0.0);
+  EXPECT_EQ(histogram.Snapshot().count, 0);
+
+  EnableMetrics(true);
+  counter.Add(7);
+  gauge.Set(3.5);
+  histogram.Record(11);
+  EnableMetrics(false);
+  EXPECT_EQ(counter.value(), 7);
+  EXPECT_EQ(gauge.value(), 3.5);
+  const HistogramSnapshot h = histogram.Snapshot();
+  EXPECT_EQ(h.count, 1);
+  EXPECT_EQ(h.sum, 11);
+  EXPECT_EQ(h.min, 11);
+  EXPECT_EQ(h.max, 11);
+  ASSERT_EQ(h.buckets.size(), 1u);
+  EXPECT_EQ(h.buckets[0].first, 4);  // bit_width(11) == 4
+  EXPECT_EQ(h.buckets[0].second, 1);
+
+  ResetMetrics();
+  EXPECT_EQ(counter.value(), 0);
+  EXPECT_EQ(histogram.Snapshot().count, 0);
+}
+
+TEST(MetricsRegistryTest, JsonCarriesPreRegisteredSchema) {
+  ResetMetrics();
+  const std::string json = MetricsJsonString();
+  ExpectBalancedJson(json);
+  // Never-touched kernels still appear (as zeros), so downstream dashboards
+  // get a stable schema.
+  EXPECT_NE(json.find("\"linalg.gemm.calls\""), std::string::npos);
+  EXPECT_NE(json.find("\"sc.ssc_admm.iterations\""), std::string::npos);
+  EXPECT_NE(json.find("\"threadpool.tasks_scheduled\""), std::string::npos);
+  EXPECT_NE(json.find("\"execution_counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST(TraceTest, FullRunIsWellFormedAndExports) {
+  auto fed = MakeFederation();
+  ASSERT_TRUE(fed.ok());
+
+  EnableTracing(true);
+  ResetTrace();
+  FedScOptions options;
+  options.num_threads = 8;
+  auto result = RunFedSc(*fed, 4, options);
+  EnableTracing(false);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  const Status well_formed = CheckTraceWellFormed();
+  EXPECT_TRUE(well_formed.ok()) << well_formed.ToString();
+
+  const std::string json = ChromeTraceString();
+  ExpectBalancedJson(json);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("fedsc/run"), std::string::npos);
+  EXPECT_NE(json.find("fedsc/phase1/device"), std::string::npos);
+  EXPECT_NE(json.find("fedsc/phase2/central"), std::string::npos);
+  EXPECT_NE(json.find("sc/ssc_admm"), std::string::npos);
+  // Every begin pairs with an end.
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"B\""),
+            CountOccurrences(json, "\"ph\":\"E\""));
+
+  const std::vector<TraceSpanStats> summary = SummarizeTrace();
+  ASSERT_FALSE(summary.empty());
+  bool saw_device_span = false;
+  for (const TraceSpanStats& row : summary) {
+    EXPECT_GT(row.count, 0);
+    EXPECT_GE(row.total_seconds, 0.0);
+    EXPECT_GE(row.max_seconds, 0.0);
+    if (row.key.rfind("fedsc/phase1/device", 0) == 0) saw_device_span = true;
+  }
+  EXPECT_TRUE(saw_device_span);
+
+  std::ostringstream table;
+  PrintTraceSummary(table);
+  EXPECT_NE(table.str().find("span"), std::string::npos);
+  EXPECT_NE(table.str().find("fedsc/run"), std::string::npos);
+
+  ResetTrace();
+}
+
+TEST(TraceTest, DisabledMacroSkipsArgumentEvaluation) {
+  ResetTrace();
+  EnableTracing(false);
+  int evaluations = 0;
+  auto expensive = [&evaluations]() {
+    ++evaluations;
+    return int64_t{7};
+  };
+  {
+    FEDSC_TRACE_SPAN("test/disabled", {{"v", expensive()}});
+  }
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_EQ(CountOccurrences(ChromeTraceString(), "test/disabled"), 0);
+
+  EnableTracing(true);
+  {
+    FEDSC_TRACE_SPAN("test/enabled", {{"v", expensive()}});
+  }
+  EnableTracing(false);
+  EXPECT_EQ(evaluations, 1);
+  const Status well_formed = CheckTraceWellFormed();
+  EXPECT_TRUE(well_formed.ok()) << well_formed.ToString();
+  const std::string json = ChromeTraceString();
+  EXPECT_NE(json.find("test/enabled"), std::string::npos);
+  EXPECT_NE(json.find("\"v\":7"), std::string::npos);
+  ResetTrace();
+}
+
+TEST(TraceTest, ArgsRenderEscapedStringsAndDoubles) {
+  ResetTrace();
+  EnableTracing(true);
+  {
+    FEDSC_TRACE_SPAN("test/args", {{"s", "quo\"te"}, {"d", 0.5}});
+  }
+  EnableTracing(false);
+  const std::string json = ChromeTraceString();
+  ExpectBalancedJson(json);
+  EXPECT_NE(json.find("\"s\":\"quo\\\"te\""), std::string::npos);
+  EXPECT_NE(json.find("\"d\":0.5"), std::string::npos);
+  ResetTrace();
+}
+
+}  // namespace
+}  // namespace fedsc

@@ -5,19 +5,30 @@
 //             [--clusters-per-device 2] [--clusters-per-device-max 0] ...
 //             [--central ssc|tsc] [--noise 0.0] [--threads 1] ...
 //             [--fixed-r N] [--sample-dim 0] [--trim 0.0] ...
-//             [--quantize-bits 0] [--seed 42] [--output labels.csv]
+//             [--quantize-bits 0] [--seed 42] [--output labels.csv] ...
+//             [--trace-out trace.json] [--metrics-out metrics.json]
 //
-// The input format is LoadDatasetCsv's: label,feature_1,...,feature_n per
-// line. Ground-truth labels (the first column) are used only for the
-// reported ACC/NMI; pass zeros if you have none. With --output, the
-// predicted label of every point is written one per line, in input order.
+// Flags accept both "--flag value" and "--flag=value". The input format is
+// LoadDatasetCsv's: label,feature_1,...,feature_n per line. Ground-truth
+// labels (the first column) are used only for the reported ACC/NMI; pass
+// zeros if you have none. With --output, the predicted label of every point
+// is written one per line, in input order.
+//
+// --trace-out records scoped spans across the run and writes Chrome
+// trace-event JSON (open in chrome://tracing or https://ui.perfetto.dev),
+// plus an aggregate span table on stdout. --metrics-out writes the kernel
+// metrics registry (ADMM iterations, Jacobi sweeps, GEMM flops, comm bits,
+// ...) as flat JSON.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <string>
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "core/fedsc.h"
 #include "data/io.h"
 #include "fed/partition.h"
@@ -40,6 +51,8 @@ struct CliOptions {
   double trim = 0.0;
   int quantize_bits = 0;
   uint64_t seed = 42;
+  std::string trace_out;
+  std::string metrics_out;
 };
 
 void PrintUsage(const char* binary) {
@@ -49,14 +62,28 @@ void PrintUsage(const char* binary) {
       "  [--clusters-per-device L'] [--clusters-per-device-max M]\n"
       "  [--central ssc|tsc] [--noise delta] [--threads T]\n"
       "  [--fixed-r R] [--sample-dim D] [--trim F]\n"
-      "  [--quantize-bits B] [--seed S] [--output labels.csv]\n",
+      "  [--quantize-bits B] [--seed S] [--output labels.csv]\n"
+      "  [--trace-out trace.json] [--metrics-out metrics.json]\n",
       binary);
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
   for (int i = 1; i < argc; ++i) {
-    const std::string flag = argv[i];
+    std::string flag = argv[i];
+    // "--flag=value" splits into the flag and an inline value that next()
+    // hands back instead of consuming argv[i + 1].
+    std::string inline_value;
+    bool has_inline = false;
+    if (flag.rfind("--", 0) == 0) {
+      const size_t eq = flag.find('=');
+      if (eq != std::string::npos) {
+        inline_value = flag.substr(eq + 1);
+        flag.resize(eq);
+        has_inline = true;
+      }
+    }
     auto next = [&]() -> const char* {
+      if (has_inline) return inline_value.c_str();
       if (i + 1 >= argc) {
         std::fprintf(stderr, "missing value for %s\n", flag.c_str());
         return nullptr;
@@ -106,6 +133,12 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     } else if (flag == "--seed") {
       if ((value = next()) == nullptr) return false;
       options->seed = static_cast<uint64_t>(std::atoll(value));
+    } else if (flag == "--trace-out") {
+      if ((value = next()) == nullptr) return false;
+      options->trace_out = value;
+    } else if (flag == "--metrics-out") {
+      if ((value = next()) == nullptr) return false;
+      options->metrics_out = value;
     } else if (flag == "--help" || flag == "-h") {
       return false;
     } else {
@@ -177,6 +210,9 @@ int main(int argc, char** argv) {
   options.trim_fraction = cli.trim;
   options.seed = cli.seed;
 
+  if (!cli.trace_out.empty()) EnableTracing(true);
+  if (!cli.metrics_out.empty()) EnableMetrics(true);
+
   auto result = RunFedSc(*fed, cli.clusters, options);
   if (!result.ok()) {
     std::fprintf(stderr, "Fed-SC failed: %s\n",
@@ -195,6 +231,28 @@ int main(int argc, char** argv) {
               static_cast<double>(result->comm.uplink_bits) / 1000.0,
               result->comm.downlink_bits / 1000.0,
               static_cast<long long>(result->total_samples));
+
+  if (!cli.trace_out.empty()) {
+    const Status written = WriteChromeTraceFile(cli.trace_out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "writing trace failed: %s\n",
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote Chrome trace to %s (open in chrome://tracing or "
+                "ui.perfetto.dev)\n",
+                cli.trace_out.c_str());
+    PrintTraceSummary(std::cout);
+  }
+  if (!cli.metrics_out.empty()) {
+    const Status written = WriteMetricsJsonFile(cli.metrics_out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "writing metrics failed: %s\n",
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote metrics to %s\n", cli.metrics_out.c_str());
+  }
 
   if (!cli.output.empty()) {
     std::ofstream out(cli.output);
