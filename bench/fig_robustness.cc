@@ -1,0 +1,147 @@
+// Robustness under partial participation: accuracy of the surviving points
+// as device dropout and Byzantine fractions grow, under the deterministic
+// failure model of fed/faults.h.
+//
+// The paper assumes every device uploads successfully; this bench measures
+// how gracefully the implementation degrades when they do not. Two sweeps:
+//
+//   1. Dropout 0 .. 0.4 at quorum 0.5, retrying uplinks (3 attempts): the
+//      surviving points' accuracy should stay near the fault-free accuracy
+//      while coverage shrinks with the dropped devices.
+//   2. Byzantine fraction 0 .. 0.3: adversarial-but-well-formed uploads pass
+//      validation, so accuracy (not coverage) absorbs the damage.
+//
+// Columns: participation, covered point fraction, accuracy over covered
+// points, quarantined samples, rounds consumed (worst per-device attempts).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/fedsc.h"
+#include "data/synthetic.h"
+#include "fed/partition.h"
+#include "metrics/clustering_metrics.h"
+
+namespace fedsc {
+namespace {
+
+constexpr int64_t kAmbientDim = 20;
+constexpr int64_t kSubspaceDim = 3;
+constexpr int64_t kNumSubspaces = 6;
+constexpr int64_t kNumDevices = 24;
+constexpr int64_t kLPrime = 2;
+constexpr int64_t kPointsPerDeviceCluster = 8;
+
+struct SweepPoint {
+  double participation = 0.0;
+  double covered_fraction = 0.0;
+  double accuracy = 0.0;
+  int64_t quarantined = 0;
+  int64_t rounds = 0;
+  bool ok = false;
+};
+
+SweepPoint RunOnce(const FederatedDataset& fed,
+                   const std::vector<int64_t>& truth,
+                   const FedScOptions& options) {
+  SweepPoint point;
+  auto result = RunFedSc(fed, kNumSubspaces, options);
+  if (!result.ok()) return point;
+  std::vector<int64_t> covered_truth;
+  std::vector<int64_t> covered_pred;
+  for (size_t i = 0; i < result->global_labels.size(); ++i) {
+    if (result->global_labels[i] == FedScResult::kFailedDeviceLabel) continue;
+    covered_truth.push_back(truth[i]);
+    covered_pred.push_back(result->global_labels[i]);
+  }
+  if (covered_truth.empty()) return point;
+  point.ok = true;
+  point.participation = static_cast<double>(result->participating_devices) /
+                        static_cast<double>(fed.num_devices());
+  point.covered_fraction = static_cast<double>(covered_truth.size()) /
+                           static_cast<double>(truth.size());
+  point.accuracy = ClusteringAccuracy(covered_truth, covered_pred);
+  point.quarantined = result->quarantined_samples;
+  point.rounds = result->comm.rounds;
+  return point;
+}
+
+void Run(bool csv) {
+  SyntheticOptions synth;
+  synth.ambient_dim = kAmbientDim;
+  synth.subspace_dim = kSubspaceDim;
+  synth.num_subspaces = kNumSubspaces;
+  synth.points_per_subspace =
+      kNumDevices * kLPrime / kNumSubspaces * kPointsPerDeviceCluster;
+  synth.seed = 0x0b0e'0001ULL;
+  auto data = GenerateUnionOfSubspaces(synth);
+  if (!data.ok()) {
+    std::fprintf(stderr, "synthetic data failed: %s\n",
+                 data.status().ToString().c_str());
+    return;
+  }
+  PartitionOptions partition;
+  partition.num_devices = kNumDevices;
+  partition.clusters_per_device = kLPrime;
+  partition.seed = 0x0b0e'1111ULL;
+  auto fed = PartitionAcrossDevices(*data, partition);
+  if (!fed.ok()) {
+    std::fprintf(stderr, "partition failed: %s\n",
+                 fed.status().ToString().c_str());
+    return;
+  }
+  const std::vector<int64_t> truth = fed->GlobalTruth();
+
+  {
+    bench::Table table({"dropout", "participation", "covered", "ACC",
+                        "quarantined", "rounds"});
+    for (double dropout : {0.0, 0.1, 0.2, 0.3, 0.4}) {
+      FedScOptions options;
+      options.faults.dropout_rate = dropout;
+      options.quorum = 0.5;
+      options.retry.max_attempts = 3;
+      const SweepPoint point = RunOnce(*fed, truth, options);
+      table.AddRow({bench::Fmt(dropout),
+                    point.ok ? bench::Fmt(point.participation) : "-",
+                    point.ok ? bench::Fmt(point.covered_fraction) : "-",
+                    point.ok ? bench::Fmt(point.accuracy) : "-",
+                    point.ok ? bench::Fmt(point.quarantined) : "-",
+                    point.ok ? bench::Fmt(point.rounds) : "-"});
+    }
+    std::printf("Robustness — surviving accuracy under device dropout "
+                "(quorum 0.5, 3 attempts)\n");
+    table.Print(csv);
+    std::printf("\n");
+  }
+
+  {
+    bench::Table table({"byzantine", "participation", "covered", "ACC",
+                        "quarantined", "rounds"});
+    for (double byzantine : {0.0, 0.1, 0.2, 0.3}) {
+      FedScOptions options;
+      options.faults.byzantine_rate = byzantine;
+      options.quorum = 0.5;
+      const SweepPoint point = RunOnce(*fed, truth, options);
+      table.AddRow({bench::Fmt(byzantine),
+                    point.ok ? bench::Fmt(point.participation) : "-",
+                    point.ok ? bench::Fmt(point.covered_fraction) : "-",
+                    point.ok ? bench::Fmt(point.accuracy) : "-",
+                    point.ok ? bench::Fmt(point.quarantined) : "-",
+                    point.ok ? bench::Fmt(point.rounds) : "-"});
+    }
+    std::printf("Robustness — accuracy under Byzantine uploads "
+                "(well-formed adversarial samples)\n");
+    table.Print(csv);
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace fedsc
+
+int main(int argc, char** argv) {
+  fedsc::bench::Observability observability(argc, argv);
+  fedsc::Run(fedsc::bench::HasFlag(argc, argv, "--csv"));
+  return 0;
+}

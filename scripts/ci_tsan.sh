@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
-# ThreadSanitizer gate for the threaded kernels: builds the pool, the
-# determinism suite, and the end-to-end Fed-SC tests under TSAN and fails on
-# any reported race. Run from anywhere; build artifacts go to build-tsan/.
+# Sanitizer gate for the threaded kernels and the fault-injection runtime:
+# builds the pool, the determinism suite, the end-to-end Fed-SC tests, and
+# the fault-tolerance suite under TSAN (races), then rebuilds and runs the
+# fault suite under ASAN (the corrupted-payload paths exercise truncated /
+# duplicated / wrong-dimension buffers, exactly where an out-of-bounds read
+# would hide). Run from anywhere; artifacts go to build-tsan/ and
+# build-asan/.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -13,7 +17,7 @@ cmake -S "${repo_root}" -B "${build_dir}" \
 
 cmake --build "${build_dir}" -j "$(nproc)" \
   --target thread_pool_test parallel_determinism_test fedsc_test \
-  trace_test logging_test
+  faults_test trace_test logging_test
 
 # halt_on_error makes the first race fail the run instead of just logging.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
@@ -21,9 +25,24 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "${build_dir}/tests/thread_pool_test"
 "${build_dir}/tests/parallel_determinism_test"
 "${build_dir}/tests/fedsc_test"
+# The fault plan is consumed from serial protocol code while Phase 1/2
+# kernels fan out over worker threads; TSAN proves the combination is clean.
+"${build_dir}/tests/faults_test"
 # The observability layer records from every worker thread; run its suites
 # under TSAN too (trace recorder, metrics registry, log sink).
 "${build_dir}/tests/trace_test"
 "${build_dir}/tests/logging_test"
 
 echo "TSAN: all threaded suites passed with zero reported races."
+
+asan_dir="${repo_root}/build-asan"
+
+cmake -S "${repo_root}" -B "${asan_dir}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DFEDSC_SANITIZE=address
+
+cmake --build "${asan_dir}" -j "$(nproc)" --target faults_test
+
+"${asan_dir}/tests/faults_test"
+
+echo "ASAN: fault-injection suite passed with zero reported errors."

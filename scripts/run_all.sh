@@ -40,3 +40,19 @@ python3 scripts/validate_trace.py "${obs_dir}/trace.json" \
 python3 -c 'import json,sys; json.load(open(sys.argv[1]))' \
   "${obs_dir}/metrics.json"
 echo "observability smoke test passed"
+
+# Robustness smoke test: the same small dataset through a degraded round —
+# 30% dropout against a 0.5 quorum with retries must complete, report the
+# failed devices, and exit 0; a full blackout must fail with the typed
+# quorum status instead of crashing.
+build/tools/fedsc_cli --input "${obs_dir}/smoke.csv" --clusters 3 \
+  --devices 6 --dropout 0.3 --quorum 0.5 --max-attempts 3
+if build/tools/fedsc_cli --input "${obs_dir}/smoke.csv" --clusters 3 \
+  --devices 6 --dropout 1.0 --quorum 0.5 2>"${obs_dir}/quorum.err"; then
+  echo "expected the full-dropout run to fail" >&2
+  exit 1
+fi
+grep -q "quorum" "${obs_dir}/quorum.err"
+build/bench/fig_robustness --csv > "${obs_dir}/robustness.csv"
+grep -q "^0.30," "${obs_dir}/robustness.csv"
+echo "robustness smoke test passed"

@@ -55,6 +55,12 @@ int64_t Rng::UniformInt(int64_t n) {
   return static_cast<int64_t>(draw % un);
 }
 
+double Rng::Exponential(double mean) {
+  FEDSC_CHECK(mean > 0.0) << "Exponential needs mean > 0, got " << mean;
+  // Inverse CDF; Uniform() < 1, so the log argument stays positive.
+  return -mean * std::log(1.0 - Uniform());
+}
+
 double Rng::Gaussian() {
   if (has_cached_gaussian_) {
     has_cached_gaussian_ = false;
@@ -110,5 +116,12 @@ std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t k) {
 }
 
 Rng Rng::Fork() { return Rng(Next() ^ 0xD1B54A32D192ED03ULL); }
+
+uint64_t MixSeeds(uint64_t seed, uint64_t stream) {
+  uint64_t x = seed;
+  (void)SplitMix64(&x);  // decorrelate nearby base seeds
+  x ^= 0x9E3779B97F4A7C15ULL * (stream + 1);
+  return SplitMix64(&x);
+}
 
 }  // namespace fedsc

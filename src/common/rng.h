@@ -36,6 +36,10 @@ class Rng {
   // Standard normal via Box-Muller (caches the second variate).
   double Gaussian();
 
+  // Exponential with the given mean (inverse-CDF transform). Requires
+  // mean > 0. Used for simulated straggler latencies.
+  double Exponential(double mean);
+
   // n i.i.d. standard normal draws.
   std::vector<double> GaussianVector(int64_t n);
 
@@ -62,6 +66,13 @@ class Rng {
   bool has_cached_gaussian_ = false;
   double cached_gaussian_ = 0.0;
 };
+
+// Well-mixed combination of a base seed and a stream index (SplitMix64 over
+// both words). Handing every simulated device `Rng(MixSeeds(seed, z))` gives
+// it a stream that depends only on (seed, z) — never on the order devices
+// are processed in or the thread count — which is what keeps fault schedules
+// and per-device noise bit-reproducible.
+uint64_t MixSeeds(uint64_t seed, uint64_t stream);
 
 }  // namespace fedsc
 

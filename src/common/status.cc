@@ -27,6 +27,8 @@ const char* StatusCodeName(StatusCode code) {
       return "deadline exceeded";
     case StatusCode::kNotFound:
       return "not found";
+    case StatusCode::kQuorumNotMet:
+      return "quorum not met";
   }
   return "unknown";
 }

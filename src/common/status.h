@@ -22,6 +22,9 @@ enum class StatusCode {
   kInternal = 5,
   kDeadlineExceeded = 6,
   kNotFound = 7,
+  // A federated round finished with fewer participating devices than the
+  // configured participation quorum requires (core/fedsc.h).
+  kQuorumNotMet = 8,
 };
 
 // Returns a stable, lowercase name such as "invalid argument".
@@ -60,6 +63,9 @@ class Status {
   }
   static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status QuorumNotMet(std::string msg) {
+    return Status(StatusCode::kQuorumNotMet, std::move(msg));
   }
 
   bool ok() const { return state_ == nullptr; }

@@ -94,10 +94,32 @@ Status ValidateOptions(const FedScOptions& options) {
     return Status::InvalidArgument(
         "fixed-r mode needs max_local_clusters >= 1");
   }
+  FEDSC_RETURN_NOT_OK(ValidateChannelOptions(options.channel));
+  FEDSC_RETURN_NOT_OK(ValidateRetryOptions(options.retry));
+  FEDSC_RETURN_NOT_OK(ValidateFaultPlanOptions(options.faults));
+  FEDSC_RETURN_NOT_OK(ValidateUploadValidationOptions(options.validation));
+  if (!(options.quorum >= 0.0 && options.quorum <= 1.0)) {
+    return Status::InvalidArgument("quorum must lie in [0, 1], got " +
+                                   std::to_string(options.quorum));
+  }
   return Status::OK();
 }
 
 }  // namespace
+
+const char* DeviceOutcomeName(DeviceOutcome outcome) {
+  switch (outcome) {
+    case DeviceOutcome::kOk:
+      return "ok";
+    case DeviceOutcome::kDropped:
+      return "dropped";
+    case DeviceOutcome::kQuarantined:
+      return "quarantined";
+    case DeviceOutcome::kLocalError:
+      return "local error";
+  }
+  return "unknown";
+}
 
 Result<LocalClusteringOutput> LocalClusterAndSample(const Matrix& points,
                                                     const FedScOptions& options,
@@ -224,12 +246,32 @@ Result<FedScResult> RunFedSc(const FederatedDataset& data,
     });
   }
 
+  // Uplink with the failure model: the fault plan injects per-device
+  // failures, the channel retries against a simulated clock, and the server
+  // quarantines corrupt sample columns instead of crashing. Everything here
+  // is serial protocol code, so metrics and schedules are deterministic for
+  // any num_threads.
+  FEDSC_ASSIGN_OR_RETURN(FaultPlan plan,
+                         FaultPlan::Create(num_devices, options.faults));
   std::vector<Matrix> received(static_cast<size_t>(num_devices));
+  // For participating devices: the original upload column index of every
+  // accepted (post-quarantine) column, in accepted order.
+  std::vector<std::vector<int64_t>> kept_samples(
+      static_cast<size_t>(num_devices));
+  result.device_reports.resize(static_cast<size_t>(num_devices));
   int64_t total_samples = 0;
+  int64_t rounds_used = 1;
+  int64_t sim_uplink_ms = 0;
   {
-    FEDSC_TRACE_SPAN("fedsc/uplink");
+    FEDSC_TRACE_SPAN("fedsc/uplink", {{"devices", num_devices}});
     for (int64_t z = 0; z < num_devices; ++z) {
-      FEDSC_RETURN_NOT_OK(device_status[static_cast<size_t>(z)]);
+      DeviceReport& report = result.device_reports[static_cast<size_t>(z)];
+      report.device = z;
+      if (!device_status[static_cast<size_t>(z)].ok()) {
+        report.outcome = DeviceOutcome::kLocalError;
+        report.status = device_status[static_cast<size_t>(z)];
+        continue;
+      }
       result.local_seconds += device_seconds[static_cast<size_t>(z)];
       result.local_cluster_counts[static_cast<size_t>(z)] =
           locals[static_cast<size_t>(z)].num_local_clusters;
@@ -244,10 +286,86 @@ Result<FedScResult> RunFedSc(const FederatedDataset& data,
                                PrivatizeSamples(*upload, options.dp, &dp_rng));
         upload = &privatized;
       }
-      received[static_cast<size_t>(z)] = channel.Uplink(*upload);
+
+      // Devices upload concurrently in a real federation, so each gets its
+      // own simulated clock; the phase lasts as long as the slowest device.
+      SimClock device_clock;
+      UplinkOutcome outcome = channel.UplinkWithRetry(
+          z, *upload, plan, options.retry, &device_clock);
+      report.attempts = outcome.attempts;
+      rounds_used = std::max<int64_t>(rounds_used, outcome.attempts);
+      sim_uplink_ms = std::max(sim_uplink_ms, outcome.elapsed_ms);
+      if (!outcome.delivered) {
+        report.outcome = DeviceOutcome::kDropped;
+        report.status = outcome.status;
+        FEDSC_METRIC_COUNTER("fed.faults.dropped_devices").Increment();
+        FEDSC_LOG(Warning) << "device " << z
+                           << " failed to upload: "
+                           << outcome.status.ToString();
+        continue;
+      }
+      report.uploaded_samples = outcome.received.cols();
+
+      auto validation = ValidateUpload(outcome.received, data.ambient_dim,
+                                       options.validation);
+      if (!validation.ok()) {
+        // Structurally unusable (e.g. wrong ambient dimension): the whole
+        // upload is quarantined.
+        report.outcome = DeviceOutcome::kQuarantined;
+        report.quarantined_samples = outcome.received.cols();
+        report.status = validation.status();
+        result.quarantined_samples += report.quarantined_samples;
+        FEDSC_METRIC_COUNTER("fed.quarantine.devices").Increment();
+        FEDSC_LOG(Warning) << "device " << z << " upload quarantined: "
+                           << validation.status().ToString();
+        continue;
+      }
+      report.quarantined_samples =
+          static_cast<int64_t>(validation->quarantined.size());
+      result.quarantined_samples += report.quarantined_samples;
+      if (validation->accepted.cols() == 0) {
+        report.outcome = DeviceOutcome::kQuarantined;
+        report.status = Status::InvalidArgument(
+            "every sample of device " + std::to_string(z) +
+            " failed validation");
+        FEDSC_METRIC_COUNTER("fed.quarantine.devices").Increment();
+        continue;
+      }
+      received[static_cast<size_t>(z)] = std::move(validation->accepted);
+      kept_samples[static_cast<size_t>(z)] = std::move(validation->kept);
       total_samples += received[static_cast<size_t>(z)].cols();
+      result.participating_devices += 1;
     }
   }
+  for (const DeviceReport& report : result.device_reports) {
+    if (report.outcome != DeviceOutcome::kOk) {
+      result.failed_devices.push_back(report.device);
+    }
+  }
+  FEDSC_METRIC_COUNTER("fedsc.participating_devices")
+      .Add(result.participating_devices);
+
+  // Participation quorum: proceed only when enough devices delivered a
+  // usable upload; otherwise fail with a typed status the caller can
+  // distinguish from a crash.
+  const double participation =
+      static_cast<double>(result.participating_devices) /
+      static_cast<double>(num_devices);
+  if (participation + 1e-12 < options.quorum) {
+    std::string detail;
+    for (int64_t z : result.failed_devices) {
+      const DeviceReport& report =
+          result.device_reports[static_cast<size_t>(z)];
+      if (!detail.empty()) detail += "; ";
+      detail += "device " + std::to_string(z) + " " +
+                DeviceOutcomeName(report.outcome);
+    }
+    return Status::QuorumNotMet(
+        std::to_string(result.participating_devices) + "/" +
+        std::to_string(num_devices) + " devices reported, quorum " +
+        std::to_string(options.quorum) + " (" + detail + ")");
+  }
+
   result.total_samples = total_samples;
   FEDSC_METRIC_COUNTER("fedsc.total_samples").Add(total_samples);
   if (total_samples < num_clusters) {
@@ -257,7 +375,7 @@ Result<FedScResult> RunFedSc(const FederatedDataset& data,
         std::to_string(num_clusters) + ")");
   }
 
-  // Pool the received samples.
+  // Pool the accepted samples.
   result.samples = Matrix(data.ambient_dim, total_samples);
   result.sample_device.reserve(static_cast<size_t>(total_samples));
   std::vector<int64_t> device_sample_offset(
@@ -303,29 +421,49 @@ Result<FedScResult> RunFedSc(const FederatedDataset& data,
   }
   result.central_seconds = central_timer.ElapsedSeconds();
 
-  // Phase 3: downlink assignments; devices relabel their points.
+  // Phase 3: downlink assignments; devices relabel their points. Points on
+  // failed devices get the sentinel label — partial participation degrades
+  // coverage, never correctness of the surviving labels.
   FEDSC_TRACE_SPAN("fedsc/phase3/relabel");
   for (int64_t z = 0; z < num_devices; ++z) {
     const LocalClusteringOutput& local = locals[static_cast<size_t>(z)];
-    const int64_t offset = device_sample_offset[static_cast<size_t>(z)];
-    channel.Downlink(static_cast<int64_t>(local.sample_cluster.size()),
-                     num_clusters);
-
-    // Map each local cluster to the label of its first sample.
-    std::vector<int64_t> cluster_label(
-        static_cast<size_t>(std::max<int64_t>(local.num_local_clusters, 1)),
-        0);
-    std::vector<int64_t> cluster_sample(cluster_label.size(), -1);
-    for (size_t s = 0; s < local.sample_cluster.size(); ++s) {
-      const auto t = static_cast<size_t>(local.sample_cluster[s]);
-      if (cluster_sample[t] == -1) {
-        cluster_sample[t] = offset + static_cast<int64_t>(s);
-        cluster_label[t] =
-            result.sample_labels[static_cast<size_t>(offset) + s];
-      }
-    }
     auto& labels = result.device_labels[static_cast<size_t>(z)];
     auto& point_sample = result.point_sample[static_cast<size_t>(z)];
+    const size_t num_points =
+        static_cast<size_t>(data.points[static_cast<size_t>(z)].cols());
+    if (result.device_reports[static_cast<size_t>(z)].outcome !=
+        DeviceOutcome::kOk) {
+      labels.assign(num_points, FedScResult::kFailedDeviceLabel);
+      point_sample.assign(num_points, -1);
+      continue;
+    }
+    const std::vector<int64_t>& kept = kept_samples[static_cast<size_t>(z)];
+    const int64_t offset = device_sample_offset[static_cast<size_t>(z)];
+    channel.Downlink(static_cast<int64_t>(kept.size()), num_clusters);
+
+    // Map each local cluster to the label of its first *accepted* sample; a
+    // cluster whose samples were all quarantined gets the sentinel.
+    std::vector<int64_t> cluster_label(
+        static_cast<size_t>(std::max<int64_t>(local.num_local_clusters, 1)),
+        FedScResult::kFailedDeviceLabel);
+    std::vector<int64_t> cluster_sample(cluster_label.size(), -1);
+    for (size_t k = 0; k < kept.size(); ++k) {
+      const int64_t original = kept[k];
+      // Faulted payloads may carry columns past the honest upload
+      // (duplication); those have no local cluster to label.
+      if (original < 0 ||
+          original >= static_cast<int64_t>(local.sample_cluster.size())) {
+        continue;
+      }
+      const auto t =
+          static_cast<size_t>(local.sample_cluster[static_cast<size_t>(
+              original)]);
+      if (cluster_sample[t] == -1) {
+        cluster_sample[t] = offset + static_cast<int64_t>(k);
+        cluster_label[t] =
+            result.sample_labels[static_cast<size_t>(offset) + k];
+      }
+    }
     labels.resize(local.partition.size());
     point_sample.resize(local.partition.size());
     for (size_t i = 0; i < local.partition.size(); ++i) {
@@ -334,10 +472,11 @@ Result<FedScResult> RunFedSc(const FederatedDataset& data,
       point_sample[i] = cluster_sample[t];
     }
   }
-  channel.FinishRound();
+  channel.FinishRounds(rounds_used);
 
   result.global_labels = data.ToGlobalOrder(result.device_labels);
   result.comm = channel.stats();
+  result.comm.sim_uplink_ms = sim_uplink_ms;
   result.seconds = result.local_seconds + result.central_seconds;
   return result;
 }

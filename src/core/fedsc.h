@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "fed/faults.h"
 #include "fed/network.h"
 #include "fed/privacy.h"
 #include "fed/partition.h"
@@ -72,6 +73,23 @@ struct FedScOptions {
 
   ChannelOptions channel;
 
+  // Fault tolerance (fed/faults.h, fed/network.h). The defaults describe
+  // the paper's idealized network: no injected faults, one attempt per
+  // device, permissive server-side validation, and a quorum of 1.0 — every
+  // device must report, so any failure surfaces as a typed kQuorumNotMet
+  // Status rather than silently degrading.
+  FaultPlanOptions faults;
+  // Per-upload deadline, bounded retry budget, and jittered exponential
+  // backoff, all on a simulated clock.
+  RetryOptions retry;
+  // Server-side acceptance bounds; corrupt sample columns are quarantined
+  // (reported in FedScResult) instead of poisoning the central solve.
+  UploadValidationOptions validation;
+  // Minimum fraction of devices that must deliver a valid upload for the
+  // round to proceed. Points on failed devices receive
+  // FedScResult::kFailedDeviceLabel. Must lie in [0, 1].
+  double quorum = 1.0;
+
   // Remark 2 extension: apply the Gaussian mechanism to every uploaded
   // sample (clip + noise; see fed/privacy.h) so each upload is
   // (epsilon, delta)-differentially private. One-shot DP on full vectors is
@@ -105,11 +123,42 @@ Result<LocalClusteringOutput> LocalClusterAndSample(const Matrix& points,
                                                     const FedScOptions& options,
                                                     uint64_t seed);
 
+// How one device fared in the round.
+enum class DeviceOutcome {
+  kOk = 0,          // delivered; at least one sample accepted
+  kDropped,         // no upload arrived (dropout / straggler / retry budget)
+  kQuarantined,     // upload arrived but no sample survived validation
+  kLocalError,      // the device's local clustering failed
+};
+
+const char* DeviceOutcomeName(DeviceOutcome outcome);
+
+struct DeviceReport {
+  int64_t device = 0;
+  DeviceOutcome outcome = DeviceOutcome::kOk;
+  int attempts = 0;                // uplink attempts consumed
+  int64_t uploaded_samples = 0;    // columns delivered to the server
+  int64_t quarantined_samples = 0;  // delivered columns rejected
+  Status status;                   // non-OK explains the failure
+};
+
 struct FedScResult {
+  // Label given to every point on a failed (dropped / quarantined /
+  // errored) device, so partial participation can never masquerade as a
+  // confident assignment.
+  static constexpr int64_t kFailedDeviceLabel = -1;
+
   std::vector<std::vector<int64_t>> device_labels;  // partition layout
   std::vector<int64_t> global_labels;               // dataset order
   std::vector<int64_t> local_cluster_counts;        // r^(z) per device
-  int64_t total_samples = 0;                        // sum_z r^(z) * s
+  int64_t total_samples = 0;  // accepted samples pooled by the server
+
+  // Per-device fate of the round (one entry per device, in device order),
+  // plus the ids of devices that did not participate.
+  std::vector<DeviceReport> device_reports;
+  std::vector<int64_t> failed_devices;
+  int64_t participating_devices = 0;
+  int64_t quarantined_samples = 0;
 
   Matrix samples;                        // pooled samples (post-channel)
   std::vector<int64_t> sample_device;    // device of each pooled sample

@@ -26,6 +26,13 @@ Result<std::vector<int64_t>> FedScClient::ApplyAssignments(
         "expected " + std::to_string(local_.sample_cluster.size()) +
         " assignments, got " + std::to_string(sample_assignments.size()));
   }
+  for (int64_t assignment : sample_assignments) {
+    if (assignment < 0) {
+      return Status::InvalidArgument(
+          "assignment " + std::to_string(assignment) +
+          " is out of range (labels must be >= 0)");
+    }
+  }
   // Label of a local cluster = assignment of its first sample.
   std::vector<int64_t> cluster_label(
       static_cast<size_t>(std::max<int64_t>(local_.num_local_clusters, 1)),
@@ -48,16 +55,24 @@ Result<int64_t> FedScServer::AddUpload(const Matrix& samples) {
   if (samples.cols() == 0) {
     return Status::InvalidArgument("empty upload");
   }
-  if (ambient_dim_ < 0) {
-    ambient_dim_ = samples.rows();
-  } else if (samples.rows() != ambient_dim_) {
+  // The first device fixes the federation's ambient dimension; validation
+  // quarantines corrupt columns so one bad device cannot poison (or crash)
+  // the central solve.
+  FEDSC_ASSIGN_OR_RETURN(
+      UploadValidation validation,
+      ValidateUpload(samples, ambient_dim_ >= 0 ? ambient_dim_ : -1,
+                     options_.validation));
+  quarantined_samples_ +=
+      static_cast<int64_t>(validation.quarantined.size());
+  if (validation.accepted.cols() == 0) {
     return Status::InvalidArgument(
-        "upload dimension " + std::to_string(samples.rows()) +
-        " does not match the federation's " + std::to_string(ambient_dim_));
+        "every sample of the upload failed validation (e.g. " +
+        validation.reasons.front() + ")");
   }
+  if (ambient_dim_ < 0) ambient_dim_ = samples.rows();
   device_offsets_.push_back(total_samples_);
-  uploads_.push_back(samples);
-  total_samples_ += samples.cols();
+  total_samples_ += validation.accepted.cols();
+  uploads_.push_back(std::move(validation.accepted));
   clustered_ = false;
   return num_devices() - 1;
 }

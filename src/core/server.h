@@ -34,7 +34,9 @@ class FedScClient {
   int64_t num_samples() const { return local_.samples.cols(); }
 
   // Phase 3: map per-sample assignments (one per uploaded sample, in upload
-  // order) to per-point labels.
+  // order) to per-point labels. Rejects assignment vectors whose length
+  // mismatches num_samples() or that contain negative labels (a server must
+  // never hand back the failed-device sentinel as a real assignment).
   Result<std::vector<int64_t>> ApplyAssignments(
       const std::vector<int64_t>& sample_assignments) const;
 
@@ -55,13 +57,19 @@ class FedScServer {
   FedScServer(int64_t num_clusters, FedScOptions options);
 
   // Registers one device's upload; returns the device's id. Invalidates any
-  // previous clustering.
+  // previous clustering. Sample columns that fail validation
+  // (FedScOptions::validation — non-finite values, norms far off the unit
+  // sphere) are quarantined rather than registered; an upload with no valid
+  // column (or the wrong ambient dimension) is rejected with a typed
+  // Status.
   Result<int64_t> AddUpload(const Matrix& samples);
 
   int64_t num_devices() const {
     return static_cast<int64_t>(device_offsets_.size());
   }
   int64_t total_samples() const { return total_samples_; }
+  // Sample columns rejected by AddUpload validation since construction.
+  int64_t quarantined_samples() const { return quarantined_samples_; }
 
   // (Re-)clusters all registered samples. Idempotent until the next
   // AddUpload.
@@ -81,6 +89,7 @@ class FedScServer {
   std::vector<Matrix> uploads_;
   std::vector<int64_t> device_offsets_;
   int64_t total_samples_ = 0;
+  int64_t quarantined_samples_ = 0;
   bool clustered_ = false;
   std::vector<int64_t> sample_labels_;
 };

@@ -1,0 +1,277 @@
+#include "fed/faults.h"
+
+#include <cmath>
+#include <iterator>
+#include <limits>
+#include <sstream>
+
+#include "common/metrics.h"
+#include "linalg/blas.h"
+
+namespace fedsc {
+
+namespace {
+
+// The detectable corruption classes a corrupt device cycles through, in
+// order (ValidateUpload must quarantine every one of them).
+constexpr PayloadFault kCorruptionCycle[] = {
+    PayloadFault::kTruncate,   PayloadFault::kDuplicate,
+    PayloadFault::kCorruptNan, PayloadFault::kCorruptDim,
+    PayloadFault::kCorruptNorm,
+};
+
+Status CheckRate(double value, const char* name) {
+  if (!(value >= 0.0 && value <= 1.0)) {
+    return Status::InvalidArgument(std::string(name) +
+                                   " must lie in [0, 1], got " +
+                                   std::to_string(value));
+  }
+  return Status::OK();
+}
+
+bool ColumnFinite(const double* col, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    if (!std::isfinite(col[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* PayloadFaultName(PayloadFault fault) {
+  switch (fault) {
+    case PayloadFault::kNone:
+      return "none";
+    case PayloadFault::kTruncate:
+      return "truncate";
+    case PayloadFault::kDuplicate:
+      return "duplicate";
+    case PayloadFault::kCorruptNan:
+      return "corrupt-nan";
+    case PayloadFault::kCorruptDim:
+      return "corrupt-dim";
+    case PayloadFault::kCorruptNorm:
+      return "corrupt-norm";
+    case PayloadFault::kByzantine:
+      return "byzantine";
+  }
+  return "unknown";
+}
+
+Status ValidateFaultPlanOptions(const FaultPlanOptions& options) {
+  FEDSC_RETURN_NOT_OK(CheckRate(options.dropout_rate, "dropout_rate"));
+  FEDSC_RETURN_NOT_OK(CheckRate(options.straggler_rate, "straggler_rate"));
+  FEDSC_RETURN_NOT_OK(CheckRate(options.transient_rate, "transient_rate"));
+  FEDSC_RETURN_NOT_OK(CheckRate(options.corrupt_rate, "corrupt_rate"));
+  FEDSC_RETURN_NOT_OK(CheckRate(options.byzantine_rate, "byzantine_rate"));
+  if (options.straggler_rate > 0.0 && options.straggler_mean_delay_ms <= 0.0) {
+    return Status::InvalidArgument(
+        "straggler_mean_delay_ms must be positive when stragglers are "
+        "scheduled");
+  }
+  if (options.max_transient_failures < 0) {
+    return Status::InvalidArgument("max_transient_failures must be >= 0");
+  }
+  return Status::OK();
+}
+
+Status ValidateUploadValidationOptions(
+    const UploadValidationOptions& options) {
+  if (!(options.min_norm >= 0.0)) {
+    return Status::InvalidArgument("min_norm must be >= 0");
+  }
+  if (!(options.max_norm > options.min_norm)) {
+    return Status::InvalidArgument("max_norm must exceed min_norm");
+  }
+  return Status::OK();
+}
+
+Result<FaultPlan> FaultPlan::Create(int64_t num_devices,
+                                    const FaultPlanOptions& options) {
+  if (num_devices < 0) {
+    return Status::InvalidArgument("num_devices must be >= 0");
+  }
+  FEDSC_RETURN_NOT_OK(ValidateFaultPlanOptions(options));
+
+  FaultPlan plan;
+  plan.options_ = options;
+  plan.devices_.resize(static_cast<size_t>(num_devices));
+  int64_t corrupt_index = 0;
+  for (int64_t z = 0; z < num_devices; ++z) {
+    // One independent stream per device: the schedule depends only on
+    // (options.seed, z), never on processing order or thread count.
+    Rng rng(MixSeeds(options.seed, static_cast<uint64_t>(z)));
+    DeviceFaultSchedule& device = plan.devices_[static_cast<size_t>(z)];
+    device.dropped = rng.Uniform() < options.dropout_rate;
+    device.straggler = rng.Uniform() < options.straggler_rate;
+    if (rng.Uniform() < options.transient_rate &&
+        options.max_transient_failures > 0) {
+      device.transient_failures =
+          1 + static_cast<int>(
+                  rng.UniformInt(options.max_transient_failures));
+    }
+    const double u_corrupt = rng.Uniform();
+    const double u_byzantine = rng.Uniform();
+    if (u_corrupt < options.corrupt_rate) {
+      constexpr int64_t kCycle =
+          static_cast<int64_t>(std::size(kCorruptionCycle));
+      device.payload = kCorruptionCycle[corrupt_index++ % kCycle];
+    } else if (u_byzantine < options.byzantine_rate) {
+      device.payload = PayloadFault::kByzantine;
+    }
+    device.payload_seed = rng.Next();
+    device.delay_seed = rng.Next();
+    plan.active_ = plan.active_ || device.dropped || device.straggler ||
+                   device.transient_failures > 0 ||
+                   device.payload != PayloadFault::kNone;
+  }
+  return plan;
+}
+
+DeviceFaultSchedule FaultPlan::ScheduleFor(int64_t z) const {
+  if (z < 0 || z >= num_devices()) return DeviceFaultSchedule{};
+  return devices_[static_cast<size_t>(z)];
+}
+
+int64_t FaultPlan::UplinkDelayMs(int64_t z, int attempt) const {
+  const DeviceFaultSchedule device = ScheduleFor(z);
+  if (!device.straggler) return 0;
+  // Redrawn per attempt (slow links are bursty), but as a pure function of
+  // (device, attempt) so replays agree.
+  Rng rng(MixSeeds(device.delay_seed, static_cast<uint64_t>(attempt)));
+  return static_cast<int64_t>(
+      std::llround(rng.Exponential(options_.straggler_mean_delay_ms)));
+}
+
+Matrix FaultPlan::ApplyPayloadFault(int64_t z, const Matrix& upload) const {
+  const DeviceFaultSchedule device = ScheduleFor(z);
+  if (device.payload == PayloadFault::kNone || upload.cols() == 0) {
+    return upload;
+  }
+  FEDSC_METRIC_COUNTER("fed.faults.payload_faults").Increment();
+  Rng rng(device.payload_seed);
+  const int64_t n = upload.rows();
+  const int64_t cols = upload.cols();
+  switch (device.payload) {
+    case PayloadFault::kNone:
+      break;
+    case PayloadFault::kTruncate: {
+      // Only a prefix survives the uplink; always lose at least one column
+      // when there is more than one.
+      const int64_t keep = std::max<int64_t>(1, cols / 2);
+      return upload.ColRange(0, keep);
+    }
+    case PayloadFault::kDuplicate: {
+      const int64_t extra = std::max<int64_t>(1, cols / 2);
+      Matrix doubled(n, cols + extra);
+      for (int64_t j = 0; j < cols; ++j) {
+        doubled.SetCol(j, upload.ColData(j));
+      }
+      for (int64_t j = 0; j < extra; ++j) {
+        doubled.SetCol(cols + j, upload.ColData(j));
+      }
+      return doubled;
+    }
+    case PayloadFault::kCorruptNan: {
+      // Roughly half the columns survive; the last is always corrupted so
+      // the fault can never be a silent no-op.
+      Matrix corrupted = upload;
+      for (int64_t j = 0; j < cols; ++j) {
+        if (j + 1 < cols && rng.Uniform() < 0.5) continue;
+        double* col = corrupted.ColData(j);
+        col[rng.UniformInt(n)] = std::numeric_limits<double>::quiet_NaN();
+        col[rng.UniformInt(n)] = std::numeric_limits<double>::infinity();
+      }
+      return corrupted;
+    }
+    case PayloadFault::kCorruptDim: {
+      // One extra ambient row: meaningless in the federation's space.
+      Matrix wrong(n + 1, cols);
+      for (int64_t j = 0; j < cols; ++j) {
+        double* dst = wrong.ColData(j);
+        const double* src = upload.ColData(j);
+        for (int64_t i = 0; i < n; ++i) dst[i] = src[i];
+        dst[n] = rng.Gaussian();
+      }
+      return wrong;
+    }
+    case PayloadFault::kCorruptNorm: {
+      // Alternate blow-ups and collapses, both orders of magnitude outside
+      // the acceptance bounds.
+      Matrix corrupted = upload;
+      for (int64_t j = 0; j < cols; ++j) {
+        const double scale = (j % 2 == 0) ? 1e9 : 0.0;
+        Scal(scale, corrupted.ColData(j), n);
+      }
+      return corrupted;
+    }
+    case PayloadFault::kByzantine: {
+      // Well-formed unit vectors with adversarially useless directions:
+      // they pass validation and can only be absorbed, not filtered.
+      Matrix adversarial(n, cols);
+      for (int64_t j = 0; j < cols; ++j) {
+        adversarial.SetCol(j, rng.UnitSphere(n));
+      }
+      return adversarial;
+    }
+  }
+  return upload;
+}
+
+std::string FaultPlan::Fingerprint() const {
+  std::ostringstream os;
+  for (int64_t z = 0; z < num_devices(); ++z) {
+    const DeviceFaultSchedule& d = devices_[static_cast<size_t>(z)];
+    os << "z=" << z << " dropped=" << d.dropped
+       << " straggler=" << d.straggler
+       << " transient=" << d.transient_failures
+       << " payload=" << PayloadFaultName(d.payload)
+       << " payload_seed=" << d.payload_seed
+       << " delay_seed=" << d.delay_seed << "\n";
+  }
+  return os.str();
+}
+
+Result<UploadValidation> ValidateUpload(
+    const Matrix& samples, int64_t expected_dim,
+    const UploadValidationOptions& options) {
+  FEDSC_RETURN_NOT_OK(ValidateUploadValidationOptions(options));
+  if (expected_dim >= 0 && samples.rows() != expected_dim) {
+    return Status::InvalidArgument(
+        "upload dimension " + std::to_string(samples.rows()) +
+        " does not match the federation's " + std::to_string(expected_dim));
+  }
+  UploadValidation out;
+  const int64_t n = samples.rows();
+  std::vector<int64_t> kept;
+  for (int64_t j = 0; j < samples.cols(); ++j) {
+    if (!options.enabled) {
+      kept.push_back(j);
+      continue;
+    }
+    const double* col = samples.ColData(j);
+    if (!ColumnFinite(col, n)) {
+      out.quarantined.push_back(j);
+      out.reasons.push_back("non-finite value");
+      continue;
+    }
+    const double norm = Norm2(col, n);
+    if (norm < options.min_norm || norm > options.max_norm) {
+      out.quarantined.push_back(j);
+      out.reasons.push_back("norm " + std::to_string(norm) +
+                            " outside [" + std::to_string(options.min_norm) +
+                            ", " + std::to_string(options.max_norm) + "]");
+      continue;
+    }
+    kept.push_back(j);
+  }
+  out.accepted = samples.GatherCols(kept);
+  out.kept = std::move(kept);
+  if (!out.quarantined.empty()) {
+    FEDSC_METRIC_COUNTER("fed.quarantine.samples")
+        .Add(static_cast<int64_t>(out.quarantined.size()));
+  }
+  return out;
+}
+
+}  // namespace fedsc

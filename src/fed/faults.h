@@ -1,0 +1,153 @@
+// Deterministic fault injection for the simulated federated network.
+//
+// The paper's one-shot protocol assumes every device uploads successfully;
+// production federations do not (k-FED motivates one-shot schemes precisely
+// by device unreliability). A FaultPlan is a seed-driven, per-device
+// schedule of failures — dropout, straggler latency, transient upload
+// losses, payload truncation/duplication, corruption (NaN/Inf, wrong
+// dimension, non-unit-norm), and Byzantine uploads — that the Channel's
+// retry loop (fed/network.h) and RunFedSc's degradation logic
+// (core/fedsc.h) interpret. Every draw is a pure function of
+// (seed, device, attempt): schedules are bit-identical for any thread count
+// and any processing order, composable with ChannelOptions noise and
+// quantization, and replayable for regression tests.
+//
+// Server-side upload validation lives here too: ValidateUpload quarantines
+// corrupt sample columns (instead of letting them poison — or crash — the
+// central solve) and reports exactly which columns were rejected and why.
+
+#ifndef FEDSC_FED_FAULTS_H_
+#define FEDSC_FED_FAULTS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "linalg/matrix.h"
+
+namespace fedsc {
+
+// What a faulty device does to its upload payload. The three kCorrupt*
+// classes are detectable (and must be quarantined) by ValidateUpload;
+// kByzantine uploads are well-formed unit vectors pointing nowhere useful,
+// so they pass validation and degrade accuracy instead — the robustness
+// bench measures how gracefully.
+enum class PayloadFault {
+  kNone = 0,
+  kTruncate,     // only a prefix of the sample columns arrives
+  kDuplicate,    // some sample columns arrive twice
+  kCorruptNan,   // NaN/Inf entries scattered through the payload
+  kCorruptDim,   // wrong ambient dimension (extra row)
+  kCorruptNorm,  // columns blown up / collapsed far off the unit sphere
+  kByzantine,    // adversarial random unit vectors replace the samples
+};
+
+const char* PayloadFaultName(PayloadFault fault);
+
+struct FaultPlanOptions {
+  // Fraction of devices that never respond (every attempt times out).
+  double dropout_rate = 0.0;
+  // Fraction of devices whose attempts carry exponential latency with the
+  // given mean; an attempt slower than RetryOptions::timeout_ms times out.
+  double straggler_rate = 0.0;
+  double straggler_mean_delay_ms = 400.0;
+  // Fraction of devices whose first `transient failures` attempts are lost
+  // in flight (they succeed once retried enough).
+  double transient_rate = 0.0;
+  int max_transient_failures = 2;
+  // Fraction of devices uploading a corrupted payload; the corruption class
+  // cycles deterministically through truncate/duplicate/NaN/dim/norm.
+  double corrupt_rate = 0.0;
+  // Fraction of devices uploading adversarial (Byzantine) samples.
+  double byzantine_rate = 0.0;
+  uint64_t seed = 0x5eed'FA17ULL;
+};
+
+// One device's schedule, fixed at FaultPlan::Create time.
+struct DeviceFaultSchedule {
+  bool dropped = false;
+  bool straggler = false;
+  int transient_failures = 0;  // attempts lost before one can succeed
+  PayloadFault payload = PayloadFault::kNone;
+  uint64_t payload_seed = 0;  // drives the payload mutation
+  uint64_t delay_seed = 0;    // drives per-attempt latency draws
+};
+
+// Immutable per-device fault schedule. A default-constructed plan is
+// fault-free for any device index, so the happy path never pays for one.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  // Validates every rate (must lie in [0, 1], delays/budgets nonnegative)
+  // and draws the schedule for `num_devices` devices. Each device's draws
+  // come from Rng(MixSeeds(seed, z)), so the schedule is a pure function of
+  // (options, z).
+  static Result<FaultPlan> Create(int64_t num_devices,
+                                  const FaultPlanOptions& options);
+
+  int64_t num_devices() const {
+    return static_cast<int64_t>(devices_.size());
+  }
+  // True when any fault was scheduled for any device.
+  bool active() const { return active_; }
+
+  // The schedule for device z; fault-free beyond the planned range (late
+  // joiners simply have no faults scheduled).
+  DeviceFaultSchedule ScheduleFor(int64_t z) const;
+
+  // Simulated uplink latency of `attempt` (1-based) for device z, in
+  // milliseconds. Deterministic in (plan, z, attempt); 0 for
+  // non-stragglers.
+  int64_t UplinkDelayMs(int64_t z, int attempt) const;
+
+  // Applies device z's payload fault to its upload (identity for kNone).
+  Matrix ApplyPayloadFault(int64_t z, const Matrix& upload) const;
+
+  // A printable digest of every device's schedule, for asserting that two
+  // plans (e.g. built under different thread counts) are bit-identical.
+  std::string Fingerprint() const;
+
+ private:
+  FaultPlanOptions options_;
+  bool active_ = false;
+  std::vector<DeviceFaultSchedule> devices_;
+};
+
+// Server-side acceptance bounds for one uploaded sample column. The bounds
+// are deliberately loose: honest uploads are unit vectors, but channel
+// noise, quantization, and DP perturb them, so only violations orders of
+// magnitude off (or non-finite values, or a wrong ambient dimension) are
+// quarantined.
+struct UploadValidationOptions {
+  bool enabled = true;
+  double min_norm = 1e-6;
+  double max_norm = 1e6;
+};
+
+// Verdict of ValidateUpload: the accepted columns (original order) plus the
+// original index and reason of every quarantined column.
+struct UploadValidation {
+  Matrix accepted;
+  std::vector<int64_t> kept;  // original column index of accepted.col(j)
+  std::vector<int64_t> quarantined;
+  std::vector<std::string> reasons;  // parallel to `quarantined`
+};
+
+// Validates one device's received upload against `expected_dim`. A wrong
+// ambient dimension rejects the whole upload (typed InvalidArgument — the
+// columns are meaningless in the federation's space); otherwise non-finite
+// or norm-violating columns are quarantined per column and the rest
+// accepted. Never crashes on any payload ApplyPayloadFault can produce.
+Result<UploadValidation> ValidateUpload(const Matrix& samples,
+                                        int64_t expected_dim,
+                                        const UploadValidationOptions& options);
+
+Status ValidateFaultPlanOptions(const FaultPlanOptions& options);
+Status ValidateUploadValidationOptions(const UploadValidationOptions& options);
+
+}  // namespace fedsc
+
+#endif  // FEDSC_FED_FAULTS_H_

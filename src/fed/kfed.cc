@@ -15,6 +15,7 @@ Result<KFedResult> RunKFed(const FederatedDataset& data, int64_t num_clusters,
   if (num_clusters < 1) {
     return Status::InvalidArgument("need num_clusters >= 1");
   }
+  FEDSC_RETURN_NOT_OK(ValidateChannelOptions(options.channel));
 
   FEDSC_TRACE_SPAN("kfed/run",
                    {{"devices", num_devices}, {"clusters", num_clusters}});

@@ -1,11 +1,66 @@
 #include "fed/network.h"
 
-#include <cmath>
 #include <algorithm>
+#include <cmath>
 
 #include "common/metrics.h"
+#include "common/trace.h"
 
 namespace fedsc {
+
+Status ValidateChannelOptions(const ChannelOptions& options) {
+  if (options.noise_delta < 0.0) {
+    return Status::InvalidArgument("noise_delta must be >= 0, got " +
+                                   std::to_string(options.noise_delta));
+  }
+  if (options.bits_per_value < 1) {
+    return Status::InvalidArgument("bits_per_value must be >= 1, got " +
+                                   std::to_string(options.bits_per_value));
+  }
+  if (options.quantize &&
+      (options.bits_per_value < 2 || options.bits_per_value > 32)) {
+    return Status::InvalidArgument(
+        "quantization requires bits_per_value in [2, 32], got " +
+        std::to_string(options.bits_per_value));
+  }
+  if (options.quantize && options.quantization_range <= 0.0) {
+    return Status::InvalidArgument(
+        "quantization_range must be positive, got " +
+        std::to_string(options.quantization_range));
+  }
+  return Status::OK();
+}
+
+Status ValidateRetryOptions(const RetryOptions& options) {
+  if (options.max_attempts < 1) {
+    return Status::InvalidArgument("max_attempts must be >= 1, got " +
+                                   std::to_string(options.max_attempts));
+  }
+  if (options.timeout_ms <= 0) {
+    return Status::InvalidArgument("timeout_ms must be positive, got " +
+                                   std::to_string(options.timeout_ms));
+  }
+  if (options.base_backoff_ms < 0) {
+    return Status::InvalidArgument("base_backoff_ms must be >= 0, got " +
+                                   std::to_string(options.base_backoff_ms));
+  }
+  if (options.backoff_multiplier < 1.0) {
+    return Status::InvalidArgument(
+        "backoff_multiplier must be >= 1, got " +
+        std::to_string(options.backoff_multiplier));
+  }
+  if (options.jitter_fraction < 0.0 || options.jitter_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "jitter_fraction must lie in [0, 1], got " +
+        std::to_string(options.jitter_fraction));
+  }
+  return Status::OK();
+}
+
+Result<Channel> Channel::Create(const ChannelOptions& options) {
+  FEDSC_RETURN_NOT_OK(ValidateChannelOptions(options));
+  return Channel(options);
+}
 
 Channel::Channel(const ChannelOptions& options)
     : options_(options), rng_(options.seed) {}
@@ -40,6 +95,87 @@ Matrix Channel::Uplink(const Matrix& samples) {
   return received;
 }
 
+UplinkOutcome Channel::UplinkWithRetry(int64_t device, const Matrix& payload,
+                                       const FaultPlan& plan,
+                                       const RetryOptions& retry,
+                                       SimClock* clock) {
+  FEDSC_TRACE_SPAN("fed/uplink_retry", {{"device", device}});
+  UplinkOutcome outcome;
+  const DeviceFaultSchedule schedule = plan.ScheduleFor(device);
+  const Matrix sent = plan.ApplyPayloadFault(device, payload);
+  // Jittered backoff draws come from a per-device stream so the schedule
+  // replays identically no matter which devices retried before this one.
+  Rng backoff_rng(MixSeeds(options_.seed ^ 0xBAC0FFULL,
+                           static_cast<uint64_t>(device)));
+
+  const int64_t start_ms = clock->now_ms();
+  for (int attempt = 1; attempt <= retry.max_attempts; ++attempt) {
+    outcome.attempts = attempt;
+    if (attempt > 1) {
+      stats_.retries += 1;
+      FEDSC_METRIC_COUNTER("fed.comm.retries").Increment();
+      double backoff = static_cast<double>(retry.base_backoff_ms) *
+                       std::pow(retry.backoff_multiplier, attempt - 2);
+      backoff *= 1.0 + retry.jitter_fraction * backoff_rng.Uniform();
+      clock->AdvanceMs(static_cast<int64_t>(std::llround(backoff)));
+    }
+    if (schedule.dropped) {
+      // A dropped device never answers: the server waits out the deadline.
+      clock->AdvanceMs(retry.timeout_ms);
+      stats_.timeouts += 1;
+      FEDSC_METRIC_COUNTER("fed.comm.timeouts").Increment();
+      FEDSC_METRIC_COUNTER("fed.faults.dropped_attempts").Increment();
+      outcome.status = Status::DeadlineExceeded(
+          "device " + std::to_string(device) + " dropped out");
+      continue;
+    }
+    const int64_t delay_ms = plan.UplinkDelayMs(device, attempt);
+    if (delay_ms > retry.timeout_ms) {
+      // Straggler: the payload was transmitted but arrived past the
+      // deadline — the bandwidth is spent, the attempt is not.
+      stats_.uplink_values += sent.size();
+      stats_.uplink_bits += sent.size() * options_.bits_per_value;
+      FEDSC_METRIC_COUNTER("fed.comm.uplink_values").Add(sent.size());
+      FEDSC_METRIC_COUNTER("fed.comm.uplink_bits")
+          .Add(sent.size() * options_.bits_per_value);
+      clock->AdvanceMs(retry.timeout_ms);
+      stats_.timeouts += 1;
+      FEDSC_METRIC_COUNTER("fed.comm.timeouts").Increment();
+      FEDSC_METRIC_COUNTER("fed.faults.straggler_timeouts").Increment();
+      outcome.status = Status::DeadlineExceeded(
+          "device " + std::to_string(device) + " straggled (" +
+          std::to_string(delay_ms) + "ms > " +
+          std::to_string(retry.timeout_ms) + "ms deadline)");
+      continue;
+    }
+    clock->AdvanceMs(delay_ms);
+    if (attempt <= schedule.transient_failures) {
+      // Lost in flight: bandwidth consumed, nothing delivered.
+      stats_.uplink_values += sent.size();
+      stats_.uplink_bits += sent.size() * options_.bits_per_value;
+      FEDSC_METRIC_COUNTER("fed.comm.uplink_values").Add(sent.size());
+      FEDSC_METRIC_COUNTER("fed.comm.uplink_bits")
+          .Add(sent.size() * options_.bits_per_value);
+      FEDSC_METRIC_COUNTER("fed.faults.transient_losses").Increment();
+      outcome.status = Status::DeadlineExceeded(
+          "device " + std::to_string(device) + " upload lost in transit");
+      continue;
+    }
+    outcome.received = Uplink(sent);
+    outcome.delivered = true;
+    outcome.status = Status::OK();
+    break;
+  }
+  outcome.elapsed_ms = clock->now_ms() - start_ms;
+  FEDSC_METRIC_HISTOGRAM("fed.retry.attempts_per_device")
+      .Record(outcome.attempts);
+  if (!outcome.delivered && outcome.status.ok()) {
+    outcome.status = Status::DeadlineExceeded(
+        "device " + std::to_string(device) + " exhausted its retry budget");
+  }
+  return outcome;
+}
+
 void Channel::Downlink(int64_t count, int64_t num_clusters) {
   stats_.downlink_values += count;
   stats_.downlink_bits +=
@@ -52,9 +188,9 @@ void Channel::Downlink(int64_t count, int64_t num_clusters) {
       .Set(stats_.downlink_bits);
 }
 
-void Channel::FinishRound() {
-  ++stats_.rounds;
-  FEDSC_METRIC_COUNTER("fed.comm.rounds").Increment();
+void Channel::FinishRounds(int64_t n) {
+  stats_.rounds += n;
+  FEDSC_METRIC_COUNTER("fed.comm.rounds").Add(n);
 }
 
 }  // namespace fedsc

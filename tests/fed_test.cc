@@ -10,6 +10,7 @@
 #include "fed/network.h"
 #include "fed/partition.h"
 #include "fed/pca.h"
+#include "fed/privacy.h"
 #include "linalg/blas.h"
 #include "metrics/clustering_metrics.h"
 
@@ -307,15 +308,107 @@ TEST(ChannelTest, QuantizationRoundsToGrid) {
   }
 }
 
-TEST(ChannelTest, QuantizationDisabledAt64Bits) {
+TEST(ChannelTest, CreateRejectsInvalidOptions) {
+  // Channel::Create (and every Run* entry point, via
+  // ValidateChannelOptions) rejects misconfigured channels up front instead
+  // of silently passing values through unquantized.
   ChannelOptions options;
   options.quantize = true;
-  options.bits_per_value = 64;  // out of quantizable range: pass-through
-  Channel channel(options);
-  Matrix samples(2, 2);
-  samples(0, 0) = 0.123456789;
-  const Matrix received = channel.Uplink(samples);
-  EXPECT_TRUE(AllClose(received, samples, 0.0));
+  options.bits_per_value = 64;  // outside the quantizable range [2, 32]
+  auto rejected = Channel::Create(options);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+
+  options.bits_per_value = 1;  // too coarse to quantize
+  EXPECT_FALSE(Channel::Create(options).ok());
+  options.bits_per_value = 8;
+  options.quantization_range = 0.0;
+  EXPECT_FALSE(Channel::Create(options).ok());
+  options.quantization_range = 1.5;
+  ASSERT_TRUE(Channel::Create(options).ok());
+
+  ChannelOptions noisy;
+  noisy.noise_delta = -0.5;
+  EXPECT_FALSE(Channel::Create(noisy).ok());
+  ChannelOptions zero_bits;
+  zero_bits.bits_per_value = 0;
+  EXPECT_FALSE(Channel::Create(zero_bits).ok());
+  EXPECT_TRUE(Channel::Create(ChannelOptions{}).ok());
+}
+
+TEST(ChannelTest, RunEntryPointsValidateChannelOptions) {
+  const Dataset data = Blobs(3, 20, 6, 0.5, 23);
+  PartitionOptions partition;
+  partition.num_devices = 4;
+  auto fed = PartitionAcrossDevices(data, partition);
+  ASSERT_TRUE(fed.ok());
+  KFedOptions options;
+  options.channel.noise_delta = -1.0;
+  auto result = RunKFed(*fed, 3, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PrivacyTest, ClippingIsExactAtTheBoundary) {
+  DpOptions options;
+  options.epsilon = 1.0;
+  options.delta = 1e-5;
+  options.sensitivity = 2.0;
+  const double clip = options.sensitivity / 2.0;
+  const double sigma = *GaussianMechanismSigma(options);
+
+  Matrix samples(5, 2);
+  samples(0, 0) = clip;        // exactly at the boundary: not rescaled
+  samples(1, 1) = 4.0 * clip;  // over: rescaled onto the boundary
+  const uint64_t seed = 123;
+  Rng rng(seed);
+  auto released = PrivatizeSamples(samples, options, &rng);
+  ASSERT_TRUE(released.ok());
+
+  // Replay the mechanism by hand with an identically seeded stream: the
+  // boundary column must be passed through un-clipped, the oversized one
+  // scaled to exactly clip, bit for bit.
+  Rng replay(seed);
+  Matrix expected(5, 2);
+  expected(0, 0) = clip;
+  expected(1, 1) = clip;
+  for (int64_t j = 0; j < 2; ++j) {
+    for (int64_t i = 0; i < 5; ++i) {
+      expected(i, j) += sigma * replay.Gaussian();
+    }
+  }
+  EXPECT_TRUE(AllClose(*released, expected, 0.0));
+}
+
+TEST(PrivacyTest, ZeroNormSamplesAreReleasedAsPureNoise) {
+  // A device with a degenerate (all-zero) sample must not divide by zero;
+  // the release is pure mechanism noise.
+  DpOptions options;
+  options.epsilon = 0.5;
+  options.delta = 1e-4;
+  Rng rng(31);
+  auto released = PrivatizeSamples(Matrix(6, 1), options, &rng);
+  ASSERT_TRUE(released.ok());
+  double sum2 = 0.0;
+  for (int64_t i = 0; i < 6; ++i) {
+    EXPECT_TRUE(std::isfinite((*released)(i, 0)));
+    sum2 += (*released)(i, 0) * (*released)(i, 0);
+  }
+  EXPECT_GT(sum2, 0.0);  // noise was actually added
+}
+
+TEST(PrivacyTest, DegenerateDpOptionsAreRejected) {
+  Rng rng(32);
+  const Matrix samples(4, 2);
+  DpOptions options;
+  options.delta = 1.0;  // delta must lie strictly inside (0, 1)
+  EXPECT_FALSE(PrivatizeSamples(samples, options, &rng).ok());
+  options.delta = 1e-5;
+  options.epsilon = -1.0;
+  EXPECT_FALSE(PrivatizeSamples(samples, options, &rng).ok());
+  options.epsilon = 1.0;
+  options.sensitivity = 0.0;
+  EXPECT_FALSE(PrivatizeSamples(samples, options, &rng).ok());
 }
 
 }  // namespace

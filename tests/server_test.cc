@@ -2,6 +2,7 @@
 // differential-privacy uplink (fed/privacy.h).
 
 #include <cmath>
+#include <limits>
 #include <set>
 
 #include <gtest/gtest.h>
@@ -150,6 +151,41 @@ TEST(FedScClientTest, AssignmentsValidation) {
   std::vector<int64_t> wrong_size(
       static_cast<size_t>(client.num_samples() + 1), 0);
   EXPECT_FALSE(client.ApplyAssignments(wrong_size).ok());
+
+  // Out-of-range assignments (e.g. a leaked failed-device sentinel) are
+  // rejected instead of silently labeling points -1.
+  std::vector<int64_t> negative(static_cast<size_t>(client.num_samples()),
+                                0);
+  negative.back() = -1;
+  auto rejected = client.ApplyAssignments(negative);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+
+  std::vector<int64_t> valid(static_cast<size_t>(client.num_samples()), 0);
+  EXPECT_TRUE(client.ApplyAssignments(valid).ok());
+}
+
+TEST(FedScServerTest, AddUploadQuarantinesCorruptColumns) {
+  FedScOptions options;
+  FedScServer server(2, options);
+  Matrix upload(4, 3);
+  upload(0, 0) = 1.0;                                      // honest
+  upload(1, 1) = std::numeric_limits<double>::quiet_NaN();  // corrupt
+  upload(2, 2) = 1.0;                                      // honest
+  auto id = server.AddUpload(upload);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  EXPECT_EQ(server.total_samples(), 2);
+  EXPECT_EQ(server.quarantined_samples(), 1);
+
+  // An upload with no valid column at all is rejected outright.
+  Matrix hopeless(4, 2);
+  hopeless(0, 0) = std::numeric_limits<double>::infinity();
+  hopeless(0, 1) = 1e9;  // far outside the norm acceptance bounds
+  auto rejected = server.AddUpload(hopeless);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(server.num_devices(), 1);
+  EXPECT_EQ(server.quarantined_samples(), 3);
 }
 
 TEST(PrivacyTest, SigmaFormulaAndValidation) {

@@ -6,6 +6,9 @@
 //             [--central ssc|tsc] [--noise 0.0] [--threads 1] ...
 //             [--fixed-r N] [--sample-dim 0] [--trim 0.0] ...
 //             [--quantize-bits 0] [--seed 42] [--output labels.csv] ...
+//             [--dropout 0.0] [--straggler 0.0] [--transient 0.0] ...
+//             [--corrupt 0.0] [--byzantine 0.0] [--fault-seed S] ...
+//             [--quorum 1.0] [--max-attempts 1] [--timeout-ms 1000] ...
 //             [--trace-out trace.json] [--metrics-out metrics.json]
 //
 // Flags accept both "--flag value" and "--flag=value". The input format is
@@ -13,6 +16,13 @@
 // labels (the first column) are used only for the reported ACC/NMI; pass
 // zeros if you have none. With --output, the predicted label of every point
 // is written one per line, in input order.
+//
+// The fault flags drive the deterministic failure model (fed/faults.h):
+// --dropout/--straggler/--transient/--corrupt/--byzantine are per-device
+// fault probabilities, --max-attempts and --timeout-ms bound the retrying
+// uplink, and --quorum is the participation fraction required for the round
+// to proceed. Points on failed devices are reported with label -1 (excluded
+// from ACC/NMI; written as -1 to --output).
 //
 // --trace-out records scoped spans across the run and writes Chrome
 // trace-event JSON (open in chrome://tracing or https://ui.perfetto.dev),
@@ -26,6 +36,7 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "common/metrics.h"
 #include "common/trace.h"
@@ -51,6 +62,15 @@ struct CliOptions {
   double trim = 0.0;
   int quantize_bits = 0;
   uint64_t seed = 42;
+  double dropout = 0.0;
+  double straggler = 0.0;
+  double transient = 0.0;
+  double corrupt = 0.0;
+  double byzantine = 0.0;
+  uint64_t fault_seed = 0x5eed'FA17ULL;
+  double quorum = 1.0;
+  int max_attempts = 1;
+  int64_t timeout_ms = 1000;
   std::string trace_out;
   std::string metrics_out;
 };
@@ -63,6 +83,9 @@ void PrintUsage(const char* binary) {
       "  [--central ssc|tsc] [--noise delta] [--threads T]\n"
       "  [--fixed-r R] [--sample-dim D] [--trim F]\n"
       "  [--quantize-bits B] [--seed S] [--output labels.csv]\n"
+      "  [--dropout P] [--straggler P] [--transient P]\n"
+      "  [--corrupt P] [--byzantine P] [--fault-seed S]\n"
+      "  [--quorum F] [--max-attempts A] [--timeout-ms T]\n"
       "  [--trace-out trace.json] [--metrics-out metrics.json]\n",
       binary);
 }
@@ -133,6 +156,33 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     } else if (flag == "--seed") {
       if ((value = next()) == nullptr) return false;
       options->seed = static_cast<uint64_t>(std::atoll(value));
+    } else if (flag == "--dropout") {
+      if ((value = next()) == nullptr) return false;
+      options->dropout = std::atof(value);
+    } else if (flag == "--straggler") {
+      if ((value = next()) == nullptr) return false;
+      options->straggler = std::atof(value);
+    } else if (flag == "--transient") {
+      if ((value = next()) == nullptr) return false;
+      options->transient = std::atof(value);
+    } else if (flag == "--corrupt") {
+      if ((value = next()) == nullptr) return false;
+      options->corrupt = std::atof(value);
+    } else if (flag == "--byzantine") {
+      if ((value = next()) == nullptr) return false;
+      options->byzantine = std::atof(value);
+    } else if (flag == "--fault-seed") {
+      if ((value = next()) == nullptr) return false;
+      options->fault_seed = static_cast<uint64_t>(std::atoll(value));
+    } else if (flag == "--quorum") {
+      if ((value = next()) == nullptr) return false;
+      options->quorum = std::atof(value);
+    } else if (flag == "--max-attempts") {
+      if ((value = next()) == nullptr) return false;
+      options->max_attempts = std::atoi(value);
+    } else if (flag == "--timeout-ms") {
+      if ((value = next()) == nullptr) return false;
+      options->timeout_ms = std::atoll(value);
     } else if (flag == "--trace-out") {
       if ((value = next()) == nullptr) return false;
       options->trace_out = value;
@@ -209,6 +259,15 @@ int main(int argc, char** argv) {
   options.sample_dim = cli.sample_dim;
   options.trim_fraction = cli.trim;
   options.seed = cli.seed;
+  options.faults.dropout_rate = cli.dropout;
+  options.faults.straggler_rate = cli.straggler;
+  options.faults.transient_rate = cli.transient;
+  options.faults.corrupt_rate = cli.corrupt;
+  options.faults.byzantine_rate = cli.byzantine;
+  options.faults.seed = cli.fault_seed;
+  options.quorum = cli.quorum;
+  options.retry.max_attempts = cli.max_attempts;
+  options.retry.timeout_ms = cli.timeout_ms;
 
   if (!cli.trace_out.empty()) EnableTracing(true);
   if (!cli.metrics_out.empty()) EnableMetrics(true);
@@ -220,17 +279,55 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::printf("ACC  %.2f%%\n",
-              ClusteringAccuracy(data->labels, result->global_labels));
+  // Points on failed devices carry the sentinel label; quality metrics are
+  // computed over the covered subset only.
+  std::vector<int64_t> covered_truth;
+  std::vector<int64_t> covered_pred;
+  for (size_t i = 0; i < result->global_labels.size(); ++i) {
+    if (result->global_labels[i] == FedScResult::kFailedDeviceLabel) continue;
+    covered_truth.push_back(data->labels[i]);
+    covered_pred.push_back(result->global_labels[i]);
+  }
+  if (covered_truth.empty()) {
+    std::fprintf(stderr, "no device delivered a usable upload\n");
+    return 1;
+  }
+  std::printf("ACC  %.2f%%", ClusteringAccuracy(covered_truth, covered_pred));
+  if (covered_truth.size() < result->global_labels.size()) {
+    std::printf("  (over %zu of %zu covered points)", covered_truth.size(),
+                result->global_labels.size());
+  }
+  std::printf("\n");
   std::printf("NMI  %.2f%%\n",
-              NormalizedMutualInformation(data->labels,
-                                          result->global_labels));
-  std::printf("time %.3fs (local sum) + %.3fs (server); one round\n",
-              result->local_seconds, result->central_seconds);
+              NormalizedMutualInformation(covered_truth, covered_pred));
+  std::printf("time %.3fs (local sum) + %.3fs (server); %lld round%s\n",
+              result->local_seconds, result->central_seconds,
+              static_cast<long long>(result->comm.rounds),
+              result->comm.rounds == 1 ? "" : "s");
   std::printf("comm %.1f kb up / %.2f kb down (%lld samples)\n",
               static_cast<double>(result->comm.uplink_bits) / 1000.0,
               result->comm.downlink_bits / 1000.0,
               static_cast<long long>(result->total_samples));
+  if (!result->failed_devices.empty() || result->comm.retries > 0 ||
+      result->quarantined_samples > 0) {
+    std::printf("degraded round: %lld/%lld devices participated, "
+                "%lld samples quarantined, %lld retries, %lld timeouts, "
+                "%lld ms simulated uplink\n",
+                static_cast<long long>(result->participating_devices),
+                static_cast<long long>(fed->num_devices()),
+                static_cast<long long>(result->quarantined_samples),
+                static_cast<long long>(result->comm.retries),
+                static_cast<long long>(result->comm.timeouts),
+                static_cast<long long>(result->comm.sim_uplink_ms));
+    for (const DeviceReport& report : result->device_reports) {
+      if (report.outcome == DeviceOutcome::kOk) continue;
+      std::printf("  device %lld: %s after %d attempt%s (%s)\n",
+                  static_cast<long long>(report.device),
+                  DeviceOutcomeName(report.outcome), report.attempts,
+                  report.attempts == 1 ? "" : "s",
+                  report.status.ToString().c_str());
+    }
+  }
 
   if (!cli.trace_out.empty()) {
     const Status written = WriteChromeTraceFile(cli.trace_out);
