@@ -30,6 +30,9 @@ Matrix RandomSymmetric(int64_t n, Rng* rng) {
   return a;
 }
 
+// Square GEMM through the default dispatcher (blocked packed engine at
+// every size benchmarked here). items_per_second is flops, so the reported
+// rate reads directly as FLOP/s.
 void BM_GemmNN(benchmark::State& state) {
   const int64_t n = state.range(0);
   Rng rng(1);
@@ -42,7 +45,25 @@ void BM_GemmNN(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
-BENCHMARK(BM_GemmNN)->Arg(64)->Arg(256)->Arg(512);
+BENCHMARK(BM_GemmNN)->Arg(64)->Arg(256)->Arg(512)->Arg(1024);
+
+// The legacy column-panel engine pinned via GemmKernel::kPanel — the
+// pre-blocked baseline the packed engine is measured against.
+void BM_GemmNNPanel(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  const Matrix a = RandomMatrix(n, n, &rng);
+  const Matrix b = RandomMatrix(n, n, &rng);
+  Matrix c(n, n);
+  GemmOptions options;
+  options.kernel = GemmKernel::kPanel;
+  for (auto _ : state) {
+    Gemm(Trans::kNo, Trans::kNo, 1.0, a, b, 0.0, &c, options);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmNNPanel)->Arg(64)->Arg(256)->Arg(512)->Arg(1024);
 
 // Thread-count sweep over the deterministic parallel GEMM; results are
 // bit-identical across the sweep, only the wall time moves.
@@ -59,7 +80,8 @@ void BM_GemmNNThreads(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
-BENCHMARK(BM_GemmNNThreads)->ArgsProduct({{256}, {1, 2, 4, 8}});
+BENCHMARK(BM_GemmNNThreads)
+    ->ArgsProduct({{64, 256, 512, 1024}, {1, 2, 4, 8}});
 
 void BM_GemmTN(benchmark::State& state) {
   const int64_t n = state.range(0);
@@ -73,7 +95,56 @@ void BM_GemmTN(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
-BENCHMARK(BM_GemmTN)->Arg(64)->Arg(256);
+BENCHMARK(BM_GemmTN)->Arg(64)->Arg(256)->Arg(512);
+
+// A^T B^T: the blocked engine absorbs the double transpose into packing;
+// the panel pin pays the explicit B.Transposed() copy the old path made.
+void BM_GemmTT(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const bool panel = state.range(1) != 0;
+  Rng rng(2);
+  const Matrix a = RandomMatrix(n, n, &rng);
+  const Matrix b = RandomMatrix(n, n, &rng);
+  Matrix c(n, n);
+  GemmOptions options;
+  options.kernel = panel ? GemmKernel::kPanel : GemmKernel::kAuto;
+  for (auto _ : state) {
+    Gemm(Trans::kTrans, Trans::kTrans, 1.0, a, b, 0.0, &c, options);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetLabel(panel ? "panel+copy" : "packed");
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmTT)->ArgsProduct({{256, 512}, {0, 1}});
+
+// Gram through Syrk (half the flops, lower triangle + mirror) vs through a
+// full GEMM. items_processed counts the *useful* 2*n^2*k flops for both, so
+// the rate gap is the end-to-end win for the Gram hot path.
+void BM_SyrkGram(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(3);
+  const Matrix x = RandomMatrix(n, n, &rng);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    Syrk(Trans::kTrans, 1.0, x, 0.0, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_SyrkGram)->Arg(64)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_GemmGram(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(3);
+  const Matrix x = RandomMatrix(n, n, &rng);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    Gemm(Trans::kTrans, Trans::kNo, 1.0, x, x, 0.0, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmGram)->Arg(64)->Arg(256)->Arg(512)->Arg(1024);
 
 void BM_HouseholderQr(benchmark::State& state) {
   const int64_t n = state.range(0);

@@ -7,6 +7,7 @@
 #include "cluster/spectral.h"
 #include "core/fedsc.h"
 #include "data/synthetic.h"
+#include "fed/partition.h"
 #include "sc/pipeline.h"
 
 namespace fedsc {
@@ -118,6 +119,31 @@ void BM_FedScLocalStage(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FedScLocalStage)->Arg(15)->Arg(40)->Arg(100);
+
+// End-to-end Fed-SC: partition a union of subspaces across devices, run
+// every local stage, pool the samples, cluster globally, broadcast labels.
+// This is the wall-time number tracked in BENCH_linalg.json.
+void BM_RunFedSc(benchmark::State& state) {
+  SyntheticOptions options;
+  options.ambient_dim = 24;
+  options.subspace_dim = 4;
+  options.num_subspaces = 5;
+  options.points_per_subspace = state.range(0);
+  options.seed = 17;
+  auto data = GenerateUnionOfSubspaces(options);
+  PartitionOptions partition;
+  partition.num_devices = 8;
+  partition.clusters_per_device = 2;
+  partition.seed = 99;
+  auto fed = PartitionAcrossDevices(*data, partition);
+  FedScOptions fed_options;
+  for (auto _ : state) {
+    auto result = RunFedSc(*fed, options.num_subspaces, fed_options);
+    benchmark::DoNotOptimize(result->global_labels.data());
+  }
+  state.SetLabel("N=" + std::to_string(data->points.cols()));
+}
+BENCHMARK(BM_RunFedSc)->Arg(40)->Arg(120);
 
 }  // namespace
 }  // namespace fedsc

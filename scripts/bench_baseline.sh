@@ -1,0 +1,121 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_linalg.json, the committed performance baseline for the
+# matrix-product engines: blocked-vs-panel GEMM GFLOP/s across sizes and
+# thread counts, the TT packing-vs-copy comparison, the Syrk-vs-GEMM Gram
+# ratio, and end-to-end RunFedSc wall time. Run after any change to the
+# linalg kernels and commit the refreshed file so perf regressions show up
+# in review as a diff, not a surprise.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${BENCH_BUILD_DIR:-${repo_root}/build}"
+
+if [ ! -d "${build_dir}" ]; then
+  cmake -S "${repo_root}" -B "${build_dir}"
+fi
+cmake --build "${build_dir}" --target micro_linalg micro_sc -j "$(nproc)"
+
+raw_dir="$(mktemp -d)"
+trap 'rm -rf "${raw_dir}"' EXIT
+
+# Only the product-engine benches feed the baseline; the SVD/eigen/sparse
+# benches stay out so a refresh takes seconds, not minutes.
+"${build_dir}/bench/micro_linalg" \
+  --benchmark_filter='BM_Gemm|BM_Syrk' \
+  --benchmark_format=json > "${raw_dir}/linalg.json"
+"${build_dir}/bench/micro_sc" \
+  --benchmark_filter='BM_RunFedSc' \
+  --benchmark_format=json > "${raw_dir}/sc.json"
+
+python3 - "${raw_dir}/linalg.json" "${raw_dir}/sc.json" \
+  "${repo_root}/BENCH_linalg.json" <<'PY'
+import json
+import sys
+
+linalg = json.load(open(sys.argv[1]))
+sc = json.load(open(sys.argv[2]))
+
+
+def rows(report):
+    return {
+        b["name"]: b
+        for b in report["benchmarks"]
+        if b.get("run_type", "iteration") == "iteration"
+    }
+
+
+L, S = rows(linalg), rows(sc)
+
+
+def gflops(name):
+    return round(L[name]["items_per_second"] / 1e9, 3)
+
+
+def ms(row):
+    unit = row.get("time_unit", "ns")
+    scale = {"ns": 1e6, "us": 1e3, "ms": 1.0, "s": 1e-3}[unit]
+    return round(row["real_time"] / scale, 3)
+
+
+sizes = [64, 256, 512, 1024]
+out = {
+    "schema": "fedsc-bench-baseline-v1",
+    "generated_by": "scripts/bench_baseline.sh",
+    "context": {
+        k: linalg["context"].get(k)
+        for k in ("host_name", "num_cpus", "mhz_per_cpu", "library_build_type")
+        if k in linalg["context"]
+    },
+    # Blocked packed engine (the kAuto path at these sizes), 1 and 8 threads.
+    "gemm_blocked_gflops": {
+        str(n): {
+            "1": gflops(f"BM_GemmNNThreads/{n}/1"),
+            "8": gflops(f"BM_GemmNNThreads/{n}/8"),
+        }
+        for n in sizes
+    },
+    # Legacy column-panel engine, single thread (the pre-blocked baseline).
+    "gemm_panel_gflops": {str(n): gflops(f"BM_GemmNNPanel/{n}") for n in sizes},
+    # A^T B^T: packing absorbs the transpose vs the panel path's B copy.
+    "gemm_tt_gflops": {
+        str(n): {
+            "packed": gflops(f"BM_GemmTT/{n}/0"),
+            "panel_copy": gflops(f"BM_GemmTT/{n}/1"),
+        }
+        for n in (256, 512)
+    },
+    # Gram hot path: Syrk (lower triangle + mirror) vs full GEMM. Both rates
+    # count the same useful 2*n^2*k flops, so ratio > 1 is end-to-end win.
+    "gram": {},
+    "run_fedsc_ms": {},
+}
+for n in sizes:
+    syrk = gflops(f"BM_SyrkGram/{n}")
+    gemm = gflops(f"BM_GemmGram/{n}")
+    out["gram"][str(n)] = {
+        "syrk_gflops": syrk,
+        "gemm_gflops": gemm,
+        "ratio": round(syrk / gemm, 3),
+    }
+for name, row in sorted(S.items()):
+    points = name.split("/")[1]
+    out["run_fedsc_ms"][points] = {
+        "ms": ms(row),
+        "label": row.get("label", ""),
+    }
+out["acceptance"] = {
+    "gemm512_blocked_over_panel": round(
+        out["gemm_blocked_gflops"]["512"]["1"] / out["gemm_panel_gflops"]["512"],
+        3,
+    ),
+    "gram512_syrk_over_gemm": out["gram"]["512"]["ratio"],
+}
+
+with open(sys.argv[3], "w") as f:
+    json.dump(out, f, indent=2)
+    f.write("\n")
+print(f"wrote {sys.argv[3]}")
+PY
+
+python3 "${repo_root}/scripts/check_bench_json.py" \
+  "${repo_root}/BENCH_linalg.json"

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Validates the committed BENCH_linalg.json performance baseline.
+
+Stdlib only. Checks the schema produced by scripts/bench_baseline.sh: every
+tracked size is present, every rate is a positive finite number, the derived
+ratios are consistent with their components, and the acceptance floors for
+the blocked-GEMM and Syrk-Gram speedups hold. Wired into scripts/run_all.sh
+so a refresh that drops a field or regresses past a floor fails loudly.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+GEMM_SIZES = ("64", "256", "512", "1024")
+TT_SIZES = ("256", "512")
+THREADS = ("1", "8")
+
+# Floors for the ratios recorded by the run that produced the baseline.
+MIN_GEMM512_BLOCKED_OVER_PANEL = 2.0
+MIN_GRAM512_SYRK_OVER_GEMM = 1.5
+
+_errors = []
+
+
+def err(msg):
+    _errors.append(msg)
+
+
+def positive(value, what):
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        err(f"{what}: expected a number, got {value!r}")
+        return False
+    if not math.isfinite(value) or value <= 0.0:
+        err(f"{what}: expected a positive finite number, got {value!r}")
+        return False
+    return True
+
+
+def check(doc):
+    if doc.get("schema") != "fedsc-bench-baseline-v1":
+        err(f"unexpected schema id: {doc.get('schema')!r}")
+
+    blocked = doc.get("gemm_blocked_gflops", {})
+    panel = doc.get("gemm_panel_gflops", {})
+    for n in GEMM_SIZES:
+        for t in THREADS:
+            positive(
+                blocked.get(n, {}).get(t), f"gemm_blocked_gflops[{n}][{t}]"
+            )
+        positive(panel.get(n), f"gemm_panel_gflops[{n}]")
+
+    tt = doc.get("gemm_tt_gflops", {})
+    for n in TT_SIZES:
+        for kind in ("packed", "panel_copy"):
+            positive(tt.get(n, {}).get(kind), f"gemm_tt_gflops[{n}][{kind}]")
+
+    gram = doc.get("gram", {})
+    for n in GEMM_SIZES:
+        entry = gram.get(n, {})
+        ok = positive(entry.get("syrk_gflops"), f"gram[{n}].syrk_gflops")
+        ok &= positive(entry.get("gemm_gflops"), f"gram[{n}].gemm_gflops")
+        ok &= positive(entry.get("ratio"), f"gram[{n}].ratio")
+        if ok:
+            derived = entry["syrk_gflops"] / entry["gemm_gflops"]
+            if abs(derived - entry["ratio"]) > 0.01:
+                err(
+                    f"gram[{n}].ratio {entry['ratio']} inconsistent with "
+                    f"syrk/gemm = {derived:.3f}"
+                )
+
+    fedsc = doc.get("run_fedsc_ms", {})
+    if not fedsc:
+        err("run_fedsc_ms is empty: no end-to-end wall time recorded")
+    for points, entry in fedsc.items():
+        positive(entry.get("ms"), f"run_fedsc_ms[{points}].ms")
+
+    acceptance = doc.get("acceptance", {})
+    g = acceptance.get("gemm512_blocked_over_panel")
+    if positive(g, "acceptance.gemm512_blocked_over_panel"):
+        if g < MIN_GEMM512_BLOCKED_OVER_PANEL:
+            err(
+                f"blocked GEMM n=512 speedup {g} below the "
+                f"{MIN_GEMM512_BLOCKED_OVER_PANEL}x floor"
+            )
+    s = acceptance.get("gram512_syrk_over_gemm")
+    if positive(s, "acceptance.gram512_syrk_over_gemm"):
+        if s < MIN_GRAM512_SYRK_OVER_GEMM:
+            err(
+                f"Syrk Gram n=512 speedup {s} below the "
+                f"{MIN_GRAM512_SYRK_OVER_GEMM}x floor"
+            )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "path", nargs="?", default="BENCH_linalg.json",
+        help="baseline file to validate",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"{args.path}: {e}", file=sys.stderr)
+        return 1
+
+    check(doc)
+    if _errors:
+        for msg in _errors:
+            print(f"{args.path}: {msg}", file=sys.stderr)
+        return 1
+    print(f"{args.path}: baseline OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

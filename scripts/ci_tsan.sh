@@ -17,7 +17,7 @@ cmake -S "${repo_root}" -B "${build_dir}" \
 
 cmake --build "${build_dir}" -j "$(nproc)" \
   --target thread_pool_test parallel_determinism_test fedsc_test \
-  faults_test trace_test logging_test
+  faults_test trace_test logging_test blas_test
 
 # halt_on_error makes the first race fail the run instead of just logging.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
@@ -32,6 +32,9 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 # under TSAN too (trace recorder, metrics registry, log sink).
 "${build_dir}/tests/trace_test"
 "${build_dir}/tests/logging_test"
+# The blocked GEMM/Syrk engine packs on the caller thread and fans the
+# micro-block loop out over the pool; TSAN checks the arena handoff.
+"${build_dir}/tests/blas_test"
 
 echo "TSAN: all threaded suites passed with zero reported races."
 
@@ -41,8 +44,13 @@ cmake -S "${repo_root}" -B "${asan_dir}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DFEDSC_SANITIZE=address
 
-cmake --build "${asan_dir}" -j "$(nproc)" --target faults_test
+cmake --build "${asan_dir}" -j "$(nproc)" \
+  --target faults_test blas_test parallel_determinism_test
 
 "${asan_dir}/tests/faults_test"
+# Packing writes into 64-byte-aligned arenas with zero-padded edge
+# micro-panels; ASAN is the gate for an off-by-one on the ragged tails.
+"${asan_dir}/tests/blas_test"
+"${asan_dir}/tests/parallel_determinism_test"
 
 echo "ASAN: fault-injection suite passed with zero reported errors."

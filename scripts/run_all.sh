@@ -14,6 +14,10 @@ for b in build/bench/*; do
   "$b"
 done 2>&1 | tee bench_output.txt
 
+# The committed linalg perf baseline must stay well-formed and above the
+# acceptance floors (refresh it with scripts/bench_baseline.sh).
+python3 scripts/check_bench_json.py BENCH_linalg.json
+
 # Observability smoke test: trace a small end-to-end run and validate the
 # exported Chrome trace (every begin matched, timestamps monotone per track).
 obs_dir="$(mktemp -d)"

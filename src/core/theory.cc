@@ -46,6 +46,8 @@ Result<Vector> DualDirection(const Vector& x, const Matrix& dictionary,
   //   nu-step:  (rho X X^T + ridge I) nu = x + rho X (s - u)
   //   s-step:   clamp(X^T nu + u, -1, 1)
   //   u-step:   u += X^T nu - s
+  // X X^T through the symmetric Syrk kernel — half the flops of the GEMM
+  // formulation once the dictionary crosses the blocked-engine cutoff.
   Matrix system = OuterGram(dictionary);
   system *= options.rho;
   for (int64_t i = 0; i < n; ++i) system(i, i) += options.ridge;

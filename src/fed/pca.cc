@@ -28,6 +28,8 @@ Result<PcaResult> Pca(const Matrix& x, int64_t dim) {
   const int64_t keep = std::min<int64_t>(dim, std::min(n, num_points));
   FEDSC_ASSIGN_OR_RETURN(SvdResult svd, JacobiSvd(centered));
   result.components = svd.u.ColRange(0, keep);
+  // Projection is a plain (non-symmetric) product, so it stays on Gemm —
+  // which dispatches to the blocked packed engine above the cutoff.
   result.projected = MatMulTN(result.components, centered);
   return result;
 }

@@ -6,6 +6,7 @@
 
 #include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "linalg/gemm_kernel.h"
 
 namespace fedsc {
 
@@ -89,10 +90,75 @@ void GemmNTPanel(double alpha, const Matrix& a, const Matrix& b, Matrix* c,
   }
 }
 
+// Lower triangle of C += alpha * op(X) op(X)^T (kNo) / op(X)^T op(X)
+// (kTrans) over columns [j0, j1): the legacy-panel counterpart of
+// BlockedSyrkLower. Per output element the operation sequence matches the
+// corresponding full-GEMM panel kernel restricted to i >= j, so a panel
+// Gram's lower triangle is bit-identical to the pre-Syrk MatMulTN result.
+void SyrkPanelLower(Trans trans, double alpha, const Matrix& x, Matrix* c,
+                    int64_t j0, int64_t j1) {
+  const int64_t nn = c->rows();
+  if (trans == Trans::kTrans) {
+    const int64_t kk = x.rows();
+    for (int64_t j = j0; j < j1; ++j) {
+      double* cj = c->ColData(j);
+      const double* xj = x.ColData(j);
+      for (int64_t i = j; i < nn; ++i) {
+        cj[i] += alpha * Dot(x.ColData(i), xj, kk);
+      }
+    }
+  } else {
+    const int64_t kk = x.cols();
+    for (int64_t j = j0; j < j1; ++j) {
+      double* cj = c->ColData(j);
+      for (int64_t p = 0; p < kk; ++p) {
+        const double w = alpha * x.ColData(p)[j];
+        if (w != 0.0) Axpy(w, x.ColData(p) + j, cj + j, nn - j);
+      }
+    }
+  }
+}
+
+// Copies the strictly-lower triangle into the strictly-upper one, column by
+// column. Mirror writes touch only rows [0, j) of column j (strictly upper)
+// and read only strictly-lower elements, which no mirror task writes — so
+// the parallel ranges are race-free and the copy order cannot matter.
+void MirrorLowerToUpper(Matrix* c, int num_threads) {
+  const int64_t n = c->rows();
+  const int threads =
+      n * n < (1 << 16) ? 1 : std::min<int>(num_threads, 64);
+  ParallelForRanges(0, n, threads,
+                    [&](int64_t j0, int64_t j1, int /*chunk*/) {
+                      for (int64_t j = j0; j < j1; ++j) {
+                        double* cj = c->ColData(j);
+                        for (int64_t i = 0; i < j; ++i) {
+                          cj[i] = (*c)(j, i);
+                        }
+                      }
+                    });
+}
+
+bool UseBlockedKernel(GemmKernel kernel, int64_t m, int64_t k, int64_t n,
+                      bool trans_both) {
+  switch (kernel) {
+    case GemmKernel::kPanel:
+      return false;
+    case GemmKernel::kBlocked:
+      return true;
+    case GemmKernel::kAuto:
+      // TT always packs (the transpose is free in the packed layout,
+      // where the panel path would materialize B^T); everything else
+      // switches on the documented result-affecting flop cutoff.
+      return trans_both || m * k * n >= kBlockedGemmCutoff;
+  }
+  return false;
+}
+
 }  // namespace
 
 void Gemm(Trans trans_a, Trans trans_b, double alpha, const Matrix& a,
-          const Matrix& b, double beta, Matrix* c, int num_threads) {
+          const Matrix& b, double beta, Matrix* c,
+          const GemmOptions& options) {
   const int64_t m = trans_a == Trans::kNo ? a.rows() : a.cols();
   const int64_t ka = trans_a == Trans::kNo ? a.cols() : a.rows();
   const int64_t kb = trans_b == Trans::kNo ? b.rows() : b.cols();
@@ -113,10 +179,19 @@ void Gemm(Trans trans_a, Trans trans_b, double alpha, const Matrix& a,
   FEDSC_METRIC_COUNTER("linalg.gemm.calls").Increment();
   FEDSC_METRIC_COUNTER("linalg.gemm.flops").Add(2 * m * ka * n);
 
-  // TT is rare in this codebase; reduce it to TN on an explicit transpose
-  // so the panel kernels below cover every case.
+  const bool trans_both =
+      trans_a == Trans::kTrans && trans_b == Trans::kTrans;
+  if (UseBlockedKernel(options.kernel, m, ka, n, trans_both)) {
+    FEDSC_METRIC_COUNTER("linalg.gemm.blocked_calls").Increment();
+    BlockedGemm(trans_a, trans_b, alpha, a, b, c, options.num_threads);
+    return;
+  }
+
+  // Legacy panel path (small products, or pinned via GemmKernel::kPanel).
+  // TT is reduced to TN on an explicit transpose so the panel kernels below
+  // cover every case; the blocked path above never needs this copy.
   Matrix bt;
-  if (trans_a == Trans::kTrans && trans_b == Trans::kTrans) {
+  if (trans_both) {
     bt = b.Transposed();
     trans_b = Trans::kNo;
   }
@@ -125,7 +200,7 @@ void Gemm(Trans trans_a, Trans trans_b, double alpha, const Matrix& a,
   // Don't spin up workers for panels too small to amortize a thread: each
   // column of C costs ~2*m*ka flops.
   const int threads =
-      m * ka * n < (1 << 16) ? 1 : std::min<int>(num_threads, 64);
+      m * ka * n < (1 << 16) ? 1 : std::min<int>(options.num_threads, 64);
   ParallelForRanges(0, n, threads,
                     [&](int64_t j0, int64_t j1, int /*chunk*/) {
                       if (trans_a == Trans::kNo && trans_b == Trans::kNo) {
@@ -136,6 +211,47 @@ void Gemm(Trans trans_a, Trans trans_b, double alpha, const Matrix& a,
                         GemmNTPanel(alpha, a, rb, c, j0, j1);
                       }
                     });
+}
+
+void Gemm(Trans trans_a, Trans trans_b, double alpha, const Matrix& a,
+          const Matrix& b, double beta, Matrix* c, int num_threads) {
+  GemmOptions options;
+  options.num_threads = num_threads;
+  Gemm(trans_a, trans_b, alpha, a, b, beta, c, options);
+}
+
+void Syrk(Trans trans, double alpha, const Matrix& x, double beta, Matrix* c,
+          const GemmOptions& options) {
+  const int64_t nn = trans == Trans::kNo ? x.rows() : x.cols();
+  const int64_t kk = trans == Trans::kNo ? x.cols() : x.rows();
+  FEDSC_CHECK(c->rows() == nn && c->cols() == nn)
+      << "syrk output is " << c->rows() << "x" << c->cols() << ", want " << nn
+      << "x" << nn;
+  FEDSC_CHECK(c != &x) << "syrk output aliases the input";
+
+  if (beta == 0.0) {
+    c->Fill(0.0);
+  } else if (beta != 1.0) {
+    *c *= beta;
+  }
+  if (alpha == 0.0 || kk == 0) return;
+
+  FEDSC_METRIC_COUNTER("linalg.syrk.calls").Increment();
+  // Useful flops: 2*kk per element over the nn*(nn+1)/2 lower-triangle
+  // entries — about half the 2*nn*kk*nn the equivalent Gemm would spend.
+  FEDSC_METRIC_COUNTER("linalg.syrk.flops").Add(nn * (nn + 1) * kk);
+
+  if (UseBlockedKernel(options.kernel, nn, kk, nn, /*trans_both=*/false)) {
+    BlockedSyrkLower(trans, alpha, x, c, options.num_threads);
+  } else {
+    const int threads =
+        nn * kk * nn < (1 << 16) ? 1 : std::min<int>(options.num_threads, 64);
+    ParallelForRanges(0, nn, threads,
+                      [&](int64_t j0, int64_t j1, int /*chunk*/) {
+                        SyrkPanelLower(trans, alpha, x, c, j0, j1);
+                      });
+  }
+  MirrorLowerToUpper(c, options.num_threads);
 }
 
 void Gemv(Trans trans_a, double alpha, const Matrix& a, const double* x,
@@ -204,11 +320,19 @@ Matrix MatMulNT(const Matrix& a, const Matrix& b, int num_threads) {
 }
 
 Matrix Gram(const Matrix& x, int num_threads) {
-  return MatMulTN(x, x, num_threads);
+  Matrix c(x.cols(), x.cols());
+  GemmOptions options;
+  options.num_threads = num_threads;
+  Syrk(Trans::kTrans, 1.0, x, 0.0, &c, options);
+  return c;
 }
 
 Matrix OuterGram(const Matrix& x, int num_threads) {
-  return MatMulNT(x, x, num_threads);
+  Matrix c(x.rows(), x.rows());
+  GemmOptions options;
+  options.num_threads = num_threads;
+  Syrk(Trans::kNo, 1.0, x, 0.0, &c, options);
+  return c;
 }
 
 }  // namespace fedsc

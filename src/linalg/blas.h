@@ -1,6 +1,8 @@
 // Hand-rolled BLAS-like kernels (no external BLAS is available in this
 // environment). Loop orders are chosen for column-major storage so the hot
-// inner loops stream contiguous memory and autovectorize.
+// inner loops stream contiguous memory and autovectorize. Large products are
+// dispatched to the cache-blocked packed engine in linalg/gemm_kernel.h;
+// small ones keep the legacy column-panel kernels.
 
 #ifndef FEDSC_LINALG_BLAS_H_
 #define FEDSC_LINALG_BLAS_H_
@@ -38,10 +40,51 @@ inline double Norm2(const Vector& x) {
 // thread count (the determinism contract in DESIGN.md). Tiny problems and
 // calls made from inside pool workers always run inline.
 
+// Which matrix-product engine Gemm/Syrk run. The choice is RESULT-AFFECTING
+// (the two engines accumulate partial sums in different orders, so low-order
+// output bits differ); it is pinned to (options, shape) alone — never thread
+// count — so outputs stay deterministic per (input, options). See "Blocked
+// GEMM & packing" in DESIGN.md.
+enum class GemmKernel {
+  // Blocked packed engine when m*k*n >= kBlockedGemmCutoff or for TT (whose
+  // packing makes the transpose free); legacy panel kernels below it.
+  kAuto,
+  // Pin the legacy column-panel kernels at every size: reproduces
+  // pre-blocked-engine results bit-for-bit (the escape hatch mirroring
+  // SvdOptions::pair_order = kCyclic).
+  kPanel,
+  // Force the blocked packed engine at every size.
+  kBlocked,
+};
+
+// The kAuto flop threshold (m * k * n) above which Gemm and Syrk switch to
+// the blocked engine. Result-affecting, like the Jacobi pair-order cutoff:
+// outputs are discontinuous across it but deterministic on both sides.
+inline constexpr int64_t kBlockedGemmCutoff = int64_t{1} << 15;
+
+struct GemmOptions {
+  int num_threads = 1;
+  GemmKernel kernel = GemmKernel::kAuto;
+};
+
 // C = alpha * op(A) * op(B) + beta * C. C must already have the result
 // shape; aliasing C with A or B is not allowed.
 void Gemm(Trans trans_a, Trans trans_b, double alpha, const Matrix& a,
+          const Matrix& b, double beta, Matrix* c,
+          const GemmOptions& options);
+void Gemm(Trans trans_a, Trans trans_b, double alpha, const Matrix& a,
           const Matrix& b, double beta, Matrix* c, int num_threads = 1);
+
+// Symmetric rank-k update, the Gram-matrix hot path: C = alpha * X X^T +
+// beta * C (trans = kNo) or C = alpha * X^T X + beta * C (trans = kTrans).
+// Only the lower triangle is computed — half the flops of the equivalent
+// Gemm — and mirrored into the upper triangle afterwards, so C holds the
+// full, exactly symmetric result. Unlike BLAS xSYRK both triangles are
+// written: the strictly-upper input triangle is overwritten by the mirror,
+// so with beta != 0 the prior C should be symmetric for a meaningful result.
+// Aliasing C with X is not allowed.
+void Syrk(Trans trans, double alpha, const Matrix& x, double beta, Matrix* c,
+          const GemmOptions& options = {});
 
 // y = alpha * op(A) * x + beta * y.
 void Gemv(Trans trans_a, double alpha, const Matrix& a, const double* x,
@@ -55,6 +98,7 @@ Matrix MatMulTN(const Matrix& a, const Matrix& b,
                 int num_threads = 1);                    // A^T * B
 Matrix MatMulNT(const Matrix& a, const Matrix& b,
                 int num_threads = 1);                    // A * B^T
+// Gram matrices run on Syrk, not Gemm, since the output is symmetric.
 Matrix Gram(const Matrix& x, int num_threads = 1);       // X^T X
 Matrix OuterGram(const Matrix& x, int num_threads = 1);  // X X^T
 

@@ -1,0 +1,255 @@
+#include "linalg/gemm_kernel.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+#include "linalg/blas.h"
+
+// The micro-kernel relies on full unrolling of its fixed-trip-count loops so
+// the accumulator tile stays in vector registers; without the pragma GCC 12
+// SLP-vectorizes along the (non-power-of-two) broadcast axis and drowns the
+// FMAs in cross-lane permutes.
+#if defined(__clang__)
+#define FEDSC_UNROLL_FULL _Pragma("unroll")
+#elif defined(__GNUC__)
+#define FEDSC_UNROLL_FULL _Pragma("GCC unroll 16")
+#else
+#define FEDSC_UNROLL_FULL
+#endif
+
+namespace fedsc {
+
+namespace {
+
+using internal_gemm::kKc;
+using internal_gemm::kMc;
+using internal_gemm::kMr;
+using internal_gemm::kNc;
+using internal_gemm::kNr;
+
+int64_t RoundUp(int64_t value, int64_t multiple) {
+  return (value + multiple - 1) / multiple * multiple;
+}
+
+// Grow-once 64-byte-aligned buffer for packed panels.
+class AlignedBuffer {
+ public:
+  double* EnsureCapacity(int64_t doubles) {
+    if (doubles > capacity_) {
+      const size_t bytes =
+          static_cast<size_t>(RoundUp(doubles * sizeof(double), 64));
+      data_.reset(static_cast<double*>(std::aligned_alloc(64, bytes)));
+      FEDSC_CHECK(data_ != nullptr) << "packing buffer allocation failed";
+      capacity_ = doubles;
+    }
+    return data_.get();
+  }
+
+ private:
+  struct FreeDeleter {
+    void operator()(double* p) const { std::free(p); }
+  };
+  std::unique_ptr<double, FreeDeleter> data_;
+  int64_t capacity_ = 0;
+};
+
+// Per-thread scratch arena: the calling thread (the pool caller, or a worker
+// running a nested region inline) packs into its own thread-local buffers,
+// so steady-state GEMMs never allocate. Workers of the jr loop only read.
+struct GemmScratch {
+  AlignedBuffer apack;
+  AlignedBuffer bpack;
+};
+
+GemmScratch& LocalGemmScratch() {
+  thread_local GemmScratch scratch;
+  return scratch;
+}
+
+// --- Packing -------------------------------------------------------------
+//
+// apack holds op(A)[ic:ic+mc, pc:pc+kc] as ceil(mc/MR) micro-panels; each
+// micro-panel is k-major with MR contiguous row lanes per k (tail rows
+// zero-padded — the padded lanes feed accumulators whose outputs are never
+// written back, so padding cannot affect result bits). bpack holds
+// op(B)[pc:pc+kc, jc:jc+nc] symmetrically with NR column lanes.
+
+void PackA(const double* a, int64_t lda, bool transposed, int64_t ic,
+           int64_t pc, int64_t mc, int64_t kc, double* out) {
+  for (int64_t i0 = 0; i0 < mc; i0 += kMr) {
+    const int64_t mr = std::min<int64_t>(kMr, mc - i0);
+    if (!transposed) {
+      // op(A)(i, p) = A(ic + i, pc + p): MR consecutive rows of a column.
+      for (int64_t p = 0; p < kc; ++p) {
+        const double* src = a + (pc + p) * lda + ic + i0;
+        for (int64_t i = 0; i < mr; ++i) out[i] = src[i];
+        for (int64_t i = mr; i < kMr; ++i) out[i] = 0.0;
+        out += kMr;
+      }
+    } else {
+      // op(A)(i, p) = A(pc + p, ic + i): column ic+i is contiguous in p, so
+      // read columns and scatter into the k-major panel.
+      if (mr < kMr) {
+        for (int64_t p = 0; p < kc; ++p) {
+          for (int64_t i = mr; i < kMr; ++i) out[p * kMr + i] = 0.0;
+        }
+      }
+      for (int64_t i = 0; i < mr; ++i) {
+        const double* src = a + (ic + i0 + i) * lda + pc;
+        for (int64_t p = 0; p < kc; ++p) out[p * kMr + i] = src[p];
+      }
+      out += kMr * kc;
+    }
+  }
+}
+
+void PackB(const double* b, int64_t ldb, bool transposed, int64_t pc,
+           int64_t jc, int64_t kc, int64_t nc, double* out) {
+  for (int64_t j0 = 0; j0 < nc; j0 += kNr) {
+    const int64_t nr = std::min<int64_t>(kNr, nc - j0);
+    if (!transposed) {
+      // op(B)(p, j) = B(pc + p, jc + j): column jc+j is contiguous in p.
+      if (nr < kNr) {
+        for (int64_t p = 0; p < kc; ++p) {
+          for (int64_t j = nr; j < kNr; ++j) out[p * kNr + j] = 0.0;
+        }
+      }
+      for (int64_t j = 0; j < nr; ++j) {
+        const double* src = b + (jc + j0 + j) * ldb + pc;
+        for (int64_t p = 0; p < kc; ++p) out[p * kNr + j] = src[p];
+      }
+    } else {
+      // op(B)(p, j) = B(jc + j, pc + p): NR consecutive rows of a column.
+      for (int64_t p = 0; p < kc; ++p) {
+        const double* src = b + (pc + p) * ldb + jc + j0;
+        for (int64_t j = 0; j < nr; ++j) out[p * kNr + j] = src[j];
+        for (int64_t j = nr; j < kNr; ++j) out[p * kNr + j] = 0.0;
+      }
+    }
+    out += kNr * kc;
+  }
+}
+
+// --- Micro-kernel --------------------------------------------------------
+
+// acc[j * MR + i] = sum_p apanel[p * MR + i] * bpanel[p * NR + j], the exact
+// p-ascending partial sum for this kc block. MR is the contiguous (vector)
+// axis, NR the broadcast axis; the accumulator tile lives in registers.
+void MicroKernel(int64_t kc, const double* __restrict apanel,
+                 const double* __restrict bpanel, double* __restrict acc) {
+  double tile[kNr][kMr] = {};
+  for (int64_t p = 0; p < kc; ++p) {
+    const double* __restrict ap = apanel + p * kMr;
+    const double* __restrict bp = bpanel + p * kNr;
+    FEDSC_UNROLL_FULL
+    for (int j = 0; j < kNr; ++j) {
+      const double w = bp[j];
+      FEDSC_UNROLL_FULL
+      for (int i = 0; i < kMr; ++i) tile[j][i] += ap[i] * w;
+    }
+  }
+  for (int j = 0; j < kNr; ++j) {
+    for (int i = 0; i < kMr; ++i) acc[j * kMr + i] = tile[j][i];
+  }
+}
+
+// --- Blocked driver ------------------------------------------------------
+
+// Shared core for GEMM and the lower-triangle SYRK. When lower_only is set,
+// micro-tiles strictly above the diagonal are skipped and write-back stores
+// only elements with global row >= global column.
+void BlockedCore(bool trans_a, bool trans_b, double alpha, const double* a,
+                 int64_t lda, const double* b, int64_t ldb, int64_t m,
+                 int64_t k, int64_t n, Matrix* c, bool lower_only,
+                 int num_threads) {
+  GemmScratch& scratch = LocalGemmScratch();
+  double* apack = scratch.apack.EnsureCapacity(
+      RoundUp(std::min<int64_t>(m, kMc), kMr) * std::min<int64_t>(k, kKc));
+  double* bpack = scratch.bpack.EnsureCapacity(
+      RoundUp(std::min<int64_t>(n, kNc), kNr) * std::min<int64_t>(k, kKc));
+
+  double* cdata = c->data();
+  const int64_t ldc = c->rows();
+
+  // Same serial-inline threshold as the panel kernels: never spin up
+  // workers for products too small to amortize a dispatch.
+  const int threads =
+      m * k * n < (1 << 16) ? 1 : std::min<int>(num_threads, 64);
+
+  for (int64_t jc = 0; jc < n; jc += kNc) {
+    const int64_t nc = std::min<int64_t>(kNc, n - jc);
+    for (int64_t pc = 0; pc < k; pc += kKc) {
+      const int64_t kc = std::min<int64_t>(kKc, k - pc);
+      PackB(b, ldb, trans_b, pc, jc, kc, nc, bpack);
+      for (int64_t ic = 0; ic < m; ic += kMc) {
+        const int64_t mc = std::min<int64_t>(kMc, m - ic);
+        // A lower-only block whose topmost row still lies strictly above
+        // the block's last column contributes nothing.
+        if (lower_only && ic + mc - 1 < jc) continue;
+        PackA(a, lda, trans_a, ic, pc, mc, kc, apack);
+        const int64_t num_jr = (nc + kNr - 1) / kNr;
+        // The packed panels are written above and only read below; the
+        // pool's Schedule/Wait pair orders the accesses. Each jr range owns
+        // a disjoint set of C columns, and every output element runs the
+        // identical micro-kernel sequence no matter how ranges are split,
+        // so the result is bit-identical for every thread count.
+        ParallelForRanges(
+            0, num_jr, threads, [&](int64_t jr0, int64_t jr1, int /*chunk*/) {
+              double acc[kMr * kNr];
+              for (int64_t jrb = jr0; jrb < jr1; ++jrb) {
+                const int64_t jr = jrb * kNr;
+                const int64_t nr = std::min<int64_t>(kNr, nc - jr);
+                const double* bpanel = bpack + jrb * kc * kNr;
+                for (int64_t ir = 0; ir < mc; ir += kMr) {
+                  const int64_t mr = std::min<int64_t>(kMr, mc - ir);
+                  // Skip micro-tiles entirely above the diagonal; this is
+                  // where SYRK halves the flops.
+                  if (lower_only && ic + ir + mr - 1 < jc + jr) continue;
+                  const double* apanel = apack + (ir / kMr) * kc * kMr;
+                  MicroKernel(kc, apanel, bpanel, acc);
+                  double* ctile = cdata + (jc + jr) * ldc + ic + ir;
+                  for (int64_t j = 0; j < nr; ++j) {
+                    const int64_t lower_start =
+                        lower_only
+                            ? std::max<int64_t>(0, (jc + jr + j) - (ic + ir))
+                            : 0;
+                    for (int64_t i = lower_start; i < mr; ++i) {
+                      ctile[j * ldc + i] += alpha * acc[j * kMr + i];
+                    }
+                  }
+                }
+              }
+            });
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void BlockedGemm(Trans trans_a, Trans trans_b, double alpha, const Matrix& a,
+                 const Matrix& b, Matrix* c, int num_threads) {
+  const bool ta = trans_a != Trans::kNo;
+  const bool tb = trans_b != Trans::kNo;
+  const int64_t m = ta ? a.cols() : a.rows();
+  const int64_t k = ta ? a.rows() : a.cols();
+  const int64_t n = tb ? b.rows() : b.cols();
+  BlockedCore(ta, tb, alpha, a.data(), a.rows(), b.data(), b.rows(), m, k, n,
+              c, /*lower_only=*/false, num_threads);
+}
+
+void BlockedSyrkLower(Trans trans, double alpha, const Matrix& x, Matrix* c,
+                      int num_threads) {
+  // trans = kTrans: C += alpha X^T X  (op(A) = X^T against op(B) = X).
+  // trans = kNo:    C += alpha X X^T  (op(A) = X   against op(B) = X^T).
+  const bool gram = trans != Trans::kNo;
+  const int64_t nn = gram ? x.cols() : x.rows();
+  const int64_t kk = gram ? x.rows() : x.cols();
+  BlockedCore(gram, !gram, alpha, x.data(), x.rows(), x.data(), x.rows(), nn,
+              kk, nn, c, /*lower_only=*/true, num_threads);
+}
+
+}  // namespace fedsc

@@ -1,0 +1,72 @@
+// BLIS-style cache-blocked packed GEMM engine (Goto & van de Geijn 2008;
+// Van Zee & van de Geijn 2015). No external BLAS exists in this environment,
+// so this is the high-performance backend behind Gemm/Syrk in linalg/blas.h:
+//
+//   for jc in n by nc:            // C column block        (fits L3 with B)
+//     for pc in k by kc:          // rank-kc update        (result-affecting!)
+//       pack op(B)[pc, jc] -> bpack   (kc x nc, NR-wide k-major micro-panels)
+//       for ic in m by mc:        // A row block           (apack fits L2)
+//         pack op(A)[ic, pc] -> apack (mc x kc, MR-wide k-major micro-panels)
+//         for jr in nc by NR:     // parallelized: fixed contiguous ranges
+//           for ir in mc by MR:
+//             MR x NR register-tiled micro-kernel over apack/bpack
+//
+// Packing reads op(A)/op(B) element-wise, so all four transpose combinations
+// (including TT) cost the same — no materialized transpose anywhere. The
+// packed buffers live in a per-thread scratch arena (grow-once, 64-byte
+// aligned, freed at thread exit), so steady-state calls never allocate.
+//
+// Determinism contract (DESIGN.md "Blocked GEMM & packing"): every output
+// element accumulates its kc-block partial sums in ascending p order inside
+// the micro-kernel and commits them to C in ascending pc order, a sequence
+// that depends only on the shapes and the fixed kKc — never on num_threads,
+// mc/nc, or which micro-tile (full or edge-padded) computes it. The jr loop
+// is parallelized with ParallelForRanges over disjoint output columns, so
+// results are bit-identical for every thread count. Switching between this
+// engine and the legacy panel kernels IS result-affecting (different
+// summation order); linalg/blas.h documents the cutoff and the
+// GemmOptions::kernel pin.
+
+#ifndef FEDSC_LINALG_GEMM_KERNEL_H_
+#define FEDSC_LINALG_GEMM_KERNEL_H_
+
+#include <cstdint>
+
+#include "linalg/matrix.h"
+
+namespace fedsc {
+
+enum class Trans;  // defined in linalg/blas.h
+
+// C += alpha * op(A) * op(B) through the blocked packed engine. The caller
+// (the Gemm dispatcher in blas.cc) validates shapes and applies beta to C
+// first. num_threads parallelizes the jr (output-column) loop bit-exactly.
+void BlockedGemm(Trans trans_a, Trans trans_b, double alpha, const Matrix& a,
+                 const Matrix& b, Matrix* c, int num_threads);
+
+// Lower triangle of C += alpha * op(X) * op(X)^T (trans = kNo, the outer
+// Gram X X^T) or alpha * op(X)^T * op(X) (trans = kTrans, the Gram X^T X),
+// through the same engine with strictly-upper micro-tiles skipped — the
+// flops halving behind Syrk. Entries above the diagonal are left untouched;
+// the Syrk dispatcher in blas.cc mirrors them afterwards.
+void BlockedSyrkLower(Trans trans, double alpha, const Matrix& x, Matrix* c,
+                      int num_threads);
+
+namespace internal_gemm {
+// Tunables, exposed for tests/benchmarks. kKc is the only result-affecting
+// one (it sets the partial-sum commit boundaries); kMr/kNr/kMc/kNc only move
+// work between cache levels and threads.
+#if defined(__AVX512F__)
+inline constexpr int kMr = 16;  // micro-tile rows (vector axis)
+#else
+inline constexpr int kMr = 8;
+#endif
+inline constexpr int kNr = 6;      // micro-tile columns (broadcast axis)
+inline constexpr int64_t kMc = 96;   // A block rows   (apack ~= mc*kc in L2)
+inline constexpr int64_t kKc = 256;  // rank-kc update depth; result-affecting
+inline constexpr int64_t kNc = 1024; // B block columns (bpack streams from L3)
+}  // namespace internal_gemm
+
+}  // namespace fedsc
+
+#endif  // FEDSC_LINALG_GEMM_KERNEL_H_

@@ -49,7 +49,8 @@ Coding OmpCode(const Matrix& x, const std::vector<int64_t>& atoms,
     used[static_cast<size_t>(best)] = 1;
     out.support.push_back(best);
 
-    // Least squares on the chosen atoms.
+    // Least squares on the chosen atoms; Gram rides the symmetric Syrk
+    // kernel (panel path at these support sizes).
     std::vector<int64_t> columns;
     columns.reserve(out.support.size());
     for (int64_t a : out.support) {

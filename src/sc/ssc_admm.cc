@@ -16,18 +16,33 @@ namespace fedsc {
 
 namespace {
 
-// mu = min_i max_{j != i} |x_j^T x_i|, from the Gram matrix.
-double MutualCoherenceFloor(const Matrix& gram) {
+// mu = min_i max_{j != i} |x_j^T x_i|, from the Gram matrix. Column panels
+// reduce to a per-chunk min-of-max, combined in chunk order below — min and
+// max are exact in any order (the same reduction shape as the ADMM stopping
+// rule), so the result is bit-identical for every thread count.
+double MutualCoherenceFloor(const Matrix& gram, int num_threads) {
   const int64_t n = gram.rows();
+  const int chunks =
+      std::max(1, ParallelChunkCount(0, n, num_threads));
+  std::vector<double> chunk_mu(static_cast<size_t>(chunks),
+                               std::numeric_limits<double>::infinity());
+  ParallelForRanges(0, n, num_threads,
+                    [&](int64_t i0, int64_t i1, int chunk) {
+                      double mu = std::numeric_limits<double>::infinity();
+                      for (int64_t i = i0; i < i1; ++i) {
+                        double max_abs = 0.0;
+                        const double* col = gram.ColData(i);
+                        for (int64_t j = 0; j < n; ++j) {
+                          if (j != i) {
+                            max_abs = std::max(max_abs, std::fabs(col[j]));
+                          }
+                        }
+                        mu = std::min(mu, max_abs);
+                      }
+                      chunk_mu[static_cast<size_t>(chunk)] = mu;
+                    });
   double mu = std::numeric_limits<double>::infinity();
-  for (int64_t i = 0; i < n; ++i) {
-    double max_abs = 0.0;
-    const double* col = gram.ColData(i);
-    for (int64_t j = 0; j < n; ++j) {
-      if (j != i) max_abs = std::max(max_abs, std::fabs(col[j]));
-    }
-    mu = std::min(mu, max_abs);
-  }
+  for (double v : chunk_mu) mu = std::min(mu, v);
   return mu;
 }
 
@@ -37,10 +52,20 @@ double SoftThreshold(double v, double t) {
   return 0.0;
 }
 
+// The SYRK-backed Gram costs nn*(nn+1)*kk flops (half the GEMM's
+// 2*nn*kk*nn); recorded so --metrics-out makes the win visible.
+void RecordGramFlops(int64_t nn, int64_t kk) {
+  FEDSC_METRIC_COUNTER("sc.ssc_admm.gram_flops").Add(nn * (nn + 1) * kk);
+}
+
 }  // namespace
 
-double SscLambda(const Matrix& x, double alpha) {
-  const double mu = MutualCoherenceFloor(Gram(x));
+double SscLambda(const Matrix& x, double alpha, int num_threads) {
+  return SscLambdaFromGram(Gram(x, num_threads), alpha, num_threads);
+}
+
+double SscLambdaFromGram(const Matrix& gram, double alpha, int num_threads) {
+  const double mu = MutualCoherenceFloor(gram, num_threads);
   return mu > 0.0 ? alpha / mu : alpha;
 }
 
@@ -57,8 +82,9 @@ Result<SparseMatrix> SscSelfExpression(const Matrix& x,
   }
   FEDSC_TRACE_SPAN("sc/ssc_admm", {{"points", num_points}, {"dim", n}});
 
-  const Matrix gram = Gram(x, options.num_threads);  // X^T X
-  const double mu = MutualCoherenceFloor(gram);
+  const Matrix gram = Gram(x, options.num_threads);  // X^T X, via Syrk
+  RecordGramFlops(num_points, n);
+  const double mu = MutualCoherenceFloor(gram, options.num_threads);
   if (mu <= 0.0) {
     return Status::FailedPrecondition(
         "all points are mutually orthogonal; self-expression is degenerate");
@@ -76,7 +102,8 @@ Result<SparseMatrix> SscSelfExpression(const Matrix& x,
   Matrix h_inverse;       // (lambda G + rho I)^{-1}, direct path
   Matrix s_inverse;       // (rho I_n + lambda X X^T)^{-1}, Woodbury path
   if (use_woodbury) {
-    Matrix s = OuterGram(x, options.num_threads);
+    Matrix s = OuterGram(x, options.num_threads);  // X X^T, via Syrk
+    RecordGramFlops(n, num_points);
     s *= lambda;
     for (int64_t i = 0; i < n; ++i) s(i, i) += rho;
     FEDSC_ASSIGN_OR_RETURN(s_inverse, SpdInverse(s));

@@ -65,7 +65,13 @@ Result<SparseMatrix> SscSelfExpression(const Matrix& x,
                                        SscAdmmInfo* info = nullptr);
 
 // The lambda the solver would use for `x` (exposed for tests/diagnostics).
-double SscLambda(const Matrix& x, double alpha);
+// Builds the Gram with `num_threads` workers via the Syrk hot path.
+double SscLambda(const Matrix& x, double alpha, int num_threads = 1);
+
+// Same, from a Gram the caller already has (e.g. the one SscSelfExpression
+// builds anyway) so the X^T X product is never paid twice.
+double SscLambdaFromGram(const Matrix& gram, double alpha,
+                         int num_threads = 1);
 
 }  // namespace fedsc
 

@@ -69,7 +69,8 @@ Result<SparseMatrix> SscOmpSelfExpression(const Matrix& x,
 
         // Least squares on the current support via normal equations
         // (supports stay tiny, and a diagonal jitter guards collinear
-        // atoms).
+        // atoms). Gram runs on the symmetric Syrk kernel; at these sizes
+        // that is the panel path, bit-identical to the old GEMM-backed Gram.
         const Matrix sub = x.GatherCols(support);
         Matrix gram = Gram(sub);
         for (int64_t d = 0; d < gram.rows(); ++d) gram(d, d) += 1e-12;

@@ -132,6 +132,173 @@ TEST(BlasTest, GramIsSymmetricPsd) {
   EXPECT_TRUE(AllClose(og, og.Transposed(), 1e-12));
 }
 
+void ExpectBitEqual(const Matrix& a, const Matrix& b, const char* what) {
+  ASSERT_EQ(a.rows(), b.rows()) << what;
+  ASSERT_EQ(a.cols(), b.cols()) << what;
+  for (int64_t j = 0; j < a.cols(); ++j) {
+    for (int64_t i = 0; i < a.rows(); ++i) {
+      ASSERT_EQ(a(i, j), b(i, j))
+          << what << " differs at (" << i << ", " << j << ")";
+    }
+  }
+}
+
+// The blocked packed engine and the legacy panel kernels accumulate in
+// different orders, so they agree to rounding — not bit-for-bit. Sweep
+// degenerate and awkward shapes (1-wide panels, non-multiples of the
+// micro-tile, sizes straddling the kc blocking) under every transpose combo
+// and the alpha/beta special cases the dispatcher short-circuits on.
+TEST(BlockedGemmTest, AgreesWithPanelAcrossShapesAndScalars) {
+  const int64_t dims[] = {1, 3, 17, 64, 257};
+  const Trans kinds[] = {Trans::kNo, Trans::kTrans};
+  const double scalars[][2] = {
+      {1.0, 0.0}, {-0.5, 1.0}, {0.0, -0.5}, {1.0, -0.5}};
+  GemmOptions panel;
+  panel.kernel = GemmKernel::kPanel;
+  GemmOptions blocked;
+  blocked.kernel = GemmKernel::kBlocked;
+
+  Rng rng(101);
+  for (int64_t m : dims) {
+    for (int64_t k : dims) {
+      for (int64_t n : dims) {
+        const Matrix a_n = RandomMatrix(m, k, &rng);
+        const Matrix a_t = RandomMatrix(k, m, &rng);
+        const Matrix b_n = RandomMatrix(k, n, &rng);
+        const Matrix b_t = RandomMatrix(n, k, &rng);
+        const Matrix c0 = RandomMatrix(m, n, &rng);
+        for (Trans ta : kinds) {
+          for (Trans tb : kinds) {
+            const Matrix& a = ta == Trans::kNo ? a_n : a_t;
+            const Matrix& b = tb == Trans::kNo ? b_n : b_t;
+            for (const auto& ab : scalars) {
+              Matrix cp = c0;
+              Matrix cb = c0;
+              Gemm(ta, tb, ab[0], a, b, ab[1], &cp, panel);
+              Gemm(ta, tb, ab[0], a, b, ab[1], &cb, blocked);
+              ASSERT_TRUE(AllClose(cb, cp, 1e-10))
+                  << "shape " << m << "x" << k << "x" << n << " trans "
+                  << (ta == Trans::kTrans) << (tb == Trans::kTrans)
+                  << " alpha " << ab[0] << " beta " << ab[1];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(BlockedGemmTest, AutoDispatchLargeMatchesReference) {
+  // 65*40*50 = 130000 sits above kBlockedGemmCutoff, so the default path is
+  // the blocked engine; check it against the naive reference directly.
+  ASSERT_GE(int64_t{65} * 40 * 50, kBlockedGemmCutoff);
+  Rng rng(113);
+  const Trans kinds[] = {Trans::kNo, Trans::kTrans};
+  for (Trans ta : kinds) {
+    for (Trans tb : kinds) {
+      const Matrix a = ta == Trans::kNo ? RandomMatrix(65, 40, &rng)
+                                        : RandomMatrix(40, 65, &rng);
+      const Matrix b = tb == Trans::kNo ? RandomMatrix(40, 50, &rng)
+                                        : RandomMatrix(50, 40, &rng);
+      const Matrix c0 = RandomMatrix(65, 50, &rng);
+      Matrix c = c0;
+      Gemm(ta, tb, -0.5, a, b, 1.0, &c);
+      const Matrix expected = ReferenceGemm(ta, tb, -0.5, a, b, 1.0, c0);
+      ASSERT_TRUE(AllClose(c, expected, 1e-10))
+          << "trans " << (ta == Trans::kTrans) << (tb == Trans::kTrans);
+    }
+  }
+}
+
+// GemmKernel::kPanel is the escape hatch that reproduces the
+// pre-blocked-engine results bit-for-bit. The panel kernels produce each
+// output column independently, and a single-column product is always below
+// the kAuto cutoff, so column j of a pinned large product must be
+// bit-identical to the small kAuto call on that column alone — which is
+// exactly what yesterday's dispatcher computed.
+TEST(BlockedGemmTest, PanelPinReproducesLegacyBitsColumnByColumn) {
+  constexpr int64_t m = 60, k = 70, n = 90;
+  ASSERT_GE(m * k * n, kBlockedGemmCutoff);  // kAuto would go blocked
+  GemmOptions pin;
+  pin.kernel = GemmKernel::kPanel;
+
+  Rng rng(131);
+  const Trans kinds[] = {Trans::kNo, Trans::kTrans};
+  for (Trans ta : kinds) {
+    for (Trans tb : kinds) {
+      const Matrix a = ta == Trans::kNo ? RandomMatrix(m, k, &rng)
+                                        : RandomMatrix(k, m, &rng);
+      const Matrix b = tb == Trans::kNo ? RandomMatrix(k, n, &rng)
+                                        : RandomMatrix(n, k, &rng);
+      Matrix c(m, n);
+      Gemm(ta, tb, 1.0, a, b, 0.0, &c, pin);
+      for (int64_t j = 0; j < n; ++j) {
+        Vector bj(static_cast<size_t>(k));
+        for (int64_t p = 0; p < k; ++p) {
+          bj[static_cast<size_t>(p)] = tb == Trans::kNo ? b(p, j) : b(j, p);
+        }
+        Matrix cj(m, 1);
+        Gemm(ta, Trans::kNo, 1.0, a, Matrix::FromColumn(bj), 0.0, &cj);
+        for (int64_t i = 0; i < m; ++i) {
+          ASSERT_EQ(c(i, j), cj(i, 0))
+              << "column " << j << " row " << i << " trans "
+              << (ta == Trans::kTrans) << (tb == Trans::kTrans);
+        }
+      }
+    }
+  }
+}
+
+TEST(SyrkTest, MatchesReferenceGemmAndIsBitwiseSymmetric) {
+  // (kk, nn) pairs spanning the panel path, the cutoff edge, and blocked
+  // shapes with edge micro-tiles in both directions.
+  const int64_t shapes[][2] = {{7, 5}, {40, 30}, {20, 300}, {257, 64}};
+  Rng rng(141);
+  for (const auto& s : shapes) {
+    const int64_t kk = s[0], nn = s[1];
+    const Matrix r = RandomMatrix(nn, nn, &rng);
+    Matrix c0(nn, nn);
+    for (int64_t j = 0; j < nn; ++j) {
+      for (int64_t i = 0; i < nn; ++i) c0(i, j) = r(i, j) + r(j, i);
+    }
+    for (Trans trans : {Trans::kTrans, Trans::kNo}) {
+      // kTrans: X is kk x nn, C = a X^T X + b C. kNo: X is nn x kk.
+      const Matrix x = trans == Trans::kTrans ? RandomMatrix(kk, nn, &rng)
+                                              : RandomMatrix(nn, kk, &rng);
+      Matrix c = c0;
+      Syrk(trans, 0.7, x, 0.5, &c);
+      const Trans tb = trans == Trans::kTrans ? Trans::kNo : Trans::kTrans;
+      const Matrix expected = ReferenceGemm(trans, tb, 0.7, x, x, 0.5, c0);
+      ASSERT_TRUE(AllClose(c, expected, 1e-10))
+          << "kk " << kk << " nn " << nn;
+      for (int64_t j = 0; j < nn; ++j) {
+        for (int64_t i = 0; i < j; ++i) {
+          ASSERT_EQ(c(i, j), c(j, i))
+              << "mirror broke exact symmetry at (" << i << ", " << j << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(SyrkTest, SubCutoffGramBitMatchesGemmBackedGram) {
+  // Below the cutoff Gram/OuterGram take the panel Syrk, whose per-element
+  // op sequence is the full-GEMM panel restricted to the lower triangle
+  // (and Dot / scalar products are bitwise symmetric) — so the Syrk rewrite
+  // changed no bits for the small Grams inside the OMP/ESC solvers.
+  Rng rng(151);
+  const Matrix x = RandomMatrix(12, 20, &rng);  // 20*12*20 is sub-cutoff
+  ExpectBitEqual(Gram(x), MatMulTN(x, x), "Gram vs MatMulTN");
+  ExpectBitEqual(OuterGram(x), MatMulNT(x, x), "OuterGram vs MatMulNT");
+}
+
+TEST(SyrkDeathTest, ShapeMismatchDies) {
+  Rng rng(161);
+  const Matrix x = RandomMatrix(4, 6, &rng);
+  Matrix c(4, 4);  // kTrans wants 6x6
+  EXPECT_DEATH(Syrk(Trans::kTrans, 1.0, x, 0.0, &c), "syrk output");
+}
+
 TEST(BlasDeathTest, ShapeMismatchDies) {
   const Matrix a(2, 3);
   const Matrix b(2, 3);

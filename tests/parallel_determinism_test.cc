@@ -43,8 +43,8 @@ void ExpectBitIdentical(const Matrix& a, const Matrix& b, const char* what) {
 }
 
 TEST(GemmDeterminismTest, AllTransposeCombosMatchSerialBitForBit) {
-  // 48^3 flops is above the kernel's serial cutoff, so the threaded path
-  // genuinely engages.
+  // 48^3 is above both the thread-throttle floor and kBlockedGemmCutoff, so
+  // the default path is the blocked packed engine with workers engaged.
   constexpr int64_t n = 48;
   Rng rng(11);
   const Matrix a = RandomMatrix(n, n, &rng);
@@ -60,6 +60,95 @@ TEST(GemmDeterminismTest, AllTransposeCombosMatchSerialBitForBit) {
         Matrix threaded = c0;
         Gemm(ta, tb, 1.25, a, b, 0.5, &threaded, threads);
         ExpectBitIdentical(serial, threaded, "Gemm");
+      }
+    }
+  }
+}
+
+TEST(GemmDeterminismTest, BlockedEngineOddShapesMatchSerialBitForBit) {
+  // Shapes chosen so every blocking loop runs a full block plus a ragged
+  // tail: k = 257 spans two kc blocks, m = 130 spans mc blocks with a
+  // partial micro-row, n = 100 leaves a partial NR micro-column. The jr
+  // micro-blocks are the parallel axis; their results must be independent
+  // of how ParallelForRanges partitions them.
+  constexpr int64_t m = 130, k = 257, n = 100;
+  Rng rng(15);
+  const Matrix c0 = RandomMatrix(m, n, &rng);
+
+  const Trans kinds[] = {Trans::kNo, Trans::kTrans};
+  for (Trans ta : kinds) {
+    for (Trans tb : kinds) {
+      const Matrix a = ta == Trans::kNo ? RandomMatrix(m, k, &rng)
+                                        : RandomMatrix(k, m, &rng);
+      const Matrix b = tb == Trans::kNo ? RandomMatrix(k, n, &rng)
+                                        : RandomMatrix(n, k, &rng);
+      GemmOptions options;
+      options.kernel = GemmKernel::kBlocked;
+      options.num_threads = 1;
+      Matrix serial = c0;
+      Gemm(ta, tb, 1.25, a, b, 0.5, &serial, options);
+      for (int threads : kThreadCounts) {
+        options.num_threads = threads;
+        Matrix threaded = c0;
+        Gemm(ta, tb, 1.25, a, b, 0.5, &threaded, options);
+        ExpectBitIdentical(serial, threaded, "blocked Gemm");
+      }
+    }
+  }
+}
+
+TEST(GemmDeterminismTest, PanelPinMatchesSerialBitForBit) {
+  // The kPanel escape hatch keeps the legacy threaded column-panel path;
+  // its determinism contract must survive the dispatcher rewrite.
+  constexpr int64_t n = 48;
+  Rng rng(16);
+  const Matrix a = RandomMatrix(n, n, &rng);
+  const Matrix b = RandomMatrix(n, n, &rng);
+  const Matrix c0 = RandomMatrix(n, n, &rng);
+
+  const Trans kinds[] = {Trans::kNo, Trans::kTrans};
+  for (Trans ta : kinds) {
+    for (Trans tb : kinds) {
+      GemmOptions options;
+      options.kernel = GemmKernel::kPanel;
+      options.num_threads = 1;
+      Matrix serial = c0;
+      Gemm(ta, tb, 1.25, a, b, 0.5, &serial, options);
+      for (int threads : kThreadCounts) {
+        options.num_threads = threads;
+        Matrix threaded = c0;
+        Gemm(ta, tb, 1.25, a, b, 0.5, &threaded, options);
+        ExpectBitIdentical(serial, threaded, "panel Gemm");
+      }
+    }
+  }
+}
+
+TEST(SyrkDeterminismTest, BothOrientationsAndKernelsMatchSerialBitForBit) {
+  // 80 x 150 input: both orientations clear the blocked cutoff, and the
+  // panel pin exercises the threaded SyrkPanelLower + mirror path. The
+  // mirror is part of the output, so bit-identity covers it too.
+  Rng rng(17);
+  const Matrix x = RandomMatrix(80, 150, &rng);
+
+  for (Trans trans : {Trans::kTrans, Trans::kNo}) {
+    const int64_t nn = trans == Trans::kTrans ? x.cols() : x.rows();
+    const Matrix r = RandomMatrix(nn, nn, &rng);
+    Matrix c0(nn, nn);
+    for (int64_t j = 0; j < nn; ++j) {
+      for (int64_t i = 0; i < nn; ++i) c0(i, j) = r(i, j) + r(j, i);
+    }
+    for (GemmKernel kernel : {GemmKernel::kBlocked, GemmKernel::kPanel}) {
+      GemmOptions options;
+      options.kernel = kernel;
+      options.num_threads = 1;
+      Matrix serial = c0;
+      Syrk(trans, 1.25, x, 0.5, &serial, options);
+      for (int threads : kThreadCounts) {
+        options.num_threads = threads;
+        Matrix threaded = c0;
+        Syrk(trans, 1.25, x, 0.5, &threaded, options);
+        ExpectBitIdentical(serial, threaded, "Syrk");
       }
     }
   }

@@ -104,6 +104,19 @@ TEST(SscAdmmTest, LambdaRuleAndValidation) {
   EXPECT_FALSE(SscSelfExpression(Matrix(3, 1)).ok());
 }
 
+TEST(SscAdmmTest, LambdaFromPrecomputedGramMatchesAndIsThreadInvariant) {
+  // Callers that already hold X^T X (the ADMM solver itself) must get the
+  // exact same lambda without recomputing the Gram, for any thread count.
+  const Dataset data = EasySubspaces(3, 40, 5);
+  const double serial = SscLambda(data.points, 50.0);
+  const Matrix gram = Gram(data.points);
+  EXPECT_EQ(SscLambdaFromGram(gram, 50.0), serial);
+  for (int threads : {2, 8}) {
+    EXPECT_EQ(SscLambda(data.points, 50.0, threads), serial) << threads;
+    EXPECT_EQ(SscLambdaFromGram(gram, 50.0, threads), serial) << threads;
+  }
+}
+
 TEST(SscAdmmTest, OrthogonalPairIsDegenerate) {
   // Two exactly orthogonal points: mu = 0.
   const Matrix x = Matrix::FromColumns({{1, 0}, {0, 1}});
