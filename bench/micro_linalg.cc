@@ -157,6 +157,29 @@ void BM_HouseholderQr(benchmark::State& state) {
 }
 BENCHMARK(BM_HouseholderQr)->Arg(32)->Arg(128);
 
+// Blocked compact-WY vs. unblocked QR over the tall-skinny shapes of
+// Fed-SC's basis estimation (D x n_i). items_per_second counts the
+// factorization + thin-Q flops (~4 n^2 (m - n/3)), identical for both
+// engines, so the rate ratio is the blocked speedup.
+void BM_QrVariant(benchmark::State& state) {
+  const int64_t m = state.range(0);
+  const int64_t n = state.range(1);
+  const bool blocked = state.range(2) != 0;
+  Rng rng(10);
+  const Matrix a = RandomMatrix(m, n, &rng);
+  QrOptions options;
+  options.variant = blocked ? QrVariant::kBlocked : QrVariant::kUnblocked;
+  for (auto _ : state) {
+    auto qr = HouseholderQr(a, options);
+    benchmark::DoNotOptimize(qr->q.data());
+  }
+  state.SetLabel(blocked ? "blocked" : "unblocked");
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(4.0 * n * n * (m - n / 3.0)));
+}
+BENCHMARK(BM_QrVariant)
+    ->ArgsProduct({{256, 1024, 4096}, {8, 32, 128}, {0, 1}});
+
 void BM_Cholesky(benchmark::State& state) {
   const int64_t n = state.range(0);
   Rng rng(4);
@@ -196,6 +219,35 @@ void BM_JacobiSvdThreads(benchmark::State& state) {
 }
 BENCHMARK(BM_JacobiSvdThreads)->ArgsProduct({{64}, {1, 2, 4, 8}});
 
+// QR-preconditioned vs. plain one-sided Jacobi on tall-skinny inputs: the
+// preconditioner moves every rotation from O(m) to O(n) work.
+// items_per_second counts the thin-SVD's useful flops (~6 m n^2 + n^3),
+// identical for both paths, so the rate ratio is the preconditioning
+// speedup.
+void BM_SvdTall(benchmark::State& state) {
+  const int64_t m = state.range(0);
+  const int64_t n = state.range(1);
+  const bool precond = state.range(2) != 0;
+  Rng rng(5);
+  const Matrix a = RandomMatrix(m, n, &rng);
+  SvdOptions options;
+  options.precondition =
+      precond ? SvdPrecondition::kQr : SvdPrecondition::kNone;
+  for (auto _ : state) {
+    auto svd = JacobiSvd(a, options);
+    benchmark::DoNotOptimize(svd->s.data());
+  }
+  state.SetLabel(precond ? "precond_qr" : "plain");
+  state.SetItemsProcessed(state.iterations() * (6 * m * n * n + n * n * n));
+}
+BENCHMARK(BM_SvdTall)
+    ->Args({1024, 32, 0})
+    ->Args({1024, 32, 1})
+    ->Args({1024, 128, 0})
+    ->Args({1024, 128, 1})
+    ->Args({4096, 32, 0})
+    ->Args({4096, 32, 1});
+
 void BM_SymmetricEigen(benchmark::State& state) {
   const int64_t n = state.range(0);
   Rng rng(6);
@@ -217,6 +269,42 @@ void BM_SymmetricEigenvaluesOnly(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SymmetricEigenvaluesOnly)->Arg(64)->Arg(256);
+
+// Blocked vs. element-wise tridiagonalization inside the full dense
+// eigendecomposition (the spectral-clustering server hot path).
+// items_per_second counts the 4 n^3 / 3 reduction flops, so the rate ratio
+// is the blocked speedup of the tridiagonalization-dominated run.
+void BM_EigVariant(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const bool blocked = state.range(1) != 0;
+  Rng rng(6);
+  const Matrix a = RandomSymmetric(n, &rng);
+  EigOptions options;
+  options.variant = blocked ? EigVariant::kBlocked : EigVariant::kUnblocked;
+  for (auto _ : state) {
+    auto eig = SymmetricEigen(a, options);
+    benchmark::DoNotOptimize(eig->values.data());
+  }
+  state.SetLabel(blocked ? "blocked" : "unblocked");
+  state.SetItemsProcessed(state.iterations() * (4 * n * n * n) / 3);
+}
+BENCHMARK(BM_EigVariant)->ArgsProduct({{256, 512}, {0, 1}});
+
+void BM_EigValuesVariant(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const bool blocked = state.range(1) != 0;
+  Rng rng(7);
+  const Matrix a = RandomSymmetric(n, &rng);
+  EigOptions options;
+  options.variant = blocked ? EigVariant::kBlocked : EigVariant::kUnblocked;
+  for (auto _ : state) {
+    auto values = SymmetricEigenvalues(a, options);
+    benchmark::DoNotOptimize(values->data());
+  }
+  state.SetLabel(blocked ? "blocked" : "unblocked");
+  state.SetItemsProcessed(state.iterations() * (4 * n * n * n) / 3);
+}
+BENCHMARK(BM_EigValuesVariant)->ArgsProduct({{256, 512}, {0, 1}});
 
 SparseMatrix RandomSparseSymmetric(int64_t n, int64_t per_row, Rng* rng) {
   std::vector<Triplet> triplets;

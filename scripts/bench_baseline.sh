@@ -1,39 +1,63 @@
 #!/usr/bin/env bash
 # Regenerates BENCH_linalg.json, the committed performance baseline for the
-# matrix-product engines: blocked-vs-panel GEMM GFLOP/s across sizes and
-# thread counts, the TT packing-vs-copy comparison, the Syrk-vs-GEMM Gram
-# ratio, and end-to-end RunFedSc wall time. Run after any change to the
-# linalg kernels and commit the refreshed file so perf regressions show up
-# in review as a diff, not a surprise.
+# matrix-product and factorization engines: blocked-vs-panel GEMM GFLOP/s,
+# the TT packing-vs-copy comparison, the Syrk-vs-GEMM Gram ratio, the
+# blocked-vs-unblocked QR and tridiagonalization rates, the
+# QR-preconditioned-vs-plain Jacobi SVD rates, the tall-D basis-estimation
+# before/after, and end-to-end RunFedSc wall time. Run after any change to
+# the linalg kernels and commit the refreshed file so perf regressions show
+# up in review as a diff, not a surprise.
+#
+# The baseline MUST come from a Release build of the fedsc kernels: a Debug
+# or unset-CMAKE_BUILD_TYPE run produces numbers that are 5-20x off and the
+# acceptance floors become meaningless. This script therefore configures its
+# own Release tree (build-release/ by default, override with BENCH_BUILD_DIR)
+# and refuses to run benches from a tree whose cached CMAKE_BUILD_TYPE is
+# anything else. Note google-benchmark's own JSON context reports the
+# *benchmark library's* build type, not fedsc's (Debian ships a "debug"
+# libbenchmark), so the context.library_build_type recorded below is taken
+# from the verified CMake cache instead of trusted from the library.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-build_dir="${BENCH_BUILD_DIR:-${repo_root}/build}"
+build_dir="${BENCH_BUILD_DIR:-${repo_root}/build-release}"
 
-if [ ! -d "${build_dir}" ]; then
-  cmake -S "${repo_root}" -B "${build_dir}"
+if [ ! -f "${build_dir}/CMakeCache.txt" ]; then
+  cmake -S "${repo_root}" -B "${build_dir}" -DCMAKE_BUILD_TYPE=Release
 fi
+
+build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' \
+  "${build_dir}/CMakeCache.txt" | head -n 1)"
+if [ "${build_type}" != "Release" ]; then
+  echo "bench_baseline.sh: refusing to benchmark a non-Release build." >&2
+  echo "  ${build_dir}/CMakeCache.txt has CMAKE_BUILD_TYPE='${build_type}'" >&2
+  echo "  (expected 'Release'). Point BENCH_BUILD_DIR at a Release tree or" >&2
+  echo "  remove '${build_dir}' and rerun to let this script configure one." >&2
+  exit 1
+fi
+
 cmake --build "${build_dir}" --target micro_linalg micro_sc -j "$(nproc)"
 
 raw_dir="$(mktemp -d)"
 trap 'rm -rf "${raw_dir}"' EXIT
 
-# Only the product-engine benches feed the baseline; the SVD/eigen/sparse
-# benches stay out so a refresh takes seconds, not minutes.
+# The product engines plus the level-3 factorization stack feed the
+# baseline; the sparse/Lanczos benches stay out so a refresh stays bounded.
 "${build_dir}/bench/micro_linalg" \
-  --benchmark_filter='BM_Gemm|BM_Syrk' \
+  --benchmark_filter='BM_Gemm|BM_Syrk|BM_QrVariant|BM_SvdTall|BM_EigVariant|BM_EigValuesVariant' \
   --benchmark_format=json > "${raw_dir}/linalg.json"
 "${build_dir}/bench/micro_sc" \
-  --benchmark_filter='BM_RunFedSc' \
+  --benchmark_filter='BM_RunFedSc|BM_FedScBasisTallD' \
   --benchmark_format=json > "${raw_dir}/sc.json"
 
-python3 - "${raw_dir}/linalg.json" "${raw_dir}/sc.json" \
+python3 - "${raw_dir}/linalg.json" "${raw_dir}/sc.json" "${build_type}" \
   "${repo_root}/BENCH_linalg.json" <<'PY'
 import json
 import sys
 
 linalg = json.load(open(sys.argv[1]))
 sc = json.load(open(sys.argv[2]))
+fedsc_build_type = sys.argv[3].lower()
 
 
 def rows(report):
@@ -58,14 +82,24 @@ def ms(row):
 
 
 sizes = [64, 256, 512, 1024]
+QR_SHAPES = [(m, n) for m in (256, 1024, 4096) for n in (8, 32, 128)]
+SVD_SHAPES = [(1024, 32), (1024, 128), (4096, 32)]
+EIG_SIZES = [256, 512]
+
+context = {
+    k: linalg["context"].get(k)
+    for k in ("host_name", "num_cpus", "mhz_per_cpu")
+    if k in linalg["context"]
+}
+# Recorded from the verified CMake cache of the tree that built the fedsc
+# kernels -- NOT from google-benchmark's self-reported library_build_type,
+# which describes libbenchmark itself (Debian ships a "debug" one).
+context["library_build_type"] = fedsc_build_type
+
 out = {
     "schema": "fedsc-bench-baseline-v1",
     "generated_by": "scripts/bench_baseline.sh",
-    "context": {
-        k: linalg["context"].get(k)
-        for k in ("host_name", "num_cpus", "mhz_per_cpu", "library_build_type")
-        if k in linalg["context"]
-    },
+    "context": context,
     # Blocked packed engine (the kAuto path at these sizes), 1 and 8 threads.
     "gemm_blocked_gflops": {
         str(n): {
@@ -87,6 +121,19 @@ out = {
     # Gram hot path: Syrk (lower triangle + mirror) vs full GEMM. Both rates
     # count the same useful 2*n^2*k flops, so ratio > 1 is end-to-end win.
     "gram": {},
+    # Blocked compact-WY vs unblocked Householder QR, single thread. Both
+    # rates count the same 4 n^2 (m - n/3) factorization+thin-Q flops, so
+    # speedup is the blocked engine's end-to-end win at that shape.
+    "qr": {},
+    # QR-preconditioned vs plain one-sided Jacobi on tall-skinny inputs.
+    # Both rates count the same 6 m n^2 + n^3 useful flops.
+    "svd_tall": {},
+    # Blocked (latrd-style) vs element-wise tridiagonalization inside the
+    # full eigendecomposition and the values-only path (4 n^3 / 3 flops).
+    "eig_tridiag": {},
+    # Fed-SC local basis estimation at D=1024, n_i=50: the before/after of
+    # QR preconditioning at the pipeline call site.
+    "basis_tall_d": {},
     "run_fedsc_ms": {},
 }
 for n in sizes:
@@ -97,9 +144,50 @@ for n in sizes:
         "gemm_gflops": gemm,
         "ratio": round(syrk / gemm, 3),
     }
+for m, n in QR_SHAPES:
+    unblocked = gflops(f"BM_QrVariant/{m}/{n}/0")
+    blocked = gflops(f"BM_QrVariant/{m}/{n}/1")
+    out["qr"][f"{m}x{n}"] = {
+        "blocked_gflops": blocked,
+        "unblocked_gflops": unblocked,
+        "speedup": round(blocked / unblocked, 3),
+    }
+for m, n in SVD_SHAPES:
+    plain = gflops(f"BM_SvdTall/{m}/{n}/0")
+    precond = gflops(f"BM_SvdTall/{m}/{n}/1")
+    out["svd_tall"][f"{m}x{n}"] = {
+        "precond_gflops": precond,
+        "plain_gflops": plain,
+        "speedup": round(precond / plain, 3),
+    }
+for n in EIG_SIZES:
+    entry = {}
+    for key, bench in (
+        ("full", "BM_EigVariant"),
+        ("values", "BM_EigValuesVariant"),
+    ):
+        unblocked = gflops(f"{bench}/{n}/0")
+        blocked = gflops(f"{bench}/{n}/1")
+        entry[key] = {
+            "blocked_gflops": blocked,
+            "unblocked_gflops": unblocked,
+            "speedup": round(blocked / unblocked, 3),
+        }
+    out["eig_tridiag"][str(n)] = entry
+plain_ms = ms(S["BM_FedScBasisTallD/0"])
+precond_ms = ms(S["BM_FedScBasisTallD/1"])
+out["basis_tall_d"] = {
+    "shape": "D=1024,n=50,k=4",
+    "plain_ms": plain_ms,
+    "precond_ms": precond_ms,
+    "speedup": round(plain_ms / precond_ms, 3),
+}
 for name, row in sorted(S.items()):
-    points = name.split("/")[1]
-    out["run_fedsc_ms"][points] = {
+    if not name.startswith("BM_RunFedSc"):
+        continue
+    # Key by the scenario, e.g. "RunFedSc/40" or "RunFedScTallD".
+    key = name[len("BM_"):]
+    out["run_fedsc_ms"][key] = {
         "ms": ms(row),
         "label": row.get("label", ""),
     }
@@ -109,12 +197,26 @@ out["acceptance"] = {
         3,
     ),
     "gram512_syrk_over_gemm": out["gram"]["512"]["ratio"],
+    # Worst blocked-QR speedup over the shapes kAuto actually dispatches
+    # blocked (m >= 512 and n >= kBlockedQrMinCols = 16; the n = 8 column
+    # tracks why skinnier panels stay unblocked).
+    "qr_blocked_over_unblocked_min_m512": min(
+        out["qr"][f"{m}x{n}"]["speedup"]
+        for m, n in QR_SHAPES
+        if m >= 512 and n >= 16
+    ),
+    # Worst preconditioned-SVD speedup over the tall shapes (m/n >= 8).
+    "svd_precond_over_plain_min_aspect8": min(
+        out["svd_tall"][f"{m}x{n}"]["speedup"]
+        for m, n in SVD_SHAPES
+        if m >= 8 * n
+    ),
 }
 
-with open(sys.argv[3], "w") as f:
+with open(sys.argv[4], "w") as f:
     json.dump(out, f, indent=2)
     f.write("\n")
-print(f"wrote {sys.argv[3]}")
+print(f"wrote {sys.argv[4]}")
 PY
 
 python3 "${repo_root}/scripts/check_bench_json.py" \

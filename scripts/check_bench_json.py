@@ -1,11 +1,13 @@
 #!/usr/bin/env python3
 """Validates the committed BENCH_linalg.json performance baseline.
 
-Stdlib only. Checks the schema produced by scripts/bench_baseline.sh: every
-tracked size is present, every rate is a positive finite number, the derived
-ratios are consistent with their components, and the acceptance floors for
-the blocked-GEMM and Syrk-Gram speedups hold. Wired into scripts/run_all.sh
-so a refresh that drops a field or regresses past a floor fails loudly.
+Stdlib only. Checks the schema produced by scripts/bench_baseline.sh: the
+baseline comes from a Release build, every tracked size/shape is present,
+every rate is a positive finite number, the derived ratios are consistent
+with their components, and the acceptance floors for the blocked-GEMM,
+Syrk-Gram, blocked-QR, and preconditioned-SVD speedups hold. Wired into
+scripts/run_all.sh so a refresh that drops a field, regresses past a floor,
+or was generated from a non-Release tree fails loudly.
 """
 
 import argparse
@@ -16,10 +18,20 @@ import sys
 GEMM_SIZES = ("64", "256", "512", "1024")
 TT_SIZES = ("256", "512")
 THREADS = ("1", "8")
+QR_SHAPES = tuple(f"{m}x{n}" for m in (256, 1024, 4096) for n in (8, 32, 128))
+SVD_SHAPES = ("1024x32", "1024x128", "4096x32")
+EIG_SIZES = ("256", "512")
 
 # Floors for the ratios recorded by the run that produced the baseline.
 MIN_GEMM512_BLOCKED_OVER_PANEL = 2.0
 MIN_GRAM512_SYRK_OVER_GEMM = 1.5
+# Blocked compact-WY QR must at least match the unblocked engine on every
+# shape kAuto dispatches blocked with m >= 512 (n >= kBlockedQrMinCols = 16;
+# skinnier panels have no trailing matrix and stay unblocked by design).
+MIN_QR_BLOCKED_OVER_UNBLOCKED_M512 = 1.0
+# QR preconditioning must at least halve the tall-skinny Jacobi SVD wall
+# time on every shape with aspect ratio m/n >= 8.
+MIN_SVD_PRECOND_OVER_PLAIN_ASPECT8 = 2.0
 
 _errors = []
 
@@ -38,9 +50,34 @@ def positive(value, what):
     return True
 
 
+def check_ratio_entry(entry, where, num_key, den_key, ratio_key):
+    """Checks num/den/ratio are positive and ratio == num/den."""
+    ok = positive(entry.get(num_key), f"{where}.{num_key}")
+    ok &= positive(entry.get(den_key), f"{where}.{den_key}")
+    ok &= positive(entry.get(ratio_key), f"{where}.{ratio_key}")
+    if ok:
+        derived = entry[num_key] / entry[den_key]
+        if abs(derived - entry[ratio_key]) > 0.01:
+            err(
+                f"{where}.{ratio_key} {entry[ratio_key]} inconsistent with "
+                f"{num_key}/{den_key} = {derived:.3f}"
+            )
+    return ok
+
+
 def check(doc):
     if doc.get("schema") != "fedsc-bench-baseline-v1":
         err(f"unexpected schema id: {doc.get('schema')!r}")
+
+    # The baseline is meaningless unless the fedsc kernels were built
+    # Release; bench_baseline.sh records the verified CMake build type here.
+    build_type = doc.get("context", {}).get("library_build_type")
+    if build_type != "release":
+        err(
+            f"context.library_build_type is {build_type!r}, expected "
+            "'release': regenerate the baseline with scripts/bench_baseline.sh "
+            "from a Release tree"
+        )
 
     blocked = doc.get("gemm_blocked_gflops", {})
     panel = doc.get("gemm_panel_gflops", {})
@@ -58,39 +95,64 @@ def check(doc):
 
     gram = doc.get("gram", {})
     for n in GEMM_SIZES:
-        entry = gram.get(n, {})
-        ok = positive(entry.get("syrk_gflops"), f"gram[{n}].syrk_gflops")
-        ok &= positive(entry.get("gemm_gflops"), f"gram[{n}].gemm_gflops")
-        ok &= positive(entry.get("ratio"), f"gram[{n}].ratio")
-        if ok:
-            derived = entry["syrk_gflops"] / entry["gemm_gflops"]
-            if abs(derived - entry["ratio"]) > 0.01:
-                err(
-                    f"gram[{n}].ratio {entry['ratio']} inconsistent with "
-                    f"syrk/gemm = {derived:.3f}"
-                )
+        check_ratio_entry(
+            gram.get(n, {}), f"gram[{n}]", "syrk_gflops", "gemm_gflops",
+            "ratio",
+        )
+
+    qr = doc.get("qr", {})
+    for shape in QR_SHAPES:
+        check_ratio_entry(
+            qr.get(shape, {}), f"qr[{shape}]", "blocked_gflops",
+            "unblocked_gflops", "speedup",
+        )
+
+    svd = doc.get("svd_tall", {})
+    for shape in SVD_SHAPES:
+        check_ratio_entry(
+            svd.get(shape, {}), f"svd_tall[{shape}]", "precond_gflops",
+            "plain_gflops", "speedup",
+        )
+
+    eig = doc.get("eig_tridiag", {})
+    for n in EIG_SIZES:
+        for key in ("full", "values"):
+            check_ratio_entry(
+                eig.get(n, {}).get(key, {}), f"eig_tridiag[{n}].{key}",
+                "blocked_gflops", "unblocked_gflops", "speedup",
+            )
+
+    basis = doc.get("basis_tall_d", {})
+    check_ratio_entry(
+        basis, "basis_tall_d", "plain_ms", "precond_ms", "speedup"
+    )
 
     fedsc = doc.get("run_fedsc_ms", {})
     if not fedsc:
         err("run_fedsc_ms is empty: no end-to-end wall time recorded")
-    for points, entry in fedsc.items():
-        positive(entry.get("ms"), f"run_fedsc_ms[{points}].ms")
+    elif not any("TallD" in key for key in fedsc):
+        err("run_fedsc_ms has no tall-D (RunFedScTallD) entry")
+    for scenario, entry in fedsc.items():
+        positive(entry.get("ms"), f"run_fedsc_ms[{scenario}].ms")
 
     acceptance = doc.get("acceptance", {})
-    g = acceptance.get("gemm512_blocked_over_panel")
-    if positive(g, "acceptance.gemm512_blocked_over_panel"):
-        if g < MIN_GEMM512_BLOCKED_OVER_PANEL:
-            err(
-                f"blocked GEMM n=512 speedup {g} below the "
-                f"{MIN_GEMM512_BLOCKED_OVER_PANEL}x floor"
-            )
-    s = acceptance.get("gram512_syrk_over_gemm")
-    if positive(s, "acceptance.gram512_syrk_over_gemm"):
-        if s < MIN_GRAM512_SYRK_OVER_GEMM:
-            err(
-                f"Syrk Gram n=512 speedup {s} below the "
-                f"{MIN_GRAM512_SYRK_OVER_GEMM}x floor"
-            )
+    floors = (
+        ("gemm512_blocked_over_panel", MIN_GEMM512_BLOCKED_OVER_PANEL,
+         "blocked GEMM n=512 speedup"),
+        ("gram512_syrk_over_gemm", MIN_GRAM512_SYRK_OVER_GEMM,
+         "Syrk Gram n=512 speedup"),
+        ("qr_blocked_over_unblocked_min_m512",
+         MIN_QR_BLOCKED_OVER_UNBLOCKED_M512,
+         "worst blocked-QR speedup at m >= 512"),
+        ("svd_precond_over_plain_min_aspect8",
+         MIN_SVD_PRECOND_OVER_PLAIN_ASPECT8,
+         "worst preconditioned-SVD speedup at m/n >= 8"),
+    )
+    for key, floor, what in floors:
+        value = acceptance.get(key)
+        if positive(value, f"acceptance.{key}"):
+            if value < floor:
+                err(f"{what} {value} below the {floor}x floor")
 
 
 def main():

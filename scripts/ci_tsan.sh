@@ -17,7 +17,8 @@ cmake -S "${repo_root}" -B "${build_dir}" \
 
 cmake --build "${build_dir}" -j "$(nproc)" \
   --target thread_pool_test parallel_determinism_test fedsc_test \
-  faults_test trace_test logging_test blas_test
+  faults_test trace_test logging_test blas_test qr_cholesky_test \
+  svd_eig_test
 
 # halt_on_error makes the first race fail the run instead of just logging.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
@@ -35,6 +36,10 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 # The blocked GEMM/Syrk engine packs on the caller thread and fans the
 # micro-block loop out over the pool; TSAN checks the arena handoff.
 "${build_dir}/tests/blas_test"
+# The blocked factorizations (compact-WY QR, preconditioned SVD, blocked
+# tridiagonalization) thread their GEMM updates and triangular multiplies.
+"${build_dir}/tests/qr_cholesky_test"
+"${build_dir}/tests/svd_eig_test"
 
 echo "TSAN: all threaded suites passed with zero reported races."
 
@@ -45,12 +50,17 @@ cmake -S "${repo_root}" -B "${asan_dir}" \
   -DFEDSC_SANITIZE=address
 
 cmake --build "${asan_dir}" -j "$(nproc)" \
-  --target faults_test blas_test parallel_determinism_test
+  --target faults_test blas_test parallel_determinism_test \
+  qr_cholesky_test svd_eig_test
 
 "${asan_dir}/tests/faults_test"
 # Packing writes into 64-byte-aligned arenas with zero-padded edge
 # micro-panels; ASAN is the gate for an off-by-one on the ragged tails.
 "${asan_dir}/tests/blas_test"
 "${asan_dir}/tests/parallel_determinism_test"
+# Panel factorization indexes ragged tails (m % panel, n % panel); ASAN is
+# the gate for an off-by-one in the V/T/corner copies.
+"${asan_dir}/tests/qr_cholesky_test"
+"${asan_dir}/tests/svd_eig_test"
 
 echo "ASAN: fault-injection suite passed with zero reported errors."

@@ -56,7 +56,9 @@ Result<SpectralResult> SpectralCluster(const Matrix& affinity, int64_t k,
   FEDSC_TRACE_SPAN("cluster/spectral",
                    {{"n", affinity.rows()}, {"k", k}, {"kind", "dense"}});
   const Matrix m = NormalizedAdjacency(affinity);
-  FEDSC_ASSIGN_OR_RETURN(EigResult eig, SymmetricEigen(m));
+  EigOptions eig_options;
+  eig_options.num_threads = options.num_threads;
+  FEDSC_ASSIGN_OR_RETURN(EigResult eig, SymmetricEigen(m, eig_options));
   // Largest k eigenvectors of M == smallest k of the normalized Laplacian.
   const int64_t n = affinity.rows();
   Matrix embedding(n, k);

@@ -25,6 +25,9 @@ struct SpectralOptions {
   // Sparse graphs of at least this many vertices use Lanczos instead of
   // densifying.
   int64_t lanczos_threshold = 900;
+  // Workers for the dense eigendecomposition (blocked tridiagonalization
+  // GEMMs). Bit-identical results for every thread count.
+  int num_threads = 1;
   KMeansOptions kmeans;
 };
 

@@ -72,8 +72,10 @@ MetricsRegistry::MetricsRegistry() {
   // the full schema. See DESIGN.md "Observability".
   for (const char* name :
        {"linalg.gemm.calls", "linalg.gemm.flops", "linalg.gemv.calls",
-        "linalg.gemv.flops", "linalg.svd.calls", "linalg.svd.sweeps",
-        "linalg.svd.rotations", "linalg.lanczos.calls",
+        "linalg.gemv.flops", "linalg.qr.calls", "linalg.qr.flops",
+        "linalg.qr.blocked_calls", "linalg.svd.calls", "linalg.svd.sweeps",
+        "linalg.svd.rotations", "linalg.svd.precond_qr",
+        "linalg.eig.tridiag_flops", "linalg.lanczos.calls",
         "linalg.lanczos.iterations", "linalg.lanczos.restarts",
         "linalg.lanczos.reorthogonalizations",
         "linalg.subspace_iteration.calls",

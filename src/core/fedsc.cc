@@ -165,6 +165,11 @@ Result<LocalClusteringOutput> LocalClusterAndSample(const Matrix& points,
       FEDSC_TRACE_SPAN("local/spectral", {{"r", r}});
       SpectralOptions spectral = options.local_spectral;
       spectral.kmeans.seed = rng.Next();
+      // Same lift as the pipeline: the run-level thread count applies unless
+      // the local spectral options pin their own. Nested calls made from
+      // inside the device fan-out run inline, so this cannot oversubscribe.
+      spectral.num_threads = spectral.num_threads > 1 ? spectral.num_threads
+                                                      : options.num_threads;
       FEDSC_ASSIGN_OR_RETURN(SpectralResult clusters,
                              SpectralCluster(affinity, r, spectral));
       out.partition = std::move(clusters.labels);

@@ -4,6 +4,12 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+#include "common/trace.h"
+#include "linalg/blas.h"
+#include "linalg/qr.h"
+
 namespace fedsc {
 
 namespace {
@@ -167,13 +173,212 @@ Status CheckSquare(const Matrix& a) {
   return Status::OK();
 }
 
+// --- Blocked (latrd/sytrd-style) tridiagonalization ---
+
+// Columns per compact-WY panel; sets the rank-2b trailing-update grouping,
+// so it is result-affecting inside the blocked path like kQrPanelWidth.
+constexpr int64_t kEigPanelWidth = 32;
+
+// The contract reads only the lower triangle; the blocked reduction wants a
+// full symmetric working matrix so its trailing matvecs stream contiguous
+// columns.
+Matrix SymmetrizeFromLower(const Matrix& a) {
+  Matrix z = a;
+  const int64_t n = z.rows();
+  for (int64_t j = 1; j < n; ++j) {
+    for (int64_t i = 0; i < j; ++i) z(i, j) = z(j, i);
+  }
+  return z;
+}
+
+// p = A22 v where A22 is the trailing block [j1, n) x [j1, n) of z (at
+// panel-start state) and v, p have length n - j1. Threaded over row ranges:
+// each output element accumulates over columns in ascending order, so the
+// sum order — and the bits — never depend on the thread count.
+void TrailingMatvec(const Matrix& z, int64_t j1, const double* v, double* p,
+                    int num_threads) {
+  const int64_t n = z.rows();
+  const int64_t len = n - j1;
+  const int threads =
+      len * len < (1 << 15) ? 1 : std::min<int>(num_threads, 64);
+  ParallelForRanges(0, len, threads, [&](int64_t r0, int64_t r1, int) {
+    for (int64_t r = r0; r < r1; ++r) p[r] = 0.0;
+    for (int64_t c = 0; c < len; ++c) {
+      Axpy(v[c], z.ColData(j1 + c) + j1 + r0, p + r0, r1 - r0);
+    }
+  });
+}
+
+// Reduces the full symmetric matrix in `z` to tridiagonal form with panel
+// accumulation: within a panel only the pivot column is updated (lazily,
+// from the accumulated V and W), each reflector's two-sided contribution is
+// captured as w = tau(Av - V(W^T v) - W(V^T v)) - (tau/2)(w^T v)v, and the
+// trailing block gets one rank-2b update A22 -= V2 W2^T + W2 V2^T via two
+// GEMMs. On exit d/e hold the tridiagonal (e[i] couples rows i-1 and i,
+// e[0] = 0), taus[j] scales the reflector stored in column j of z (tail in
+// rows [j+2, n), unit head at j+1 implicit).
+void BlockedTridiagonalize(Matrix* zm, Vector* dv, Vector* ev, Vector* taus,
+                           int num_threads) {
+  Matrix& z = *zm;
+  const int64_t n = z.rows();
+  dv->assign(static_cast<size_t>(n), 0.0);
+  ev->assign(static_cast<size_t>(n), 0.0);
+  taus->assign(static_cast<size_t>(n), 0.0);
+  Vector& d = *dv;
+  Vector& e = *ev;
+
+  for (int64_t s = 0; s < n - 2; s += kEigPanelWidth) {
+    const int64_t j1 = std::min(s + kEigPanelWidth, n - 2);
+    const int64_t b = j1 - s;
+    // Full-length columns with exact zeros outside each reflector's
+    // support, so the rank-2b update below is plain GEMM.
+    Matrix vpan(n, b);
+    Matrix wpan(n, b);
+    for (int64_t j = s; j < j1; ++j) {
+      const int64_t jj = j - s;
+      double* col = z.ColData(j);
+      // Lazy update of the pivot column with the panel's earlier
+      // reflectors: A(j:n, j) -= V W(j,:)^T + W V(j,:)^T.
+      for (int64_t c = 0; c < jj; ++c) {
+        Axpy(-wpan(j, c), vpan.ColData(c) + j, col + j, n - j);
+        Axpy(-vpan(j, c), wpan.ColData(c) + j, col + j, n - j);
+      }
+      d[static_cast<size_t>(j)] = col[j];
+      const double tau = internal_qr::GenerateReflector(col, j + 1, n);
+      (*taus)[static_cast<size_t>(j)] = tau;
+      e[static_cast<size_t>(j + 1)] = col[j + 1];
+      double* v = vpan.ColData(jj);
+      v[j + 1] = 1.0;
+      for (int64_t i = j + 2; i < n; ++i) v[i] = col[i];
+      if (tau == 0.0) continue;  // H = I: w stays exactly zero
+      double* w = wpan.ColData(jj);
+      TrailingMatvec(z, j + 1, v + j + 1, w + j + 1, num_threads);
+      const int64_t len = n - j - 1;
+      for (int64_t c = 0; c < jj; ++c) {
+        const double wv = Dot(wpan.ColData(c) + j + 1, v + j + 1, len);
+        const double vv = Dot(vpan.ColData(c) + j + 1, v + j + 1, len);
+        Axpy(-wv, vpan.ColData(c) + j + 1, w + j + 1, len);
+        Axpy(-vv, wpan.ColData(c) + j + 1, w + j + 1, len);
+      }
+      Scal(tau, w + j + 1, len);
+      const double alpha = -0.5 * tau * Dot(w + j + 1, v + j + 1, len);
+      Axpy(alpha, v + j + 1, w + j + 1, len);
+    }
+    // Rank-2b trailing update on the block [j1, n) x [j1, n).
+    const int64_t nt = n - j1;
+    Matrix v2(nt, b);
+    Matrix w2(nt, b);
+    for (int64_t c = 0; c < b; ++c) {
+      const double* vs = vpan.ColData(c) + j1;
+      const double* ws = wpan.ColData(c) + j1;
+      double* vd = v2.ColData(c);
+      double* wd = w2.ColData(c);
+      for (int64_t i = 0; i < nt; ++i) {
+        vd[i] = vs[i];
+        wd[i] = ws[i];
+      }
+    }
+    Matrix upd(nt, nt);
+    Gemm(Trans::kNo, Trans::kTrans, 1.0, v2, w2, 0.0, &upd, num_threads);
+    Gemm(Trans::kNo, Trans::kTrans, 1.0, w2, v2, 1.0, &upd, num_threads);
+    const int threads =
+        nt * nt < (1 << 15) ? 1 : std::min<int>(num_threads, 64);
+    ParallelForRanges(0, nt, threads, [&](int64_t c0, int64_t c1, int) {
+      for (int64_t c = c0; c < c1; ++c) {
+        double* dst = z.ColData(j1 + c) + j1;
+        const double* src = upd.ColData(c);
+        for (int64_t i = 0; i < nt; ++i) dst[i] -= src[i];
+      }
+    });
+  }
+  d[static_cast<size_t>(n - 2)] = z(n - 2, n - 2);
+  d[static_cast<size_t>(n - 1)] = z(n - 1, n - 1);
+  e[static_cast<size_t>(n - 1)] = z(n - 1, n - 2);
+  e[0] = 0.0;
+}
+
+// Q = H_0 H_1 ... H_{n-3} accumulated panel-by-panel in reverse order with
+// the compact-WY helpers shared with blocked QR. When panel [s, j1) is
+// applied, columns <= s of the running product are still unit vectors with
+// support above row s + 1, so only the trailing corner updates.
+Matrix AccumulateQ(const Matrix& z, const Vector& taus, int num_threads) {
+  const int64_t n = z.rows();
+  Matrix q = Matrix::Identity(n);
+  if (n < 3) return q;
+  const int64_t last = ((n - 3) / kEigPanelWidth) * kEigPanelWidth;
+  for (int64_t s = last; s >= 0; s -= kEigPanelWidth) {
+    const int64_t j1 = std::min(s + kEigPanelWidth, n - 2);
+    const int64_t b = j1 - s;
+    // Reflector s + jj has its unit head at global row s + jj + 1 — local
+    // row jj of a block starting at row s + 1, the PanelV layout.
+    Matrix v(n - s - 1, b);
+    for (int64_t jj = 0; jj < b; ++jj) {
+      const double* col = z.ColData(s + jj);
+      v(jj, jj) = 1.0;
+      for (int64_t i = s + jj + 2; i < n; ++i) v(i - s - 1, jj) = col[i];
+    }
+    const Matrix t = internal_qr::BuildCompactWyT(v, taus.data() + s);
+    Matrix corner(n - s - 1, n - s - 1);
+    for (int64_t c = s + 1; c < n; ++c) {
+      const double* src = q.ColData(c);
+      double* dst = corner.ColData(c - s - 1);
+      for (int64_t i = s + 1; i < n; ++i) dst[i - s - 1] = src[i];
+    }
+    internal_qr::ApplyBlockReflector(v, t, /*transpose=*/false, &corner,
+                                     num_threads);
+    for (int64_t c = s + 1; c < n; ++c) {
+      const double* src = corner.ColData(c - s - 1);
+      double* dst = q.ColData(c);
+      for (int64_t i = s + 1; i < n; ++i) dst[i] = src[i - s - 1];
+    }
+  }
+  return q;
+}
+
+bool UseBlockedEig(EigVariant variant, int64_t n) {
+  if (n < 3) return false;  // already tridiagonal
+  switch (variant) {
+    case EigVariant::kUnblocked:
+      return false;
+    case EigVariant::kBlocked:
+      return true;
+    case EigVariant::kAuto:
+      break;
+  }
+  return n >= kBlockedEigCutoff;
+}
+
+// Tridiagonalizes into (d, e) with either engine; returns the orthogonal
+// accumulation in z when accumulate is set (scratch otherwise).
+void Tridiagonalize(const Matrix& a, bool blocked, bool accumulate,
+                    int num_threads, Matrix* z, Vector* d, Vector* e) {
+  const int64_t n = a.rows();
+  FEDSC_METRIC_COUNTER("linalg.eig.tridiag_flops")
+      .Add((4 * n * n * n) / 3);
+  if (!blocked) {
+    *z = a;
+    Tred2(z, d, e, accumulate);
+    return;
+  }
+  Matrix work = SymmetrizeFromLower(a);
+  Vector taus;
+  BlockedTridiagonalize(&work, d, e, &taus, num_threads);
+  if (accumulate) {
+    *z = AccumulateQ(work, taus, num_threads);
+  }
+}
+
 }  // namespace
 
-Result<EigResult> SymmetricEigen(const Matrix& a) {
+Result<EigResult> SymmetricEigen(const Matrix& a, const EigOptions& options) {
   FEDSC_RETURN_NOT_OK(CheckSquare(a));
-  Matrix z = a;
+  const bool blocked = UseBlockedEig(options.variant, a.rows());
+  FEDSC_TRACE_SPAN("linalg/eig",
+                   {{"n", a.rows()}, {"blocked", blocked ? 1 : 0}});
+  Matrix z;
   Vector d, e;
-  Tred2(&z, &d, &e, /*accumulate=*/true);
+  Tridiagonalize(a, blocked, /*accumulate=*/true, options.num_threads, &z, &d,
+                 &e);
   FEDSC_RETURN_NOT_OK(Tql2(&d, &e, &z, /*accumulate=*/true));
 
   // Sort ascending, permuting eigenvectors along.
@@ -194,11 +399,16 @@ Result<EigResult> SymmetricEigen(const Matrix& a) {
   return result;
 }
 
-Result<Vector> SymmetricEigenvalues(const Matrix& a) {
+Result<Vector> SymmetricEigenvalues(const Matrix& a,
+                                    const EigOptions& options) {
   FEDSC_RETURN_NOT_OK(CheckSquare(a));
-  Matrix z = a;
+  const bool blocked = UseBlockedEig(options.variant, a.rows());
+  FEDSC_TRACE_SPAN("linalg/eig",
+                   {{"n", a.rows()}, {"blocked", blocked ? 1 : 0}});
+  Matrix z;
   Vector d, e;
-  Tred2(&z, &d, &e, /*accumulate=*/false);
+  Tridiagonalize(a, blocked, /*accumulate=*/false, options.num_threads, &z,
+                 &d, &e);
   FEDSC_RETURN_NOT_OK(Tql2(&d, &e, &z, /*accumulate=*/false));
   std::sort(d.begin(), d.end());
   return d;

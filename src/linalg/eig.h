@@ -3,9 +3,21 @@
 // tred2/tql2 pair). Used for spectral clustering of small/medium affinity
 // graphs and for the eigengap heuristic; large sparse graphs use Lanczos
 // (linalg/lanczos.h) instead.
+//
+// Two tridiagonalization engines sit behind SymmetricEigen, completing the
+// dispatch contract of DESIGN.md "Blocked factorizations & dispatch
+// contract": the classic element-wise tred2 sweep, and a blocked
+// (latrd/sytrd-style) reduction that accumulates Householder panels and
+// applies the two-sided trailing update as two GEMMs on the packed engine.
+// The switch is RESULT-AFFECTING (different floating-point grouping; both
+// reach valid tridiagonal forms whose QL eigensystems agree to roundoff)
+// and under EigVariant::kAuto is a pure function of the matrix order —
+// never of num_threads.
 
 #ifndef FEDSC_LINALG_EIG_H_
 #define FEDSC_LINALG_EIG_H_
+
+#include <cstdint>
 
 #include "common/result.h"
 #include "linalg/matrix.h"
@@ -17,13 +29,39 @@ struct EigResult {
   Matrix vectors;  // column j is the eigenvector of values[j]; orthonormal
 };
 
+// Which tridiagonalization engine runs. Result-affecting, pinned to
+// (options, shape) alone — the escape hatch mirroring QrVariant.
+enum class EigVariant {
+  // Blocked reduction when n >= kBlockedEigCutoff, classic tred2 below.
+  kAuto,
+  // Pin the element-wise tred2 path at every size: reproduces pre-blocked
+  // results bit-for-bit.
+  kUnblocked,
+  // Force the blocked panel reduction at every size (n >= 3; smaller
+  // matrices are already tridiagonal and fall back to tred2).
+  kBlocked,
+};
+
+// The kAuto matrix order at and above which the blocked reduction engages.
+// Result-affecting, like kBlockedQrCutoff: eigensystems are discontinuous
+// in their low-order bits across it but deterministic on both sides.
+inline constexpr int64_t kBlockedEigCutoff = 128;
+
+struct EigOptions {
+  EigVariant variant = EigVariant::kAuto;
+  // Workers for the GEMM trailing updates and panel matvecs inside the
+  // blocked path. Bit-identical results for every thread count.
+  int num_threads = 1;
+};
+
 // Full eigendecomposition of a symmetric matrix. Only the lower triangle is
 // read; symmetry is the caller's contract.
-Result<EigResult> SymmetricEigen(const Matrix& a);
+Result<EigResult> SymmetricEigen(const Matrix& a, const EigOptions& options = {});
 
 // Only the eigenvalues, ascending (skips eigenvector accumulation; about
 // 2-3x faster for the eigengap heuristic which needs no vectors).
-Result<Vector> SymmetricEigenvalues(const Matrix& a);
+Result<Vector> SymmetricEigenvalues(const Matrix& a,
+                                    const EigOptions& options = {});
 
 }  // namespace fedsc
 

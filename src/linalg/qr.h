@@ -1,7 +1,25 @@
 // Householder QR decomposition and column orthonormalization.
+//
+// Two engines sit behind HouseholderQr, mirroring the Gemm/Svd dispatch
+// contract (DESIGN.md "Blocked factorizations & dispatch contract"):
+//
+//  * Unblocked: the classic one-reflector-at-a-time dot/axpy sweep — the
+//    pre-blocked behavior, bit-for-bit.
+//  * Blocked: panels of kQrPanelWidth reflectors are accumulated into a
+//    compact-WY representation (I - V T V^T, T upper triangular) and the
+//    trailing matrix / thin-Q updates become two Gemm calls each, so the
+//    O(m n^2) bulk of the work rides the cache-blocked packed engine.
+//
+// The engine switch is RESULT-AFFECTING (the two paths group the floating-
+// point updates differently, so low-order output bits differ). Under
+// QrVariant::kAuto it is a pure function of the input shape — never of
+// num_threads — so results stay deterministic per (input, options), and
+// QrOptions::variant = kUnblocked pins the legacy bits at every size.
 
 #ifndef FEDSC_LINALG_QR_H_
 #define FEDSC_LINALG_QR_H_
+
+#include <cstdint>
 
 #include "common/result.h"
 #include "linalg/matrix.h"
@@ -13,13 +31,75 @@ struct QrResult {
   Matrix r;  // k x n upper triangular
 };
 
+// Which factorization engine HouseholderQr runs. Result-affecting, pinned to
+// (options, shape) alone — the escape hatch mirroring GemmOptions::kernel.
+enum class QrVariant {
+  // Blocked compact-WY when n >= kBlockedQrMinCols and
+  // m * n >= kBlockedQrCutoff, unblocked below.
+  kAuto,
+  // Pin the legacy reflector-at-a-time path at every size: reproduces
+  // pre-blocked results bit-for-bit.
+  kUnblocked,
+  // Force the blocked compact-WY path at every size.
+  kBlocked,
+};
+
+// The kAuto work threshold (m * n) at and above which HouseholderQr switches
+// to the blocked compact-WY engine. Result-affecting, like the GEMM engine
+// cutoff: outputs are discontinuous across it but deterministic on both
+// sides.
+inline constexpr int64_t kBlockedQrCutoff = int64_t{1} << 13;
+// kAuto additionally requires this many columns: below it the whole matrix
+// is one skinny panel, so "blocked" degenerates to the scalar panel
+// factorization plus the compact-WY T build and GEMM-call overhead with no
+// trailing matrix to amortize them (measurably slower than unblocked at
+// n = 8 for every m in BENCH_linalg.json). Result-affecting, same contract
+// as kBlockedQrCutoff.
+inline constexpr int64_t kBlockedQrMinCols = 16;
+
+struct QrOptions {
+  QrVariant variant = QrVariant::kAuto;
+  // Workers for the Gemm calls inside the blocked path (panel factorization
+  // stays serial). Bit-identical results for every thread count.
+  int num_threads = 1;
+};
+
 // Thin QR of an m x n matrix via Householder reflections.
-Result<QrResult> HouseholderQr(const Matrix& a);
+Result<QrResult> HouseholderQr(const Matrix& a, const QrOptions& options = {});
 
 // Orthonormal basis for the column span of `a`: QR with column norms checked
 // against `tol` * (largest original column norm); dependent columns are
 // dropped. Returns an m x r matrix with r = numerical rank (possibly 0).
 Matrix OrthonormalColumnBasis(const Matrix& a, double tol = 1e-10);
+
+namespace internal_qr {
+
+// Reflectors per compact-WY panel. Result-affecting inside the blocked path
+// (it sets the Gemm grouping boundaries, like kKc in the packed engine);
+// never consulted by the unblocked path.
+inline constexpr int64_t kQrPanelWidth = 32;
+
+// Generates the Householder reflector eliminating rows (j, m) of `col`: on
+// exit col[j] holds beta, col[j+1..m) the reflector tail (the unit leading
+// entry stays implicit), and the returned tau scales H = I - tau v v^T.
+// Shared by every factorization so the per-reflector arithmetic is
+// identical across QR and tridiagonalization, blocked and unblocked.
+double GenerateReflector(double* col, int64_t j, int64_t m);
+
+// Upper-triangular T (b x b) with H_0 H_1 ... H_{b-1} = I - V T V^T, where
+// column j of V (mv x b, explicit zeros above the unit diagonal entry at row
+// j) is reflector j's Householder vector and taus[j] its scale. Shared by
+// the blocked QR and the blocked tridiagonalization in linalg/eig.cc.
+Matrix BuildCompactWyT(const Matrix& v, const double* taus);
+
+// c := (I - V T V^T) c (transpose = false, the Q-accumulation direction) or
+// c := (I - V T V^T)^T c (transpose = true, the trailing-update direction).
+// Both are two Gemm calls around a small triangular multiply; bit-identical
+// for every num_threads.
+void ApplyBlockReflector(const Matrix& v, const Matrix& t, bool transpose,
+                         Matrix* c, int num_threads);
+
+}  // namespace internal_qr
 
 }  // namespace fedsc
 

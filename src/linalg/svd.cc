@@ -6,7 +6,9 @@
 
 #include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "linalg/blas.h"
+#include "linalg/qr.h"
 
 namespace fedsc {
 
@@ -109,6 +111,44 @@ bool UseRoundRobin(int64_t m, int64_t n, const SvdOptions& options) {
   return m * n >= kRoundRobinCutoff;
 }
 
+bool UseQrPrecondition(int64_t m, int64_t n, const SvdOptions& options) {
+  switch (options.precondition) {
+    case SvdPrecondition::kNone:
+      return false;
+    case SvdPrecondition::kQr:
+      return m > n;
+    case SvdPrecondition::kAuto:
+      break;
+  }
+  return n >= 2 && m >= kSvdPrecondMinAspect * n && m * n >= kSvdPrecondMinWork;
+}
+
+Result<SvdResult> JacobiSvdTall(const Matrix& a, const SvdOptions& options);
+
+// Thin QR first, Jacobi sweeps on the small n x n R, U recovered with one
+// GEMM. A = QR = Q (U_r S V^T), so U = Q U_r; zero columns of U_r (exactly
+// zero singular values) stay exactly zero through the product.
+Result<SvdResult> QrPreconditionedSvd(const Matrix& a,
+                                      const SvdOptions& options) {
+  const int64_t m = a.rows();
+  const int64_t n = a.cols();
+  FEDSC_TRACE_SPAN("linalg/svd/precond_qr", {{"m", m}, {"n", n}});
+  FEDSC_METRIC_COUNTER("linalg.svd.precond_qr").Increment();
+  QrOptions qr_options;
+  qr_options.num_threads = options.num_threads;
+  FEDSC_ASSIGN_OR_RETURN(QrResult qr, HouseholderQr(a, qr_options));
+  SvdOptions inner = options;
+  inner.precondition = SvdPrecondition::kNone;
+  FEDSC_ASSIGN_OR_RETURN(SvdResult small, JacobiSvdTall(qr.r, inner));
+  SvdResult result;
+  result.u = Matrix(m, n);
+  Gemm(Trans::kNo, Trans::kNo, 1.0, qr.q, small.u, 0.0, &result.u,
+       options.num_threads);
+  result.s = std::move(small.s);
+  result.v = std::move(small.v);
+  return result;
+}
+
 // One-sided Jacobi on a with m >= n: orthogonalizes the columns of a working
 // copy by plane rotations, accumulating them into V.
 //
@@ -123,6 +163,9 @@ bool UseRoundRobin(int64_t m, int64_t n, const SvdOptions& options) {
 Result<SvdResult> JacobiSvdTall(const Matrix& a, const SvdOptions& options) {
   const int64_t m = a.rows();
   const int64_t n = a.cols();
+  if (UseQrPrecondition(m, n, options)) {
+    return QrPreconditionedSvd(a, options);
+  }
   Matrix work = a;
   Matrix v = Matrix::Identity(n);
 
@@ -245,8 +288,9 @@ int64_t NumericalRank(const Vector& s, double rel_tol) {
 }
 
 Result<Matrix> PrincipalSubspace(const Matrix& a, int64_t rank,
-                                 double rel_tol) {
-  FEDSC_ASSIGN_OR_RETURN(SvdResult svd, JacobiSvd(a));
+                                 double rel_tol,
+                                 const SvdOptions& svd_options) {
+  FEDSC_ASSIGN_OR_RETURN(SvdResult svd, JacobiSvd(a, svd_options));
   int64_t r = rank > 0 ? std::min<int64_t>(rank, svd.u.cols())
                        : NumericalRank(svd.s, rel_tol);
   if (r <= 0) {

@@ -35,6 +35,31 @@ enum class SvdPairOrder {
   kRoundRobin,
 };
 
+// Whether JacobiSvd runs a thin QR first and sweeps only the small R factor
+// (A = QR = Q(U_r S V^T), U = Q U_r via one GEMM). For tall inputs this cuts
+// each rotation from O(m) to O(n) work — the D x n_i basis-estimation shape
+// is exactly where it pays. Like SvdPairOrder this is *result-affecting*
+// (the preconditioned factorization reaches the same subspaces with
+// different low-order bits), and under kAuto the choice is a pure function
+// of the input shape, never of num_threads.
+enum class SvdPrecondition {
+  // QR-precondition iff n >= 2, m >= kSvdPrecondMinAspect * n, and
+  // m * n >= kSvdPrecondMinWork.
+  kAuto,
+  // Sweep the full matrix at every shape — the pre-preconditioning behavior,
+  // bit-for-bit.
+  kNone,
+  // Force the thin-QR + small-Jacobi path for every tall input (square and
+  // wide inputs with m == n still sweep directly; wide inputs transpose
+  // first as always).
+  kQr,
+};
+
+// kAuto preconditioning thresholds: minimum tallness ratio m / n and minimum
+// total work m * n. Result-affecting shape cutoffs, like kBlockedQrCutoff.
+inline constexpr int64_t kSvdPrecondMinAspect = 4;
+inline constexpr int64_t kSvdPrecondMinWork = int64_t{1} << 11;
+
 struct SvdOptions {
   int max_sweeps = 60;
   // Column pairs with |<a_p, a_q>| <= tol * ||a_p|| * ||a_q|| count as
@@ -45,6 +70,7 @@ struct SvdOptions {
   // thread count.
   int num_threads = 1;
   SvdPairOrder pair_order = SvdPairOrder::kAuto;
+  SvdPrecondition precondition = SvdPrecondition::kAuto;
 };
 
 // Thin SVD, k = min(m, n). Fails only on empty input or non-convergence
@@ -57,8 +83,11 @@ int64_t NumericalRank(const Vector& s, double rel_tol = 1e-8);
 // The first `rank` left singular vectors of `a`: the orthonormal basis
 // Fed-SC estimates for span of a local cluster (Section IV-B). If
 // rank <= 0, the rank is chosen by NumericalRank with `rel_tol`.
+// `svd_options` tunes the underlying JacobiSvd (threads, preconditioning);
+// the default reproduces the historical behavior.
 Result<Matrix> PrincipalSubspace(const Matrix& a, int64_t rank,
-                                 double rel_tol = 1e-8);
+                                 double rel_tol = 1e-8,
+                                 const SvdOptions& svd_options = {});
 
 }  // namespace fedsc
 

@@ -86,8 +86,14 @@ Result<ScResult> RunSubspaceClustering(const Matrix& x, int64_t num_clusters,
   SpectralResult spectral;
   {
     FEDSC_TRACE_SPAN("sc/spectral", {{"k", num_clusters}});
+    // Same lift as the per-method solvers: the pipeline-level thread count
+    // applies unless the spectral options set their own.
+    SpectralOptions spectral_options = options.spectral;
+    spectral_options.num_threads =
+        spectral_options.num_threads > 1 ? spectral_options.num_threads
+                                         : options.num_threads;
     FEDSC_ASSIGN_OR_RETURN(
-        spectral, SpectralCluster(affinity, num_clusters, options.spectral));
+        spectral, SpectralCluster(affinity, num_clusters, spectral_options));
   }
   ScResult result;
   result.labels = std::move(spectral.labels);

@@ -15,6 +15,8 @@
 #include "data/synthetic.h"
 #include "fed/partition.h"
 #include "linalg/blas.h"
+#include "linalg/eig.h"
+#include "linalg/qr.h"
 #include "linalg/svd.h"
 #include "sc/ssc_omp.h"
 
@@ -218,6 +220,78 @@ TEST(SvdDeterminismTest, SmallInputIsThreadCountInvariantToo) {
     ASSERT_EQ(serial->s, threaded->s);
     ExpectBitIdentical(serial->u, threaded->u, "SVD U");
     ExpectBitIdentical(serial->v, threaded->v, "SVD V");
+  }
+}
+
+TEST(QrDeterminismTest, BlockedEngineMatchesSerialBitForBit) {
+  // 300 x 70 crosses the blocked cutoff (kAuto engages the compact-WY
+  // engine) and spans two panels plus a ragged tail; the trailing-update
+  // and Q-accumulation GEMMs are the parallel axis.
+  Rng rng(18);
+  const Matrix a = RandomMatrix(300, 70, &rng);
+
+  QrOptions serial_options;
+  serial_options.num_threads = 1;
+  auto serial = HouseholderQr(a, serial_options);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+
+  for (int threads : kThreadCounts) {
+    QrOptions options;
+    options.num_threads = threads;
+    auto threaded = HouseholderQr(a, options);
+    ASSERT_TRUE(threaded.ok()) << threaded.status().ToString();
+    ExpectBitIdentical(serial->q, threaded->q, "QR Q");
+    ExpectBitIdentical(serial->r, threaded->r, "QR R");
+  }
+}
+
+TEST(SvdDeterminismTest, PreconditionedPathMatchesSerialBitForBit) {
+  // 600 x 40: tall enough that kAuto QR-preconditions (aspect 15, work
+  // 24000), with the blocked QR and the U-recovery GEMM threaded inside.
+  Rng rng(19);
+  const Matrix a = RandomMatrix(600, 40, &rng);
+
+  SvdOptions serial_options;
+  serial_options.num_threads = 1;
+  auto serial = JacobiSvd(a, serial_options);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+
+  for (int threads : kThreadCounts) {
+    SvdOptions options;
+    options.num_threads = threads;
+    auto threaded = JacobiSvd(a, options);
+    ASSERT_TRUE(threaded.ok()) << threaded.status().ToString();
+    ASSERT_EQ(serial->s, threaded->s) << threads << " threads";
+    ExpectBitIdentical(serial->u, threaded->u, "precond SVD U");
+    ExpectBitIdentical(serial->v, threaded->v, "precond SVD V");
+  }
+}
+
+TEST(EigDeterminismTest, BlockedEngineMatchesSerialBitForBit) {
+  // 150 >= kBlockedEigCutoff: kAuto runs the blocked tridiagonalization
+  // with threaded trailing matvecs, rank-2b GEMM updates, and compact-WY
+  // Q accumulation.
+  constexpr int64_t n = 150;
+  Rng rng(20);
+  Matrix a = RandomMatrix(n, n, &rng);
+  a += a.Transposed();
+
+  EigOptions serial_options;
+  serial_options.num_threads = 1;
+  auto serial = SymmetricEigen(a, serial_options);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+
+  for (int threads : kThreadCounts) {
+    EigOptions options;
+    options.num_threads = threads;
+    auto threaded = SymmetricEigen(a, options);
+    ASSERT_TRUE(threaded.ok()) << threaded.status().ToString();
+    ASSERT_EQ(serial->values, threaded->values) << threads << " threads";
+    ExpectBitIdentical(serial->vectors, threaded->vectors, "eig vectors");
+
+    auto values_only = SymmetricEigenvalues(a, options);
+    ASSERT_TRUE(values_only.ok());
+    ASSERT_EQ(serial->values, *values_only) << threads << " threads";
   }
 }
 

@@ -87,6 +87,125 @@ TEST(SvdTest, RankDeficientMatrix) {
 
 TEST(SvdTest, EmptyFails) { EXPECT_FALSE(JacobiSvd(Matrix()).ok()); }
 
+// --- QR-preconditioned vs. plain Jacobi (tentpole coverage) ---
+
+// Largest principal angle between the spans of two orthonormal-column
+// matrices, via the singular values of U1^T U2 (all cosines ~ 1 when the
+// subspaces coincide). Returns the worst cosine.
+double WorstPrincipalCosine(const Matrix& u1, const Matrix& u2) {
+  auto svd = JacobiSvd(MatMulTN(u1, u2));
+  EXPECT_TRUE(svd.ok());
+  double worst = 1.0;
+  for (double c : svd->s) worst = std::min(worst, c);
+  return worst;
+}
+
+class SvdPrecondTest
+    : public ::testing::TestWithParam<std::pair<int64_t, int64_t>> {};
+
+TEST_P(SvdPrecondTest, MatchesPlainJacobi) {
+  const auto [rows, cols] = GetParam();
+  Rng rng(3000 + rows * 7 + cols);
+  const Matrix a = RandomMatrix(rows, cols, &rng);
+  SvdOptions plain;
+  plain.precondition = SvdPrecondition::kNone;
+  SvdOptions precond;
+  precond.precondition = SvdPrecondition::kQr;
+  auto sp = JacobiSvd(a, plain);
+  auto sq = JacobiSvd(a, precond);
+  ASSERT_TRUE(sp.ok()) << sp.status().ToString();
+  ASSERT_TRUE(sq.ok()) << sq.status().ToString();
+
+  // Singular values agree to 1e-10 (relative to the top one).
+  const double scale = std::max(1.0, sp->s[0]);
+  for (size_t i = 0; i < sp->s.size(); ++i) {
+    EXPECT_NEAR(sp->s[i], sq->s[i], 1e-10 * scale) << "sigma " << i;
+  }
+  // The preconditioned factorization reconstructs with orthonormal factors.
+  const int64_t k = std::min(rows, cols);
+  EXPECT_TRUE(AllClose(Reconstruct(*sq), a, 1e-9 * scale));
+  EXPECT_TRUE(AllClose(Gram(sq->u), Matrix::Identity(k), 1e-9));
+  EXPECT_TRUE(AllClose(Gram(sq->v), Matrix::Identity(k), 1e-9));
+  // Principal angles between the dominant singular subspaces vanish (use
+  // the top half of the spectrum, where Gaussian singular values are well
+  // separated from the tail).
+  const int64_t r = std::max<int64_t>(1, k / 2);
+  EXPECT_GT(WorstPrincipalCosine(sp->u.ColRange(0, r), sq->u.ColRange(0, r)),
+            1.0 - 1e-8);
+  EXPECT_GT(WorstPrincipalCosine(sp->v.ColRange(0, r), sq->v.ColRange(0, r)),
+            1.0 - 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SvdPrecondTest,
+    ::testing::Values(std::pair<int64_t, int64_t>{64, 8},
+                      std::pair<int64_t, int64_t>{300, 10},
+                      std::pair<int64_t, int64_t>{512, 32},
+                      std::pair<int64_t, int64_t>{100, 50},   // mild aspect
+                      std::pair<int64_t, int64_t>{8, 300}));  // wide input
+
+TEST(SvdPrecondTest, AutoDispatchIsPureFunctionOfShape) {
+  Rng rng(47);
+  // Below the aspect/work thresholds kAuto must reproduce the plain bits.
+  const Matrix small = RandomMatrix(100, 30, &rng);  // aspect 3.3 < 4
+  SvdOptions plain;
+  plain.precondition = SvdPrecondition::kNone;
+  auto sa = JacobiSvd(small);
+  auto sp = JacobiSvd(small, plain);
+  ASSERT_TRUE(sa.ok() && sp.ok());
+  for (size_t i = 0; i < sa->s.size(); ++i) ASSERT_EQ(sa->s[i], sp->s[i]);
+  for (int64_t j = 0; j < sa->u.cols(); ++j) {
+    for (int64_t i = 0; i < sa->u.rows(); ++i) {
+      ASSERT_EQ(sa->u(i, j), sp->u(i, j));
+    }
+  }
+  // Tall enough and big enough: kAuto must reproduce the preconditioned
+  // bits.
+  const Matrix tall = RandomMatrix(256, 16, &rng);  // aspect 16, work 4096
+  ASSERT_GE(tall.rows(), kSvdPrecondMinAspect * tall.cols());
+  ASSERT_GE(tall.rows() * tall.cols(), kSvdPrecondMinWork);
+  SvdOptions precond;
+  precond.precondition = SvdPrecondition::kQr;
+  auto ta = JacobiSvd(tall);
+  auto tq = JacobiSvd(tall, precond);
+  ASSERT_TRUE(ta.ok() && tq.ok());
+  for (size_t i = 0; i < ta->s.size(); ++i) ASSERT_EQ(ta->s[i], tq->s[i]);
+  for (int64_t j = 0; j < ta->u.cols(); ++j) {
+    for (int64_t i = 0; i < ta->u.rows(); ++i) {
+      ASSERT_EQ(ta->u(i, j), tq->u(i, j));
+    }
+  }
+}
+
+TEST(SvdPrecondTest, RankDeficientTallMatrix) {
+  Rng rng(53);
+  // 200 x 12 of rank 4: preconditioned path must keep the exact-zero-U
+  // convention for null directions.
+  const Matrix basis = RandomMatrix(200, 4, &rng);
+  const Matrix coeffs = RandomMatrix(4, 12, &rng);
+  const Matrix a = MatMul(basis, coeffs);
+  SvdOptions precond;
+  precond.precondition = SvdPrecondition::kQr;
+  auto svd = JacobiSvd(a, precond);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_EQ(NumericalRank(svd->s, 1e-8), 4);
+  EXPECT_TRUE(AllClose(Reconstruct(*svd), a, 1e-8 * svd->s[0]));
+}
+
+TEST(SvdPrecondTest, PrincipalSubspaceAcceptsOptions) {
+  Rng rng(59);
+  const Matrix basis = RandomMatrix(128, 3, &rng);
+  const Matrix coeffs = RandomMatrix(3, 16, &rng);
+  const Matrix points = MatMul(basis, coeffs);
+  SvdOptions precond;
+  precond.precondition = SvdPrecondition::kQr;
+  auto u = PrincipalSubspace(points, 0, 1e-8, precond);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->cols(), 3);
+  const Matrix proj = MatMul(*u, MatMulTN(*u, points));
+  EXPECT_TRUE(AllClose(proj, points, 1e-8 * points.MaxAbs()));
+}
+
 TEST(NumericalRankTest, Thresholding) {
   EXPECT_EQ(NumericalRank({10.0, 1.0, 1e-10}, 1e-8), 2);
   EXPECT_EQ(NumericalRank({10.0, 1.0, 1e-10}, 1e-12), 3);
@@ -176,6 +295,108 @@ TEST(EigTest, TraceAndDeterminantInvariants) {
   double eig_sum = 0.0;
   for (double v : eig->values) eig_sum += v;
   EXPECT_NEAR(trace, eig_sum, 1e-9);
+}
+
+// --- Blocked vs. unblocked tridiagonalization (tentpole coverage) ---
+
+class EigEngineTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(EigEngineTest, BlockedAgreesWithUnblocked) {
+  const int64_t n = GetParam();
+  Rng rng(4000 + n);
+  Matrix a = RandomMatrix(n, n, &rng);
+  a += a.Transposed();
+  EigOptions unblocked;
+  unblocked.variant = EigVariant::kUnblocked;
+  EigOptions blocked;
+  blocked.variant = EigVariant::kBlocked;
+  auto eu = SymmetricEigen(a, unblocked);
+  auto eb = SymmetricEigen(a, blocked);
+  ASSERT_TRUE(eu.ok()) << eu.status().ToString();
+  ASSERT_TRUE(eb.ok()) << eb.status().ToString();
+
+  const double scale = std::max(1.0, a.MaxAbs());
+  for (size_t i = 0; i < eu->values.size(); ++i) {
+    EXPECT_NEAR(eu->values[i], eb->values[i], 1e-9 * scale) << "lambda " << i;
+  }
+  // The blocked engine's eigenvectors are orthonormal and satisfy
+  // A V = V diag(values) on their own (eigenvector columns can differ from
+  // the unblocked ones by sign / rotation inside degenerate clusters, so
+  // compare against the residual, not column-by-column).
+  EXPECT_TRUE(AllClose(Gram(eb->vectors), Matrix::Identity(n), 1e-9));
+  const Matrix av = MatMul(a, eb->vectors);
+  Matrix vd = eb->vectors;
+  for (int64_t j = 0; j < n; ++j) {
+    Scal(eb->values[static_cast<size_t>(j)], vd.ColData(j), n);
+  }
+  EXPECT_TRUE(AllClose(av, vd, 1e-8 * scale));
+
+  // Eigenvalues-only path agrees with the full decomposition per engine.
+  auto vb = SymmetricEigenvalues(a, blocked);
+  ASSERT_TRUE(vb.ok());
+  for (size_t i = 0; i < vb->size(); ++i) {
+    ASSERT_EQ((*vb)[i], eb->values[i]);
+  }
+}
+
+// 3 = smallest order with a reflector, 33/65 = panel boundary stragglers,
+// 130 = above the kAuto cutoff.
+INSTANTIATE_TEST_SUITE_P(Sizes, EigEngineTest,
+                         ::testing::Values<int64_t>(3, 4, 33, 65, 130));
+
+TEST(EigEngineTest, AutoDispatchIsPureFunctionOfShape) {
+  Rng rng(61);
+  // Below the cutoff kAuto runs tred2 bit-for-bit.
+  {
+    const int64_t n = 40;
+    Matrix a = RandomMatrix(n, n, &rng);
+    a += a.Transposed();
+    EigOptions pinned;
+    pinned.variant = EigVariant::kUnblocked;
+    auto ea = SymmetricEigen(a);
+    auto ep = SymmetricEigen(a, pinned);
+    ASSERT_TRUE(ea.ok() && ep.ok());
+    for (int64_t j = 0; j < n; ++j) {
+      for (int64_t i = 0; i < n; ++i) {
+        ASSERT_EQ(ea->vectors(i, j), ep->vectors(i, j));
+      }
+    }
+  }
+  // At the cutoff kAuto runs the blocked engine bit-for-bit.
+  {
+    const int64_t n = kBlockedEigCutoff;
+    Matrix a = RandomMatrix(n, n, &rng);
+    a += a.Transposed();
+    EigOptions blocked;
+    blocked.variant = EigVariant::kBlocked;
+    auto ea = SymmetricEigen(a);
+    auto eb = SymmetricEigen(a, blocked);
+    ASSERT_TRUE(ea.ok() && eb.ok());
+    for (int64_t j = 0; j < n; ++j) {
+      for (int64_t i = 0; i < n; ++i) {
+        ASSERT_EQ(ea->vectors(i, j), eb->vectors(i, j));
+      }
+    }
+  }
+}
+
+TEST(EigEngineTest, BlockedReadsOnlyLowerTriangle) {
+  Rng rng(67);
+  const int64_t n = 50;
+  Matrix a = RandomMatrix(n, n, &rng);
+  a += a.Transposed();
+  Matrix garbage_upper = a;
+  for (int64_t j = 1; j < n; ++j) {
+    for (int64_t i = 0; i < j; ++i) garbage_upper(i, j) = rng.Gaussian();
+  }
+  EigOptions blocked;
+  blocked.variant = EigVariant::kBlocked;
+  auto clean = SymmetricEigen(a, blocked);
+  auto dirty = SymmetricEigen(garbage_upper, blocked);
+  ASSERT_TRUE(clean.ok() && dirty.ok());
+  for (size_t i = 0; i < clean->values.size(); ++i) {
+    ASSERT_EQ(clean->values[i], dirty->values[i]);
+  }
 }
 
 TEST(EigTest, RejectsEmptyAndNonSquare) {
