@@ -2,12 +2,26 @@
 // bits of Fed-SC and k-FED as functions of Z, against the paper's analytic
 // formulas — uplink n*q*sum_z r^(z) bits, downlink sum_z r^(z) * log2(L)
 // bits, one round total. Also reports the 8-bit quantized uplink.
+//
+// The second table is the accuracy-vs-bits frontier over the serialized
+// uplink codecs (fed/codec.h) at D=1024, subspace dim m=4: raw f64/f32,
+// uniform quantization at 2/4/8/16 bits, and subspace-aware basis+coeffs
+// compression. Wire bytes are the true serialized message sizes
+// (CommStats::uplink_wire_bytes), headers and CRCs included. With
+// --json-out=PATH the frontier is also written as JSON for
+// scripts/bench_baseline.sh, which folds it into BENCH_linalg.json where
+// scripts/check_bench_json.py enforces the >= 2x basis reduction floor.
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "core/fedsc.h"
 #include "data/synthetic.h"
+#include "fed/codec.h"
 #include "fed/kfed.h"
 #include "fed/partition.h"
 #include "metrics/clustering_metrics.h"
@@ -93,11 +107,163 @@ void Run(bool csv) {
   table.Print(csv);
 }
 
+// One codec point on the accuracy-vs-bits frontier.
+struct FrontierPoint {
+  std::string key;      // JSON key, e.g. "quant_8"
+  std::string label;    // table label, e.g. "quant 8-bit"
+  double acc = 0.0;     // ACC a% in [0, 100]
+  int64_t wire_bytes = 0;
+  double reduction = 0.0;  // raw-f64 bytes / this codec's bytes
+};
+
+// Accuracy-vs-bits frontier at D=1024, subspace dim m=4. Devices upload
+// samples_per_cluster=12 samples per local cluster from its estimated
+// (rank-4) subspace, so each upload is a tall 1024 x 24 matrix of rank <= 8
+// — the m > 1 regime where kBasisCoeffs pays: a D x k basis plus k x S
+// coefficients instead of D x S raw columns.
+std::vector<FrontierPoint> RunFrontier(bool csv) {
+  constexpr int64_t kD = 1024;
+  constexpr int64_t kM = 4;  // generating subspace dimension
+  constexpr int64_t kL = 5;
+  constexpr int64_t kDevices = 10;
+
+  SyntheticOptions synth;
+  synth.ambient_dim = kD;
+  synth.subspace_dim = kM;
+  synth.num_subspaces = kL;
+  synth.points_per_subspace = 32;
+  synth.seed = 0xC057'F207ULL;
+  auto data = GenerateUnionOfSubspaces(synth);
+  if (!data.ok()) return {};
+  PartitionOptions partition;
+  partition.num_devices = kDevices;
+  partition.clusters_per_device = kLPrime;
+  partition.seed = 0xC057'F208ULL;
+  auto fed = PartitionAcrossDevices(*data, partition);
+  if (!fed.ok()) return {};
+
+  auto base_options = [] {
+    FedScOptions options;
+    options.samples_per_cluster = 12;
+    return options;
+  };
+
+  struct Config {
+    std::string key;
+    std::string label;
+    CodecOptions codec;
+  };
+  std::vector<Config> configs;
+  configs.push_back({"raw_f64", "raw f64", CodecOptions{}});
+  {
+    CodecOptions f32;
+    f32.raw_f32 = true;
+    configs.push_back({"raw_f32", "raw f32", f32});
+  }
+  for (int bits : {16, 8, 4, 2}) {
+    CodecOptions quant;
+    quant.mode = CodecMode::kUniformQuant;
+    quant.quant_bits = bits;
+    configs.push_back({"quant_" + std::to_string(bits),
+                       "quant " + std::to_string(bits) + "-bit", quant});
+  }
+  {
+    CodecOptions basis;
+    basis.mode = CodecMode::kBasisCoeffs;
+    configs.push_back({"basis", "basis+coeffs", basis});
+  }
+
+  std::vector<FrontierPoint> points;
+  for (const Config& config : configs) {
+    FedScOptions options = base_options();
+    options.channel.codec = config.codec;
+    auto result = RunFedSc(*fed, kL, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "frontier %s failed: %s\n", config.key.c_str(),
+                   result.status().ToString().c_str());
+      continue;
+    }
+    FrontierPoint point;
+    point.key = config.key;
+    point.label = config.label;
+    point.acc = ClusteringAccuracy(data->labels, result->global_labels);
+    point.wire_bytes = result->comm.uplink_wire_bytes;
+    points.push_back(point);
+  }
+  if (!points.empty() && points.front().key == "raw_f64") {
+    const double raw_bytes = static_cast<double>(points.front().wire_bytes);
+    for (auto& point : points) {
+      point.reduction =
+          point.wire_bytes > 0
+              ? raw_bytes / static_cast<double>(point.wire_bytes)
+              : 0.0;
+    }
+  }
+
+  bench::Table table(
+      {"codec", "ACC a%", "wire bytes", "bits/value", "vs raw f64"});
+  const int64_t raw_values =
+      points.empty() ? 0
+                     : points.front().wire_bytes > 0
+                           ? points.front().wire_bytes * 8 / 64
+                           : 0;
+  for (const auto& point : points) {
+    const double bits_per_value =
+        raw_values > 0 ? static_cast<double>(point.wire_bytes) * 8.0 /
+                             static_cast<double>(raw_values)
+                       : 0.0;
+    table.AddRow({point.label, bench::Fmt(point.acc),
+                  bench::Fmt(point.wire_bytes), bench::Fmt(bits_per_value, 2),
+                  bench::Fmt(point.reduction, 2) + "x"});
+  }
+  std::printf("\nAccuracy-vs-bits frontier — serialized codecs "
+              "(D=%ld, m=%ld, d_t=rank, samples/cluster=12, Z=%ld)\n",
+              static_cast<long>(kD), static_cast<long>(kM),
+              static_cast<long>(kDevices));
+  table.Print(csv);
+  return points;
+}
+
+void WriteFrontierJson(const std::vector<FrontierPoint>& points,
+                       const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return;
+  }
+  double basis_reduction = 0.0;
+  out << "{\"comm_cost\":{\"config\":\"D=1024,m=4,d_t=rank,spc=12\","
+      << "\"frontier\":{";
+  for (size_t i = 0; i < points.size(); ++i) {
+    const FrontierPoint& point = points[i];
+    if (point.key == "basis") basis_reduction = point.reduction;
+    char buffer[256];
+    std::snprintf(buffer, sizeof(buffer),
+                  "%s\"%s\":{\"acc\":%.2f,\"wire_bytes\":%lld,"
+                  "\"reduction\":%.3f}",
+                  i == 0 ? "" : ",", point.key.c_str(), point.acc,
+                  static_cast<long long>(point.wire_bytes), point.reduction);
+    out << buffer;
+  }
+  char tail[64];
+  std::snprintf(tail, sizeof(tail), "},\"basis_reduction\":%.3f}}\n",
+                basis_reduction);
+  out << tail;
+  std::fprintf(stderr, "wrote frontier to %s\n", path.c_str());
+}
+
 }  // namespace
 }  // namespace fedsc
 
 int main(int argc, char** argv) {
   fedsc::bench::Observability observability(argc, argv);
-  fedsc::Run(fedsc::bench::HasFlag(argc, argv, "--csv"));
+  const bool csv = fedsc::bench::HasFlag(argc, argv, "--csv");
+  fedsc::Run(csv);
+  const auto points = fedsc::RunFrontier(csv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json-out=", 11) == 0) {
+      fedsc::WriteFrontierJson(points, argv[i] + 11);
+    }
+  }
   return 0;
 }

@@ -36,7 +36,8 @@ if [ "${build_type}" != "Release" ]; then
   exit 1
 fi
 
-cmake --build "${build_dir}" --target micro_linalg micro_sc -j "$(nproc)"
+cmake --build "${build_dir}" --target micro_linalg micro_sc comm_cost \
+  -j "$(nproc)"
 
 raw_dir="$(mktemp -d)"
 trap 'rm -rf "${raw_dir}"' EXIT
@@ -49,9 +50,13 @@ trap 'rm -rf "${raw_dir}"' EXIT
 "${build_dir}/bench/micro_sc" \
   --benchmark_filter='BM_RunFedSc|BM_FedScBasisTallD' \
   --benchmark_format=json > "${raw_dir}/sc.json"
+# Serialized-codec accuracy-vs-bits frontier (deterministic byte counts, so
+# the >= 2x basis-reduction floor is a correctness gate, not a perf one).
+"${build_dir}/bench/comm_cost" --json-out="${raw_dir}/comm.json" \
+  > /dev/null
 
 python3 - "${raw_dir}/linalg.json" "${raw_dir}/sc.json" "${build_type}" \
-  "${repo_root}/BENCH_linalg.json" <<'PY'
+  "${repo_root}/BENCH_linalg.json" "${raw_dir}/comm.json" <<'PY'
 import json
 import sys
 
@@ -191,6 +196,8 @@ for name, row in sorted(S.items()):
         "ms": ms(row),
         "label": row.get("label", ""),
     }
+# Serialized uplink codec frontier from bench/comm_cost.cc --json-out.
+out["comm_cost"] = json.load(open(sys.argv[5]))["comm_cost"]
 out["acceptance"] = {
     "gemm512_blocked_over_panel": round(
         out["gemm_blocked_gflops"]["512"]["1"] / out["gemm_panel_gflops"]["512"],

@@ -32,6 +32,14 @@ MIN_QR_BLOCKED_OVER_UNBLOCKED_M512 = 1.0
 # QR preconditioning must at least halve the tall-skinny Jacobi SVD wall
 # time on every shape with aspect ratio m/n >= 8.
 MIN_SVD_PRECOND_OVER_PLAIN_ASPECT8 = 2.0
+# The kBasisCoeffs codec must cut serialized uplink bytes at least in half
+# vs raw f64 at D=1024, m=4 (bench/comm_cost.cc accuracy-vs-bits frontier).
+MIN_BASIS_UPLINK_REDUCTION = 2.0
+# Codecs the comm_cost frontier must report (bench/comm_cost.cc RunFrontier).
+COMM_CODECS = (
+    "raw_f64", "raw_f32", "quant_16", "quant_8", "quant_4", "quant_2",
+    "basis",
+)
 
 _errors = []
 
@@ -134,6 +142,34 @@ def check(doc):
         err("run_fedsc_ms has no tall-D (RunFedScTallD) entry")
     for scenario, entry in fedsc.items():
         positive(entry.get("ms"), f"run_fedsc_ms[{scenario}].ms")
+
+    comm = doc.get("comm_cost", {})
+    frontier = comm.get("frontier", {})
+    raw_bytes = None
+    for codec in COMM_CODECS:
+        entry = frontier.get(codec, {})
+        where = f"comm_cost.frontier[{codec}]"
+        acc = entry.get("acc")
+        if positive(acc, f"{where}.acc") and acc > 100.0:
+            err(f"{where}.acc {acc} is not a percentage in (0, 100]")
+        ok = positive(entry.get("wire_bytes"), f"{where}.wire_bytes")
+        ok &= positive(entry.get("reduction"), f"{where}.reduction")
+        if codec == "raw_f64" and ok:
+            raw_bytes = entry["wire_bytes"]
+        if ok and raw_bytes is not None:
+            derived = raw_bytes / entry["wire_bytes"]
+            if abs(derived - entry["reduction"]) > 0.01:
+                err(
+                    f"{where}.reduction {entry['reduction']} inconsistent "
+                    f"with raw_f64/{codec} bytes = {derived:.3f}"
+                )
+    basis_reduction = comm.get("basis_reduction")
+    if positive(basis_reduction, "comm_cost.basis_reduction"):
+        if basis_reduction < MIN_BASIS_UPLINK_REDUCTION:
+            err(
+                f"basis codec uplink reduction {basis_reduction} below the "
+                f"{MIN_BASIS_UPLINK_REDUCTION}x floor (D=1024, m=4)"
+            )
 
     acceptance = doc.get("acceptance", {})
     floors = (

@@ -2,10 +2,10 @@
 # Sanitizer gate for the threaded kernels and the fault-injection runtime:
 # builds the pool, the determinism suite, the end-to-end Fed-SC tests, and
 # the fault-tolerance suite under TSAN (races), then rebuilds and runs the
-# fault suite under ASAN (the corrupted-payload paths exercise truncated /
-# duplicated / wrong-dimension buffers, exactly where an out-of-bounds read
-# would hide). Run from anywhere; artifacts go to build-tsan/ and
-# build-asan/.
+# fault suite plus the wire-decoder fuzzer under ASAN (corrupted payloads
+# and mutated wire bytes exercise truncated / duplicated / wrong-dimension /
+# length-lying buffers, exactly where an out-of-bounds read would hide).
+# Run from anywhere; artifacts go to build-tsan/ and build-asan/.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -51,7 +51,7 @@ cmake -S "${repo_root}" -B "${asan_dir}" \
 
 cmake --build "${asan_dir}" -j "$(nproc)" \
   --target faults_test blas_test parallel_determinism_test \
-  qr_cholesky_test svd_eig_test
+  qr_cholesky_test svd_eig_test codec_test wire_fuzz_test
 
 "${asan_dir}/tests/faults_test"
 # Packing writes into 64-byte-aligned arenas with zero-padded edge
@@ -62,5 +62,12 @@ cmake --build "${asan_dir}" -j "$(nproc)" \
 # the gate for an off-by-one in the V/T/corner copies.
 "${asan_dir}/tests/qr_cholesky_test"
 "${asan_dir}/tests/svd_eig_test"
+# The wire decoder faces attacker-shaped bytes (truncation, length lies,
+# dtype confusion); the fuzzer's >= 10k mutations under ASAN are the
+# no-out-of-bounds-read proof, and the codec property suite covers the
+# round-trip paths the mutations start from.
+"${asan_dir}/tests/codec_test"
+"${asan_dir}/tests/wire_fuzz_test"
 
-echo "ASAN: fault-injection suite passed with zero reported errors."
+echo "ASAN: fault-injection, codec, and wire-fuzz suites passed with zero"
+echo "reported errors."

@@ -60,3 +60,19 @@ grep -q "quorum" "${obs_dir}/quorum.err"
 build/bench/fig_robustness --csv > "${obs_dir}/robustness.csv"
 grep -q "^0.30," "${obs_dir}/robustness.csv"
 echo "robustness smoke test passed"
+
+# Wire/codec smoke test: every serialized codec must cluster the smoke data,
+# --wire-dump must produce a parseable versioned message (magic "FSCW"), and
+# a fully wire-corrupted round must degrade gracefully — corrupt uploads
+# rejected as typed wire-corrupt quarantines, never a crash. The decoder
+# fuzzer and codec property suites already ran under ctest above.
+for codec in raw quant basis; do
+  build/tools/fedsc_cli --input "${obs_dir}/smoke.csv" --clusters 3 \
+    --devices 4 --codec "${codec}" --wire-dump "${obs_dir}/up.${codec}.wire"
+  head -c 4 "${obs_dir}/up.${codec}.wire" | grep -q "FSCW"
+done
+build/tools/fedsc_cli --input "${obs_dir}/smoke.csv" --clusters 3 \
+  --devices 6 --wire-corrupt 0.4 --quorum 0.3 \
+  > "${obs_dir}/corrupt.out" 2>&1
+grep -q "wire corrupt" "${obs_dir}/corrupt.out"
+echo "wire/codec smoke test passed"

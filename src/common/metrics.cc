@@ -83,7 +83,8 @@ MetricsRegistry::MetricsRegistry() {
         "sc.ssc_admm.iterations", "sc.ssc_admm.converged",
         "cluster.kmeans.runs", "cluster.kmeans.restarts",
         "cluster.kmeans.iterations", "fed.comm.uplink_values",
-        "fed.comm.uplink_bits", "fed.comm.downlink_values",
+        "fed.comm.uplink_bits", "fed.comm.uplink_wire_bytes",
+        "fed.comm.downlink_values",
         "fed.comm.rounds", "fedsc.runs", "fedsc.devices",
         "fedsc.local_clusters", "fedsc.total_samples"}) {
     counters_.emplace(name, Entry<Counter>{std::make_unique<Counter>(),

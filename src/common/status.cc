@@ -29,6 +29,8 @@ const char* StatusCodeName(StatusCode code) {
       return "not found";
     case StatusCode::kQuorumNotMet:
       return "quorum not met";
+    case StatusCode::kWireCorrupt:
+      return "wire corrupt";
   }
   return "unknown";
 }

@@ -25,6 +25,11 @@ enum class StatusCode {
   // A federated round finished with fewer participating devices than the
   // configured participation quorum requires (core/fedsc.h).
   kQuorumNotMet = 8,
+  // A serialized uplink payload failed wire-format validation — bad magic,
+  // unknown version, CRC mismatch, truncation, length lie, dtype confusion
+  // (fed/wire.h). Every decoder failure carries this code, so callers can
+  // quarantine the upload instead of treating it as a transport error.
+  kWireCorrupt = 9,
 };
 
 // Returns a stable, lowercase name such as "invalid argument".
@@ -66,6 +71,9 @@ class Status {
   }
   static Status QuorumNotMet(std::string msg) {
     return Status(StatusCode::kQuorumNotMet, std::move(msg));
+  }
+  static Status WireCorrupt(std::string msg) {
+    return Status(StatusCode::kWireCorrupt, std::move(msg));
   }
 
   bool ok() const { return state_ == nullptr; }

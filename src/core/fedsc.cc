@@ -301,9 +301,19 @@ Result<FedScResult> RunFedSc(const FederatedDataset& data,
       rounds_used = std::max<int64_t>(rounds_used, outcome.attempts);
       sim_uplink_ms = std::max(sim_uplink_ms, outcome.elapsed_ms);
       if (!outcome.delivered) {
-        report.outcome = DeviceOutcome::kDropped;
+        // A wire-corrupt upload *arrived* — the bytes just failed
+        // validation — so it is quarantined like any other unusable upload;
+        // devices that never delivered are dropped.
+        const bool corrupt =
+            outcome.status.code() == StatusCode::kWireCorrupt;
+        report.outcome = corrupt ? DeviceOutcome::kQuarantined
+                                 : DeviceOutcome::kDropped;
         report.status = outcome.status;
-        FEDSC_METRIC_COUNTER("fed.faults.dropped_devices").Increment();
+        if (corrupt) {
+          FEDSC_METRIC_COUNTER("fed.quarantine.devices").Increment();
+        } else {
+          FEDSC_METRIC_COUNTER("fed.faults.dropped_devices").Increment();
+        }
         FEDSC_LOG(Warning) << "device " << z
                            << " failed to upload: "
                            << outcome.status.ToString();

@@ -16,6 +16,12 @@ Result<Matrix> FedScClient::ProduceUpload() {
   return local_.samples;
 }
 
+Result<std::vector<uint8_t>> FedScClient::ProduceEncodedUpload(
+    const CodecOptions& codec) {
+  FEDSC_ASSIGN_OR_RETURN(Matrix samples, ProduceUpload());
+  return EncodeUpload(samples, codec);
+}
+
 Result<std::vector<int64_t>> FedScClient::ApplyAssignments(
     const std::vector<int64_t>& sample_assignments) const {
   if (!ran_) {
@@ -75,6 +81,12 @@ Result<int64_t> FedScServer::AddUpload(const Matrix& samples) {
   uploads_.push_back(std::move(validation.accepted));
   clustered_ = false;
   return num_devices() - 1;
+}
+
+Result<int64_t> FedScServer::AddEncodedUpload(
+    const std::vector<uint8_t>& wire) {
+  FEDSC_ASSIGN_OR_RETURN(DecodedUpload decoded, DecodeUpload(wire));
+  return AddUpload(decoded.samples);
 }
 
 Status FedScServer::Cluster() {

@@ -30,6 +30,11 @@ class FedScClient {
   // (the result is cached).
   Result<Matrix> ProduceUpload();
 
+  // ProduceUpload() serialized with `codec` (fed/codec.h): the byte stream
+  // a real transport would carry to FedScServer::AddEncodedUpload.
+  Result<std::vector<uint8_t>> ProduceEncodedUpload(
+      const CodecOptions& codec = {});
+
   // Number of samples this client uploads (valid after ProduceUpload).
   int64_t num_samples() const { return local_.samples.cols(); }
 
@@ -63,6 +68,12 @@ class FedScServer {
   // column (or the wrong ambient dimension) is rejected with a typed
   // Status.
   Result<int64_t> AddUpload(const Matrix& samples);
+
+  // AddUpload over a serialized wire message (fed/wire.h): decodes with the
+  // self-describing codec recorded in the message's header, then registers
+  // the reconstructed samples. Malformed bytes are rejected with the typed
+  // kWireCorrupt status (never a crash or out-of-bounds read).
+  Result<int64_t> AddEncodedUpload(const std::vector<uint8_t>& wire);
 
   int64_t num_devices() const {
     return static_cast<int64_t>(device_offsets_.size());

@@ -1,0 +1,102 @@
+// Uplink codecs over the wire format (fed/wire.h): how a device's sample
+// matrix becomes the byte stream a transport would carry.
+//
+// Three modes, dispatched by CodecOptions::mode the same way
+// GemmOptions::kernel picks a product engine (a pinnable enum whose choice
+// is a pure function of the options, never of data-dependent timing):
+//
+//   kRawSamples   — the paper's uplink: every D-dim sample column shipped
+//                   verbatim (f64 bit-exactly; optionally f32).
+//   kUniformQuant — Section IV-E's q-bit uniform quantizer, but *actually
+//                   serialized*: indices packed at quant_bits bits each, so
+//                   the measured wire bytes equal what a real transport
+//                   would carry.
+//   kBasisCoeffs  — subspace-aware compression: when the S uploaded columns
+//                   span a rank-k subspace with k < S (the m > 1
+//                   samples-per-cluster regime), ship an orthonormal D x k
+//                   basis plus the k x S coefficient matrix and reconstruct
+//                   X = U * C server-side — O(k (D + S)) values instead of
+//                   O(D S). Falls back to raw sections whenever that would
+//                   not shrink the message, so it never costs bytes.
+//
+// EncodeUpload / DecodeUpload round-trip exactly for kRawSamples (bit for
+// bit) and to numerical precision for kBasisCoeffs at full numerical rank;
+// kUniformQuant incurs at most a half-step error inside the clamp range
+// (tests/codec_test.cc sweeps all three across dtypes, degenerate shapes,
+// and bit widths). DecodeUpload returns typed Status on ANY malformed
+// input — never crashing or reading out of bounds (tests/wire_fuzz_test.cc).
+
+#ifndef FEDSC_FED_CODEC_H_
+#define FEDSC_FED_CODEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "fed/wire.h"
+#include "linalg/matrix.h"
+
+namespace fedsc {
+
+enum class CodecMode : uint8_t {
+  kRawSamples = 0,
+  kUniformQuant = 1,
+  kBasisCoeffs = 2,
+};
+
+const char* CodecModeName(CodecMode mode);
+
+struct CodecOptions {
+  CodecMode mode = CodecMode::kRawSamples;
+  // kUniformQuant: bits per value (in [2, 32]) and the symmetric clamp
+  // range. The grid matches the legacy in-place Channel quantizer exactly,
+  // so switching a quantized channel to the serialized codec is
+  // result-preserving.
+  int quant_bits = 8;
+  double quant_range = 1.5;
+  // kRawSamples: ship f32 instead of f64 (halves payload, lossy rounding).
+  bool raw_f32 = false;
+  // kBasisCoeffs: singular directions below basis_rel_tol * sigma_1 are
+  // dropped from the basis. The tight default keeps reconstruction exact to
+  // numerical precision; loosening it trades fidelity for bytes.
+  double basis_rel_tol = 1e-10;
+  // Decoder resource bounds (see WireLimits).
+  WireLimits limits;
+};
+
+Status ValidateCodecOptions(const CodecOptions& options);
+
+struct DecodedUpload {
+  Matrix samples;
+  // What the wire actually carried: kBasisCoeffs encoders fall back to
+  // kRawSamples when compression would not pay, and the header records the
+  // truth.
+  CodecMode mode = CodecMode::kRawSamples;
+  uint16_t version = kWireVersion;
+};
+
+// Serializes `samples` under `options` into a self-contained wire message.
+// Pure function of (samples, options) — bit-identical across thread counts
+// and platforms.
+Result<std::vector<uint8_t>> EncodeUpload(const Matrix& samples,
+                                          const CodecOptions& options);
+
+// Parses, validates (magic, version, CRCs, shape consistency) and inverts
+// the codec. Every failure is Status(kWireCorrupt, reason); `limits` bounds
+// what a hostile length field can make the decoder allocate.
+Result<DecodedUpload> DecodeUpload(const uint8_t* data, size_t size,
+                                   const CodecOptions& options = {});
+Result<DecodedUpload> DecodeUpload(const std::vector<uint8_t>& wire,
+                                   const CodecOptions& options = {});
+
+// Exact serialized size in bytes of a rows x cols upload under `options`,
+// for the shape-determined modes (kRawSamples, kUniformQuant). For
+// kBasisCoeffs the size depends on the data's numerical rank, so this
+// returns the raw-fallback upper bound. Used by the accounting regression
+// tests and the comm-cost bench.
+int64_t EncodedWireBytes(int64_t rows, int64_t cols,
+                         const CodecOptions& options);
+
+}  // namespace fedsc
+
+#endif  // FEDSC_FED_CODEC_H_

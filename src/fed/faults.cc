@@ -1,11 +1,13 @@
 #include "fed/faults.h"
 
+#include <algorithm>
 #include <cmath>
 #include <iterator>
 #include <limits>
 #include <sstream>
 
 #include "common/metrics.h"
+#include "fed/wire.h"
 #include "linalg/blas.h"
 
 namespace fedsc {
@@ -18,6 +20,14 @@ constexpr PayloadFault kCorruptionCycle[] = {
     PayloadFault::kTruncate,   PayloadFault::kDuplicate,
     PayloadFault::kCorruptNan, PayloadFault::kCorruptDim,
     PayloadFault::kCorruptNorm,
+};
+
+// The wire-damage classes a faulted transport cycles through, in order
+// (ParseWireMessage must detect every one of them).
+constexpr WireFault kWireFaultCycle[] = {
+    WireFault::kTruncate,  WireFault::kBitFlipHeader,
+    WireFault::kBitFlipPayload, WireFault::kCrcStomp,
+    WireFault::kLengthLie,
 };
 
 Status CheckRate(double value, const char* name) {
@@ -58,12 +68,32 @@ const char* PayloadFaultName(PayloadFault fault) {
   return "unknown";
 }
 
+const char* WireFaultName(WireFault fault) {
+  switch (fault) {
+    case WireFault::kNone:
+      return "none";
+    case WireFault::kTruncate:
+      return "truncate";
+    case WireFault::kBitFlipHeader:
+      return "bit-flip-header";
+    case WireFault::kBitFlipPayload:
+      return "bit-flip-payload";
+    case WireFault::kCrcStomp:
+      return "crc-stomp";
+    case WireFault::kLengthLie:
+      return "length-lie";
+  }
+  return "unknown";
+}
+
 Status ValidateFaultPlanOptions(const FaultPlanOptions& options) {
   FEDSC_RETURN_NOT_OK(CheckRate(options.dropout_rate, "dropout_rate"));
   FEDSC_RETURN_NOT_OK(CheckRate(options.straggler_rate, "straggler_rate"));
   FEDSC_RETURN_NOT_OK(CheckRate(options.transient_rate, "transient_rate"));
   FEDSC_RETURN_NOT_OK(CheckRate(options.corrupt_rate, "corrupt_rate"));
   FEDSC_RETURN_NOT_OK(CheckRate(options.byzantine_rate, "byzantine_rate"));
+  FEDSC_RETURN_NOT_OK(CheckRate(options.wire_corrupt_rate,
+                                "wire_corrupt_rate"));
   if (options.straggler_rate > 0.0 && options.straggler_mean_delay_ms <= 0.0) {
     return Status::InvalidArgument(
         "straggler_mean_delay_ms must be positive when stragglers are "
@@ -97,6 +127,7 @@ Result<FaultPlan> FaultPlan::Create(int64_t num_devices,
   plan.options_ = options;
   plan.devices_.resize(static_cast<size_t>(num_devices));
   int64_t corrupt_index = 0;
+  int64_t wire_index = 0;
   for (int64_t z = 0; z < num_devices; ++z) {
     // One independent stream per device: the schedule depends only on
     // (options.seed, z), never on processing order or thread count.
@@ -121,9 +152,19 @@ Result<FaultPlan> FaultPlan::Create(int64_t num_devices,
     }
     device.payload_seed = rng.Next();
     device.delay_seed = rng.Next();
+    // Wire-fault draws come AFTER every pre-existing draw so schedules built
+    // before the serialized uplink existed replay bit-identically.
+    const double u_wire = rng.Uniform();
+    device.wire_seed = rng.Next();
+    if (u_wire < options.wire_corrupt_rate) {
+      constexpr int64_t kWireCycle =
+          static_cast<int64_t>(std::size(kWireFaultCycle));
+      device.wire = kWireFaultCycle[wire_index++ % kWireCycle];
+    }
     plan.active_ = plan.active_ || device.dropped || device.straggler ||
                    device.transient_failures > 0 ||
-                   device.payload != PayloadFault::kNone;
+                   device.payload != PayloadFault::kNone ||
+                   device.wire != WireFault::kNone;
   }
   return plan;
 }
@@ -218,6 +259,64 @@ Matrix FaultPlan::ApplyPayloadFault(int64_t z, const Matrix& upload) const {
   return upload;
 }
 
+bool FaultPlan::ApplyWireFault(int64_t z, std::vector<uint8_t>* wire) const {
+  const DeviceFaultSchedule device = ScheduleFor(z);
+  if (device.wire == WireFault::kNone || wire == nullptr || wire->empty()) {
+    return false;
+  }
+  FEDSC_METRIC_COUNTER("fed.faults.wire_faults").Increment();
+  Rng rng(device.wire_seed);
+  const size_t size = wire->size();
+  switch (device.wire) {
+    case WireFault::kNone:
+      break;
+    case WireFault::kTruncate: {
+      // Keep a strict prefix — always lose at least one byte.
+      wire->resize(static_cast<size_t>(
+          rng.UniformInt(static_cast<int64_t>(size))));
+      return true;
+    }
+    case WireFault::kBitFlipHeader: {
+      const size_t span = std::min(size, kWireHeaderBytes);
+      const size_t pos = static_cast<size_t>(
+          rng.UniformInt(static_cast<int64_t>(span)));
+      (*wire)[pos] ^= static_cast<uint8_t>(1u << rng.UniformInt(8));
+      return true;
+    }
+    case WireFault::kBitFlipPayload: {
+      // Flip past the header when there is anything there; tiny (header-
+      // only) buffers degrade to a header flip. Either way a CRC catches it.
+      const size_t base = size > kWireHeaderBytes ? kWireHeaderBytes : 0;
+      const size_t pos =
+          base + static_cast<size_t>(
+                     rng.UniformInt(static_cast<int64_t>(size - base)));
+      (*wire)[pos] ^= static_cast<uint8_t>(1u << rng.UniformInt(8));
+      return true;
+    }
+    case WireFault::kCrcStomp: {
+      // Overwrite the stored header CRC (bytes [32, 36)) — the decoder must
+      // notice the digest no longer matches the bytes it covers.
+      const size_t pos = std::min<size_t>(32, size - 1);
+      const size_t end = std::min<size_t>(pos + 4, size);
+      for (size_t i = pos; i < end; ++i) {
+        (*wire)[i] ^= static_cast<uint8_t>(0xA5u + (i - pos));
+      }
+      return true;
+    }
+    case WireFault::kLengthLie: {
+      // Rewrite the first section's declared payload byte count (offset
+      // header + 12, u64 LE); short messages degrade to a tail flip.
+      const size_t pos = size > kWireHeaderBytes + kWireSectionHeaderBytes
+                             ? kWireHeaderBytes + 12
+                             : size - 1;
+      (*wire)[pos] ^= static_cast<uint8_t>(
+          1u + rng.UniformInt(255));
+      return true;
+    }
+  }
+  return false;
+}
+
 std::string FaultPlan::Fingerprint() const {
   std::ostringstream os;
   for (int64_t z = 0; z < num_devices(); ++z) {
@@ -227,7 +326,9 @@ std::string FaultPlan::Fingerprint() const {
        << " transient=" << d.transient_failures
        << " payload=" << PayloadFaultName(d.payload)
        << " payload_seed=" << d.payload_seed
-       << " delay_seed=" << d.delay_seed << "\n";
+       << " delay_seed=" << d.delay_seed
+       << " wire=" << WireFaultName(d.wire)
+       << " wire_seed=" << d.wire_seed << "\n";
   }
   return os.str();
 }

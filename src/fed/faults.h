@@ -46,6 +46,23 @@ enum class PayloadFault {
 
 const char* PayloadFaultName(PayloadFault fault);
 
+// What a faulty transport does to the *serialized* upload (fed/wire.h)
+// between encoder and decoder. Unlike PayloadFault — which models devices
+// sending the wrong samples — these model the byte stream itself being
+// damaged in flight. Every one of them is detectable by ParseWireMessage
+// (header CRC, payload CRCs, exact length checks), so a wire-faulted upload
+// always decodes to a typed kWireCorrupt status, never to silent garbage.
+enum class WireFault {
+  kNone = 0,
+  kTruncate,        // a suffix of the byte stream never arrives
+  kBitFlipHeader,   // a bit flips inside the fixed 36-byte header
+  kBitFlipPayload,  // a bit flips somewhere past the header
+  kCrcStomp,        // a stored CRC field is overwritten
+  kLengthLie,       // a section's declared payload byte count is rewritten
+};
+
+const char* WireFaultName(WireFault fault);
+
 struct FaultPlanOptions {
   // Fraction of devices that never respond (every attempt times out).
   double dropout_rate = 0.0;
@@ -62,6 +79,11 @@ struct FaultPlanOptions {
   double corrupt_rate = 0.0;
   // Fraction of devices uploading adversarial (Byzantine) samples.
   double byzantine_rate = 0.0;
+  // Fraction of devices whose serialized upload is damaged in flight; the
+  // damage class cycles through truncate/header-flip/payload-flip/CRC-stomp/
+  // length-lie. Requires the serialized uplink path (it operates on wire
+  // bytes, not matrices).
+  double wire_corrupt_rate = 0.0;
   uint64_t seed = 0x5eed'FA17ULL;
 };
 
@@ -73,6 +95,8 @@ struct DeviceFaultSchedule {
   PayloadFault payload = PayloadFault::kNone;
   uint64_t payload_seed = 0;  // drives the payload mutation
   uint64_t delay_seed = 0;    // drives per-attempt latency draws
+  WireFault wire = WireFault::kNone;
+  uint64_t wire_seed = 0;     // drives the wire-byte mutation
 };
 
 // Immutable per-device fault schedule. A default-constructed plan is
@@ -105,6 +129,11 @@ class FaultPlan {
 
   // Applies device z's payload fault to its upload (identity for kNone).
   Matrix ApplyPayloadFault(int64_t z, const Matrix& upload) const;
+
+  // Applies device z's wire fault to its serialized upload in place.
+  // Returns true when bytes were actually mutated (false for kNone or an
+  // empty buffer). Deterministic in (plan, z, wire contents' size).
+  bool ApplyWireFault(int64_t z, std::vector<uint8_t>* wire) const;
 
   // A printable digest of every device's schedule, for asserting that two
   // plans (e.g. built under different thread counts) are bit-identical.

@@ -2,11 +2,23 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "common/check.h"
 #include "common/metrics.h"
 #include "common/trace.h"
 
 namespace fedsc {
+
+CodecOptions EffectiveCodecOptions(const ChannelOptions& options) {
+  CodecOptions codec = options.codec;
+  if (options.quantize && codec.mode == CodecMode::kRawSamples) {
+    codec.mode = CodecMode::kUniformQuant;
+    codec.quant_bits = options.bits_per_value;
+    codec.quant_range = options.quantization_range;
+  }
+  return codec;
+}
 
 Status ValidateChannelOptions(const ChannelOptions& options) {
   if (options.noise_delta < 0.0) {
@@ -28,7 +40,7 @@ Status ValidateChannelOptions(const ChannelOptions& options) {
         "quantization_range must be positive, got " +
         std::to_string(options.quantization_range));
   }
-  return Status::OK();
+  return ValidateCodecOptions(EffectiveCodecOptions(options));
 }
 
 Status ValidateRetryOptions(const RetryOptions& options) {
@@ -63,36 +75,46 @@ Result<Channel> Channel::Create(const ChannelOptions& options) {
 }
 
 Channel::Channel(const ChannelOptions& options)
-    : options_(options), rng_(options.seed) {}
+    : options_(options),
+      codec_(EffectiveCodecOptions(options)),
+      rng_(options.seed) {}
+
+void Channel::ApplyNoise(Matrix* samples) {
+  if (options_.noise_delta <= 0.0 || samples->cols() == 0) return;
+  const double stddev =
+      options_.noise_delta / std::sqrt(static_cast<double>(samples->cols()));
+  double* data = samples->data();
+  for (int64_t i = 0; i < samples->size(); ++i) {
+    data[i] += stddev * rng_.Gaussian();
+  }
+}
+
+std::vector<uint8_t> Channel::Encode(const Matrix& samples) {
+  Result<std::vector<uint8_t>> wire = EncodeUpload(samples, codec_);
+  FEDSC_CHECK(wire.ok()) << "uplink encode failed on a validated channel: "
+                         << wire.status().ToString();
+  return std::move(*wire);
+}
+
+void Channel::ChargeUplinkAttempt(int64_t values, int64_t wire_bytes) {
+  stats_.uplink_values += values;
+  stats_.uplink_wire_bytes += wire_bytes;
+  stats_.uplink_bits += 8 * wire_bytes;
+  FEDSC_METRIC_COUNTER("fed.comm.uplink_values").Add(values);
+  FEDSC_METRIC_COUNTER("fed.comm.uplink_bits").Add(8 * wire_bytes);
+  FEDSC_METRIC_COUNTER("fed.comm.uplink_wire_bytes").Add(wire_bytes);
+}
 
 Matrix Channel::Uplink(const Matrix& samples) {
-  stats_.uplink_values += samples.size();
-  stats_.uplink_bits += samples.size() * options_.bits_per_value;
-  FEDSC_METRIC_COUNTER("fed.comm.uplink_values").Add(samples.size());
-  FEDSC_METRIC_COUNTER("fed.comm.uplink_bits")
-      .Add(samples.size() * options_.bits_per_value);
-  Matrix received = samples;
-  if (options_.noise_delta > 0.0 && samples.cols() > 0) {
-    const double stddev =
-        options_.noise_delta / std::sqrt(static_cast<double>(samples.cols()));
-    double* data = received.data();
-    for (int64_t i = 0; i < received.size(); ++i) {
-      data[i] += stddev * rng_.Gaussian();
-    }
-  }
-  if (options_.quantize && options_.bits_per_value >= 2 &&
-      options_.bits_per_value <= 32) {
-    const double range = options_.quantization_range;
-    const double levels =
-        static_cast<double>((uint64_t{1} << options_.bits_per_value) - 1);
-    const double step = 2.0 * range / levels;
-    double* data = received.data();
-    for (int64_t i = 0; i < received.size(); ++i) {
-      const double clamped = std::min(range, std::max(-range, data[i]));
-      data[i] = -range + step * std::round((clamped + range) / step);
-    }
-  }
-  return received;
+  Matrix noisy = samples;
+  ApplyNoise(&noisy);
+  std::vector<uint8_t> wire = Encode(noisy);
+  ChargeUplinkAttempt(samples.size(), static_cast<int64_t>(wire.size()));
+  if (options_.wire_sink) options_.wire_sink(-1, wire);
+  Result<DecodedUpload> decoded = DecodeUpload(wire, codec_);
+  FEDSC_CHECK(decoded.ok()) << "own encoding failed to decode: "
+                            << decoded.status().ToString();
+  return std::move(decoded->samples);
 }
 
 UplinkOutcome Channel::UplinkWithRetry(int64_t device, const Matrix& payload,
@@ -103,6 +125,16 @@ UplinkOutcome Channel::UplinkWithRetry(int64_t device, const Matrix& payload,
   UplinkOutcome outcome;
   const DeviceFaultSchedule schedule = plan.ScheduleFor(device);
   const Matrix sent = plan.ApplyPayloadFault(device, payload);
+  // Failed attempts transmit (and are charged for) the device's encoding of
+  // `sent`; computed lazily since the happy path never needs it. Noise is a
+  // reception-side effect, so it does not alter what failed attempts cost.
+  int64_t failed_attempt_bytes = -1;
+  const auto attempt_bytes = [&]() {
+    if (failed_attempt_bytes < 0) {
+      failed_attempt_bytes = static_cast<int64_t>(Encode(sent).size());
+    }
+    return failed_attempt_bytes;
+  };
   // Jittered backoff draws come from a per-device stream so the schedule
   // replays identically no matter which devices retried before this one.
   Rng backoff_rng(MixSeeds(options_.seed ^ 0xBAC0FFULL,
@@ -133,11 +165,7 @@ UplinkOutcome Channel::UplinkWithRetry(int64_t device, const Matrix& payload,
     if (delay_ms > retry.timeout_ms) {
       // Straggler: the payload was transmitted but arrived past the
       // deadline — the bandwidth is spent, the attempt is not.
-      stats_.uplink_values += sent.size();
-      stats_.uplink_bits += sent.size() * options_.bits_per_value;
-      FEDSC_METRIC_COUNTER("fed.comm.uplink_values").Add(sent.size());
-      FEDSC_METRIC_COUNTER("fed.comm.uplink_bits")
-          .Add(sent.size() * options_.bits_per_value);
+      ChargeUplinkAttempt(sent.size(), attempt_bytes());
       clock->AdvanceMs(retry.timeout_ms);
       stats_.timeouts += 1;
       FEDSC_METRIC_COUNTER("fed.comm.timeouts").Increment();
@@ -151,17 +179,33 @@ UplinkOutcome Channel::UplinkWithRetry(int64_t device, const Matrix& payload,
     clock->AdvanceMs(delay_ms);
     if (attempt <= schedule.transient_failures) {
       // Lost in flight: bandwidth consumed, nothing delivered.
-      stats_.uplink_values += sent.size();
-      stats_.uplink_bits += sent.size() * options_.bits_per_value;
-      FEDSC_METRIC_COUNTER("fed.comm.uplink_values").Add(sent.size());
-      FEDSC_METRIC_COUNTER("fed.comm.uplink_bits")
-          .Add(sent.size() * options_.bits_per_value);
+      ChargeUplinkAttempt(sent.size(), attempt_bytes());
       FEDSC_METRIC_COUNTER("fed.faults.transient_losses").Increment();
       outcome.status = Status::DeadlineExceeded(
           "device " + std::to_string(device) + " upload lost in transit");
       continue;
     }
-    outcome.received = Uplink(sent);
+    // The delivering attempt: noise, then the real serialized round trip —
+    // encode, wire-fault the byte stream, decode what arrived.
+    Matrix noisy = sent;
+    ApplyNoise(&noisy);
+    std::vector<uint8_t> wire = Encode(noisy);
+    const bool wire_faulted = plan.ApplyWireFault(device, &wire);
+    ChargeUplinkAttempt(sent.size(), static_cast<int64_t>(wire.size()));
+    if (options_.wire_sink) options_.wire_sink(device, wire);
+    Result<DecodedUpload> decoded = DecodeUpload(wire, codec_);
+    if (!decoded.ok()) {
+      // Every scheduled wire fault is CRC/length-detectable; an undamaged
+      // message failing to decode is a codec bug, not a simulation outcome.
+      FEDSC_CHECK(wire_faulted)
+          << "own encoding failed to decode: " << decoded.status().ToString();
+      FEDSC_METRIC_COUNTER("fed.faults.wire_rejections").Increment();
+      outcome.status = decoded.status();
+      // Retrying cannot help: the fault rides the device's schedule, so
+      // every retransmission arrives equally corrupt.
+      break;
+    }
+    outcome.received = std::move(decoded->samples);
     outcome.delivered = true;
     outcome.status = Status::OK();
     break;

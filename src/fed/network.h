@@ -10,9 +10,12 @@
 #define FEDSC_FED_NETWORK_H_
 
 #include <cstdint>
+#include <functional>
+#include <vector>
 
 #include "common/result.h"
 #include "common/rng.h"
+#include "fed/codec.h"
 #include "fed/faults.h"
 #include "linalg/matrix.h"
 
@@ -22,16 +25,38 @@ struct ChannelOptions {
   // Fig. 7's delta; the uplink of device z is perturbed by i.i.d. Gaussian
   // noise with stddev delta / sqrt(r^(z)). 0 disables noise.
   double noise_delta = 0.0;
-  // Bits per transmitted floating-point value (q in Section IV-E).
+  // Bits per transmitted floating-point value (q in Section IV-E). With the
+  // serialized uplink this is no longer what the accounting charges — the
+  // wire carries whole encoded messages and uplink_bits counts their real
+  // bytes — but it still selects the quantizer width via the legacy
+  // `quantize` switch below.
   int bits_per_value = 64;
-  // When true, uplink values are actually rounded to the bits_per_value-bit
-  // uniform grid over [-quantization_range, quantization_range] (Section
-  // IV-E assumes q-bit quantization; this makes its distortion observable).
-  // Requires 2 <= bits_per_value <= 32 to quantize.
+  // Legacy switch for Section IV-E's q-bit quantization: when true (and
+  // `codec.mode` was left at kRawSamples) the channel behaves as if
+  // codec.mode were kUniformQuant with quant_bits = bits_per_value and
+  // quant_range = quantization_range. Requires 2 <= bits_per_value <= 32.
   bool quantize = false;
   double quantization_range = 1.5;
   uint64_t seed = 0x5eed'c4a7ULL;
+  // How uploads are serialized (fed/codec.h). Every uplink is actually
+  // encoded to wire bytes and decoded back — CommStats counts the true
+  // serialized size, and wire faults (fed/faults.h) mutate the byte stream
+  // in between.
+  CodecOptions codec;
+  // Observation hook: called with every transmitted (post-wire-fault)
+  // uplink message. Device is -1 for direct Uplink() calls that carry no
+  // device identity. Used by `fedsc_cli --wire-dump` and the accounting
+  // regression tests; leave empty to pay nothing.
+  std::function<void(int64_t device, const std::vector<uint8_t>& wire)>
+      wire_sink;
 };
+
+// The codec the channel actually runs: `options.codec` unless the legacy
+// `quantize` switch asks for uniform quantization on top of a default
+// (kRawSamples) codec, in which case bits_per_value / quantization_range
+// map onto a kUniformQuant codec. Exposed so accounting tests and benches
+// can predict exact wire sizes via EncodedWireBytes.
+CodecOptions EffectiveCodecOptions(const ChannelOptions& options);
 
 // Rejects out-of-range ChannelOptions up front instead of letting the
 // channel silently misbehave: bits_per_value must be positive (and within
@@ -74,7 +99,12 @@ class SimClock {
 
 struct CommStats {
   int64_t uplink_values = 0;
+  // 8 * uplink_wire_bytes: the uplink cost in bits of every transmitted
+  // attempt's *serialized* message (header + section headers + payload),
+  // not an analytic values-times-bits estimate.
   int64_t uplink_bits = 0;
+  // True byte count of every transmitted uplink message.
+  int64_t uplink_wire_bytes = 0;
   int64_t downlink_values = 0;
   double downlink_bits = 0.0;  // assignments cost log2(L) bits each
   // Communication rounds actually consumed: 1 for the clean one-shot
@@ -105,8 +135,11 @@ class Channel {
   explicit Channel(const ChannelOptions& options);
 
   // Uplink of an n x r sample matrix from one device: applies channel noise
-  // (if configured) and records n * r values in the stats. Returns what the
-  // server receives.
+  // (if configured), encodes the result with the effective codec, charges
+  // the serialized byte count to the stats, and returns the decoded matrix —
+  // i.e. exactly what the server reconstructs from the wire. Bit-identical
+  // to the historical in-place path for kRawSamples (f64) and for the
+  // legacy quantizer grid.
   Matrix Uplink(const Matrix& samples);
 
   // Fault-aware uplink of device z's payload: applies the device's payload
@@ -117,7 +150,12 @@ class Channel {
   // between attempts the clock advances by jittered exponential backoff.
   // Every transmitted attempt is charged to the uplink bit accounting —
   // retries are exactly the communication overhead the one-shot claim is
-  // measured against. Deterministic in (options, plan, device, payload).
+  // measured against. The delivering attempt's payload travels as encoded
+  // wire bytes; the device's scheduled WireFault (if any) mutates those
+  // bytes in flight, and a message the decoder rejects yields
+  // delivered = false with a kWireCorrupt status (the caller quarantines
+  // the device — the bytes arrived, they were just unusable).
+  // Deterministic in (options, plan, device, payload).
   UplinkOutcome UplinkWithRetry(int64_t device, const Matrix& payload,
                                 const FaultPlan& plan,
                                 const RetryOptions& retry, SimClock* clock);
@@ -134,7 +172,18 @@ class Channel {
   const CommStats& stats() const { return stats_; }
 
  private:
+  // Adds channel noise in place (no-op when noise_delta == 0). Consumes
+  // rng_ draws in the same order as the historical in-place path.
+  void ApplyNoise(Matrix* samples);
+  // Serializes under the effective codec; encoding a validated channel's
+  // payload cannot fail, so failures crash (programming error).
+  std::vector<uint8_t> Encode(const Matrix& samples);
+  // Charges one transmitted attempt: `values` sample values as
+  // `wire_bytes` serialized bytes.
+  void ChargeUplinkAttempt(int64_t values, int64_t wire_bytes);
+
   ChannelOptions options_;
+  CodecOptions codec_;
   Rng rng_;
   CommStats stats_;
 };

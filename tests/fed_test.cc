@@ -131,19 +131,55 @@ TEST(PartitionTest, Validation) {
 }
 
 TEST(ChannelTest, AccountingMatchesFormulas) {
+  // The uplink is serialized for real, so the accounting charges the exact
+  // wire size — header + section header + payload — not values * bits.
   ChannelOptions options;
-  options.bits_per_value = 32;
   Channel channel(options);
   Matrix samples(10, 3);
   channel.Uplink(samples);
   channel.Uplink(Matrix(10, 2));
   channel.Downlink(5, 16);
   channel.FinishRound();
+  const CodecOptions codec = EffectiveCodecOptions(options);
+  const int64_t wire_bytes =
+      EncodedWireBytes(10, 3, codec) + EncodedWireBytes(10, 2, codec);
+  EXPECT_EQ(wire_bytes, 2 * (36 + 24) + 8 * 50);  // f64 payloads + framing
   EXPECT_EQ(channel.stats().uplink_values, 50);
-  EXPECT_EQ(channel.stats().uplink_bits, 50 * 32);
+  EXPECT_EQ(channel.stats().uplink_wire_bytes, wire_bytes);
+  EXPECT_EQ(channel.stats().uplink_bits, 8 * wire_bytes);
   EXPECT_EQ(channel.stats().downlink_values, 5);
   EXPECT_DOUBLE_EQ(channel.stats().downlink_bits, 5 * 4.0);  // log2(16)
   EXPECT_EQ(channel.stats().rounds, 1);
+}
+
+TEST(ChannelTest, QuantizedAccountingChargesPackedBits) {
+  ChannelOptions options;
+  options.quantize = true;
+  options.bits_per_value = 8;
+  Channel channel(options);
+  channel.Uplink(Matrix(10, 3));
+  // 30 values at 8 bits pack into 30 payload bytes plus fixed framing.
+  const int64_t wire_bytes = EncodedWireBytes(
+      10, 3, EffectiveCodecOptions(options));
+  EXPECT_EQ(wire_bytes, 36 + 24 + 30);
+  EXPECT_EQ(channel.stats().uplink_wire_bytes, wire_bytes);
+  EXPECT_EQ(channel.stats().uplink_bits, 8 * wire_bytes);
+}
+
+TEST(ChannelTest, WireSinkSeesExactlyTheChargedBytes) {
+  // Regression for the accounting fix: the bytes the sink observes ARE the
+  // bytes the stats charge.
+  ChannelOptions options;
+  int64_t sink_bytes = 0;
+  options.wire_sink = [&sink_bytes](int64_t, const std::vector<uint8_t>& w) {
+    sink_bytes += static_cast<int64_t>(w.size());
+  };
+  Channel channel(options);
+  channel.Uplink(Matrix(7, 4));
+  channel.Uplink(Matrix(3, 1));
+  EXPECT_GT(sink_bytes, 0);
+  EXPECT_EQ(channel.stats().uplink_wire_bytes, sink_bytes);
+  EXPECT_EQ(channel.stats().uplink_bits, 8 * sink_bytes);
 }
 
 TEST(ChannelTest, NoiselessUplinkIsIdentity) {

@@ -145,12 +145,23 @@ TEST(FedScTest, CommunicationAccountingMatchesSectionIVE) {
   options.channel.bits_per_value = 64;
   auto result = RunFedSc(f.fed, 4, options);
   ASSERT_TRUE(result.ok());
-  // Uplink bits = n * q * sum_z r^(z) (with s samples per cluster, s = 1).
+  // Uplink values = n * sum_z r^(z) (with s samples per cluster, s = 1);
+  // uplink bits are the true serialized size of each device's wire message
+  // (Section IV-E's n * q * r^(z) payload plus the format's framing).
   int64_t total_r = 0;
-  for (int64_t r : result->local_cluster_counts) total_r += r;
+  int64_t wire_bytes = 0;
+  const CodecOptions codec = EffectiveCodecOptions(options.channel);
+  for (int64_t r : result->local_cluster_counts) {
+    total_r += r;
+    wire_bytes += EncodedWireBytes(24, r, codec);
+  }
   EXPECT_EQ(result->total_samples, total_r);
   EXPECT_EQ(result->comm.uplink_values, 24 * total_r);
-  EXPECT_EQ(result->comm.uplink_bits, 64 * 24 * total_r);
+  EXPECT_EQ(result->comm.uplink_wire_bytes, wire_bytes);
+  EXPECT_EQ(result->comm.uplink_bits, 8 * wire_bytes);
+  EXPECT_EQ(wire_bytes,
+            60 * static_cast<int64_t>(result->local_cluster_counts.size()) +
+                8 * 24 * total_r);
   // Downlink: one assignment per sample, log2(L) bits each.
   EXPECT_EQ(result->comm.downlink_values, total_r);
   EXPECT_DOUBLE_EQ(result->comm.downlink_bits,

@@ -7,8 +7,10 @@
 //             [--fixed-r N] [--sample-dim 0] [--trim 0.0] ...
 //             [--quantize-bits 0] [--seed 42] [--output labels.csv] ...
 //             [--dropout 0.0] [--straggler 0.0] [--transient 0.0] ...
-//             [--corrupt 0.0] [--byzantine 0.0] [--fault-seed S] ...
+//             [--corrupt 0.0] [--byzantine 0.0] [--wire-corrupt 0.0] ...
+//             [--fault-seed S] ...
 //             [--quorum 1.0] [--max-attempts 1] [--timeout-ms 1000] ...
+//             [--codec raw|quant|basis] [--wire-dump msg.wire] ...
 //             [--trace-out trace.json] [--metrics-out metrics.json]
 //
 // Flags accept both "--flag value" and "--flag=value". The input format is
@@ -23,6 +25,15 @@
 // uplink, and --quorum is the participation fraction required for the round
 // to proceed. Points on failed devices are reported with label -1 (excluded
 // from ACC/NMI; written as -1 to --output).
+//
+// --codec picks the uplink serialization (fed/codec.h): raw ships f64
+// samples verbatim, quant packs them at --quantize-bits bits per value
+// (default 8), basis ships a subspace basis plus coefficients when that is
+// smaller. Every upload actually crosses the versioned wire format, so the
+// reported comm figures are true serialized byte counts. --wire-dump writes
+// the first transmitted wire message to a file for offline inspection;
+// --wire-corrupt is the per-device probability of in-flight byte damage
+// (detected by CRC and quarantined).
 //
 // --trace-out records scoped spans across the run and writes Chrome
 // trace-event JSON (open in chrome://tracing or https://ui.perfetto.dev),
@@ -67,7 +78,10 @@ struct CliOptions {
   double transient = 0.0;
   double corrupt = 0.0;
   double byzantine = 0.0;
+  double wire_corrupt = 0.0;
   uint64_t fault_seed = 0x5eed'FA17ULL;
+  std::string codec = "raw";
+  std::string wire_dump;
   double quorum = 1.0;
   int max_attempts = 1;
   int64_t timeout_ms = 1000;
@@ -84,8 +98,9 @@ void PrintUsage(const char* binary) {
       "  [--fixed-r R] [--sample-dim D] [--trim F]\n"
       "  [--quantize-bits B] [--seed S] [--output labels.csv]\n"
       "  [--dropout P] [--straggler P] [--transient P]\n"
-      "  [--corrupt P] [--byzantine P] [--fault-seed S]\n"
+      "  [--corrupt P] [--byzantine P] [--wire-corrupt P] [--fault-seed S]\n"
       "  [--quorum F] [--max-attempts A] [--timeout-ms T]\n"
+      "  [--codec raw|quant|basis] [--wire-dump msg.wire]\n"
       "  [--trace-out trace.json] [--metrics-out metrics.json]\n",
       binary);
 }
@@ -171,6 +186,15 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     } else if (flag == "--byzantine") {
       if ((value = next()) == nullptr) return false;
       options->byzantine = std::atof(value);
+    } else if (flag == "--wire-corrupt") {
+      if ((value = next()) == nullptr) return false;
+      options->wire_corrupt = std::atof(value);
+    } else if (flag == "--codec") {
+      if ((value = next()) == nullptr) return false;
+      options->codec = value;
+    } else if (flag == "--wire-dump") {
+      if ((value = next()) == nullptr) return false;
+      options->wire_dump = value;
     } else if (flag == "--fault-seed") {
       if ((value = next()) == nullptr) return false;
       options->fault_seed = static_cast<uint64_t>(std::atoll(value));
@@ -204,6 +228,11 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
   }
   if (options->central != "ssc" && options->central != "tsc") {
     std::fprintf(stderr, "--central must be 'ssc' or 'tsc'\n");
+    return false;
+  }
+  if (options->codec != "raw" && options->codec != "quant" &&
+      options->codec != "basis") {
+    std::fprintf(stderr, "--codec must be 'raw', 'quant' or 'basis'\n");
     return false;
   }
   return true;
@@ -251,6 +280,22 @@ int main(int argc, char** argv) {
     options.channel.quantize = true;
     options.channel.bits_per_value = cli.quantize_bits;
   }
+  if (cli.codec == "quant") {
+    options.channel.codec.mode = CodecMode::kUniformQuant;
+    if (cli.quantize_bits > 0) {
+      options.channel.codec.quant_bits = cli.quantize_bits;
+    }
+  } else if (cli.codec == "basis") {
+    options.channel.codec.mode = CodecMode::kBasisCoeffs;
+  }
+  // --wire-dump: capture the first transmitted uplink message.
+  std::vector<uint8_t> first_wire;
+  if (!cli.wire_dump.empty()) {
+    options.channel.wire_sink = [&first_wire](
+                                    int64_t, const std::vector<uint8_t>& w) {
+      if (first_wire.empty()) first_wire = w;
+    };
+  }
   options.num_threads = cli.threads;
   if (cli.fixed_r > 0) {
     options.use_eigengap = false;
@@ -264,6 +309,7 @@ int main(int argc, char** argv) {
   options.faults.transient_rate = cli.transient;
   options.faults.corrupt_rate = cli.corrupt;
   options.faults.byzantine_rate = cli.byzantine;
+  options.faults.wire_corrupt_rate = cli.wire_corrupt;
   options.faults.seed = cli.fault_seed;
   options.quorum = cli.quorum;
   options.retry.max_attempts = cli.max_attempts;
@@ -304,9 +350,11 @@ int main(int argc, char** argv) {
               result->local_seconds, result->central_seconds,
               static_cast<long long>(result->comm.rounds),
               result->comm.rounds == 1 ? "" : "s");
-  std::printf("comm %.1f kb up / %.2f kb down (%lld samples)\n",
+  std::printf("comm %.1f kb up (%lld wire bytes, %s codec) / %.2f kb down "
+              "(%lld samples)\n",
               static_cast<double>(result->comm.uplink_bits) / 1000.0,
-              result->comm.downlink_bits / 1000.0,
+              static_cast<long long>(result->comm.uplink_wire_bytes),
+              cli.codec.c_str(), result->comm.downlink_bits / 1000.0,
               static_cast<long long>(result->total_samples));
   if (!result->failed_devices.empty() || result->comm.retries > 0 ||
       result->quarantined_samples > 0) {
@@ -329,6 +377,21 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!cli.wire_dump.empty()) {
+    if (first_wire.empty()) {
+      std::fprintf(stderr, "no uplink message transmitted; nothing to dump\n");
+    } else {
+      std::ofstream out(cli.wire_dump, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "cannot open %s\n", cli.wire_dump.c_str());
+        return 1;
+      }
+      out.write(reinterpret_cast<const char*>(first_wire.data()),
+                static_cast<std::streamsize>(first_wire.size()));
+      std::printf("wrote first uplink wire message (%zu bytes) to %s\n",
+                  first_wire.size(), cli.wire_dump.c_str());
+    }
+  }
   if (!cli.trace_out.empty()) {
     const Status written = WriteChromeTraceFile(cli.trace_out);
     if (!written.ok()) {
