@@ -1,7 +1,7 @@
 // Shared helpers for the experiment-reproduction benches: aligned table
 // printing (the paper's rows/series) with optional CSV emission via --csv,
-// and opt-in observability (--trace-out= / --metrics-out=) shared by every
-// bench through the Observability guard.
+// and opt-in observability (--trace-out= / --metrics-out= / --report-out=)
+// shared by every bench through the Observability guard.
 
 #ifndef FEDSC_BENCH_BENCH_UTIL_H_
 #define FEDSC_BENCH_BENCH_UTIL_H_
@@ -12,8 +12,10 @@
 #include <string>
 #include <vector>
 
+#include "common/journal.h"
 #include "common/metrics.h"
 #include "common/trace.h"
+#include "core/report.h"
 
 namespace fedsc::bench {
 
@@ -31,7 +33,12 @@ inline bool HasFlag(int argc, char** argv, const char* flag) {
 //
 //   {"bench": "fig4_devices", "metrics": {...}}
 //
-// Without either flag the guard does nothing and the instrumented kernels
+// --report-out=PATH turns all three surfaces on (trace, metrics, journal)
+// and writes a full RunReport with has_run = false: the bench drives many
+// RunFedSc invocations, so the report carries the aggregate journal,
+// span/roofline profile, and metrics rather than any single run's summary.
+//
+// Without any flag the guard does nothing and the instrumented kernels
 // stay on their single-atomic-load disabled path.
 class Observability {
  public:
@@ -46,10 +53,13 @@ class Observability {
         metrics_path_ = arg + 14;
       } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
         trace_path_ = arg + 12;
+      } else if (std::strncmp(arg, "--report-out=", 13) == 0) {
+        report_path_ = arg + 13;
       }
     }
-    if (!metrics_path_.empty()) EnableMetrics(true);
-    if (!trace_path_.empty()) EnableTracing(true);
+    if (!metrics_path_.empty() || !report_path_.empty()) EnableMetrics(true);
+    if (!trace_path_.empty() || !report_path_.empty()) EnableTracing(true);
+    if (!report_path_.empty()) EnableJournal(true);
   }
 
   ~Observability() { Finish(); }
@@ -80,12 +90,31 @@ class Observability {
         std::fprintf(stderr, "wrote trace to %s\n", trace_path_.c_str());
       }
     }
+    if (!report_path_.empty()) {
+      const Status well_formed = CheckTraceWellFormed();
+      if (!well_formed.ok()) {
+        std::fprintf(stderr, "trace is malformed; refusing to write %s: %s\n",
+                     report_path_.c_str(), well_formed.ToString().c_str());
+        return;
+      }
+      const RunReport report =
+          BuildRunReport(/*seed=*/0, /*fault_seed=*/0, /*num_threads=*/0);
+      const Status written = WriteRunReportJsonFile(report, report_path_);
+      if (!written.ok()) {
+        std::fprintf(stderr, "writing report failed: %s\n",
+                     written.ToString().c_str());
+      } else {
+        std::fprintf(stderr, "wrote run report to %s\n",
+                     report_path_.c_str());
+      }
+    }
   }
 
  private:
   std::string name_ = "bench";
   std::string metrics_path_;
   std::string trace_path_;
+  std::string report_path_;
   bool finished_ = false;
 };
 

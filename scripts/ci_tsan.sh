@@ -17,8 +17,8 @@ cmake -S "${repo_root}" -B "${build_dir}" \
 
 cmake --build "${build_dir}" -j "$(nproc)" \
   --target thread_pool_test parallel_determinism_test fedsc_test \
-  faults_test trace_test logging_test blas_test qr_cholesky_test \
-  svd_eig_test
+  faults_test trace_test journal_test logging_test blas_test \
+  qr_cholesky_test svd_eig_test
 
 # halt_on_error makes the first race fail the run instead of just logging.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
@@ -30,8 +30,11 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 # kernels fan out over worker threads; TSAN proves the combination is clean.
 "${build_dir}/tests/faults_test"
 # The observability layer records from every worker thread; run its suites
-# under TSAN too (trace recorder, metrics registry, log sink).
+# under TSAN too (trace recorder, metrics registry, log sink, and the run
+# ledger: the journal's mutex-guarded global log plus the profile builder
+# folding per-thread trace buffers while the pool is live).
 "${build_dir}/tests/trace_test"
+"${build_dir}/tests/journal_test"
 "${build_dir}/tests/logging_test"
 # The blocked GEMM/Syrk engine packs on the caller thread and fans the
 # micro-block loop out over the pool; TSAN checks the arena handoff.
@@ -51,7 +54,7 @@ cmake -S "${repo_root}" -B "${asan_dir}" \
 
 cmake --build "${asan_dir}" -j "$(nproc)" \
   --target faults_test blas_test parallel_determinism_test \
-  qr_cholesky_test svd_eig_test codec_test wire_fuzz_test
+  qr_cholesky_test svd_eig_test codec_test wire_fuzz_test journal_test
 
 "${asan_dir}/tests/faults_test"
 # Packing writes into 64-byte-aligned arenas with zero-padded edge
@@ -68,6 +71,9 @@ cmake --build "${asan_dir}" -j "$(nproc)" \
 # round-trip paths the mutations start from.
 "${asan_dir}/tests/codec_test"
 "${asan_dir}/tests/wire_fuzz_test"
+# The journal/report path renders every event payload into strings and the
+# profiler walks raw trace buffers; ASAN gates the string/buffer handling.
+"${asan_dir}/tests/journal_test"
 
 echo "ASAN: fault-injection, codec, and wire-fuzz suites passed with zero"
 echo "reported errors."

@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Renders a RunReport JSON document (--report-out) for humans.
+
+Prints, in order: the provenance manifest, the run summary with the
+per-device fate table, the span profile (inclusive/exclusive time), the
+kernel roofline table (achieved GFLOP/s and arithmetic intensity), thread
+utilization, histogram percentiles, and — with --journal — the full event
+timeline on the simulated clock.
+
+Usage: render_report.py report.json [--journal] [--top N]
+
+Stdlib only. Pair with validate_report.py, which checks the schema this
+renderer assumes.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(message: str) -> None:
+    print(f"render_report: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def table(rows, header):
+    """Prints rows (lists of strings) aligned under header."""
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+    print(fmt.format(*header))
+    print(fmt.format(*("-" * w for w in widths)))
+    for row in rows:
+        print(fmt.format(*row))
+
+
+def seconds(value):
+    if value >= 1.0:
+        return f"{value:.3f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value * 1e6:.1f}us"
+
+
+def render_manifest(manifest):
+    print("== provenance ==")
+    print(f"  revision    {manifest['git_describe']}"
+          f" ({manifest['build_type'] or 'unspecified'} build)")
+    print(f"  compiler    {manifest['compiler']}")
+    print(f"  cpu         {manifest['cpu_model']}"
+          f" ({manifest['hardware_threads']} hardware threads)")
+    print(f"  options     {manifest['options_fingerprint']}"
+          f"  seed={manifest['seed']}  fault_seed={manifest['fault_seed']}"
+          f"  threads={manifest['num_threads']}")
+
+
+def render_run(run):
+    print("\n== run ==")
+    if run is None:
+        print("  (no run attached: bench report)")
+        return
+    comm = run["comm"]
+    print(f"  devices     {run['participating_devices']}/{run['devices']}"
+          f" participated, {run['total_samples']} samples pooled,"
+          f" {run['quarantined_samples']} quarantined")
+    print(f"  uplink      {comm['uplink_wire_bytes']} wire bytes"
+          f" ({comm['uplink_values']} values), {comm['retries']} retries,"
+          f" {comm['timeouts']} timeouts,"
+          f" {comm['sim_uplink_ms']} ms simulated")
+    print(f"  downlink    {comm['downlink_values']} values"
+          f" in {comm['rounds']} round(s)")
+    rows = [
+        [str(d["device"]), d["outcome"], str(d["attempts"]),
+         str(d["uploaded_samples"]), str(d["quarantined_samples"]),
+         d["status"]]
+        for d in run["device_reports"]
+    ]
+    if rows:
+        print()
+        table(rows, ["device", "outcome", "attempts", "uploaded",
+                     "quarantined", "status"])
+
+
+def render_profile(profile, top):
+    print("\n== span profile ==")
+    spans = sorted(profile["spans"], key=lambda s: -s["exclusive_seconds"])
+    rows = [
+        [s["name"], str(s["count"]), seconds(s["inclusive_seconds"]),
+         seconds(s["exclusive_seconds"]), seconds(s["max_seconds"])]
+        for s in spans[:top]
+    ]
+    if rows:
+        table(rows, ["span", "count", "inclusive", "exclusive", "max"])
+        if len(spans) > top:
+            print(f"  ... {len(spans) - top} more (raise --top)")
+    else:
+        print("  (no spans recorded)")
+
+    kernels = [k for k in profile["kernels"] if k["calls"] > 0]
+    if kernels:
+        print("\n== roofline ==")
+        rows = []
+        for k in kernels:
+            ai = (f"{k['arithmetic_intensity']:.2f}"
+                  if k["bytes"] > 0 else "-")
+            rows.append([k["span"], str(k["calls"]), f"{k['flops']:,}",
+                         seconds(k["seconds"]),
+                         f"{k['achieved_gflops']:.2f}", ai])
+        table(rows, ["kernel", "calls", "flops", "time", "GFLOP/s",
+                     "flops/byte"])
+
+    threads = profile["threads"]
+    if threads:
+        print("\n== thread utilization ==")
+        rows = []
+        for t in threads:
+            span = t["busy_seconds"] + t["idle_seconds"]
+            busy = 100.0 * t["busy_seconds"] / span if span > 0 else 0.0
+            rows.append([str(t["tid"]), str(t["top_level_spans"]),
+                         seconds(t["busy_seconds"]),
+                         seconds(t["idle_seconds"]), f"{busy:.0f}%"])
+        table(rows, ["tid", "spans", "busy", "idle", "util"])
+
+
+def render_histograms(metrics):
+    histograms = {n: h for n, h in metrics["histograms"].items()
+                  if h["count"] > 0}
+    if not histograms:
+        return
+    print("\n== histogram percentiles ==")
+    rows = [
+        [name, str(h["count"]), str(h["min"]), f"{h['p50']:.1f}",
+         f"{h['p90']:.1f}", f"{h['p99']:.1f}", str(h["max"])]
+        for name, h in sorted(histograms.items())
+    ]
+    table(rows, ["histogram", "count", "min", "p50", "p90", "p99", "max"])
+
+
+def render_journal(events):
+    print("\n== journal ==")
+    rows = []
+    for event in events:
+        device = str(event.get("device", "")) if "device" in event else "-"
+        sim_ms = str(event.get("sim_ms", "")) if "sim_ms" in event else "-"
+        payload = ", ".join(
+            f"{k}={v}" for k, v in event.items()
+            if k not in ("v", "seq", "type", "device", "sim_ms", "wall_ns"))
+        rows.append([str(event["seq"]), sim_ms, device, event["type"],
+                     payload])
+    table(rows, ["seq", "sim_ms", "device", "type", "payload"])
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="RunReport JSON file")
+    parser.add_argument("--journal", action="store_true",
+                        help="also print the full event timeline")
+    parser.add_argument("--top", type=int, default=15, metavar="N",
+                        help="span rows to show (default 15)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.report, "r", encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as error:
+        fail(f"cannot read {args.report}: {error}")
+
+    render_manifest(report["manifest"])
+    render_run(report["run"])
+    render_profile(report["profile"], args.top)
+    render_histograms(report["metrics"])
+    if args.journal:
+        render_journal(report["journal"])
+
+
+if __name__ == "__main__":
+    main()

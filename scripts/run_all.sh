@@ -45,6 +45,24 @@ python3 -c 'import json,sys; json.load(open(sys.argv[1]))' \
   "${obs_dir}/metrics.json"
 echo "observability smoke test passed"
 
+# Run-report smoke test: a degraded round (dropouts + byzantine payloads +
+# wire corruption, with retries) must emit a schema-valid RunReport whose
+# journal reconciles with the comm ledger, and the renderer must consume it.
+# A bench report (run: null) must validate against the same schema.
+build/tools/fedsc_cli --input "${obs_dir}/smoke.csv" --clusters 3 \
+  --devices 6 --dropout 0.2 --byzantine 0.2 --wire-corrupt 0.2 \
+  --quorum 0.3 --max-attempts 3 \
+  --report-out "${obs_dir}/report.json" \
+  --journal-out "${obs_dir}/journal.jsonl"
+python3 scripts/validate_report.py "${obs_dir}/report.json" \
+  --expect-run --expect-events 10
+python3 scripts/render_report.py "${obs_dir}/report.json" --journal \
+  > /dev/null
+test -s "${obs_dir}/journal.jsonl"
+build/bench/comm_cost --report-out="${obs_dir}/bench_report.json" > /dev/null
+python3 scripts/validate_report.py "${obs_dir}/bench_report.json"
+echo "run-report smoke test passed"
+
 # Robustness smoke test: the same small dataset through a degraded round —
 # 30% dropout against a 0.5 quorum with retries must complete, report the
 # failed devices, and exit 0; a full blackout must fail with the typed

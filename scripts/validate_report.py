@@ -1,0 +1,322 @@
+#!/usr/bin/env python3
+"""Validates a RunReport JSON document produced by --report-out.
+
+Pins the schema that core/report.h emits (schema_version 1, journal schema
+version 1): the top-level sections, the manifest's provenance fields, the
+run summary + per-device reports + comm ledger (or run: null for bench
+reports), every journal event's envelope and type vocabulary, the profile
+tables, and the metrics snapshot with p50/p90/p99 on every histogram.
+
+Beyond shape, it re-checks the ledger invariants the C++ tests assert:
+journal seq is dense and starts at 0, and when a run is attached, the
+wire bytes journaled on timeout/transient_loss/wire_rejected/delivered
+events sum exactly to run.comm.uplink_wire_bytes.
+
+Usage: validate_report.py report.json [--expect-run] [--expect-events N]
+
+Exit status 0 on a valid report, 1 otherwise; the first problem is
+reported on stderr. Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA_VERSION = 1
+JOURNAL_SCHEMA_VERSION = 1
+
+TOP_LEVEL_KEYS = {
+    "schema_version",
+    "journal_schema_version",
+    "manifest",
+    "run",
+    "journal",
+    "profile",
+    "metrics",
+}
+
+MANIFEST_KEYS = {
+    "git_describe": str,
+    "compiler": str,
+    "build_type": str,
+    "cpu_model": str,
+    "hardware_threads": int,
+    "options_fingerprint": str,
+    "seed": int,
+    "fault_seed": int,
+    "num_threads": int,
+}
+
+RUN_KEYS = {
+    "devices": int,
+    "participating_devices": int,
+    "total_samples": int,
+    "quarantined_samples": int,
+    "comm": dict,
+    "device_reports": list,
+}
+
+COMM_KEYS = {
+    "uplink_values": int,
+    "uplink_bits": int,
+    "uplink_wire_bytes": int,
+    "downlink_values": int,
+    "downlink_bits": (int, float),
+    "rounds": int,
+    "retries": int,
+    "timeouts": int,
+    "sim_uplink_ms": int,
+}
+
+DEVICE_REPORT_KEYS = {
+    "device": int,
+    "outcome": str,
+    "attempts": int,
+    "uploaded_samples": int,
+    "quarantined_samples": int,
+    "status": str,
+}
+
+# The journal's event-type vocabulary (common/journal.h). An unknown type
+# means the emitter grew without a journal schema bump.
+EVENT_TYPES = {
+    "run_start",
+    "scheduled",
+    "upload_attempt",
+    "retry",
+    "timeout",
+    "transient_loss",
+    "wire_rejected",
+    "delivered",
+    "accepted",
+    "quarantined",
+    "byzantine_rejected",
+    "dropped",
+    "local_error",
+    "downlink",
+    "quorum_reached",
+    "quorum_missed",
+    "central_start",
+    "central_finish",
+    "broadcast",
+    "run_finish",
+}
+
+# Event types whose payload must carry the uplink byte ledger.
+WIRE_BYTE_EVENTS = {"timeout", "transient_loss", "wire_rejected", "delivered"}
+
+SPAN_KEYS = {
+    "name": str,
+    "count": int,
+    "inclusive_seconds": (int, float),
+    "exclusive_seconds": (int, float),
+    "max_seconds": (int, float),
+}
+
+KERNEL_KEYS = {
+    "span": str,
+    "calls": int,
+    "flops": int,
+    "bytes": int,
+    "seconds": (int, float),
+    "achieved_gflops": (int, float),
+    "arithmetic_intensity": (int, float),
+}
+
+THREAD_KEYS = {
+    "tid": int,
+    "top_level_spans": int,
+    "busy_seconds": (int, float),
+    "idle_seconds": (int, float),
+}
+
+METRICS_KEYS = {
+    "counters",
+    "execution_counters",
+    "gauges",
+    "execution_gauges",
+    "histograms",
+}
+
+HISTOGRAM_KEYS = {
+    "count": int,
+    "sum": int,
+    "min": int,
+    "max": int,
+    "p50": (int, float),
+    "p90": (int, float),
+    "p99": (int, float),
+    "log2_buckets": dict,
+}
+
+
+def fail(message: str) -> None:
+    print(f"validate_report: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_object(obj, schema, where):
+    if not isinstance(obj, dict):
+        fail(f"{where} is not an object")
+    for key, expected_type in schema.items():
+        if key not in obj:
+            fail(f"{where} is missing '{key}'")
+        if not isinstance(obj[key], expected_type):
+            fail(f"{where}.{key} has the wrong type "
+                 f"({type(obj[key]).__name__})")
+    for key in obj:
+        if key not in schema:
+            fail(f"{where} has unexpected key '{key}' "
+                 "(bump the schema version and this validator together)")
+
+
+def check_journal(events, expect_events):
+    if not isinstance(events, list):
+        fail("'journal' is not an array")
+    if len(events) < expect_events:
+        fail(f"journal has {len(events)} events, expected at least "
+             f"{expect_events}")
+    wire_bytes = 0
+    for i, event in enumerate(events):
+        where = f"journal[{i}]"
+        if not isinstance(event, dict):
+            fail(f"{where} is not an object")
+        for key, expected_type in (
+            ("v", int), ("seq", int), ("type", str), ("wall_ns", int),
+        ):
+            if key not in event:
+                fail(f"{where} is missing '{key}'")
+            if not isinstance(event[key], expected_type):
+                fail(f"{where}.{key} has the wrong type")
+        if event["v"] != JOURNAL_SCHEMA_VERSION:
+            fail(f"{where}.v is {event['v']}, expected "
+                 f"{JOURNAL_SCHEMA_VERSION}")
+        if event["seq"] != i:
+            fail(f"{where}.seq is {event['seq']}, expected {i} "
+                 "(seq must be dense and 0-based)")
+        if event["type"] not in EVENT_TYPES:
+            fail(f"{where}.type '{event['type']}' is not in the journal "
+                 "vocabulary (bump kJournalSchemaVersion and this validator)")
+        if "device" in event and not isinstance(event["device"], int):
+            fail(f"{where}.device is not an integer")
+        if "sim_ms" in event and not isinstance(event["sim_ms"], int):
+            fail(f"{where}.sim_ms is not an integer")
+        if event["type"] in WIRE_BYTE_EVENTS:
+            if "wire_bytes" not in event:
+                fail(f"{where} ({event['type']}) is missing 'wire_bytes'")
+            wire_bytes += event["wire_bytes"]
+    return wire_bytes
+
+
+def check_profile(profile):
+    check_object(
+        profile,
+        {"wall_seconds": (int, float), "spans": list, "kernels": list,
+         "threads": list},
+        "profile",
+    )
+    for i, span in enumerate(profile["spans"]):
+        check_object(span, SPAN_KEYS, f"profile.spans[{i}]")
+    for i, kernel in enumerate(profile["kernels"]):
+        check_object(kernel, KERNEL_KEYS, f"profile.kernels[{i}]")
+    for i, thread in enumerate(profile["threads"]):
+        check_object(thread, THREAD_KEYS, f"profile.threads[{i}]")
+
+
+def check_metrics(metrics):
+    if not isinstance(metrics, dict):
+        fail("'metrics' is not an object")
+    if set(metrics) != METRICS_KEYS:
+        fail(f"metrics sections are {sorted(metrics)}, expected "
+             f"{sorted(METRICS_KEYS)}")
+    for section in ("counters", "execution_counters"):
+        for name, value in metrics[section].items():
+            if not isinstance(value, int):
+                fail(f"metrics.{section}.{name} is not an integer")
+    for section in ("gauges", "execution_gauges"):
+        for name, value in metrics[section].items():
+            if not isinstance(value, (int, float)):
+                fail(f"metrics.{section}.{name} is not a number")
+    for name, histogram in metrics["histograms"].items():
+        check_object(histogram, HISTOGRAM_KEYS,
+                     f"metrics.histograms.{name}")
+        for bits, count in histogram["log2_buckets"].items():
+            if not bits.lstrip("-").isdigit() or not isinstance(count, int):
+                fail(f"metrics.histograms.{name}.log2_buckets has a "
+                     f"malformed bucket '{bits}'")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="RunReport JSON file")
+    parser.add_argument(
+        "--expect-run",
+        action="store_true",
+        help="require a non-null run section (fedsc_cli reports)",
+    )
+    parser.add_argument(
+        "--expect-events",
+        type=int,
+        default=0,
+        metavar="N",
+        help="require at least N journal events",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.report, "r", encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as error:
+        fail(f"cannot read {args.report}: {error}")
+
+    if not isinstance(report, dict):
+        fail("top level is not an object")
+    if set(report) != TOP_LEVEL_KEYS:
+        fail(f"top-level keys are {sorted(report)}, expected "
+             f"{sorted(TOP_LEVEL_KEYS)}")
+    if report["schema_version"] != SCHEMA_VERSION:
+        fail(f"schema_version is {report['schema_version']}, this validator "
+             f"understands {SCHEMA_VERSION}")
+    if report["journal_schema_version"] != JOURNAL_SCHEMA_VERSION:
+        fail(f"journal_schema_version is {report['journal_schema_version']}, "
+             f"expected {JOURNAL_SCHEMA_VERSION}")
+
+    check_object(report["manifest"], MANIFEST_KEYS, "manifest")
+    if not report["manifest"]["compiler"]:
+        fail("manifest.compiler is empty")
+
+    run = report["run"]
+    if run is None:
+        if args.expect_run:
+            fail("run is null but --expect-run was given")
+    else:
+        check_object(run, RUN_KEYS, "run")
+        check_object(run["comm"], COMM_KEYS, "run.comm")
+        for i, device in enumerate(run["device_reports"]):
+            check_object(device, DEVICE_REPORT_KEYS,
+                         f"run.device_reports[{i}]")
+        if len(run["device_reports"]) != run["devices"]:
+            fail(f"run.devices is {run['devices']} but there are "
+                 f"{len(run['device_reports'])} device reports")
+        if run["participating_devices"] > run["devices"]:
+            fail("run.participating_devices exceeds run.devices")
+
+    journaled_wire_bytes = check_journal(report["journal"],
+                                         args.expect_events)
+    if run is not None and report["journal"]:
+        expected = run["comm"]["uplink_wire_bytes"]
+        if journaled_wire_bytes != expected:
+            fail(f"journaled wire bytes ({journaled_wire_bytes}) do not "
+                 f"reconcile with run.comm.uplink_wire_bytes ({expected})")
+
+    check_profile(report["profile"])
+    check_metrics(report["metrics"])
+
+    events = len(report["journal"])
+    print(f"OK: schema v{report['schema_version']}, {events} journal "
+          f"events, {len(report['profile']['spans'])} profiled spans, "
+          f"{len(report['metrics']['counters'])} counters")
+
+
+if __name__ == "__main__":
+    main()

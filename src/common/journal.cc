@@ -1,0 +1,172 @@
+#include "common/journal.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+
+namespace fedsc {
+
+namespace internal {
+std::atomic<bool> g_journal_enabled{false};
+}  // namespace internal
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+std::string JsonEscape(const char* s) {
+  std::string out;
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\\') {
+      out += "\\\\";
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+      out += buffer;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+// The process-wide event log. Unlike the trace recorder there is one global
+// ordered sequence (not per-thread buffers): the determinism contract says
+// events are emitted from serial protocol code, so a single mutex-guarded
+// vector preserves exactly the order the protocol produced.
+class JournalLog {
+ public:
+  static JournalLog& Global() {
+    // Leaked: emission may race process teardown in exotic exit paths.
+    static JournalLog* log = new JournalLog();
+    return *log;
+  }
+
+  void Append(JournalEvent event) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    event.seq = static_cast<int64_t>(events_.size());
+    event.wall_ns = NowNanos() - start_ns_;
+    events_.push_back(std::move(event));
+  }
+
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.clear();
+    start_ns_ = NowNanos();
+  }
+
+  std::vector<JournalEvent> Snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_;
+  }
+
+ private:
+  JournalLog() : start_ns_(NowNanos()) {}
+
+  mutable std::mutex mutex_;
+  std::vector<JournalEvent> events_;
+  int64_t start_ns_;
+};
+
+}  // namespace
+
+JournalField::JournalField(const char* key_in, int64_t value)
+    : key(key_in), json_value(std::to_string(value)) {}
+JournalField::JournalField(const char* key_in, int value)
+    : key(key_in), json_value(std::to_string(value)) {}
+JournalField::JournalField(const char* key_in, uint64_t value)
+    : key(key_in), json_value(std::to_string(value)) {}
+JournalField::JournalField(const char* key_in, double value) : key(key_in) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  json_value = buffer;
+}
+JournalField::JournalField(const char* key_in, const char* value)
+    : key(key_in), json_value("\"" + JsonEscape(value) + "\"") {}
+JournalField::JournalField(const char* key_in, const std::string& value)
+    : key(key_in), json_value("\"" + JsonEscape(value.c_str()) + "\"") {}
+
+void EnableJournal(bool on) {
+  JournalLog::Global();  // construct before anyone can record
+  internal::g_journal_enabled.store(on, std::memory_order_relaxed);
+}
+
+void ResetJournal() { JournalLog::Global().Reset(); }
+
+void JournalRecord(const char* type, int64_t device, int64_t sim_ms,
+                   std::initializer_list<JournalField> fields) {
+  JournalEvent event;
+  event.type = type;
+  event.device = device;
+  event.sim_ms = sim_ms;
+  event.fields.reserve(fields.size());
+  for (const JournalField& field : fields) {
+    event.fields.emplace_back(field.key, field.json_value);
+  }
+  JournalLog::Global().Append(std::move(event));
+}
+
+std::vector<JournalEvent> SnapshotJournal() {
+  return JournalLog::Global().Snapshot();
+}
+
+std::string JournalEventJson(const JournalEvent& event, bool include_wall) {
+  std::string out = "{\"v\":" + std::to_string(kJournalSchemaVersion) +
+                    ",\"seq\":" + std::to_string(event.seq) + ",\"type\":\"" +
+                    JsonEscape(event.type.c_str()) + "\"";
+  if (event.device >= 0) {
+    out += ",\"device\":" + std::to_string(event.device);
+  }
+  if (event.sim_ms >= 0) {
+    out += ",\"sim_ms\":" + std::to_string(event.sim_ms);
+  }
+  for (const auto& [key, value] : event.fields) {
+    out += ",\"" + JsonEscape(key.c_str()) + "\":" + value;
+  }
+  if (include_wall) {
+    out += ",\"wall_ns\":" + std::to_string(event.wall_ns);
+  }
+  out += "}";
+  return out;
+}
+
+void WriteJournalJsonl(std::ostream& os, bool include_wall) {
+  for (const JournalEvent& event : SnapshotJournal()) {
+    os << JournalEventJson(event, include_wall) << "\n";
+  }
+}
+
+std::string JournalJsonlString(bool include_wall) {
+  std::ostringstream os;
+  WriteJournalJsonl(os, include_wall);
+  return os.str();
+}
+
+Status WriteJournalJsonlFile(const std::string& path, bool include_wall) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::NotFound("cannot open journal output file " + path);
+  }
+  WriteJournalJsonl(out, include_wall);
+  out.flush();
+  if (!out) return Status::Internal("write to " + path + " failed");
+  return Status::OK();
+}
+
+std::string JournalFingerprint() {
+  return JournalJsonlString(/*include_wall=*/false);
+}
+
+}  // namespace fedsc

@@ -1,0 +1,122 @@
+// Structured event journal of a federated round: the machine-readable run
+// ledger the Chrome trace and the flat metrics dump cannot provide.
+//
+// The paper's headline claims are operational — one communication round,
+// T = max_z T^(z) + T_c, graceful degradation under device failures — so
+// the journal records *what happened to every device, when, and at what
+// byte cost* as an ordered sequence of typed events on the SimClock
+// timeline: per-device lifecycle (scheduled, upload_attempt, retry,
+// timeout, transient_loss, delivered, wire_rejected, accepted, quarantined,
+// byzantine_rejected, dropped, local_error) and server-side phases
+// (run_start, quorum_reached/quorum_missed, central_start/central_finish,
+// broadcast, run_finish). Exported as schema-versioned JSONL, one event per
+// line, and embedded into the RunReport (core/report.h).
+//
+// Determinism contract (mirrors common/metrics.h): every journal emission
+// point lives in *serial protocol code* (the uplink loop, the phase
+// boundaries), never inside a ParallelFor body, so the event sequence and
+// every payload field are bit-identical for any num_threads. The only
+// execution-dependent datum is the wall-clock timestamp each event also
+// carries; it is segregated in a dedicated `wall_ns` field that
+// JournalFingerprint() strips and that the JSONL writer can omit, exactly
+// like kExecution metrics are excluded from the metrics fingerprint.
+//
+// Cost contract: with the journal disabled (the default) the
+// FEDSC_JOURNAL_EVENT macro performs one relaxed atomic load and touches
+// nothing else — the event's field list is not even evaluated.
+
+#ifndef FEDSC_COMMON_JOURNAL_H_
+#define FEDSC_COMMON_JOURNAL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fedsc {
+
+// Bump when the JSONL layout or the event vocabulary changes
+// incompatibly; scripts/validate_report.py pins it.
+inline constexpr int kJournalSchemaVersion = 1;
+
+namespace internal {
+extern std::atomic<bool> g_journal_enabled;
+}  // namespace internal
+
+// The single relaxed load on the disabled path.
+inline bool JournalEnabled() {
+  return internal::g_journal_enabled.load(std::memory_order_relaxed);
+}
+
+void EnableJournal(bool on);
+// Drops every recorded event and restarts the sequence counter.
+void ResetJournal();
+
+// One key/value payload field. Values are pre-rendered to JSON so snapshots
+// and writers never re-interpret them (strings arrive quoted + escaped).
+// Only constructed when the journal is enabled (the macro gates the field
+// list behind JournalEnabled()).
+struct JournalField {
+  JournalField(const char* key, int64_t value);
+  JournalField(const char* key, int value);
+  JournalField(const char* key, uint64_t value);
+  JournalField(const char* key, double value);
+  JournalField(const char* key, const char* value);
+  JournalField(const char* key, const std::string& value);
+
+  std::string key;
+  std::string json_value;
+};
+
+struct JournalEvent {
+  int64_t seq = 0;     // 0-based emission order (deterministic)
+  std::string type;    // event name from the taxonomy above
+  int64_t device = -1; // -1 for server/phase events
+  int64_t sim_ms = -1; // SimClock timestamp; -1 when off the clock
+  // Deterministic payload (key, rendered JSON value), in emission order.
+  std::vector<std::pair<std::string, std::string>> fields;
+  // Wall-clock nanoseconds since journal reset. Execution-only: varies run
+  // to run and is excluded from every determinism check.
+  int64_t wall_ns = 0;
+};
+
+// Appends one event (assigns seq and wall_ns). Thread-safe, though the
+// determinism contract requires callers to emit from serial protocol code.
+void JournalRecord(const char* type, int64_t device, int64_t sim_ms,
+                   std::initializer_list<JournalField> fields = {});
+
+// Copy of the journal so far, in emission order.
+std::vector<JournalEvent> SnapshotJournal();
+
+// Schema-versioned JSONL: one {"v":1,"seq":...,"type":...,...} object per
+// line. With include_wall, each line carries the execution-only "wall_ns"
+// field; without it the output is bit-identical across thread counts.
+void WriteJournalJsonl(std::ostream& os, bool include_wall = true);
+std::string JournalJsonlString(bool include_wall = true);
+Status WriteJournalJsonlFile(const std::string& path,
+                             bool include_wall = true);
+
+// The determinism digest: the full JSONL with wall timestamps stripped.
+// Byte-equal across num_threads for the same (data, options).
+std::string JournalFingerprint();
+
+// Renders one event as a single JSON object (no trailing newline).
+std::string JournalEventJson(const JournalEvent& event, bool include_wall);
+
+}  // namespace fedsc
+
+// Emits a journal event; with the journal disabled this is one relaxed
+// atomic load and the argument list is never evaluated.
+#define FEDSC_JOURNAL_EVENT(...)                 \
+  do {                                           \
+    if (::fedsc::JournalEnabled()) {             \
+      ::fedsc::JournalRecord(__VA_ARGS__);       \
+    }                                            \
+  } while (false)
+
+#endif  // FEDSC_COMMON_JOURNAL_H_

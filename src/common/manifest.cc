@@ -1,0 +1,107 @@
+#include "common/manifest.h"
+
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+namespace fedsc {
+
+namespace {
+
+#ifndef FEDSC_GIT_DESCRIBE
+#define FEDSC_GIT_DESCRIBE "unknown"
+#endif
+#ifndef FEDSC_CMAKE_BUILD_TYPE
+#define FEDSC_CMAKE_BUILD_TYPE "unknown"
+#endif
+
+std::string CompilerVersion() {
+#if defined(__clang__)
+  return std::string("clang ") + __VERSION__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+std::string CpuModel() {
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    if (line.rfind("model name", 0) == 0) {
+      size_t start = colon + 1;
+      while (start < line.size() && line[start] == ' ') ++start;
+      return line.substr(start);
+    }
+  }
+  return "unknown";
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\\') {
+      out += "\\\\";
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+      out += buffer;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+RunManifest CollectRunManifest() {
+  RunManifest manifest;
+  manifest.git_describe = FEDSC_GIT_DESCRIBE;
+  manifest.compiler = CompilerVersion();
+  manifest.build_type = FEDSC_CMAKE_BUILD_TYPE;
+  manifest.cpu_model = CpuModel();
+  manifest.hardware_threads =
+      static_cast<int>(std::thread::hardware_concurrency());
+  return manifest;
+}
+
+uint64_t Fnv1a64(const std::string& text) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (char c : text) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::string HexDigest64(uint64_t value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+std::string RunManifestJson(const RunManifest& manifest) {
+  std::string out = "{";
+  out += "\"git_describe\":\"" + JsonEscape(manifest.git_describe) + "\"";
+  out += ",\"compiler\":\"" + JsonEscape(manifest.compiler) + "\"";
+  out += ",\"build_type\":\"" + JsonEscape(manifest.build_type) + "\"";
+  out += ",\"cpu_model\":\"" + JsonEscape(manifest.cpu_model) + "\"";
+  out += ",\"hardware_threads\":" + std::to_string(manifest.hardware_threads);
+  out += ",\"options_fingerprint\":\"" +
+         JsonEscape(manifest.options_fingerprint) + "\"";
+  out += ",\"seed\":" + std::to_string(manifest.seed);
+  out += ",\"fault_seed\":" + std::to_string(manifest.fault_seed);
+  out += ",\"num_threads\":" + std::to_string(manifest.num_threads);
+  out += "}";
+  return out;
+}
+
+}  // namespace fedsc

@@ -1,7 +1,9 @@
 #include "common/metrics.h"
 
+#include <algorithm>
 #include <bit>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <ostream>
@@ -39,6 +41,30 @@ void Histogram::Record(int64_t value) {
   buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
 }
 
+double HistogramSnapshot::Percentile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(count - 1);  // 0-based rank
+  int64_t below = 0;
+  for (const auto& [bits, n] : buckets) {
+    if (target < static_cast<double>(below + n)) {
+      // Bucket value range: b = 0 holds only 0; b > 0 holds [2^(b-1), 2^b-1].
+      const double lo = bits == 0 ? 0.0 : std::ldexp(1.0, bits - 1);
+      const double hi = bits == 0 ? 0.0 : std::ldexp(1.0, bits) - 1.0;
+      const double frac =
+          n <= 1 ? 0.0 : (target - static_cast<double>(below)) /
+                             static_cast<double>(n - 1);
+      double value = lo + (hi - lo) * frac;
+      value = std::max(value, static_cast<double>(min));
+      value = std::min(value, static_cast<double>(max));
+      return value;
+    }
+    below += n;
+  }
+  return static_cast<double>(max);
+}
+
 HistogramSnapshot Histogram::Snapshot() const {
   HistogramSnapshot out;
   out.count = count_.load(std::memory_order_relaxed);
@@ -71,11 +97,14 @@ MetricsRegistry::MetricsRegistry() {
   // Core pipeline instruments, pre-registered so metrics JSON always carries
   // the full schema. See DESIGN.md "Observability".
   for (const char* name :
-       {"linalg.gemm.calls", "linalg.gemm.flops", "linalg.gemv.calls",
+       {"linalg.gemm.calls", "linalg.gemm.flops", "linalg.gemm.bytes",
+        "linalg.gemm.blocked_calls", "linalg.syrk.calls", "linalg.syrk.flops",
+        "linalg.syrk.bytes", "linalg.gemv.calls",
         "linalg.gemv.flops", "linalg.qr.calls", "linalg.qr.flops",
         "linalg.qr.blocked_calls", "linalg.svd.calls", "linalg.svd.sweeps",
         "linalg.svd.rotations", "linalg.svd.precond_qr",
-        "linalg.eig.tridiag_flops", "linalg.lanczos.calls",
+        "linalg.eig.calls", "linalg.eig.tridiag_flops",
+        "linalg.lanczos.calls",
         "linalg.lanczos.iterations", "linalg.lanczos.restarts",
         "linalg.lanczos.reorthogonalizations",
         "linalg.subspace_iteration.calls",
@@ -84,7 +113,7 @@ MetricsRegistry::MetricsRegistry() {
         "cluster.kmeans.runs", "cluster.kmeans.restarts",
         "cluster.kmeans.iterations", "fed.comm.uplink_values",
         "fed.comm.uplink_bits", "fed.comm.uplink_wire_bytes",
-        "fed.comm.downlink_values",
+        "fed.comm.downlink_values", "fed.comm.retries", "fed.comm.timeouts",
         "fed.comm.rounds", "fedsc.runs", "fedsc.devices",
         "fedsc.local_clusters", "fedsc.total_samples"}) {
     counters_.emplace(name, Entry<Counter>{std::make_unique<Counter>(),
@@ -236,6 +265,9 @@ void WriteMetricsJson(std::ostream& os) {
                       ", \"sum\": " + std::to_string(h.sum) +
                       ", \"min\": " + std::to_string(h.min) +
                       ", \"max\": " + std::to_string(h.max) +
+                      ", \"p50\": " + JsonDouble(h.Percentile(0.50)) +
+                      ", \"p90\": " + JsonDouble(h.Percentile(0.90)) +
+                      ", \"p99\": " + JsonDouble(h.Percentile(0.99)) +
                       ", \"log2_buckets\": {";
     bool first = true;
     for (const auto& [bits, count] : h.buckets) {

@@ -94,6 +94,13 @@ struct HistogramSnapshot {
   // (bit_width, count) for non-empty buckets: bucket b holds values v with
   // std::bit_width(v) == b, i.e. 2^(b-1) <= v < 2^b (b = 0 holds v == 0).
   std::vector<std::pair<int, int64_t>> buckets;
+
+  // Percentile estimate for q in [0, 1] from the log2 buckets: walks bucket
+  // counts to the rank q*(count-1) and interpolates linearly inside the
+  // bucket's value range, clamped to the observed [min, max] (so q=0 and
+  // q=1 return min and max exactly). Returns 0 when empty. Deterministic:
+  // a pure function of the (integer) snapshot.
+  double Percentile(double q) const;
 };
 
 // Log2-bucketed histogram of nonnegative int64 samples (negatives clamp to

@@ -1,0 +1,220 @@
+#include "common/profile.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <utility>
+
+#include "common/metrics.h"
+#include "common/trace.h"
+
+namespace fedsc {
+
+namespace {
+
+using internal::RawTraceEvent;
+
+// The kernels whose span time is joined with FLOP/byte counters. `bytes`
+// may be empty: QR and eig publish FLOP estimates but not matrix traffic,
+// so their arithmetic-intensity column is reported as 0 (untracked).
+struct KernelJoin {
+  const char* span;
+  const char* calls_counter;
+  const char* flops_counter;
+  const char* bytes_counter;  // "" when the kernel does not track bytes
+};
+
+constexpr KernelJoin kKernelJoins[] = {
+    {"linalg/gemm", "linalg.gemm.calls", "linalg.gemm.flops",
+     "linalg.gemm.bytes"},
+    {"linalg/syrk", "linalg.syrk.calls", "linalg.syrk.flops",
+     "linalg.syrk.bytes"},
+    {"linalg/qr", "linalg.qr.calls", "linalg.qr.flops", ""},
+    {"linalg/eig", "linalg.eig.calls", "linalg.eig.tridiag_flops", ""},
+};
+
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
+}  // namespace
+
+ProfileReport BuildProfileReport() {
+  ProfileReport report;
+  const auto logs = internal::SnapshotTraceEvents();
+
+  std::map<std::string, SpanProfileEntry> by_name;
+  double ts_min = 0.0, ts_max = 0.0;
+  bool saw_event = false;
+
+  struct Open {
+    const RawTraceEvent* begin;
+    double child_seconds = 0.0;  // inclusive time of direct children
+  };
+
+  for (const auto& [tid, events] : logs) {
+    if (events.empty()) continue;
+    ThreadUtilizationEntry thread;
+    thread.tid = tid;
+    std::vector<Open> stack;
+    for (const RawTraceEvent& event : events) {
+      if (!saw_event) {
+        ts_min = ts_max = event.ts_micros;
+        saw_event = true;
+      } else {
+        ts_min = std::min(ts_min, event.ts_micros);
+        ts_max = std::max(ts_max, event.ts_micros);
+      }
+      if (event.begin) {
+        stack.push_back({&event});
+        continue;
+      }
+      if (stack.empty()) continue;  // reset mid-span; skip the orphan
+      Open open = stack.back();
+      stack.pop_back();
+      const double seconds = (event.ts_micros - open.begin->ts_micros) * 1e-6;
+      SpanProfileEntry& entry = by_name[open.begin->name];
+      entry.name = open.begin->name;
+      entry.count += 1;
+      entry.inclusive_seconds += seconds;
+      entry.exclusive_seconds += seconds - open.child_seconds;
+      entry.max_seconds = std::max(entry.max_seconds, seconds);
+      if (stack.empty()) {
+        thread.top_level_spans += 1;
+        thread.busy_seconds += seconds;
+      } else {
+        stack.back().child_seconds += seconds;
+      }
+    }
+    report.threads.push_back(thread);
+  }
+
+  report.wall_seconds = saw_event ? (ts_max - ts_min) * 1e-6 : 0.0;
+  for (ThreadUtilizationEntry& thread : report.threads) {
+    thread.idle_seconds =
+        std::max(0.0, report.wall_seconds - thread.busy_seconds);
+  }
+
+  report.spans.reserve(by_name.size());
+  for (auto& [name, entry] : by_name) report.spans.push_back(std::move(entry));
+
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  for (const KernelJoin& join : kKernelJoins) {
+    KernelRooflineEntry kernel;
+    kernel.span = join.span;
+    kernel.calls = registry.GetCounter(join.calls_counter).value();
+    kernel.flops = registry.GetCounter(join.flops_counter).value();
+    if (join.bytes_counter[0] != '\0') {
+      kernel.bytes = registry.GetCounter(join.bytes_counter).value();
+    }
+    const auto it = by_name.find(join.span);
+    if (it != by_name.end()) kernel.seconds = it->second.inclusive_seconds;
+    if (kernel.seconds > 0.0) {
+      kernel.achieved_gflops =
+          static_cast<double>(kernel.flops) / kernel.seconds * 1e-9;
+    }
+    if (kernel.bytes > 0) {
+      kernel.arithmetic_intensity = static_cast<double>(kernel.flops) /
+                                    static_cast<double>(kernel.bytes);
+    }
+    report.kernels.push_back(std::move(kernel));
+  }
+
+  return report;
+}
+
+std::string ProfileReportJson(const ProfileReport& report) {
+  std::string out = "{\"wall_seconds\":" + FormatDouble(report.wall_seconds);
+  out += ",\"spans\":[";
+  for (size_t i = 0; i < report.spans.size(); ++i) {
+    const SpanProfileEntry& span = report.spans[i];
+    if (i > 0) out += ",";
+    out += "{\"name\":\"" + span.name + "\"";
+    out += ",\"count\":" + std::to_string(span.count);
+    out += ",\"inclusive_seconds\":" + FormatDouble(span.inclusive_seconds);
+    out += ",\"exclusive_seconds\":" + FormatDouble(span.exclusive_seconds);
+    out += ",\"max_seconds\":" + FormatDouble(span.max_seconds);
+    out += "}";
+  }
+  out += "],\"kernels\":[";
+  for (size_t i = 0; i < report.kernels.size(); ++i) {
+    const KernelRooflineEntry& kernel = report.kernels[i];
+    if (i > 0) out += ",";
+    out += "{\"span\":\"" + kernel.span + "\"";
+    out += ",\"calls\":" + std::to_string(kernel.calls);
+    out += ",\"flops\":" + std::to_string(kernel.flops);
+    out += ",\"bytes\":" + std::to_string(kernel.bytes);
+    out += ",\"seconds\":" + FormatDouble(kernel.seconds);
+    out += ",\"achieved_gflops\":" + FormatDouble(kernel.achieved_gflops);
+    out += ",\"arithmetic_intensity\":" +
+           FormatDouble(kernel.arithmetic_intensity);
+    out += "}";
+  }
+  out += "],\"threads\":[";
+  for (size_t i = 0; i < report.threads.size(); ++i) {
+    const ThreadUtilizationEntry& thread = report.threads[i];
+    if (i > 0) out += ",";
+    out += "{\"tid\":" + std::to_string(thread.tid);
+    out += ",\"top_level_spans\":" + std::to_string(thread.top_level_spans);
+    out += ",\"busy_seconds\":" + FormatDouble(thread.busy_seconds);
+    out += ",\"idle_seconds\":" + FormatDouble(thread.idle_seconds);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+void PrintProfileSummary(const ProfileReport& report, std::ostream& os) {
+  char buffer[192];
+
+  size_t width = 4;  // "span"
+  for (const SpanProfileEntry& span : report.spans) {
+    width = std::max(width, span.name.size());
+  }
+  std::snprintf(buffer, sizeof(buffer), "%-*s | %8s | %12s | %12s | %12s\n",
+                static_cast<int>(width), "span", "count", "incl ms",
+                "excl ms", "max ms");
+  os << buffer;
+  for (const SpanProfileEntry& span : report.spans) {
+    std::snprintf(buffer, sizeof(buffer),
+                  "%-*s | %8lld | %12.3f | %12.3f | %12.3f\n",
+                  static_cast<int>(width), span.name.c_str(),
+                  static_cast<long long>(span.count),
+                  span.inclusive_seconds * 1e3, span.exclusive_seconds * 1e3,
+                  span.max_seconds * 1e3);
+    os << buffer;
+  }
+
+  os << "\n";
+  std::snprintf(buffer, sizeof(buffer),
+                "%-12s | %8s | %14s | %14s | %10s | %10s\n", "kernel",
+                "calls", "flops", "bytes", "GFLOP/s", "flops/byte");
+  os << buffer;
+  for (const KernelRooflineEntry& kernel : report.kernels) {
+    std::snprintf(buffer, sizeof(buffer),
+                  "%-12s | %8lld | %14lld | %14lld | %10.3f | %10.3f\n",
+                  kernel.span.c_str(), static_cast<long long>(kernel.calls),
+                  static_cast<long long>(kernel.flops),
+                  static_cast<long long>(kernel.bytes),
+                  kernel.achieved_gflops, kernel.arithmetic_intensity);
+    os << buffer;
+  }
+
+  os << "\n";
+  std::snprintf(buffer, sizeof(buffer), "%-6s | %10s | %10s | %8s\n",
+                "thread", "busy ms", "idle ms", "busy %");
+  os << buffer;
+  for (const ThreadUtilizationEntry& thread : report.threads) {
+    const double denom = thread.busy_seconds + thread.idle_seconds;
+    const double pct = denom > 0.0 ? thread.busy_seconds / denom * 100.0 : 0.0;
+    std::snprintf(buffer, sizeof(buffer), "%-6d | %10.3f | %10.3f | %7.1f%%\n",
+                  thread.tid, thread.busy_seconds * 1e3,
+                  thread.idle_seconds * 1e3, pct);
+    os << buffer;
+  }
+}
+
+}  // namespace fedsc

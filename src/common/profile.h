@@ -1,0 +1,84 @@
+// Span-aggregating self-profiler over the trace buffers.
+//
+// Where common/trace.h exports raw begin/end events for timeline viewers,
+// this module folds the same buffers into the tables an engineer actually
+// reads after a run:
+//
+//   * per-span-name inclusive/exclusive wall time (exclusive = inclusive
+//     minus time spent in child spans on the same thread), so hot leaves
+//     stand out even when every phase nests under fedsc/run;
+//   * per-kernel roofline attribution: span seconds joined with the FLOP
+//     and byte counters the kernels publish in the metrics registry
+//     (common/metrics.h), yielding achieved GFLOP/s and arithmetic
+//     intensity (FLOPs per byte of matrix traffic) per kernel;
+//   * thread-pool utilization: per worker track, the fraction of the
+//     observed wall range covered by top-level spans (busy) vs. gaps
+//     (idle) — the load-balance view of Phase 1's parallel device loop.
+//
+// Everything here is wall-clock derived and therefore execution-only in the
+// determinism taxonomy (DESIGN.md §7): numbers vary run to run and across
+// num_threads, and are reported under the report's "profile" section, never
+// fingerprinted. Aggregation keys by span *name* only (args stripped), so
+// per-device spans fold into one row per phase.
+
+#ifndef FEDSC_COMMON_PROFILE_H_
+#define FEDSC_COMMON_PROFILE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fedsc {
+
+struct SpanProfileEntry {
+  std::string name;               // span name, args stripped
+  int64_t count = 0;              // completed spans with this name
+  double inclusive_seconds = 0.0; // sum of span durations
+  double exclusive_seconds = 0.0; // inclusive minus same-thread children
+  double max_seconds = 0.0;       // longest single span
+};
+
+// One kernel row of the roofline join. `seconds` is the kernel span's
+// inclusive time; flops/bytes come from the metrics registry. Derived rates
+// are 0 when the denominator is 0 (kernel never ran, or bytes untracked).
+struct KernelRooflineEntry {
+  std::string span;     // e.g. "linalg/gemm"
+  int64_t calls = 0;
+  int64_t flops = 0;
+  int64_t bytes = 0;    // matrix traffic; 0 when the kernel does not track it
+  double seconds = 0.0;
+  double achieved_gflops = 0.0;       // flops / seconds / 1e9
+  double arithmetic_intensity = 0.0;  // flops / bytes
+};
+
+struct ThreadUtilizationEntry {
+  int tid = 0;
+  int64_t top_level_spans = 0;
+  double busy_seconds = 0.0;  // wall covered by top-level spans on this track
+  double idle_seconds = 0.0;  // observed wall range minus busy
+};
+
+struct ProfileReport {
+  double wall_seconds = 0.0;  // span of [first ts, last ts] across all tracks
+  std::vector<SpanProfileEntry> spans;             // sorted by name
+  std::vector<KernelRooflineEntry> kernels;        // fixed kernel order
+  std::vector<ThreadUtilizationEntry> threads;     // tid order
+};
+
+// Folds the current trace buffers + metrics registry into a report.
+// Unmatched events (trace reset mid-span) are skipped, matching
+// SummarizeTrace's tolerance; run CheckTraceWellFormed first if you want
+// that to be an error.
+ProfileReport BuildProfileReport();
+
+// JSON object (no trailing newline): {"wall_seconds":..,"spans":[..],
+// "kernels":[..],"threads":[..]}.
+std::string ProfileReportJson(const ProfileReport& report);
+
+// Aligned human-readable tables (span table, roofline table, thread table).
+void PrintProfileSummary(const ProfileReport& report, std::ostream& os);
+
+}  // namespace fedsc
+
+#endif  // FEDSC_COMMON_PROFILE_H_

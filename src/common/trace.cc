@@ -46,12 +46,7 @@ std::string JsonEscape(const char* s) {
   return out;
 }
 
-struct TraceEvent {
-  const char* name;       // literal passed to the span macro
-  std::string args_json;  // "" or "\"z\":3,\"kind\":\"ssc\""
-  double ts_micros;
-  bool begin;
-};
+using TraceEvent = internal::RawTraceEvent;
 
 struct ThreadLog {
   explicit ThreadLog(int tid_in) : tid(tid_in) {}
@@ -158,6 +153,12 @@ TraceArg::TraceArg(const char* key_in, double value) : key(key_in) {
 }
 TraceArg::TraceArg(const char* key_in, const char* value)
     : key(key_in), json_value("\"" + JsonEscape(value) + "\"") {}
+
+namespace internal {
+std::vector<std::pair<int, std::vector<RawTraceEvent>>> SnapshotTraceEvents() {
+  return TraceRecorder::Global().Snapshot();
+}
+}  // namespace internal
 
 void EnableTracing(bool on) {
   TraceRecorder::Global();  // construct before anyone can record

@@ -36,6 +36,19 @@ namespace fedsc {
 
 namespace internal {
 extern std::atomic<bool> g_trace_enabled;
+
+// One recorded begin/end event as the per-thread buffers store it. Exposed
+// for the span profiler (common/profile.h), which folds the same buffers
+// the Chrome exporter reads into inclusive/exclusive time tables.
+struct RawTraceEvent {
+  const char* name;       // literal passed to the span macro
+  std::string args_json;  // "" or "\"z\":3,\"kind\":\"ssc\""
+  double ts_micros;
+  bool begin;
+};
+
+// Copies every thread's events as (tid, events) pairs in tid order.
+std::vector<std::pair<int, std::vector<RawTraceEvent>>> SnapshotTraceEvents();
 }  // namespace internal
 
 // The single relaxed load on the disabled path.

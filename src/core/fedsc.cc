@@ -4,11 +4,13 @@
 #include <cmath>
 #include <limits>
 
+#include "common/journal.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
+#include "core/report.h"
 #include "graph/eigengap.h"
 #include "linalg/blas.h"
 #include "linalg/svd.h"
@@ -225,6 +227,23 @@ Result<FedScResult> RunFedSc(const FederatedDataset& data,
   result.device_labels.resize(static_cast<size_t>(num_devices));
   result.point_sample.resize(static_cast<size_t>(num_devices));
 
+  // The fault plan is a pure function of (options, z), so drawing it before
+  // Phase 1 changes nothing downstream — and lets the journal announce every
+  // device's schedule up front.
+  FEDSC_ASSIGN_OR_RETURN(FaultPlan plan,
+                         FaultPlan::Create(num_devices, options.faults));
+  FEDSC_JOURNAL_EVENT("run_start", -1, -1,
+                      {{"devices", num_devices},
+                       {"clusters", num_clusters},
+                       {"seed", options.seed},
+                       {"fault_seed", options.faults.seed}});
+  if (JournalEnabled()) {
+    for (int64_t z = 0; z < num_devices; ++z) {
+      JournalRecord("scheduled", z, -1,
+                    {{"fault", FaultClassName(plan.ScheduleFor(z))}});
+    }
+  }
+
   // Phase 1: local clustering and sampling on every device. Devices are
   // independent, so the work fans out over options.num_threads; seeds are
   // fixed up front so the outcome matches the sequential run exactly.
@@ -254,10 +273,8 @@ Result<FedScResult> RunFedSc(const FederatedDataset& data,
   // Uplink with the failure model: the fault plan injects per-device
   // failures, the channel retries against a simulated clock, and the server
   // quarantines corrupt sample columns instead of crashing. Everything here
-  // is serial protocol code, so metrics and schedules are deterministic for
-  // any num_threads.
-  FEDSC_ASSIGN_OR_RETURN(FaultPlan plan,
-                         FaultPlan::Create(num_devices, options.faults));
+  // is serial protocol code, so metrics, schedules, and journal events are
+  // deterministic for any num_threads.
   std::vector<Matrix> received(static_cast<size_t>(num_devices));
   // For participating devices: the original upload column index of every
   // accepted (post-quarantine) column, in accepted order.
@@ -275,6 +292,8 @@ Result<FedScResult> RunFedSc(const FederatedDataset& data,
       if (!device_status[static_cast<size_t>(z)].ok()) {
         report.outcome = DeviceOutcome::kLocalError;
         report.status = device_status[static_cast<size_t>(z)];
+        FEDSC_JOURNAL_EVENT("local_error", z, -1,
+                            {{"status", report.status.ToString()}});
         continue;
       }
       result.local_seconds += device_seconds[static_cast<size_t>(z)];
@@ -300,6 +319,19 @@ Result<FedScResult> RunFedSc(const FederatedDataset& data,
       report.attempts = outcome.attempts;
       rounds_used = std::max<int64_t>(rounds_used, outcome.attempts);
       sim_uplink_ms = std::max(sim_uplink_ms, outcome.elapsed_ms);
+      // A rejected Byzantine device is worth its own journal event: its
+      // payload was adversarial-yet-well-formed, so only a *co-scheduled*
+      // fault (or validation bound) can stop it.
+      const auto journal_rejection = [&](const char* type,
+                                         const std::string& reason) {
+        if (!JournalEnabled()) return;
+        JournalRecord(type, z, outcome.elapsed_ms,
+                      {{"attempts", report.attempts}, {"reason", reason}});
+        if (plan.ScheduleFor(z).payload == PayloadFault::kByzantine) {
+          JournalRecord("byzantine_rejected", z, outcome.elapsed_ms,
+                        {{"attempts", report.attempts}});
+        }
+      };
       if (!outcome.delivered) {
         // A wire-corrupt upload *arrived* — the bytes just failed
         // validation — so it is quarantined like any other unusable upload;
@@ -314,6 +346,8 @@ Result<FedScResult> RunFedSc(const FederatedDataset& data,
         } else {
           FEDSC_METRIC_COUNTER("fed.faults.dropped_devices").Increment();
         }
+        journal_rejection(corrupt ? "quarantined" : "dropped",
+                          outcome.status.ToString());
         FEDSC_LOG(Warning) << "device " << z
                            << " failed to upload: "
                            << outcome.status.ToString();
@@ -331,6 +365,7 @@ Result<FedScResult> RunFedSc(const FederatedDataset& data,
         report.status = validation.status();
         result.quarantined_samples += report.quarantined_samples;
         FEDSC_METRIC_COUNTER("fed.quarantine.devices").Increment();
+        journal_rejection("quarantined", validation.status().ToString());
         FEDSC_LOG(Warning) << "device " << z << " upload quarantined: "
                            << validation.status().ToString();
         continue;
@@ -344,12 +379,19 @@ Result<FedScResult> RunFedSc(const FederatedDataset& data,
             "every sample of device " + std::to_string(z) +
             " failed validation");
         FEDSC_METRIC_COUNTER("fed.quarantine.devices").Increment();
+        journal_rejection("quarantined", report.status.ToString());
         continue;
       }
       received[static_cast<size_t>(z)] = std::move(validation->accepted);
       kept_samples[static_cast<size_t>(z)] = std::move(validation->kept);
       total_samples += received[static_cast<size_t>(z)].cols();
       result.participating_devices += 1;
+      FEDSC_JOURNAL_EVENT(
+          "accepted", z, outcome.elapsed_ms,
+          {{"attempts", report.attempts},
+           {"uploaded_samples", report.uploaded_samples},
+           {"accepted_samples", received[static_cast<size_t>(z)].cols()},
+           {"quarantined_samples", report.quarantined_samples}});
     }
   }
   for (const DeviceReport& report : result.device_reports) {
@@ -367,6 +409,10 @@ Result<FedScResult> RunFedSc(const FederatedDataset& data,
       static_cast<double>(result.participating_devices) /
       static_cast<double>(num_devices);
   if (participation + 1e-12 < options.quorum) {
+    FEDSC_JOURNAL_EVENT("quorum_missed", -1, sim_uplink_ms,
+                        {{"participating", result.participating_devices},
+                         {"devices", num_devices},
+                         {"quorum", options.quorum}});
     std::string detail;
     for (int64_t z : result.failed_devices) {
       const DeviceReport& report =
@@ -381,6 +427,10 @@ Result<FedScResult> RunFedSc(const FederatedDataset& data,
         std::to_string(options.quorum) + " (" + detail + ")");
   }
 
+  FEDSC_JOURNAL_EVENT("quorum_reached", -1, sim_uplink_ms,
+                      {{"participating", result.participating_devices},
+                       {"devices", num_devices},
+                       {"quorum", options.quorum}});
   result.total_samples = total_samples;
   FEDSC_METRIC_COUNTER("fedsc.total_samples").Add(total_samples);
   if (total_samples < num_clusters) {
@@ -409,6 +459,11 @@ Result<FedScResult> RunFedSc(const FederatedDataset& data,
   Stopwatch central_timer;
   {
     FEDSC_TRACE_SPAN("fedsc/phase2/central", {{"samples", total_samples}});
+    FEDSC_JOURNAL_EVENT(
+        "central_start", -1, sim_uplink_ms,
+        {{"samples", total_samples},
+         {"method",
+          options.central_method == ScMethod::kSsc ? "ssc" : "tsc"}});
     ScPipelineOptions central;
     central.method = options.central_method;
     central.ssc = options.central_ssc;
@@ -435,11 +490,15 @@ Result<FedScResult> RunFedSc(const FederatedDataset& data,
     result.central_affinity = std::move(central_result.affinity);
   }
   result.central_seconds = central_timer.ElapsedSeconds();
+  FEDSC_JOURNAL_EVENT("central_finish", -1, sim_uplink_ms,
+                      {{"samples", total_samples}});
 
   // Phase 3: downlink assignments; devices relabel their points. Points on
   // failed devices get the sentinel label — partial participation degrades
   // coverage, never correctness of the surviving labels.
   FEDSC_TRACE_SPAN("fedsc/phase3/relabel");
+  FEDSC_JOURNAL_EVENT("broadcast", -1, sim_uplink_ms,
+                      {{"devices", result.participating_devices}});
   for (int64_t z = 0; z < num_devices; ++z) {
     const LocalClusteringOutput& local = locals[static_cast<size_t>(z)];
     auto& labels = result.device_labels[static_cast<size_t>(z)];
@@ -455,6 +514,8 @@ Result<FedScResult> RunFedSc(const FederatedDataset& data,
     const std::vector<int64_t>& kept = kept_samples[static_cast<size_t>(z)];
     const int64_t offset = device_sample_offset[static_cast<size_t>(z)];
     channel.Downlink(static_cast<int64_t>(kept.size()), num_clusters);
+    FEDSC_JOURNAL_EVENT("downlink", z, sim_uplink_ms,
+                        {{"values", static_cast<int64_t>(kept.size())}});
 
     // Map each local cluster to the label of its first *accepted* sample; a
     // cluster whose samples were all quarantined gets the sentinel.
@@ -493,6 +554,15 @@ Result<FedScResult> RunFedSc(const FederatedDataset& data,
   result.comm = channel.stats();
   result.comm.sim_uplink_ms = sim_uplink_ms;
   result.seconds = result.local_seconds + result.central_seconds;
+  FEDSC_JOURNAL_EVENT("run_finish", -1, sim_uplink_ms,
+                      {{"participating", result.participating_devices},
+                       {"total_samples", result.total_samples},
+                       {"rounds", rounds_used},
+                       {"uplink_wire_bytes", result.comm.uplink_wire_bytes}});
+  if (options.collect_report) {
+    result.report =
+        std::make_shared<const RunReport>(BuildRunReport(options, result));
+  }
   return result;
 }
 

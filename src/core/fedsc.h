@@ -18,6 +18,7 @@
 #define FEDSC_CORE_FEDSC_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/result.h"
@@ -97,6 +98,12 @@ struct FedScOptions {
   bool use_dp = false;
   DpOptions dp;
 
+  // Builds a provenance-stamped RunReport (core/report.h) — manifest,
+  // journal, span profile, metrics — and attaches it to FedScResult::report.
+  // Off by default: report collection snapshots every observability surface,
+  // which is pure overhead for callers that only want labels.
+  bool collect_report = false;
+
   // Workers used for Phase 1, where devices are independent — the source of
   // the paper's parallel running time O(N^2 + Z^2) (Section IV-E) — and for
   // the Phase-2 central clustering kernels (GEMM, per-column solves), via
@@ -142,6 +149,8 @@ struct DeviceReport {
   Status status;                   // non-OK explains the failure
 };
 
+struct RunReport;  // core/report.h
+
 struct FedScResult {
   // Label given to every point on a failed (dropped / quarantined /
   // errored) device, so partial participation can never masquerade as a
@@ -172,6 +181,11 @@ struct FedScResult {
   double local_seconds = 0.0;    // sum_z T^(z)
   double central_seconds = 0.0;  // T_c
   double seconds = 0.0;          // T = sum_z T^(z) + T_c
+
+  // Set when FedScOptions::collect_report: the run's full ledger (manifest,
+  // journal, profile, metrics — see core/report.h). shared_ptr keeps this
+  // header free of the report type and the result cheaply copyable.
+  std::shared_ptr<const RunReport> report;
 };
 
 Result<FedScResult> RunFedSc(const FederatedDataset& data,

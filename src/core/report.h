@@ -1,0 +1,78 @@
+// The RunReport: one provenance-stamped JSON document binding every
+// observability surface of a run together — the RunManifest
+// (common/manifest.h), the run summary (per-device fates + communication
+// ledger from FedScResult), the structured event journal
+// (common/journal.h), the span/roofline/utilization profile
+// (common/profile.h), and the flat metrics snapshot (common/metrics.h).
+//
+// Consumers: `fedsc_cli --report-out`, every bench via
+// bench::Observability's --report-out flag, and FedScResult::report when
+// FedScOptions::collect_report is set. scripts/validate_report.py pins the
+// schema in CI; scripts/render_report.py renders it for humans.
+//
+// Determinism: the manifest host fields, the profile section, wall
+// timestamps in the journal, and kExecution metrics vary run to run;
+// everything else is bit-identical across num_threads. The report schema
+// keeps the two classes in separate subtrees so diffing two reports for
+// determinism means dropping a fixed set of keys, not guessing.
+
+#ifndef FEDSC_CORE_REPORT_H_
+#define FEDSC_CORE_REPORT_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/journal.h"
+#include "common/manifest.h"
+#include "common/metrics.h"
+#include "common/profile.h"
+#include "common/status.h"
+#include "core/fedsc.h"
+
+namespace fedsc {
+
+// Bump when the report JSON layout changes incompatibly;
+// scripts/validate_report.py and the golden layout fixture pin it.
+inline constexpr int kReportSchemaVersion = 1;
+
+struct RunReport {
+  RunManifest manifest;
+
+  // Run summary; meaningful only when has_run (bench reports that never ran
+  // RunFedSc carry manifest + journal + profile + metrics with a null run).
+  bool has_run = false;
+  int64_t devices = 0;
+  int64_t participating_devices = 0;
+  int64_t total_samples = 0;
+  int64_t quarantined_samples = 0;
+  std::vector<DeviceReport> device_reports;
+  CommStats comm;
+
+  std::vector<JournalEvent> journal;
+  ProfileReport profile;
+  MetricsSnapshot metrics;
+};
+
+// Fingerprint of the options that shape a run's deterministic outputs.
+// Excludes num_threads on purpose: the same config at a different thread
+// count must produce the same fingerprint (that *is* the determinism
+// contract being asserted).
+std::string FedScOptionsFingerprint(const FedScOptions& options);
+
+// Snapshot journal + profile + metrics + manifest, without a run attached
+// (has_run = false). `seed` seeds the manifest's run facts.
+RunReport BuildRunReport(uint64_t seed, uint64_t fault_seed, int num_threads);
+
+// Full report for a completed RunFedSc.
+RunReport BuildRunReport(const FedScOptions& options,
+                         const FedScResult& result);
+
+// Single JSON document (trailing newline included by the stream writer).
+std::string RunReportJson(const RunReport& report);
+void WriteRunReportJson(const RunReport& report, std::ostream& os);
+Status WriteRunReportJsonFile(const RunReport& report,
+                              const std::string& path);
+
+}  // namespace fedsc
+
+#endif  // FEDSC_CORE_REPORT_H_

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/journal.h"
+
 namespace fedsc {
 
 FedScClient::FedScClient(Matrix points, FedScOptions options, uint64_t seed)
@@ -71,6 +73,9 @@ Result<int64_t> FedScServer::AddUpload(const Matrix& samples) {
   quarantined_samples_ +=
       static_cast<int64_t>(validation.quarantined.size());
   if (validation.accepted.cols() == 0) {
+    FEDSC_JOURNAL_EVENT(
+        "quarantined", num_devices(), -1,
+        {{"reason", "every sample of the upload failed validation"}});
     return Status::InvalidArgument(
         "every sample of the upload failed validation (e.g. " +
         validation.reasons.front() + ")");
@@ -80,6 +85,12 @@ Result<int64_t> FedScServer::AddUpload(const Matrix& samples) {
   total_samples_ += validation.accepted.cols();
   uploads_.push_back(std::move(validation.accepted));
   clustered_ = false;
+  FEDSC_JOURNAL_EVENT(
+      "accepted", num_devices() - 1, -1,
+      {{"uploaded_samples", samples.cols()},
+       {"accepted_samples", uploads_.back().cols()},
+       {"quarantined_samples",
+        static_cast<int64_t>(validation.quarantined.size())}});
   return num_devices() - 1;
 }
 
@@ -116,11 +127,17 @@ Status FedScServer::Cluster() {
   central.spectral = options_.central_spectral;
   central.spectral.kmeans.seed = options_.seed ^ 0x5e47e4ULL;
   central.num_threads = options_.num_threads;
+  FEDSC_JOURNAL_EVENT("central_start", -1, -1,
+                      {{"samples", total_samples_},
+                       {"method",
+                        central.method == ScMethod::kSsc ? "ssc" : "tsc"}});
   FEDSC_ASSIGN_OR_RETURN(ScResult result,
                          RunSubspaceClustering(pooled, num_clusters_,
                                                central));
   sample_labels_ = std::move(result.labels);
   clustered_ = true;
+  FEDSC_JOURNAL_EVENT("central_finish", -1, -1,
+                      {{"samples", total_samples_}});
   return Status::OK();
 }
 

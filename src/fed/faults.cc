@@ -86,6 +86,24 @@ const char* WireFaultName(WireFault fault) {
   return "unknown";
 }
 
+std::string FaultClassName(const DeviceFaultSchedule& schedule) {
+  std::string out;
+  const auto add = [&out](const std::string& name) {
+    if (!out.empty()) out += "+";
+    out += name;
+  };
+  if (schedule.dropped) add("dropout");
+  if (schedule.straggler) add("straggler");
+  if (schedule.transient_failures > 0) add("transient");
+  if (schedule.payload != PayloadFault::kNone) {
+    add(PayloadFaultName(schedule.payload));
+  }
+  if (schedule.wire != WireFault::kNone) {
+    add(std::string("wire-") + WireFaultName(schedule.wire));
+  }
+  return out.empty() ? "none" : out;
+}
+
 Status ValidateFaultPlanOptions(const FaultPlanOptions& options) {
   FEDSC_RETURN_NOT_OK(CheckRate(options.dropout_rate, "dropout_rate"));
   FEDSC_RETURN_NOT_OK(CheckRate(options.straggler_rate, "straggler_rate"));

@@ -99,6 +99,12 @@ struct DeviceFaultSchedule {
   uint64_t wire_seed = 0;     // drives the wire-byte mutation
 };
 
+// Compact human/journal-readable summary of every fault class scheduled for
+// one device, '+'-joined in a fixed order ("dropout+byzantine"); "none" for
+// a fault-free schedule. Used as the `fault` field of the run journal's
+// per-device `scheduled` events (common/journal.h).
+std::string FaultClassName(const DeviceFaultSchedule& schedule);
+
 // Immutable per-device fault schedule. A default-constructed plan is
 // fault-free for any device index, so the happy path never pays for one.
 class FaultPlan {

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/journal.h"
 #include "common/metrics.h"
 #include "common/trace.h"
 
@@ -149,14 +150,24 @@ UplinkOutcome Channel::UplinkWithRetry(int64_t device, const Matrix& payload,
       double backoff = static_cast<double>(retry.base_backoff_ms) *
                        std::pow(retry.backoff_multiplier, attempt - 2);
       backoff *= 1.0 + retry.jitter_fraction * backoff_rng.Uniform();
-      clock->AdvanceMs(static_cast<int64_t>(std::llround(backoff)));
+      const int64_t backoff_ms =
+          static_cast<int64_t>(std::llround(backoff));
+      clock->AdvanceMs(backoff_ms);
+      FEDSC_JOURNAL_EVENT("retry", device, clock->now_ms(),
+                          {{"attempt", attempt}, {"backoff_ms", backoff_ms}});
     }
+    FEDSC_JOURNAL_EVENT("upload_attempt", device, clock->now_ms(),
+                        {{"attempt", attempt}});
     if (schedule.dropped) {
       // A dropped device never answers: the server waits out the deadline.
       clock->AdvanceMs(retry.timeout_ms);
       stats_.timeouts += 1;
       FEDSC_METRIC_COUNTER("fed.comm.timeouts").Increment();
       FEDSC_METRIC_COUNTER("fed.faults.dropped_attempts").Increment();
+      FEDSC_JOURNAL_EVENT("timeout", device, clock->now_ms(),
+                          {{"attempt", attempt},
+                           {"cause", "dropout"},
+                           {"wire_bytes", int64_t{0}}});
       outcome.status = Status::DeadlineExceeded(
           "device " + std::to_string(device) + " dropped out");
       continue;
@@ -170,6 +181,11 @@ UplinkOutcome Channel::UplinkWithRetry(int64_t device, const Matrix& payload,
       stats_.timeouts += 1;
       FEDSC_METRIC_COUNTER("fed.comm.timeouts").Increment();
       FEDSC_METRIC_COUNTER("fed.faults.straggler_timeouts").Increment();
+      FEDSC_JOURNAL_EVENT("timeout", device, clock->now_ms(),
+                          {{"attempt", attempt},
+                           {"cause", "straggler"},
+                           {"delay_ms", delay_ms},
+                           {"wire_bytes", attempt_bytes()}});
       outcome.status = Status::DeadlineExceeded(
           "device " + std::to_string(device) + " straggled (" +
           std::to_string(delay_ms) + "ms > " +
@@ -181,6 +197,9 @@ UplinkOutcome Channel::UplinkWithRetry(int64_t device, const Matrix& payload,
       // Lost in flight: bandwidth consumed, nothing delivered.
       ChargeUplinkAttempt(sent.size(), attempt_bytes());
       FEDSC_METRIC_COUNTER("fed.faults.transient_losses").Increment();
+      FEDSC_JOURNAL_EVENT("transient_loss", device, clock->now_ms(),
+                          {{"attempt", attempt},
+                           {"wire_bytes", attempt_bytes()}});
       outcome.status = Status::DeadlineExceeded(
           "device " + std::to_string(device) + " upload lost in transit");
       continue;
@@ -200,11 +219,19 @@ UplinkOutcome Channel::UplinkWithRetry(int64_t device, const Matrix& payload,
       FEDSC_CHECK(wire_faulted)
           << "own encoding failed to decode: " << decoded.status().ToString();
       FEDSC_METRIC_COUNTER("fed.faults.wire_rejections").Increment();
+      FEDSC_JOURNAL_EVENT("wire_rejected", device, clock->now_ms(),
+                          {{"attempt", attempt},
+                           {"wire_bytes", static_cast<int64_t>(wire.size())},
+                           {"fault", WireFaultName(schedule.wire)}});
       outcome.status = decoded.status();
       // Retrying cannot help: the fault rides the device's schedule, so
       // every retransmission arrives equally corrupt.
       break;
     }
+    FEDSC_JOURNAL_EVENT("delivered", device, clock->now_ms(),
+                        {{"attempt", attempt},
+                         {"wire_bytes", static_cast<int64_t>(wire.size())},
+                         {"codec", CodecModeName(codec_.mode)}});
     outcome.received = std::move(decoded->samples);
     outcome.delivered = true;
     outcome.status = Status::OK();

@@ -6,6 +6,7 @@
 
 #include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "linalg/gemm_kernel.h"
 
 namespace fedsc {
@@ -176,8 +177,12 @@ void Gemm(Trans trans_a, Trans trans_b, double alpha, const Matrix& a,
   }
   if (alpha == 0.0 || ka == 0) return;
 
+  FEDSC_TRACE_SPAN("linalg/gemm");
   FEDSC_METRIC_COUNTER("linalg.gemm.calls").Increment();
   FEDSC_METRIC_COUNTER("linalg.gemm.flops").Add(2 * m * ka * n);
+  // Matrix traffic for the roofline join: A and B read once, C read+written.
+  FEDSC_METRIC_COUNTER("linalg.gemm.bytes")
+      .Add(8 * (m * ka + ka * n + 2 * m * n));
 
   const bool trans_both =
       trans_a == Trans::kTrans && trans_b == Trans::kTrans;
@@ -236,10 +241,13 @@ void Syrk(Trans trans, double alpha, const Matrix& x, double beta, Matrix* c,
   }
   if (alpha == 0.0 || kk == 0) return;
 
+  FEDSC_TRACE_SPAN("linalg/syrk");
   FEDSC_METRIC_COUNTER("linalg.syrk.calls").Increment();
   // Useful flops: 2*kk per element over the nn*(nn+1)/2 lower-triangle
   // entries — about half the 2*nn*kk*nn the equivalent Gemm would spend.
   FEDSC_METRIC_COUNTER("linalg.syrk.flops").Add(nn * (nn + 1) * kk);
+  // Matrix traffic: X read once, the nn x nn output read+written.
+  FEDSC_METRIC_COUNTER("linalg.syrk.bytes").Add(8 * (nn * kk + 2 * nn * nn));
 
   if (UseBlockedKernel(options.kernel, nn, kk, nn, /*trans_both=*/false)) {
     BlockedSyrkLower(trans, alpha, x, c, options.num_threads);

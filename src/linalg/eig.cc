@@ -375,6 +375,7 @@ Result<EigResult> SymmetricEigen(const Matrix& a, const EigOptions& options) {
   const bool blocked = UseBlockedEig(options.variant, a.rows());
   FEDSC_TRACE_SPAN("linalg/eig",
                    {{"n", a.rows()}, {"blocked", blocked ? 1 : 0}});
+  FEDSC_METRIC_COUNTER("linalg.eig.calls").Increment();
   Matrix z;
   Vector d, e;
   Tridiagonalize(a, blocked, /*accumulate=*/true, options.num_threads, &z, &d,
@@ -405,6 +406,7 @@ Result<Vector> SymmetricEigenvalues(const Matrix& a,
   const bool blocked = UseBlockedEig(options.variant, a.rows());
   FEDSC_TRACE_SPAN("linalg/eig",
                    {{"n", a.rows()}, {"blocked", blocked ? 1 : 0}});
+  FEDSC_METRIC_COUNTER("linalg.eig.calls").Increment();
   Matrix z;
   Vector d, e;
   Tridiagonalize(a, blocked, /*accumulate=*/false, options.num_threads, &z,

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "metrics/clustering_metrics.h"
 #include "metrics/connectivity.h"
@@ -241,6 +242,60 @@ TEST(SubspacePreservingTest, EmptyGraphAndValidation) {
   EXPECT_DOUBLE_EQ(*e, 0.0);
   EXPECT_FALSE(SubspacePreservingError(empty, {0, 1}).ok());
   EXPECT_FALSE(HoldsSelfExpressiveness(empty, {0}).ok());
+}
+
+TEST(HistogramPercentileTest, EstimatesAreOrderedBoundedAndDeterministic) {
+  Histogram& histogram =
+      MetricsRegistry::Global().GetHistogram("test.percentile_histogram");
+  ResetMetrics();
+  EnableMetrics(true);
+  // 1..1000: the log2-bucket estimator cannot be exact, but its p50/p90/p99
+  // must be ordered, inside [min, max], and near the true quantile (within
+  // one power-of-two bucket of it).
+  for (int64_t v = 1; v <= 1000; ++v) histogram.Record(v);
+  EnableMetrics(false);
+
+  const HistogramSnapshot h = histogram.Snapshot();
+  const double p50 = h.Percentile(0.50);
+  const double p90 = h.Percentile(0.90);
+  const double p99 = h.Percentile(0.99);
+  EXPECT_LE(h.Percentile(0.0), p50);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, h.Percentile(1.0));
+  EXPECT_EQ(h.Percentile(0.0), 1);
+  EXPECT_EQ(h.Percentile(1.0), 1000);
+  EXPECT_GE(p50, 256);   // true p50 ~ 500, bucket [512, 1023] or [256, 511]
+  EXPECT_LE(p50, 1000);
+  EXPECT_GE(p99, 512);   // true p99 ~ 990
+  // Same data, same estimate: determinism across repeated snapshots.
+  EXPECT_EQ(p90, histogram.Snapshot().Percentile(0.90));
+  ResetMetrics();
+}
+
+TEST(HistogramPercentileTest, EdgeCases) {
+  Histogram& histogram =
+      MetricsRegistry::Global().GetHistogram("test.percentile_edge");
+  ResetMetrics();
+
+  // Empty histogram: every percentile is 0.
+  EXPECT_EQ(histogram.Snapshot().Percentile(0.5), 0.0);
+
+  // Single value: every percentile is that value (clamped to [min, max]).
+  EnableMetrics(true);
+  histogram.Record(42);
+  EnableMetrics(false);
+  const HistogramSnapshot single = histogram.Snapshot();
+  EXPECT_EQ(single.Percentile(0.0), 42);
+  EXPECT_EQ(single.Percentile(0.5), 42);
+  EXPECT_EQ(single.Percentile(1.0), 42);
+
+  // Two identical values still collapse to the value itself.
+  EnableMetrics(true);
+  histogram.Record(42);
+  EnableMetrics(false);
+  EXPECT_EQ(histogram.Snapshot().Percentile(0.99), 42);
+  ResetMetrics();
 }
 
 }  // namespace

@@ -39,7 +39,13 @@
 // trace-event JSON (open in chrome://tracing or https://ui.perfetto.dev),
 // plus an aggregate span table on stdout. --metrics-out writes the kernel
 // metrics registry (ADMM iterations, Jacobi sweeps, GEMM flops, comm bits,
-// ...) as flat JSON.
+// ...) as flat JSON, with p50/p90/p99 estimates on every histogram.
+//
+// --report-out writes the full RunReport (core/report.h): provenance
+// manifest, per-device journal on the simulated clock, span/roofline
+// profile, and the metrics snapshot, in one schema-versioned JSON document.
+// --journal-out writes the event journal alone as JSONL. Render a report
+// with scripts/render_report.py; validate with scripts/validate_report.py.
 
 #include <cstdio>
 #include <cstdlib>
@@ -49,9 +55,11 @@
 #include <string>
 #include <vector>
 
+#include "common/journal.h"
 #include "common/metrics.h"
 #include "common/trace.h"
 #include "core/fedsc.h"
+#include "core/report.h"
 #include "data/io.h"
 #include "fed/partition.h"
 #include "metrics/clustering_metrics.h"
@@ -87,6 +95,8 @@ struct CliOptions {
   int64_t timeout_ms = 1000;
   std::string trace_out;
   std::string metrics_out;
+  std::string report_out;
+  std::string journal_out;
 };
 
 void PrintUsage(const char* binary) {
@@ -101,7 +111,8 @@ void PrintUsage(const char* binary) {
       "  [--corrupt P] [--byzantine P] [--wire-corrupt P] [--fault-seed S]\n"
       "  [--quorum F] [--max-attempts A] [--timeout-ms T]\n"
       "  [--codec raw|quant|basis] [--wire-dump msg.wire]\n"
-      "  [--trace-out trace.json] [--metrics-out metrics.json]\n",
+      "  [--trace-out trace.json] [--metrics-out metrics.json]\n"
+      "  [--report-out report.json] [--journal-out journal.jsonl]\n",
       binary);
 }
 
@@ -213,6 +224,12 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     } else if (flag == "--metrics-out") {
       if ((value = next()) == nullptr) return false;
       options->metrics_out = value;
+    } else if (flag == "--report-out") {
+      if ((value = next()) == nullptr) return false;
+      options->report_out = value;
+    } else if (flag == "--journal-out") {
+      if ((value = next()) == nullptr) return false;
+      options->journal_out = value;
     } else if (flag == "--help" || flag == "-h") {
       return false;
     } else {
@@ -315,8 +332,14 @@ int main(int argc, char** argv) {
   options.retry.max_attempts = cli.max_attempts;
   options.retry.timeout_ms = cli.timeout_ms;
 
-  if (!cli.trace_out.empty()) EnableTracing(true);
-  if (!cli.metrics_out.empty()) EnableMetrics(true);
+  // A report needs every surface: spans for the profile, metrics for the
+  // roofline join and the snapshot, the journal for the event ledger. The
+  // report itself is built at output time (below), once every span has
+  // closed, rather than via FedScOptions::collect_report.
+  const bool want_report = !cli.report_out.empty();
+  if (!cli.trace_out.empty() || want_report) EnableTracing(true);
+  if (!cli.metrics_out.empty() || want_report) EnableMetrics(true);
+  if (!cli.journal_out.empty() || want_report) EnableJournal(true);
 
   auto result = RunFedSc(*fed, cli.clusters, options);
   if (!result.ok()) {
@@ -392,6 +415,18 @@ int main(int argc, char** argv) {
                   first_wire.size(), cli.wire_dump.c_str());
     }
   }
+  // Fail loudly, with the typed status, before writing a silently-broken
+  // trace or a report whose profile section was built from malformed spans.
+  if (!cli.trace_out.empty() || want_report) {
+    const Status well_formed = CheckTraceWellFormed();
+    if (!well_formed.ok()) {
+      std::fprintf(stderr, "trace is malformed; refusing to write %s: %s\n",
+                   !cli.trace_out.empty() ? cli.trace_out.c_str()
+                                          : cli.report_out.c_str(),
+                   well_formed.ToString().c_str());
+      return 1;
+    }
+  }
   if (!cli.trace_out.empty()) {
     const Status written = WriteChromeTraceFile(cli.trace_out);
     if (!written.ok()) {
@@ -412,6 +447,27 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("wrote metrics to %s\n", cli.metrics_out.c_str());
+  }
+  if (!cli.journal_out.empty()) {
+    const Status written = WriteJournalJsonlFile(cli.journal_out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "writing journal failed: %s\n",
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote run journal to %s\n", cli.journal_out.c_str());
+  }
+  if (want_report) {
+    const RunReport report = BuildRunReport(options, *result);
+    const Status written = WriteRunReportJsonFile(report, cli.report_out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "writing report failed: %s\n",
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote run report to %s (render with "
+                "scripts/render_report.py)\n",
+                cli.report_out.c_str());
   }
 
   if (!cli.output.empty()) {
