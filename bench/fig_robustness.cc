@@ -10,11 +10,22 @@
 //      while coverage shrinks with the dropped devices.
 //   2. Byzantine fraction 0 .. 0.3: adversarial-but-well-formed uploads pass
 //      validation, so accuracy (not coverage) absorbs the damage.
+//   3. Colluding Byzantine fraction 0 .. 0.3, defense off vs on: coordinated
+//      adversaries plant a shared fake subspace, the worst case for the
+//      central solve; the DefensePlan screens them and the robust k-engine
+//      absorbs whatever leaks through. With --json-out=PATH this sweep is
+//      also written as a `robustness` JSON section for
+//      scripts/bench_baseline.sh, which folds it into BENCH_linalg.json
+//      where scripts/check_bench_json.py enforces the defended-accuracy
+//      floors.
 //
 // Columns: participation, covered point fraction, accuracy over covered
 // points, quarantined samples, rounds consumed (worst per-device attempts).
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
@@ -38,8 +49,16 @@ struct SweepPoint {
   double covered_fraction = 0.0;
   double accuracy = 0.0;
   int64_t quarantined = 0;
+  int64_t screened = 0;
   int64_t rounds = 0;
   bool ok = false;
+};
+
+// One colluding-Byzantine rate measured with the defense off and on.
+struct DefensePoint {
+  double byzantine = 0.0;
+  SweepPoint undefended;
+  SweepPoint defended;
 };
 
 SweepPoint RunOnce(const FederatedDataset& fed,
@@ -63,11 +82,56 @@ SweepPoint RunOnce(const FederatedDataset& fed,
                            static_cast<double>(truth.size());
   point.accuracy = ClusteringAccuracy(covered_truth, covered_pred);
   point.quarantined = result->quarantined_samples;
+  point.screened = result->screened_devices;
   point.rounds = result->comm.rounds;
   return point;
 }
 
-void Run(bool csv) {
+void WriteRobustnessJson(const std::vector<DefensePoint>& points,
+                         double clean_acc, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return;
+  }
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "{\"robustness\":{\"config\":\"D=%ld,d=%ld,L=%ld,Z=%ld,"
+                "Lp=%ld,mode=collude\",\"clean_acc\":%.4f,\"collude\":{",
+                static_cast<long>(kAmbientDim), static_cast<long>(kSubspaceDim),
+                static_cast<long>(kNumSubspaces), static_cast<long>(kNumDevices),
+                static_cast<long>(kLPrime), clean_acc);
+  out << buffer;
+  for (size_t i = 0; i < points.size(); ++i) {
+    const DefensePoint& point = points[i];
+    std::snprintf(buffer, sizeof(buffer),
+                  "%s\"%.1f\":{\"undefended_acc\":%.4f,\"defended_acc\":%.4f,"
+                  "\"screened_devices\":%lld}",
+                  i == 0 ? "" : ",", point.byzantine,
+                  point.undefended.ok ? point.undefended.accuracy : -1.0,
+                  point.defended.ok ? point.defended.accuracy : -1.0,
+                  static_cast<long long>(point.defended.screened));
+    out << buffer;
+  }
+  // The headline acceptance pair at the 20% colluding rate.
+  double defended_at_02 = -1.0;
+  double undefended_at_02 = -1.0;
+  for (const DefensePoint& point : points) {
+    if (point.byzantine > 0.19 && point.byzantine < 0.21) {
+      if (point.defended.ok) defended_at_02 = point.defended.accuracy;
+      if (point.undefended.ok) undefended_at_02 = point.undefended.accuracy;
+    }
+  }
+  std::snprintf(buffer, sizeof(buffer),
+                "},\"acceptance\":{\"defended_minus_undefended_at_0.2\":%.4f,"
+                "\"clean_minus_defended_at_0.2\":%.4f}}}\n",
+                defended_at_02 - undefended_at_02,
+                clean_acc - defended_at_02);
+  out << buffer;
+  std::fprintf(stderr, "wrote robustness sweep to %s\n", path.c_str());
+}
+
+void Run(bool csv, const std::string& json_out) {
   SyntheticOptions synth;
   synth.ambient_dim = kAmbientDim;
   synth.subspace_dim = kSubspaceDim;
@@ -135,6 +199,41 @@ void Run(bool csv) {
     table.Print(csv);
     std::printf("\n");
   }
+
+  {
+    bench::Table table({"byzantine", "ACC off", "ACC on", "screened",
+                        "participation on", "covered on"});
+    std::vector<DefensePoint> points;
+    double clean_acc = 0.0;
+    for (double byzantine : {0.0, 0.1, 0.2, 0.3}) {
+      DefensePoint point;
+      point.byzantine = byzantine;
+      FedScOptions options;
+      options.faults.byzantine_rate = byzantine;
+      options.faults.byzantine_mode = ByzantineMode::kCollude;
+      options.quorum = 0.5;
+      point.undefended = RunOnce(*fed, truth, options);
+      options.defense.enabled = true;
+      point.defended = RunOnce(*fed, truth, options);
+      if (byzantine == 0.0 && point.undefended.ok) {
+        clean_acc = point.undefended.accuracy;
+      }
+      table.AddRow(
+          {bench::Fmt(byzantine),
+           point.undefended.ok ? bench::Fmt(point.undefended.accuracy) : "-",
+           point.defended.ok ? bench::Fmt(point.defended.accuracy) : "-",
+           point.defended.ok ? bench::Fmt(point.defended.screened) : "-",
+           point.defended.ok ? bench::Fmt(point.defended.participation) : "-",
+           point.defended.ok ? bench::Fmt(point.defended.covered_fraction)
+                             : "-"});
+      points.push_back(point);
+    }
+    std::printf("Robustness — colluding Byzantine uploads, defense off vs on "
+                "(screened devices count against the quorum)\n");
+    table.Print(csv);
+    std::printf("\n");
+    if (!json_out.empty()) WriteRobustnessJson(points, clean_acc, json_out);
+  }
 }
 
 }  // namespace
@@ -142,6 +241,10 @@ void Run(bool csv) {
 
 int main(int argc, char** argv) {
   fedsc::bench::Observability observability(argc, argv);
-  fedsc::Run(fedsc::bench::HasFlag(argc, argv, "--csv"));
+  std::string json_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json-out=", 11) == 0) json_out = argv[i] + 11;
+  }
+  fedsc::Run(fedsc::bench::HasFlag(argc, argv, "--csv"), json_out);
   return 0;
 }

@@ -37,7 +37,7 @@ if [ "${build_type}" != "Release" ]; then
 fi
 
 cmake --build "${build_dir}" --target micro_linalg micro_sc comm_cost \
-  -j "$(nproc)"
+  fig_robustness -j "$(nproc)"
 
 raw_dir="$(mktemp -d)"
 trap 'rm -rf "${raw_dir}"' EXIT
@@ -54,9 +54,14 @@ trap 'rm -rf "${raw_dir}"' EXIT
 # the >= 2x basis-reduction floor is a correctness gate, not a perf one).
 "${build_dir}/bench/comm_cost" --json-out="${raw_dir}/comm.json" \
   > /dev/null
+# Byzantine-defense colluding sweep (deterministic accuracies, so the
+# defended-accuracy floors are correctness gates, not perf ones).
+"${build_dir}/bench/fig_robustness" \
+  --json-out="${raw_dir}/robustness.json" > /dev/null 2>&1
 
 python3 - "${raw_dir}/linalg.json" "${raw_dir}/sc.json" "${build_type}" \
-  "${repo_root}/BENCH_linalg.json" "${raw_dir}/comm.json" <<'PY'
+  "${repo_root}/BENCH_linalg.json" "${raw_dir}/comm.json" \
+  "${raw_dir}/robustness.json" <<'PY'
 import json
 import sys
 
@@ -198,6 +203,8 @@ for name, row in sorted(S.items()):
     }
 # Serialized uplink codec frontier from bench/comm_cost.cc --json-out.
 out["comm_cost"] = json.load(open(sys.argv[5]))["comm_cost"]
+# Byzantine-defense colluding sweep from bench/fig_robustness.cc --json-out.
+out["robustness"] = json.load(open(sys.argv[6]))["robustness"]
 out["acceptance"] = {
     "gemm512_blocked_over_panel": round(
         out["gemm_blocked_gflops"]["512"]["1"] / out["gemm_panel_gflops"]["512"],

@@ -4,8 +4,9 @@
 Stdlib only. Checks the schema produced by scripts/bench_baseline.sh: the
 baseline comes from a Release build, every tracked size/shape is present,
 every rate is a positive finite number, the derived ratios are consistent
-with their components, and the acceptance floors for the blocked-GEMM,
-Syrk-Gram, blocked-QR, and preconditioned-SVD speedups hold. Wired into
+with their components, the acceptance floors for the blocked-GEMM,
+Syrk-Gram, blocked-QR, and preconditioned-SVD speedups hold, and the
+Byzantine-defense accuracy floors on the colluding robustness sweep hold. Wired into
 scripts/run_all.sh so a refresh that drops a field, regresses past a floor,
 or was generated from a non-Release tree fails loudly.
 """
@@ -35,6 +36,14 @@ MIN_SVD_PRECOND_OVER_PLAIN_ASPECT8 = 2.0
 # The kBasisCoeffs codec must cut serialized uplink bytes at least in half
 # vs raw f64 at D=1024, m=4 (bench/comm_cost.cc accuracy-vs-bits frontier).
 MIN_BASIS_UPLINK_REDUCTION = 2.0
+# Byzantine-defense floors on the colluding sweep (bench/fig_robustness.cc
+# `robustness` section): at the 20% colluding rate the defended run must
+# beat the undefended one by at least this many accuracy points, and stay
+# within this many points of the fault-free run.
+MIN_DEFENDED_MARGIN_AT_02 = 10.0
+MAX_DEFENDED_GAP_TO_CLEAN_AT_02 = 5.0
+# Colluding rates the robustness sweep must report.
+ROBUSTNESS_RATES = ("0.0", "0.1", "0.2", "0.3")
 # Codecs the comm_cost frontier must report (bench/comm_cost.cc RunFrontier).
 COMM_CODECS = (
     "raw_f64", "raw_f32", "quant_16", "quant_8", "quant_4", "quant_2",
@@ -169,6 +178,40 @@ def check(doc):
             err(
                 f"basis codec uplink reduction {basis_reduction} below the "
                 f"{MIN_BASIS_UPLINK_REDUCTION}x floor (D=1024, m=4)"
+            )
+
+    robustness = doc.get("robustness", {})
+    collude = robustness.get("collude", {})
+    for rate in ROBUSTNESS_RATES:
+        entry = collude.get(rate, {})
+        where = f"robustness.collude[{rate}]"
+        for key in ("undefended_acc", "defended_acc"):
+            acc = entry.get(key)
+            if positive(acc, f"{where}.{key}") and acc > 100.0:
+                err(f"{where}.{key} {acc} is not a percentage in (0, 100]")
+        screened = entry.get("screened_devices")
+        if not isinstance(screened, int) or screened < 0:
+            err(f"{where}.screened_devices: expected a count, got {screened!r}")
+    clean_acc = robustness.get("clean_acc")
+    positive(clean_acc, "robustness.clean_acc")
+    at_02 = collude.get("0.2", {})
+    if (
+        positive(clean_acc, "robustness.clean_acc")
+        and positive(at_02.get("defended_acc"), "robustness at 0.2")
+        and positive(at_02.get("undefended_acc"), "robustness at 0.2")
+    ):
+        margin = at_02["defended_acc"] - at_02["undefended_acc"]
+        if margin < MIN_DEFENDED_MARGIN_AT_02:
+            err(
+                f"defended-vs-undefended margin {margin:.2f} at 20% colluding "
+                f"Byzantine below the {MIN_DEFENDED_MARGIN_AT_02}-point floor"
+            )
+        gap = clean_acc - at_02["defended_acc"]
+        if gap > MAX_DEFENDED_GAP_TO_CLEAN_AT_02:
+            err(
+                f"defended accuracy trails the fault-free run by {gap:.2f} "
+                f"points at 20% colluding Byzantine, above the "
+                f"{MAX_DEFENDED_GAP_TO_CLEAN_AT_02}-point ceiling"
             )
 
     acceptance = doc.get("acceptance", {})

@@ -17,7 +17,7 @@ cmake -S "${repo_root}" -B "${build_dir}" \
 
 cmake --build "${build_dir}" -j "$(nproc)" \
   --target thread_pool_test parallel_determinism_test fedsc_test \
-  faults_test trace_test journal_test logging_test blas_test \
+  faults_test defense_test trace_test journal_test logging_test blas_test \
   qr_cholesky_test svd_eig_test
 
 # halt_on_error makes the first race fail the run instead of just logging.
@@ -29,6 +29,9 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 # The fault plan is consumed from serial protocol code while Phase 1/2
 # kernels fan out over worker threads; TSAN proves the combination is clean.
 "${build_dir}/tests/faults_test"
+# Defense screening reduces pooled coherence/residual statistics across the
+# pool; TSAN proves the disjoint-slot parallel writes really are disjoint.
+"${build_dir}/tests/defense_test"
 # The observability layer records from every worker thread; run its suites
 # under TSAN too (trace recorder, metrics registry, log sink, and the run
 # ledger: the journal's mutex-guarded global log plus the profile builder
@@ -53,10 +56,13 @@ cmake -S "${repo_root}" -B "${asan_dir}" \
   -DFEDSC_SANITIZE=address
 
 cmake --build "${asan_dir}" -j "$(nproc)" \
-  --target faults_test blas_test parallel_determinism_test \
+  --target faults_test defense_test blas_test parallel_determinism_test \
   qr_cholesky_test svd_eig_test codec_test wire_fuzz_test journal_test
 
 "${asan_dir}/tests/faults_test"
+# Screening indexes per-sample peer lists and per-device slots built from
+# attacker-controlled pool shapes; ASAN gates the indexing.
+"${asan_dir}/tests/defense_test"
 # Packing writes into 64-byte-aligned arenas with zero-padded edge
 # micro-panels; ASAN is the gate for an off-by-one on the ragged tails.
 "${asan_dir}/tests/blas_test"

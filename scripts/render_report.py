@@ -64,7 +64,8 @@ def render_run(run):
     comm = run["comm"]
     print(f"  devices     {run['participating_devices']}/{run['devices']}"
           f" participated, {run['total_samples']} samples pooled,"
-          f" {run['quarantined_samples']} quarantined")
+          f" {run['quarantined_samples']} quarantined,"
+          f" {run['screened_devices']} screened")
     print(f"  uplink      {comm['uplink_wire_bytes']} wire bytes"
           f" ({comm['uplink_values']} values), {comm['retries']} retries,"
           f" {comm['timeouts']} timeouts,"
@@ -81,6 +82,10 @@ def render_run(run):
         print()
         table(rows, ["device", "outcome", "attempts", "uploaded",
                      "quarantined", "status"])
+    screened = [d for d in run["device_reports"]
+                if d["outcome"] == "screened"]
+    for d in screened:
+        print(f"  device {d['device']} screened: {d['screen_statistic']}")
 
 
 def render_profile(profile, top):

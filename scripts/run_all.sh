@@ -77,6 +77,16 @@ fi
 grep -q "quorum" "${obs_dir}/quorum.err"
 build/bench/fig_robustness --csv > "${obs_dir}/robustness.csv"
 grep -q "^0.30," "${obs_dir}/robustness.csv"
+# Defended degraded round: colluding Byzantine uploads with the defense on
+# must complete under quorum, report the screened-device count in the
+# summary, and emit the defense_screened journal events schema-validated by
+# validate_report.py above.
+build/tools/fedsc_cli --input "${obs_dir}/smoke.csv" --clusters 3 \
+  --devices 6 --byzantine 0.3 --byzantine-mode collude --defense on \
+  --quorum 0.3 --fault-seed 3 --report-out "${obs_dir}/defended.json" \
+  > "${obs_dir}/defended.out" 2>&1
+grep -q "devices screened" "${obs_dir}/defended.out"
+python3 scripts/validate_report.py "${obs_dir}/defended.json" --expect-run
 echo "robustness smoke test passed"
 
 # Wire/codec smoke test: every serialized codec must cluster the smoke data,

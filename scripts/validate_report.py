@@ -1,8 +1,10 @@
 #!/usr/bin/env python3
 """Validates a RunReport JSON document produced by --report-out.
 
-Pins the schema that core/report.h emits (schema_version 1, journal schema
-version 1): the top-level sections, the manifest's provenance fields, the
+Pins the schema that core/report.h emits (schema_version 2, journal schema
+version 2: both bumped when the Byzantine defense added the screened-device
+ledger — run.screened_devices, per-device screen_statistic, and the
+defense_screened journal event): the top-level sections, the manifest's provenance fields, the
 run summary + per-device reports + comm ledger (or run: null for bench
 reports), every journal event's envelope and type vocabulary, the profile
 tables, and the metrics snapshot with p50/p90/p99 on every histogram.
@@ -22,8 +24,8 @@ import argparse
 import json
 import sys
 
-SCHEMA_VERSION = 1
-JOURNAL_SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+JOURNAL_SCHEMA_VERSION = 2
 
 TOP_LEVEL_KEYS = {
     "schema_version",
@@ -52,6 +54,7 @@ RUN_KEYS = {
     "participating_devices": int,
     "total_samples": int,
     "quarantined_samples": int,
+    "screened_devices": int,
     "comm": dict,
     "device_reports": list,
 }
@@ -75,6 +78,7 @@ DEVICE_REPORT_KEYS = {
     "uploaded_samples": int,
     "quarantined_samples": int,
     "status": str,
+    "screen_statistic": str,
 }
 
 # The journal's event-type vocabulary (common/journal.h). An unknown type
@@ -91,6 +95,7 @@ EVENT_TYPES = {
     "accepted",
     "quarantined",
     "byzantine_rejected",
+    "defense_screened",
     "dropped",
     "local_error",
     "downlink",

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <map>
+#include <utility>
 
 #include "common/metrics.h"
 #include "linalg/blas.h"
@@ -67,62 +69,300 @@ struct LloydOutcome {
   int iterations = 0;
 };
 
+// --- Robust update-step helpers (KMeansRobustOptions) ---
+
+// Marks the trim_count points with the largest assigned distance (ties by
+// lowest index so the trim set is deterministic). Returns per-point weights:
+// 1 for kept points, 0 for trimmed ones.
+std::vector<double> TrimWeights(const std::vector<double>& dist,
+                                int64_t trim_count) {
+  const int64_t n = static_cast<int64_t>(dist.size());
+  std::vector<double> weights(static_cast<size_t>(n), 1.0);
+  if (trim_count <= 0) return weights;
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
+  std::sort(order.begin(), order.end(), [&dist](int64_t a, int64_t b) {
+    const double da = dist[static_cast<size_t>(a)];
+    const double db = dist[static_cast<size_t>(b)];
+    if (da != db) return da > db;
+    return a < b;
+  });
+  for (int64_t t = 0; t < std::min(trim_count, n); ++t) {
+    weights[static_cast<size_t>(order[static_cast<size_t>(t)])] = 0.0;
+  }
+  return weights;
+}
+
+// Influence cap: scales group weights inside each cluster so that no group
+// carries more than max_group_fraction of the cluster's FINAL (post-cap)
+// update mass. Water-filling over groups sorted by mass (descending, group
+// id ascending on ties): cap the top c groups to exactly the fraction of
+// the implied final total T' = uncapped_mass / (1 - c * f), picking the
+// smallest c for which the (c+1)-th group fits under the cap. When even
+// equal shares violate the cap (c * f >= 1 before a fit), every group is
+// scaled to equal mass — the closest satisfiable allocation.
+void ApplyGroupCap(const std::vector<int64_t>& labels,
+                   const std::vector<int64_t>& point_group,
+                   double max_group_fraction, int64_t k,
+                   std::vector<double>* weights) {
+  if (point_group.empty() || max_group_fraction >= 1.0) return;
+  const double f = max_group_fraction;
+  const int64_t n = static_cast<int64_t>(weights->size());
+  for (int64_t c = 0; c < k; ++c) {
+    std::map<int64_t, double> group_mass;
+    double total = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      if (labels[static_cast<size_t>(i)] != c) continue;
+      total += (*weights)[static_cast<size_t>(i)];
+      group_mass[point_group[static_cast<size_t>(i)]] +=
+          (*weights)[static_cast<size_t>(i)];
+    }
+    if (total <= 0.0) continue;
+    std::vector<std::pair<int64_t, double>> groups(group_mass.begin(),
+                                                   group_mass.end());
+    std::sort(groups.begin(), groups.end(),
+              [](const std::pair<int64_t, double>& a,
+                 const std::pair<int64_t, double>& b) {
+                if (a.second != b.second) return a.second > b.second;
+                return a.first < b.first;
+              });
+    // Per-group weight multiplier after capping.
+    std::map<int64_t, double> scale;
+    double uncapped = total;
+    bool equalize = true;
+    for (size_t capped = 0; capped < groups.size(); ++capped) {
+      const double denom = 1.0 - f * static_cast<double>(capped);
+      if (denom <= 1e-12) break;  // caps unsatisfiable: equalize below
+      const double final_total = uncapped / denom;
+      if (groups[capped].second <= f * final_total) {
+        for (size_t g = 0; g < capped; ++g) {
+          scale[groups[g].first] = f * final_total / groups[g].second;
+        }
+        equalize = false;
+        break;
+      }
+      uncapped -= groups[capped].second;
+    }
+    if (equalize) {
+      // Every group gets equal mass (share 1/G <= f here).
+      for (const auto& [group, mass] : groups) {
+        scale[group] = mass > 0.0 ? 1.0 / mass : 1.0;
+      }
+    }
+    if (scale.empty()) continue;
+    for (int64_t i = 0; i < n; ++i) {
+      if (labels[static_cast<size_t>(i)] != c) continue;
+      const auto it = scale.find(point_group[static_cast<size_t>(i)]);
+      if (it != scale.end()) {
+        (*weights)[static_cast<size_t>(i)] *= it->second;
+      }
+    }
+  }
+}
+
+// Weighted lower median per coordinate: the smallest member value whose
+// cumulative weight reaches half the total (ties in value break by index
+// via the stable member order).
+void WeightedCoordinateMedian(const Matrix& points,
+                              const std::vector<int64_t>& members,
+                              const std::vector<double>& weights,
+                              double* center) {
+  const int64_t d = points.rows();
+  std::vector<std::pair<double, double>> entries;  // (value, weight)
+  for (int64_t coord = 0; coord < d; ++coord) {
+    entries.clear();
+    double total = 0.0;
+    for (int64_t i : members) {
+      const double w = weights[static_cast<size_t>(i)];
+      entries.push_back({points.ColData(i)[coord], w});
+      total += w;
+    }
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const std::pair<double, double>& a,
+                        const std::pair<double, double>& b) {
+                       return a.first < b.first;
+                     });
+    double cumulative = 0.0;
+    double value = entries.back().first;
+    for (const auto& [v, w] : entries) {
+      cumulative += w;
+      if (cumulative >= 0.5 * total) {
+        value = v;
+        break;
+      }
+    }
+    center[coord] = value;
+  }
+}
+
+// Weighted geometric median via Weiszfeld iterations from the weighted
+// mean. Fixed iteration cap and epsilon-guarded distances keep the result a
+// deterministic pure function of the inputs.
+void WeightedGeometricMedian(const Matrix& points,
+                             const std::vector<int64_t>& members,
+                             const std::vector<double>& weights,
+                             double* center) {
+  const int64_t d = points.rows();
+  double total = 0.0;
+  std::fill(center, center + d, 0.0);
+  for (int64_t i : members) {
+    const double w = weights[static_cast<size_t>(i)];
+    Axpy(w, points.ColData(i), center, d);
+    total += w;
+  }
+  if (total <= 0.0) return;
+  Scal(1.0 / total, center, d);
+
+  std::vector<double> next(static_cast<size_t>(d), 0.0);
+  constexpr int kMaxWeiszfeld = 64;
+  constexpr double kEps = 1e-12;
+  for (int iter = 0; iter < kMaxWeiszfeld; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    double denom = 0.0;
+    for (int64_t i : members) {
+      const double w = weights[static_cast<size_t>(i)];
+      if (w <= 0.0) continue;
+      const double dist =
+          std::sqrt(SquaredDistance(points.ColData(i), center, d));
+      const double inv = w / std::max(dist, kEps);
+      Axpy(inv, points.ColData(i), next.data(), d);
+      denom += inv;
+    }
+    if (denom <= 0.0) break;
+    Scal(1.0 / denom, next.data(), d);
+    const double movement = SquaredDistance(next.data(), center, d);
+    std::copy(next.begin(), next.end(), center);
+    if (movement <= kEps) break;
+  }
+}
+
 LloydOutcome Lloyd(const Matrix& points, Matrix centroids,
                    const KMeansOptions& options, Rng* rng) {
   const int64_t d = points.rows();
   const int64_t n = points.cols();
   const int64_t k = centroids.cols();
+  const KMeansRobustOptions& robust = options.robust;
+  // Trim budget of the robust assignment step; 0 keeps classic Lloyd.
+  const int64_t trim_count =
+      robust.enabled
+          ? static_cast<int64_t>(std::floor(robust.trim_fraction *
+                                            static_cast<double>(n)))
+          : 0;
 
   LloydOutcome out;
   out.labels.assign(static_cast<size_t>(n), 0);
   std::vector<int64_t> counts(static_cast<size_t>(k), 0);
+  std::vector<double> dist(static_cast<size_t>(n), 0.0);
   Matrix next(d, k);
 
-  for (int iter = 0; iter < options.max_iterations; ++iter) {
-    out.iterations = iter + 1;
-    // Assignment step.
-    out.inertia = 0.0;
+  // Assigns every point to its nearest centroid; returns the inertia over
+  // the kept points (all of them classically, the untrimmed ones in robust
+  // mode — trimmed points keep labels but never steer the objective).
+  const auto assign = [&](const Matrix& against) {
     for (int64_t i = 0; i < n; ++i) {
       const double* x = points.ColData(i);
       double best = std::numeric_limits<double>::infinity();
       int64_t arg = 0;
       for (int64_t c = 0; c < k; ++c) {
-        const double dist = SquaredDistance(x, centroids.ColData(c), d);
-        if (dist < best) {
-          best = dist;
+        const double candidate = SquaredDistance(x, against.ColData(c), d);
+        if (candidate < best) {
+          best = candidate;
           arg = c;
         }
       }
       out.labels[static_cast<size_t>(i)] = arg;
-      out.inertia += best;
+      dist[static_cast<size_t>(i)] = best;
     }
+    double inertia = 0.0;
+    const std::vector<double> weights = TrimWeights(dist, trim_count);
+    for (int64_t i = 0; i < n; ++i) {
+      if (weights[static_cast<size_t>(i)] > 0.0) {
+        inertia += dist[static_cast<size_t>(i)];
+      }
+    }
+    return inertia;
+  };
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    out.iterations = iter + 1;
+    out.inertia = assign(centroids);
 
     // Update step.
-    next.Fill(0.0);
-    std::fill(counts.begin(), counts.end(), 0);
-    for (int64_t i = 0; i < n; ++i) {
-      const int64_t c = out.labels[static_cast<size_t>(i)];
-      Axpy(1.0, points.ColData(i), next.ColData(c), d);
-      ++counts[static_cast<size_t>(c)];
-    }
-    for (int64_t c = 0; c < k; ++c) {
-      if (counts[static_cast<size_t>(c)] > 0) {
-        Scal(1.0 / static_cast<double>(counts[static_cast<size_t>(c)]),
-             next.ColData(c), d);
-      } else {
-        // Empty cluster: reseed at the point farthest from its centroid.
-        double worst = -1.0;
-        int64_t arg = rng->UniformInt(n);
+    if (robust.enabled) {
+      std::vector<double> weights = TrimWeights(dist, trim_count);
+      ApplyGroupCap(out.labels, robust.point_group,
+                    robust.max_group_fraction, k, &weights);
+      for (int64_t c = 0; c < k; ++c) {
+        std::vector<int64_t> members;
+        double mass = 0.0;
         for (int64_t i = 0; i < n; ++i) {
-          const int64_t owner = out.labels[static_cast<size_t>(i)];
-          const double dist = SquaredDistance(
-              points.ColData(i), centroids.ColData(owner), d);
-          if (dist > worst) {
-            worst = dist;
-            arg = i;
-          }
+          if (out.labels[static_cast<size_t>(i)] != c) continue;
+          if (weights[static_cast<size_t>(i)] <= 0.0) continue;
+          members.push_back(i);
+          mass += weights[static_cast<size_t>(i)];
         }
-        next.SetCol(c, points.ColData(arg));
+        if (members.empty() || mass <= 0.0) {
+          // Empty (or fully trimmed) cluster: reseed at the point farthest
+          // from its centroid, like the classic path.
+          double worst = -1.0;
+          int64_t arg = rng->UniformInt(n);
+          for (int64_t i = 0; i < n; ++i) {
+            if (dist[static_cast<size_t>(i)] > worst) {
+              worst = dist[static_cast<size_t>(i)];
+              arg = i;
+            }
+          }
+          next.SetCol(c, points.ColData(arg));
+          continue;
+        }
+        switch (robust.center) {
+          case KMeansCenter::kMean: {
+            double* center = next.ColData(c);
+            std::fill(center, center + d, 0.0);
+            for (int64_t i : members) {
+              Axpy(weights[static_cast<size_t>(i)], points.ColData(i),
+                   center, d);
+            }
+            Scal(1.0 / mass, center, d);
+            break;
+          }
+          case KMeansCenter::kCoordinateMedian:
+            WeightedCoordinateMedian(points, members, weights,
+                                     next.ColData(c));
+            break;
+          case KMeansCenter::kGeometricMedian:
+            WeightedGeometricMedian(points, members, weights,
+                                    next.ColData(c));
+            break;
+        }
+      }
+    } else {
+      next.Fill(0.0);
+      std::fill(counts.begin(), counts.end(), 0);
+      for (int64_t i = 0; i < n; ++i) {
+        const int64_t c = out.labels[static_cast<size_t>(i)];
+        Axpy(1.0, points.ColData(i), next.ColData(c), d);
+        ++counts[static_cast<size_t>(c)];
+      }
+      for (int64_t c = 0; c < k; ++c) {
+        if (counts[static_cast<size_t>(c)] > 0) {
+          Scal(1.0 / static_cast<double>(counts[static_cast<size_t>(c)]),
+               next.ColData(c), d);
+        } else {
+          // Empty cluster: reseed at the point farthest from its centroid.
+          double worst = -1.0;
+          int64_t arg = rng->UniformInt(n);
+          for (int64_t i = 0; i < n; ++i) {
+            const int64_t owner = out.labels[static_cast<size_t>(i)];
+            const double candidate = SquaredDistance(
+                points.ColData(i), centroids.ColData(owner), d);
+            if (candidate > worst) {
+              worst = candidate;
+              arg = i;
+            }
+          }
+          next.SetCol(c, points.ColData(arg));
+        }
       }
     }
 
@@ -135,21 +375,7 @@ LloydOutcome Lloyd(const Matrix& points, Matrix centroids,
   }
 
   // Final assignment against the last centroids.
-  out.inertia = 0.0;
-  for (int64_t i = 0; i < n; ++i) {
-    const double* x = points.ColData(i);
-    double best = std::numeric_limits<double>::infinity();
-    int64_t arg = 0;
-    for (int64_t c = 0; c < k; ++c) {
-      const double dist = SquaredDistance(x, centroids.ColData(c), d);
-      if (dist < best) {
-        best = dist;
-        arg = c;
-      }
-    }
-    out.labels[static_cast<size_t>(i)] = arg;
-    out.inertia += best;
-  }
+  out.inertia = assign(centroids);
   out.centroids = std::move(centroids);
   return out;
 }
@@ -163,6 +389,28 @@ Result<KMeansResult> KMeans(const Matrix& points, int64_t k,
     return Status::InvalidArgument("k-means needs 1 <= k <= N, got k=" +
                                    std::to_string(k) + " N=" +
                                    std::to_string(n));
+  }
+  const KMeansRobustOptions& robust = options.robust;
+  if (robust.enabled) {
+    if (!(robust.trim_fraction >= 0.0 && robust.trim_fraction <= 0.5)) {
+      return Status::InvalidArgument(
+          "robust k-means trim_fraction must lie in [0, 0.5], got " +
+          std::to_string(robust.trim_fraction));
+    }
+    if (!(robust.max_group_fraction > 0.0 &&
+          robust.max_group_fraction <= 1.0)) {
+      return Status::InvalidArgument(
+          "robust k-means max_group_fraction must lie in (0, 1], got " +
+          std::to_string(robust.max_group_fraction));
+    }
+    if (!robust.point_group.empty() &&
+        static_cast<int64_t>(robust.point_group.size()) != n) {
+      return Status::InvalidArgument(
+          "robust k-means point_group must be empty or have one entry per "
+          "point, got " +
+          std::to_string(robust.point_group.size()) + " for N=" +
+          std::to_string(n));
+    }
   }
   Rng rng(options.seed);
   KMeansResult best;

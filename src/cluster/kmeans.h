@@ -16,6 +16,32 @@ namespace fedsc {
 
 enum class KMeansInit { kPlusPlus, kFarthestFirst };
 
+// Center estimator of the robust update step. kMean is the classic Lloyd
+// update; the medians bound the influence of any single point (a
+// coordinate-wise median has breakdown point 1/2 per coordinate, the
+// geometric median 1/2 in norm), which is what the Byzantine defense
+// (fed/defense.h) relies on when adversarial samples survive screening.
+enum class KMeansCenter { kMean, kCoordinateMedian, kGeometricMedian };
+
+// Byzantine-robust Lloyd variant, off by default. With enabled = true:
+//   - Trimmed assignment: the trim_fraction of points farthest from their
+//     assigned center keep their labels but are excluded from the center
+//     update (and from the restart-selection inertia).
+//   - Robust centers: `center` replaces the mean update.
+//   - Influence cap: with point_group set (e.g. the owning device of each
+//     pooled sample), no group contributes more than max_group_fraction of
+//     any cluster's update mass — over-represented groups are down-weighted
+//     proportionally.
+// Every tie (equal distances, equal coordinate values) breaks by lowest
+// index, so results stay bit-identical across runs and thread counts.
+struct KMeansRobustOptions {
+  bool enabled = false;
+  double trim_fraction = 0.0;                        // in [0, 0.5]
+  KMeansCenter center = KMeansCenter::kCoordinateMedian;
+  double max_group_fraction = 1.0;                   // in (0, 1]
+  std::vector<int64_t> point_group;                  // empty or size N
+};
+
 struct KMeansOptions {
   int max_iterations = 100;
   // Independent restarts; the run with the lowest inertia wins.
@@ -24,6 +50,7 @@ struct KMeansOptions {
   // Stop when the total centroid movement (squared) drops below tol.
   double tol = 1e-9;
   uint64_t seed = 0x5eed'cafeULL;
+  KMeansRobustOptions robust;
 };
 
 struct KMeansResult {

@@ -7,9 +7,9 @@
 // byte cost* as an ordered sequence of typed events on the SimClock
 // timeline: per-device lifecycle (scheduled, upload_attempt, retry,
 // timeout, transient_loss, delivered, wire_rejected, accepted, quarantined,
-// byzantine_rejected, dropped, local_error) and server-side phases
-// (run_start, quorum_reached/quorum_missed, central_start/central_finish,
-// broadcast, run_finish). Exported as schema-versioned JSONL, one event per
+// byzantine_rejected, defense_screened, dropped, local_error) and
+// server-side phases (run_start, quorum_reached/quorum_missed,
+// central_start/central_finish, broadcast, run_finish). Exported as schema-versioned JSONL, one event per
 // line, and embedded into the RunReport (core/report.h).
 //
 // Determinism contract (mirrors common/metrics.h): every journal emission
@@ -42,7 +42,7 @@ namespace fedsc {
 
 // Bump when the JSONL layout or the event vocabulary changes
 // incompatibly; scripts/validate_report.py pins it.
-inline constexpr int kJournalSchemaVersion = 1;
+inline constexpr int kJournalSchemaVersion = 2;
 
 namespace internal {
 extern std::atomic<bool> g_journal_enabled;
@@ -93,8 +93,8 @@ void JournalRecord(const char* type, int64_t device, int64_t sim_ms,
 // Copy of the journal so far, in emission order.
 std::vector<JournalEvent> SnapshotJournal();
 
-// Schema-versioned JSONL: one {"v":1,"seq":...,"type":...,...} object per
-// line. With include_wall, each line carries the execution-only "wall_ns"
+// Schema-versioned JSONL: one {"v":N,"seq":...,"type":...,...} object per
+// line (N = kJournalSchemaVersion). With include_wall, each line carries the execution-only "wall_ns"
 // field; without it the output is bit-identical across thread counts.
 void WriteJournalJsonl(std::ostream& os, bool include_wall = true);
 std::string JournalJsonlString(bool include_wall = true);

@@ -100,6 +100,7 @@ Status ValidateOptions(const FedScOptions& options) {
   FEDSC_RETURN_NOT_OK(ValidateRetryOptions(options.retry));
   FEDSC_RETURN_NOT_OK(ValidateFaultPlanOptions(options.faults));
   FEDSC_RETURN_NOT_OK(ValidateUploadValidationOptions(options.validation));
+  FEDSC_RETURN_NOT_OK(ValidateDefenseOptions(options.defense));
   if (!(options.quorum >= 0.0 && options.quorum <= 1.0)) {
     return Status::InvalidArgument("quorum must lie in [0, 1], got " +
                                    std::to_string(options.quorum));
@@ -119,6 +120,8 @@ const char* DeviceOutcomeName(DeviceOutcome outcome) {
       return "quarantined";
     case DeviceOutcome::kLocalError:
       return "local error";
+    case DeviceOutcome::kScreened:
+      return "screened";
   }
   return "unknown";
 }
@@ -377,7 +380,7 @@ Result<FedScResult> RunFedSc(const FederatedDataset& data,
         report.outcome = DeviceOutcome::kQuarantined;
         report.status = Status::InvalidArgument(
             "every sample of device " + std::to_string(z) +
-            " failed validation");
+            " failed validation: " + QuarantinedColumnsSummary(*validation));
         FEDSC_METRIC_COUNTER("fed.quarantine.devices").Increment();
         journal_rejection("quarantined", report.status.ToString());
         continue;
@@ -392,6 +395,50 @@ Result<FedScResult> RunFedSc(const FederatedDataset& data,
            {"uploaded_samples", report.uploaded_samples},
            {"accepted_samples", received[static_cast<size_t>(z)].cols()},
            {"quarantined_samples", report.quarantined_samples}});
+    }
+  }
+  // Byzantine defense: screen the accepted uploads before pooling. Screened
+  // devices degrade exactly like quarantined ones — they count against the
+  // quorum and their points get the sentinel label.
+  if (options.defense.enabled && total_samples > 0) {
+    FEDSC_TRACE_SPAN("fedsc/defense/screen", {{"samples", total_samples}});
+    Matrix pool(data.ambient_dim, total_samples);
+    std::vector<int64_t> pool_device;
+    pool_device.reserve(static_cast<size_t>(total_samples));
+    int64_t col = 0;
+    for (int64_t z = 0; z < num_devices; ++z) {
+      const Matrix& m = received[static_cast<size_t>(z)];
+      for (int64_t c = 0; c < m.cols(); ++c) {
+        pool.SetCol(col++, m.ColData(c));
+        pool_device.push_back(z);
+      }
+    }
+    FEDSC_ASSIGN_OR_RETURN(DefensePlan defense,
+                           DefensePlan::Create(options.defense));
+    const ScreeningOutcome screening =
+        defense.Screen(pool, pool_device, options.num_threads);
+    for (const DeviceScreenVerdict& verdict : screening.verdicts) {
+      if (!verdict.screened) continue;
+      const int64_t z = verdict.device;
+      DeviceReport& report = result.device_reports[static_cast<size_t>(z)];
+      report.outcome = DeviceOutcome::kScreened;
+      report.screen_statistic = verdict.statistic;
+      report.status = Status::InvalidArgument(
+          "device " + std::to_string(z) +
+          " screened by the Byzantine defense: " + verdict.statistic);
+      total_samples -= received[static_cast<size_t>(z)].cols();
+      received[static_cast<size_t>(z)] = Matrix();
+      kept_samples[static_cast<size_t>(z)].clear();
+      result.participating_devices -= 1;
+      result.screened_devices += 1;
+      FEDSC_METRIC_COUNTER("fedsc.screened_devices").Increment();
+      FEDSC_JOURNAL_EVENT("defense_screened", z, sim_uplink_ms,
+                          {{"statistic", verdict.statistic},
+                           {"support", verdict.support},
+                           {"residual", verdict.residual}});
+      FEDSC_LOG(Warning) << "device " << z
+                         << " screened by the Byzantine defense: "
+                         << verdict.statistic;
     }
   }
   for (const DeviceReport& report : result.device_reports) {
@@ -476,6 +523,17 @@ Result<FedScResult> RunFedSc(const FederatedDataset& data,
     central.tsc.q = std::min<int64_t>(central.tsc.q, total_samples - 1);
     central.spectral = options.central_spectral;
     central.spectral.kmeans.seed = rng.Next();
+    if (options.defense.enabled) {
+      // Robust k-engine: trimmed assignment, robust centers, and a
+      // per-device influence cap on the embedding rows (one per pooled
+      // sample, in pooling order).
+      KMeansRobustOptions& robust = central.spectral.kmeans.robust;
+      robust.enabled = true;
+      robust.trim_fraction = options.defense.trim_fraction;
+      robust.center = options.defense.robust_center;
+      robust.max_group_fraction = options.defense.max_device_fraction;
+      robust.point_group = result.sample_device;
+    }
     // Channel noise can leave samples slightly off the unit sphere;
     // renormalize like the paper's analysis assumes.
     central.normalize_columns = true;

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "fed/defense.h"
 #include "fed/faults.h"
 #include "fed/network.h"
 #include "fed/privacy.h"
@@ -91,6 +92,13 @@ struct FedScOptions {
   // FedScResult::kFailedDeviceLabel. Must lie in [0, 1].
   double quorum = 1.0;
 
+  // Byzantine-robust central aggregation (fed/defense.h): statistical
+  // screening of accepted uploads before pooling plus the robust central
+  // k-engine. Screened devices count against the quorum exactly like
+  // quarantined ones. Off by default — the round then reproduces
+  // pre-defense results bit-for-bit.
+  DefenseOptions defense;
+
   // Remark 2 extension: apply the Gaussian mechanism to every uploaded
   // sample (clip + noise; see fed/privacy.h) so each upload is
   // (epsilon, delta)-differentially private. One-shot DP on full vectors is
@@ -136,6 +144,7 @@ enum class DeviceOutcome {
   kDropped,         // no upload arrived (dropout / straggler / retry budget)
   kQuarantined,     // upload arrived but no sample survived validation
   kLocalError,      // the device's local clustering failed
+  kScreened,        // delivered valid samples, but the defense screened them
 };
 
 const char* DeviceOutcomeName(DeviceOutcome outcome);
@@ -147,6 +156,9 @@ struct DeviceReport {
   int64_t uploaded_samples = 0;    // columns delivered to the server
   int64_t quarantined_samples = 0;  // delivered columns rejected
   Status status;                   // non-OK explains the failure
+  // Triggering defense statistic for kScreened devices ("coherence support
+  // 1/23 below cut 5.5"); empty otherwise.
+  std::string screen_statistic;
 };
 
 struct RunReport;  // core/report.h
@@ -168,6 +180,7 @@ struct FedScResult {
   std::vector<int64_t> failed_devices;
   int64_t participating_devices = 0;
   int64_t quarantined_samples = 0;
+  int64_t screened_devices = 0;
 
   Matrix samples;                        // pooled samples (post-channel)
   std::vector<int64_t> sample_device;    // device of each pooled sample

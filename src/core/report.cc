@@ -64,6 +64,8 @@ std::string DeviceReportJson(const DeviceReport& report) {
   out += ",\"quarantined_samples\":" +
          std::to_string(report.quarantined_samples);
   out += ",\"status\":\"" + JsonEscape(report.status.ToString()) + "\"";
+  out += ",\"screen_statistic\":\"" +
+         JsonEscape(report.screen_statistic) + "\"";
   out += "}";
   return out;
 }
@@ -98,6 +100,9 @@ std::string FedScOptionsFingerprint(const FedScOptions& options) {
   add(std::to_string(options.faults.max_transient_failures));
   add(FormatDouble(options.faults.corrupt_rate));
   add(FormatDouble(options.faults.byzantine_rate));
+  add(ByzantineModeName(options.faults.byzantine_mode));
+  add(std::to_string(options.faults.collude_dim));
+  add(FormatDouble(options.faults.mimic_angle_deg));
   add(FormatDouble(options.faults.wire_corrupt_rate));
   add(std::to_string(options.faults.seed));
   add(std::to_string(options.retry.max_attempts));
@@ -109,6 +114,19 @@ std::string FedScOptionsFingerprint(const FedScOptions& options) {
   add(FormatDouble(options.validation.min_norm));
   add(FormatDouble(options.validation.max_norm));
   add(FormatDouble(options.quorum));
+  add(std::to_string(options.defense.enabled));
+  add(FormatDouble(options.defense.coherence_mad_multiplier));
+  add(FormatDouble(options.defense.support_mad_multiplier));
+  add(FormatDouble(options.defense.min_support_mad));
+  add(FormatDouble(options.defense.max_screen_support_fraction));
+  add(std::to_string(options.defense.peer_rank));
+  add(FormatDouble(options.defense.residual_mad_multiplier));
+  add(FormatDouble(options.defense.min_residual_mad));
+  add(FormatDouble(options.defense.min_screen_residual));
+  add(std::to_string(options.defense.min_pool_devices));
+  add(FormatDouble(options.defense.trim_fraction));
+  add(std::to_string(static_cast<int>(options.defense.robust_center)));
+  add(FormatDouble(options.defense.max_device_fraction));
   add(std::to_string(options.use_dp));
   add(std::to_string(options.seed));
   return HexDigest64(Fnv1a64(text));
@@ -137,6 +155,7 @@ RunReport BuildRunReport(const FedScOptions& options,
   report.participating_devices = result.participating_devices;
   report.total_samples = result.total_samples;
   report.quarantined_samples = result.quarantined_samples;
+  report.screened_devices = result.screened_devices;
   report.device_reports = result.device_reports;
   report.comm = result.comm;
   return report;
@@ -157,6 +176,8 @@ std::string RunReportJson(const RunReport& report) {
     out += ",\"total_samples\":" + std::to_string(report.total_samples);
     out += ",\"quarantined_samples\":" +
            std::to_string(report.quarantined_samples);
+    out += ",\"screened_devices\":" +
+           std::to_string(report.screened_devices);
     out += ",\"comm\":" + CommStatsJson(report.comm);
     out += ",\"device_reports\":[";
     for (size_t i = 0; i < report.device_reports.size(); ++i) {

@@ -33,7 +33,7 @@ namespace fedsc {
 
 // Bump when the report JSON layout changes incompatibly;
 // scripts/validate_report.py and the golden layout fixture pin it.
-inline constexpr int kReportSchemaVersion = 1;
+inline constexpr int kReportSchemaVersion = 2;
 
 struct RunReport {
   RunManifest manifest;
@@ -45,6 +45,7 @@ struct RunReport {
   int64_t participating_devices = 0;
   int64_t total_samples = 0;
   int64_t quarantined_samples = 0;
+  int64_t screened_devices = 0;
   std::vector<DeviceReport> device_reports;
   CommStats comm;
 

@@ -77,8 +77,8 @@ Result<int64_t> FedScServer::AddUpload(const Matrix& samples) {
         "quarantined", num_devices(), -1,
         {{"reason", "every sample of the upload failed validation"}});
     return Status::InvalidArgument(
-        "every sample of the upload failed validation (e.g. " +
-        validation.reasons.front() + ")");
+        "every sample of the upload failed validation: " +
+        QuarantinedColumnsSummary(validation));
   }
   if (ambient_dim_ < 0) ambient_dim_ = samples.rows();
   device_offsets_.push_back(total_samples_);
@@ -108,10 +108,55 @@ Status FedScServer::Cluster() {
         " < " + std::to_string(num_clusters_));
   }
   Matrix pooled(ambient_dim_, total_samples_);
+  std::vector<int64_t> pool_device;
+  pool_device.reserve(static_cast<size_t>(total_samples_));
   int64_t next = 0;
-  for (const Matrix& upload : uploads_) {
+  for (size_t z = 0; z < uploads_.size(); ++z) {
+    const Matrix& upload = uploads_[z];
     for (int64_t c = 0; c < upload.cols(); ++c) {
       pooled.SetCol(next++, upload.ColData(c));
+      pool_device.push_back(static_cast<int64_t>(z));
+    }
+  }
+
+  // Byzantine defense: screen the registered uploads; screened devices'
+  // samples are excluded from the central solve and keep the sentinel
+  // label -1 in sample_labels().
+  screened_.assign(static_cast<size_t>(num_devices()), false);
+  Matrix solve = pooled;
+  std::vector<int64_t> solve_device = pool_device;
+  std::vector<int64_t> keep;
+  if (options_.defense.enabled) {
+    FEDSC_ASSIGN_OR_RETURN(DefensePlan defense,
+                           DefensePlan::Create(options_.defense));
+    const ScreeningOutcome screening =
+        defense.Screen(pooled, pool_device, options_.num_threads);
+    for (const DeviceScreenVerdict& verdict : screening.verdicts) {
+      if (!verdict.screened) continue;
+      screened_[static_cast<size_t>(verdict.device)] = true;
+      FEDSC_JOURNAL_EVENT("defense_screened", verdict.device, -1,
+                          {{"statistic", verdict.statistic},
+                           {"support", verdict.support},
+                           {"residual", verdict.residual}});
+    }
+    if (screening.screened_devices > 0) {
+      for (int64_t c = 0; c < total_samples_; ++c) {
+        if (!screened_[static_cast<size_t>(
+                pool_device[static_cast<size_t>(c)])]) {
+          keep.push_back(c);
+        }
+      }
+      if (static_cast<int64_t>(keep.size()) < num_clusters_) {
+        return Status::FailedPrecondition(
+            "fewer unscreened samples than clusters: " +
+            std::to_string(keep.size()) + " < " +
+            std::to_string(num_clusters_));
+      }
+      solve = pooled.GatherCols(keep);
+      solve_device.clear();
+      for (int64_t c : keep) {
+        solve_device.push_back(pool_device[static_cast<size_t>(c)]);
+      }
     }
   }
 
@@ -126,18 +171,34 @@ Status FedScServer::Cluster() {
   central.tsc.q = std::min<int64_t>(central.tsc.q, total_samples_ - 1);
   central.spectral = options_.central_spectral;
   central.spectral.kmeans.seed = options_.seed ^ 0x5e47e4ULL;
+  if (options_.defense.enabled) {
+    KMeansRobustOptions& robust = central.spectral.kmeans.robust;
+    robust.enabled = true;
+    robust.trim_fraction = options_.defense.trim_fraction;
+    robust.center = options_.defense.robust_center;
+    robust.max_group_fraction = options_.defense.max_device_fraction;
+    robust.point_group = solve_device;
+  }
   central.num_threads = options_.num_threads;
   FEDSC_JOURNAL_EVENT("central_start", -1, -1,
-                      {{"samples", total_samples_},
+                      {{"samples", solve.cols()},
                        {"method",
                         central.method == ScMethod::kSsc ? "ssc" : "tsc"}});
   FEDSC_ASSIGN_OR_RETURN(ScResult result,
-                         RunSubspaceClustering(pooled, num_clusters_,
+                         RunSubspaceClustering(solve, num_clusters_,
                                                central));
-  sample_labels_ = std::move(result.labels);
+  if (keep.empty()) {
+    sample_labels_ = std::move(result.labels);
+  } else {
+    // Screened samples keep the failed-device sentinel.
+    sample_labels_.assign(static_cast<size_t>(total_samples_), -1);
+    for (size_t i = 0; i < keep.size(); ++i) {
+      sample_labels_[static_cast<size_t>(keep[i])] = result.labels[i];
+    }
+  }
   clustered_ = true;
   FEDSC_JOURNAL_EVENT("central_finish", -1, -1,
-                      {{"samples", total_samples_}});
+                      {{"samples", solve.cols()}});
   return Status::OK();
 }
 
@@ -147,6 +208,12 @@ Result<std::vector<int64_t>> FedScServer::AssignmentsFor(int64_t id) const {
   }
   if (!clustered_) {
     return Status::FailedPrecondition("Cluster() has not run");
+  }
+  if (!screened_.empty() && screened_[static_cast<size_t>(id)]) {
+    return Status::InvalidArgument(
+        "device " + std::to_string(id) +
+        " was screened by the Byzantine defense; its samples were excluded "
+        "from the central clustering");
   }
   const int64_t begin = device_offsets_[static_cast<size_t>(id)];
   const int64_t count = uploads_[static_cast<size_t>(id)].cols();

@@ -87,8 +87,17 @@ class FedScServer {
   Status Cluster();
 
   // Assignments for device `id`'s samples, in upload order. Requires a
-  // successful Cluster() since the last AddUpload.
+  // successful Cluster() since the last AddUpload. A device screened by the
+  // Byzantine defense (FedScOptions::defense) gets a typed error instead of
+  // assignments — its samples never entered the central solve.
   Result<std::vector<int64_t>> AssignmentsFor(int64_t id) const;
+
+  // True when the last Cluster() screened device `id` (always false with
+  // the defense disabled or before Cluster() ran).
+  bool screened(int64_t id) const {
+    return id >= 0 && id < static_cast<int64_t>(screened_.size()) &&
+           screened_[static_cast<size_t>(id)];
+  }
 
   // The full pooled clustering (one label per registered sample).
   const std::vector<int64_t>& sample_labels() const { return sample_labels_; }
@@ -102,6 +111,7 @@ class FedScServer {
   int64_t total_samples_ = 0;
   int64_t quarantined_samples_ = 0;
   bool clustered_ = false;
+  std::vector<bool> screened_;
   std::vector<int64_t> sample_labels_;
 };
 

@@ -1,0 +1,164 @@
+// Byzantine-robust central aggregation: server-side screening of accepted
+// uploads before pooling.
+//
+// The one-shot protocol gives every device exactly one chance to poison the
+// central solve: a well-formed adversarial upload (fed/faults.h kByzantine)
+// passes wire CRCs and ValidateUpload's norm bounds, and there is no
+// iterative averaging to dilute it. A DefensePlan closes that gap with two
+// statistical screens run on the post-validation pool (mirroring the
+// FaultPlan / CodecOptions options-struct + pure-dispatch contract):
+//
+//   1. Cross-device coherence support. Honest samples live on one of a few
+//      low-dimensional subspaces that the partition spreads over many
+//      devices, so strongly coherent sample pairs chain honest devices
+//      through shared subspaces into large connected components of the
+//      device support graph. Two devices are linked when their best sample
+//      pair clears a MAD-derived noise threshold theta AND is comparable to
+//      the linked devices' own best cross-device coherence (the relative
+//      rule): a colluding clique's members cohere near-perfectly with each
+//      other, so their weaker incidental alignments with honest subspaces
+//      fail the relative rule and the clique stays an isolated island no
+//      matter where the global threshold lands. An uncoordinated random
+//      upload is near-orthogonal to everything and isolated outright. The
+//      screen is a median-absolute-deviation outlier test on the per-device
+//      component size: a device whose component falls a MAD-scaled margin
+//      below the pool median — and is a minority (below
+//      max_screen_support_fraction of the pooled devices, the standing
+//      Byzantine assumption) — is screened.
+//
+//   2. Peer-subspace self-consistency. Each sample is projected onto the
+//      span of its most-coherent samples from other devices; honest samples
+//      reconstruct to noise level (their peers span the same subspace),
+//      while subspace-mimicry attacks — samples rotated a controlled angle
+//      off a true subspace — leave a residual ~ sin(angle). Devices whose
+//      *best* sample residual is a MAD outlier above the pool are screened.
+//
+// Determinism contract: every reduction runs on ParallelForRanges with each
+// parallel iteration writing a disjoint output slot, and the pooled order
+// statistics (median / MAD) are value-based, so the screening verdicts are
+// bit-identical for any num_threads. Screening consumes no RNG draws:
+// defense off (the default) reproduces pre-defense results bit-for-bit.
+
+#ifndef FEDSC_FED_DEFENSE_H_
+#define FEDSC_FED_DEFENSE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/kmeans.h"
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace fedsc {
+
+struct DefenseOptions {
+  // Master switch. Off: RunFedSc and FedScServer behave exactly as before
+  // this subsystem existed (no screening, no robust k-engine).
+  bool enabled = false;
+
+  // --- Screen 1: cross-device coherence support ---
+  // Noise threshold theta = median + coherence_mad_multiplier * MAD over the
+  // pooled cross-device |<s_i, s_j>| distribution; a device pair can only be
+  // linked by a sample pair above theta (the relative edge rule in
+  // defense.cc prunes the survivors further).
+  double coherence_mad_multiplier = 3.0;
+  // A device is support-screened when its support-graph component size falls
+  // below median_size - support_mad_multiplier * max(MAD, min_support_mad)
+  // AND below max_screen_support_fraction of the pooled devices. The MAD
+  // floor keeps a degenerate (all-equal) component distribution from
+  // screening everything below the median; the fraction guard encodes the
+  // standing Byzantine assumption (an adversarial clique is a minority) and
+  // protects legitimate small subspace groups larger than that minority.
+  double support_mad_multiplier = 3.0;
+  double min_support_mad = 0.5;
+  double max_screen_support_fraction = 0.3;
+
+  // --- Screen 2: peer-subspace self-consistency ---
+  // Number of most-coherent cross-device peers spanning the reference
+  // subspace each sample is reconstructed from. Deliberately larger than a
+  // typical subspace dimension: honest peers beyond dim d cost nothing
+  // (near-dependent directions vanish in the orthogonalization), while too
+  // few peers can under-span the subspace and false-screen honest devices.
+  int64_t peer_rank = 6;
+  // A device is residual-screened when even its best (minimum) sample
+  // residual exceeds median + residual_mad_multiplier * max(MAD,
+  // min_residual_mad) AND the absolute floor min_screen_residual (so noise
+  // on a clean pool can never trip the screen).
+  double residual_mad_multiplier = 4.0;
+  double min_residual_mad = 0.02;
+  double min_screen_residual = 0.15;
+
+  // Below this many pooled devices the order statistics are meaningless and
+  // screening is a no-op (every device passes).
+  int64_t min_pool_devices = 4;
+
+  // --- Robust central k-engine wiring (cluster/kmeans.h) ---
+  // Applied to the central spectral k-means when the defense is enabled:
+  // trimmed assignment fraction, robust center estimator, and the per-device
+  // influence cap (no device contributes more than this fraction of any
+  // cluster's update mass).
+  double trim_fraction = 0.1;
+  KMeansCenter robust_center = KMeansCenter::kCoordinateMedian;
+  double max_device_fraction = 0.5;
+};
+
+Status ValidateDefenseOptions(const DefenseOptions& options);
+
+// One pooled device's screening verdict with the statistics behind it.
+struct DeviceScreenVerdict {
+  int64_t device = 0;
+  bool screened = false;
+  // Size of this device's connected component in the device support graph
+  // (devices linked by a sample pair clearing theta and the relative edge
+  // rule; includes the device itself), and the cut it was tested against.
+  int64_t support = 0;
+  double support_cut = 0.0;
+  // Best (minimum over the device's samples) peer-subspace residual, and
+  // the cut it was tested against.
+  double residual = 0.0;
+  double residual_cut = 0.0;
+  // Human-readable triggering statistic ("coherence component 2/24 below
+  // cut 20.5"); empty when the device passed.
+  std::string statistic;
+};
+
+struct ScreeningOutcome {
+  // One verdict per pooled device, in ascending device order.
+  std::vector<DeviceScreenVerdict> verdicts;
+  // Pool-derived coherence threshold theta (0 when screening was skipped).
+  double coherence_threshold = 0.0;
+  int64_t screened_devices = 0;
+  // True when the pool was too small (min_pool_devices) to screen.
+  bool skipped = false;
+};
+
+// Immutable screening configuration; Screen() is a pure function of
+// (options, samples, sample_device) — bit-identical for any num_threads.
+class DefensePlan {
+ public:
+  DefensePlan() = default;
+
+  // Validates thresholds (multipliers nonnegative, fractions in range).
+  static Result<DefensePlan> Create(const DefenseOptions& options);
+
+  const DefenseOptions& options() const { return options_; }
+  bool enabled() const { return options_.enabled; }
+
+  // Screens the pooled accepted uploads: `samples` holds every accepted
+  // column (n x m) and sample_device[j] names the owning device of column j.
+  // Returns a verdict for every distinct device present. Never fails: an
+  // undersized pool yields skipped = true with every device passing.
+  ScreeningOutcome Screen(const Matrix& samples,
+                          const std::vector<int64_t>& sample_device,
+                          int num_threads) const;
+
+ private:
+  explicit DefensePlan(const DefenseOptions& options) : options_(options) {}
+
+  DefenseOptions options_;
+};
+
+}  // namespace fedsc
+
+#endif  // FEDSC_FED_DEFENSE_H_

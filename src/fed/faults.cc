@@ -30,6 +30,32 @@ constexpr WireFault kWireFaultCycle[] = {
     WireFault::kLengthLie,
 };
 
+// Stream constant deriving the colluders' shared fake-subspace basis from
+// the plan seed: every colluder mixes the same value, so they agree on the
+// subspace without any cross-device draw.
+constexpr uint64_t kColludeStream = 0xC011'0DE5'EEDULL;
+
+// Gram-Schmidt over `vectors` (columns), dropping near-dependent columns.
+// Deterministic; always returns at least one unit column when any input
+// column is nonzero.
+Matrix Orthonormalized(const Matrix& vectors) {
+  const int64_t n = vectors.rows();
+  Matrix basis(n, vectors.cols());
+  int64_t rank = 0;
+  for (int64_t j = 0; j < vectors.cols(); ++j) {
+    std::vector<double> v(vectors.ColData(j), vectors.ColData(j) + n);
+    for (int64_t r = 0; r < rank; ++r) {
+      const double dot = Dot(basis.ColData(r), v.data(), n);
+      Axpy(-dot, basis.ColData(r), v.data(), n);
+    }
+    const double norm = Norm2(v.data(), n);
+    if (norm <= 1e-12) continue;
+    Scal(1.0 / norm, v.data(), n);
+    basis.SetCol(rank++, v.data());
+  }
+  return basis.ColRange(0, std::max<int64_t>(rank, 1));
+}
+
 Status CheckRate(double value, const char* name) {
   if (!(value >= 0.0 && value <= 1.0)) {
     return Status::InvalidArgument(std::string(name) +
@@ -86,6 +112,18 @@ const char* WireFaultName(WireFault fault) {
   return "unknown";
 }
 
+const char* ByzantineModeName(ByzantineMode mode) {
+  switch (mode) {
+    case ByzantineMode::kRandom:
+      return "random";
+    case ByzantineMode::kCollude:
+      return "collude";
+    case ByzantineMode::kMimic:
+      return "mimic";
+  }
+  return "unknown";
+}
+
 std::string FaultClassName(const DeviceFaultSchedule& schedule) {
   std::string out;
   const auto add = [&out](const std::string& name) {
@@ -96,7 +134,14 @@ std::string FaultClassName(const DeviceFaultSchedule& schedule) {
   if (schedule.straggler) add("straggler");
   if (schedule.transient_failures > 0) add("transient");
   if (schedule.payload != PayloadFault::kNone) {
-    add(PayloadFaultName(schedule.payload));
+    std::string name = PayloadFaultName(schedule.payload);
+    // The legacy random mode keeps the bare "byzantine" class name; the
+    // hardened modes are distinguishable in the journal.
+    if (schedule.payload == PayloadFault::kByzantine &&
+        schedule.byzantine_mode != ByzantineMode::kRandom) {
+      name += std::string("-") + ByzantineModeName(schedule.byzantine_mode);
+    }
+    add(name);
   }
   if (schedule.wire != WireFault::kNone) {
     add(std::string("wire-") + WireFaultName(schedule.wire));
@@ -119,6 +164,14 @@ Status ValidateFaultPlanOptions(const FaultPlanOptions& options) {
   }
   if (options.max_transient_failures < 0) {
     return Status::InvalidArgument("max_transient_failures must be >= 0");
+  }
+  if (options.collude_dim < 1) {
+    return Status::InvalidArgument("collude_dim must be >= 1");
+  }
+  if (!(options.mimic_angle_deg > 0.0 && options.mimic_angle_deg <= 90.0)) {
+    return Status::InvalidArgument(
+        "mimic_angle_deg must lie in (0, 90], got " +
+        std::to_string(options.mimic_angle_deg));
   }
   return Status::OK();
 }
@@ -179,6 +232,11 @@ Result<FaultPlan> FaultPlan::Create(int64_t num_devices,
           static_cast<int64_t>(std::size(kWireFaultCycle));
       device.wire = kWireFaultCycle[wire_index++ % kWireCycle];
     }
+    // Byzantine-mode draws come after the wire draws (the same append-only
+    // discipline): every fate decided by the draws above replays
+    // bit-identically whatever the configured attack strategy.
+    device.byzantine_mode = options.byzantine_mode;
+    device.byzantine_seed = rng.Next();
     plan.active_ = plan.active_ || device.dropped || device.straggler ||
                    device.transient_failures > 0 ||
                    device.payload != PayloadFault::kNone ||
@@ -265,13 +323,90 @@ Matrix FaultPlan::ApplyPayloadFault(int64_t z, const Matrix& upload) const {
       return corrupted;
     }
     case PayloadFault::kByzantine: {
-      // Well-formed unit vectors with adversarially useless directions:
-      // they pass validation and can only be absorbed, not filtered.
-      Matrix adversarial(n, cols);
-      for (int64_t j = 0; j < cols; ++j) {
-        adversarial.SetCol(j, rng.UnitSphere(n));
+      switch (device.byzantine_mode) {
+        case ByzantineMode::kRandom: {
+          // Well-formed unit vectors with adversarially useless directions:
+          // they pass validation and can only be absorbed, not filtered.
+          Matrix adversarial(n, cols);
+          for (int64_t j = 0; j < cols; ++j) {
+            adversarial.SetCol(j, rng.UnitSphere(n));
+          }
+          return adversarial;
+        }
+        case ByzantineMode::kCollude: {
+          // All colluders draw their columns from one fake subspace whose
+          // basis depends only on the plan seed, so the group's uploads
+          // mutually cohere like a legitimate cluster and can steal one of
+          // the central solve's L clusters.
+          Rng basis_rng(MixSeeds(options_.seed, kColludeStream));
+          const int64_t dim = std::min<int64_t>(options_.collude_dim, n);
+          Matrix directions(n, dim);
+          for (int64_t j = 0; j < dim; ++j) {
+            directions.SetCol(j, basis_rng.UnitSphere(n));
+          }
+          const Matrix basis = Orthonormalized(directions);
+          Rng column_rng(device.byzantine_seed);
+          Matrix adversarial(n, cols);
+          std::vector<double> column(static_cast<size_t>(n), 0.0);
+          for (int64_t j = 0; j < cols; ++j) {
+            double norm = 0.0;
+            do {
+              const std::vector<double> alpha =
+                  column_rng.GaussianVector(basis.cols());
+              Gemv(Trans::kNo, 1.0, basis, alpha.data(), 0.0, column.data());
+              norm = Norm2(column.data(), n);
+            } while (norm <= 1e-300);
+            Scal(1.0 / norm, column.data(), n);
+            adversarial.SetCol(j, column.data());
+          }
+          return adversarial;
+        }
+        case ByzantineMode::kMimic: {
+          // Rotate each honest sample by a controlled angle towards a random
+          // orthogonal direction: the mimic stays close enough to the true
+          // subspace to keep most of its coherence with honest devices,
+          // while consistently tilting the cluster it lands in.
+          const double angle =
+              options_.mimic_angle_deg * 3.14159265358979323846 / 180.0;
+          const double cos_a = std::cos(angle);
+          const double sin_a = std::sin(angle);
+          Rng direction_rng(device.byzantine_seed);
+          Matrix adversarial(n, cols);
+          std::vector<double> tilted(static_cast<size_t>(n), 0.0);
+          for (int64_t j = 0; j < cols; ++j) {
+            std::vector<double> base(upload.ColData(j),
+                                     upload.ColData(j) + n);
+            const double base_norm = Norm2(base.data(), n);
+            if (base_norm <= 1e-300) {
+              adversarial.SetCol(j, direction_rng.UnitSphere(n));
+              continue;
+            }
+            Scal(1.0 / base_norm, base.data(), n);
+            if (n < 2) {  // no orthogonal direction exists in 1-D
+              adversarial.SetCol(j, base.data());
+              continue;
+            }
+            // A random direction orthogonalized against the sample; redraw
+            // on the (measure-zero) parallel case.
+            std::vector<double> perp;
+            double perp_norm = 0.0;
+            do {
+              perp = direction_rng.UnitSphere(n);
+              const double dot = Dot(base.data(), perp.data(), n);
+              Axpy(-dot, base.data(), perp.data(), n);
+              perp_norm = Norm2(perp.data(), n);
+            } while (perp_norm <= 1e-12);
+            for (int64_t i = 0; i < n; ++i) {
+              tilted[static_cast<size_t>(i)] =
+                  cos_a * base[static_cast<size_t>(i)] +
+                  sin_a * perp[static_cast<size_t>(i)] / perp_norm;
+            }
+            adversarial.SetCol(j, tilted.data());
+          }
+          return adversarial;
+        }
       }
-      return adversarial;
+      return upload;
     }
   }
   return upload;
@@ -346,9 +481,22 @@ std::string FaultPlan::Fingerprint() const {
        << " payload_seed=" << d.payload_seed
        << " delay_seed=" << d.delay_seed
        << " wire=" << WireFaultName(d.wire)
-       << " wire_seed=" << d.wire_seed << "\n";
+       << " wire_seed=" << d.wire_seed
+       << " byzantine_mode=" << ByzantineModeName(d.byzantine_mode)
+       << " byzantine_seed=" << d.byzantine_seed << "\n";
   }
   return os.str();
+}
+
+std::string QuarantinedColumnsSummary(const UploadValidation& validation) {
+  if (validation.quarantined.empty()) return "none";
+  std::string out;
+  for (size_t i = 0; i < validation.quarantined.size(); ++i) {
+    if (!out.empty()) out += "; ";
+    out += "col " + std::to_string(validation.quarantined[i]) + ": " +
+           validation.reasons[i];
+  }
+  return out;
 }
 
 Result<UploadValidation> ValidateUpload(

@@ -63,6 +63,22 @@ enum class WireFault {
 
 const char* WireFaultName(WireFault fault);
 
+// How a Byzantine device picks its adversarial (well-formed) samples.
+// kRandom is the legacy attack: isotropic unit vectors, uncoordinated.
+// kCollude and kMimic model the stronger adversaries the defense layer
+// (fed/defense.h) must survive: colluders agree on a common fake subspace
+// (their uploads mutually cohere like a legitimate cluster), mimics rotate
+// each honest sample by a controlled angle off its true subspace (they keep
+// most of their coherence with honest devices and are invisible to pure
+// coherence tests).
+enum class ByzantineMode {
+  kRandom = 0,
+  kCollude,
+  kMimic,
+};
+
+const char* ByzantineModeName(ByzantineMode mode);
+
 struct FaultPlanOptions {
   // Fraction of devices that never respond (every attempt times out).
   double dropout_rate = 0.0;
@@ -79,6 +95,14 @@ struct FaultPlanOptions {
   double corrupt_rate = 0.0;
   // Fraction of devices uploading adversarial (Byzantine) samples.
   double byzantine_rate = 0.0;
+  // Attack strategy shared by every Byzantine device in the plan.
+  ByzantineMode byzantine_mode = ByzantineMode::kRandom;
+  // Dimension of the colluders' common fake subspace (kCollude). The basis
+  // is a pure function of `seed` alone, so every colluder agrees on it.
+  int64_t collude_dim = 2;
+  // Angle (degrees, in (0, 90]) between a mimic's samples and the honest
+  // samples they are derived from (kMimic).
+  double mimic_angle_deg = 30.0;
   // Fraction of devices whose serialized upload is damaged in flight; the
   // damage class cycles through truncate/header-flip/payload-flip/CRC-stomp/
   // length-lie. Requires the serialized uplink path (it operates on wire
@@ -97,6 +121,11 @@ struct DeviceFaultSchedule {
   uint64_t delay_seed = 0;    // drives per-attempt latency draws
   WireFault wire = WireFault::kNone;
   uint64_t wire_seed = 0;     // drives the wire-byte mutation
+  // Byzantine strategy (meaningful when payload == kByzantine) and the seed
+  // driving its column draws. The seed is drawn AFTER every legacy draw so
+  // plans built before the hardened attack suite replay bit-identically.
+  ByzantineMode byzantine_mode = ByzantineMode::kRandom;
+  uint64_t byzantine_seed = 0;
 };
 
 // Compact human/journal-readable summary of every fault class scheduled for
@@ -170,6 +199,12 @@ struct UploadValidation {
   std::vector<int64_t> quarantined;
   std::vector<std::string> reasons;  // parallel to `quarantined`
 };
+
+// Every offending column with its reason, ';'-joined in column order
+// ("col 0: non-finite value; col 2: norm ..."), so the journal's quarantine
+// diagnostics name all of them instead of just the first. "none" when no
+// column was quarantined.
+std::string QuarantinedColumnsSummary(const UploadValidation& validation);
 
 // Validates one device's received upload against `expected_dim`. A wrong
 // ambient dimension rejects the whole upload (typed InvalidArgument — the

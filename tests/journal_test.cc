@@ -260,7 +260,7 @@ TEST(JournalRegistryTest, DisabledMacroSkipsArgumentEvaluation) {
   EXPECT_EQ(FieldInt(events[0], "x"), 7);
   const std::string line = JournalEventJson(events[0], /*include_wall=*/false);
   EXPECT_EQ(line,
-            "{\"v\":1,\"seq\":0,\"type\":\"test/enabled\",\"device\":3,"
+            "{\"v\":2,\"seq\":0,\"type\":\"test/enabled\",\"device\":3,"
             "\"sim_ms\":12,\"x\":7}");
   ResetJournal();
 }
@@ -306,8 +306,8 @@ TEST(RunReportTest, CollectReportHookAttachesAFullReport) {
   EXPECT_EQ(report.manifest.num_threads, 2);
 
   const std::string json = RunReportJson(report);
-  EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos);
-  EXPECT_NE(json.find("\"journal_schema_version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"journal_schema_version\":2"), std::string::npos);
   EXPECT_NE(json.find("\"manifest\":"), std::string::npos);
   EXPECT_NE(json.find("\"run\":{"), std::string::npos);
   EXPECT_NE(json.find("\"journal\":["), std::string::npos);

@@ -8,7 +8,8 @@
 //             [--quantize-bits 0] [--seed 42] [--output labels.csv] ...
 //             [--dropout 0.0] [--straggler 0.0] [--transient 0.0] ...
 //             [--corrupt 0.0] [--byzantine 0.0] [--wire-corrupt 0.0] ...
-//             [--fault-seed S] ...
+//             [--byzantine-mode random|collude|mimic] [--fault-seed S] ...
+//             [--defense on|off] [--defense-trim 0.1] ...
 //             [--quorum 1.0] [--max-attempts 1] [--timeout-ms 1000] ...
 //             [--codec raw|quant|basis] [--wire-dump msg.wire] ...
 //             [--trace-out trace.json] [--metrics-out metrics.json]
@@ -24,7 +25,12 @@
 // fault probabilities, --max-attempts and --timeout-ms bound the retrying
 // uplink, and --quorum is the participation fraction required for the round
 // to proceed. Points on failed devices are reported with label -1 (excluded
-// from ACC/NMI; written as -1 to --output).
+// from ACC/NMI; written as -1 to --output). --byzantine-mode picks the
+// attack strategy (random unit vectors, a colluding common subspace, or
+// subspace mimicry); --defense on enables the Byzantine screening +
+// robust central k-engine (fed/defense.h), and --defense-trim overrides its
+// trimmed-assignment fraction. Screened devices are reported like
+// quarantined ones, with the triggering statistic.
 //
 // --codec picks the uplink serialization (fed/codec.h): raw ships f64
 // samples verbatim, quant packs them at --quantize-bits bits per value
@@ -86,8 +92,11 @@ struct CliOptions {
   double transient = 0.0;
   double corrupt = 0.0;
   double byzantine = 0.0;
+  std::string byzantine_mode = "random";
   double wire_corrupt = 0.0;
   uint64_t fault_seed = 0x5eed'FA17ULL;
+  std::string defense = "off";
+  double defense_trim = -1.0;  // < 0: keep the DefenseOptions default
   std::string codec = "raw";
   std::string wire_dump;
   double quorum = 1.0;
@@ -109,6 +118,8 @@ void PrintUsage(const char* binary) {
       "  [--quantize-bits B] [--seed S] [--output labels.csv]\n"
       "  [--dropout P] [--straggler P] [--transient P]\n"
       "  [--corrupt P] [--byzantine P] [--wire-corrupt P] [--fault-seed S]\n"
+      "  [--byzantine-mode random|collude|mimic]\n"
+      "  [--defense on|off] [--defense-trim F]\n"
       "  [--quorum F] [--max-attempts A] [--timeout-ms T]\n"
       "  [--codec raw|quant|basis] [--wire-dump msg.wire]\n"
       "  [--trace-out trace.json] [--metrics-out metrics.json]\n"
@@ -197,6 +208,15 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     } else if (flag == "--byzantine") {
       if ((value = next()) == nullptr) return false;
       options->byzantine = std::atof(value);
+    } else if (flag == "--byzantine-mode") {
+      if ((value = next()) == nullptr) return false;
+      options->byzantine_mode = value;
+    } else if (flag == "--defense") {
+      if ((value = next()) == nullptr) return false;
+      options->defense = value;
+    } else if (flag == "--defense-trim") {
+      if ((value = next()) == nullptr) return false;
+      options->defense_trim = std::atof(value);
     } else if (flag == "--wire-corrupt") {
       if ((value = next()) == nullptr) return false;
       options->wire_corrupt = std::atof(value);
@@ -233,7 +253,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     } else if (flag == "--help" || flag == "-h") {
       return false;
     } else {
-      std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+      std::fprintf(stderr,
+                   "invalid argument: unknown flag %s (see --help for the "
+                   "accepted flags)\n",
+                   flag.c_str());
       return false;
     }
   }
@@ -250,6 +273,30 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
   if (options->codec != "raw" && options->codec != "quant" &&
       options->codec != "basis") {
     std::fprintf(stderr, "--codec must be 'raw', 'quant' or 'basis'\n");
+    return false;
+  }
+  if (options->byzantine_mode != "random" &&
+      options->byzantine_mode != "collude" &&
+      options->byzantine_mode != "mimic") {
+    std::fprintf(stderr,
+                 "invalid argument: --byzantine-mode must be 'random', "
+                 "'collude' or 'mimic', got '%s'\n",
+                 options->byzantine_mode.c_str());
+    return false;
+  }
+  if (options->defense != "on" && options->defense != "off") {
+    std::fprintf(stderr,
+                 "invalid argument: --defense must be 'on' or 'off', got "
+                 "'%s'\n",
+                 options->defense.c_str());
+    return false;
+  }
+  if (options->defense_trim >= 0.0 &&
+      !(options->defense_trim <= 0.5)) {
+    std::fprintf(stderr,
+                 "invalid argument: --defense-trim must lie in [0, 0.5], "
+                 "got %g\n",
+                 options->defense_trim);
     return false;
   }
   return true;
@@ -326,8 +373,17 @@ int main(int argc, char** argv) {
   options.faults.transient_rate = cli.transient;
   options.faults.corrupt_rate = cli.corrupt;
   options.faults.byzantine_rate = cli.byzantine;
+  options.faults.byzantine_mode =
+      cli.byzantine_mode == "collude"
+          ? ByzantineMode::kCollude
+          : cli.byzantine_mode == "mimic" ? ByzantineMode::kMimic
+                                          : ByzantineMode::kRandom;
   options.faults.wire_corrupt_rate = cli.wire_corrupt;
   options.faults.seed = cli.fault_seed;
+  options.defense.enabled = cli.defense == "on";
+  if (cli.defense_trim >= 0.0) {
+    options.defense.trim_fraction = cli.defense_trim;
+  }
   options.quorum = cli.quorum;
   options.retry.max_attempts = cli.max_attempts;
   options.retry.timeout_ms = cli.timeout_ms;
@@ -382,16 +438,23 @@ int main(int argc, char** argv) {
   if (!result->failed_devices.empty() || result->comm.retries > 0 ||
       result->quarantined_samples > 0) {
     std::printf("degraded round: %lld/%lld devices participated, "
-                "%lld samples quarantined, %lld retries, %lld timeouts, "
-                "%lld ms simulated uplink\n",
+                "%lld samples quarantined, %lld devices screened, "
+                "%lld retries, %lld timeouts, %lld ms simulated uplink\n",
                 static_cast<long long>(result->participating_devices),
                 static_cast<long long>(fed->num_devices()),
                 static_cast<long long>(result->quarantined_samples),
+                static_cast<long long>(result->screened_devices),
                 static_cast<long long>(result->comm.retries),
                 static_cast<long long>(result->comm.timeouts),
                 static_cast<long long>(result->comm.sim_uplink_ms));
     for (const DeviceReport& report : result->device_reports) {
       if (report.outcome == DeviceOutcome::kOk) continue;
+      if (report.outcome == DeviceOutcome::kScreened) {
+        std::printf("  device %lld: screened by the defense (%s)\n",
+                    static_cast<long long>(report.device),
+                    report.screen_statistic.c_str());
+        continue;
+      }
       std::printf("  device %lld: %s after %d attempt%s (%s)\n",
                   static_cast<long long>(report.device),
                   DeviceOutcomeName(report.outcome), report.attempts,
