@@ -1,0 +1,226 @@
+// Central-clustering scaling: exact vs sketched engine over the pooled-
+// sample count N, the regime the sketched SSC + landmark spectral path
+// (sc/sketch.h, SpectralClusterLandmark) exists for.
+//
+// Both engines run the same RunSubspaceClustering call on the same synthetic
+// union of subspaces; only CentralPath differs. The exact engine solves the
+// N-atom self-expression and the N-node spectral problem; the sketched
+// engine solves against a d-atom dictionary (shape rule: d = clamp(N/16,
+// 128, 1024)) and eigendecomposes the d x d Nystrom core, so its cost is
+// linear in N. The bench reports wall seconds, ACC against ground truth,
+// and the exact/sketched speedup per swept N.
+//
+// The exact engine is only measured up to --exact-cap (default 10000): the
+// default sweep reaches N = 100000, where the exact quadratic solve is not
+// feasible on a single core. Skipped exact runs are reported explicitly
+// (exact_skipped), never silently dropped, and the acceptance pair
+// (speedup >= 10x, |ACC gap| <= 2 points) is taken at the LARGEST N where
+// both engines were measured.
+//
+// Default invocation runs a small smoke sweep; --full (or --json-out=PATH,
+// which implies it) runs N in {2000, 10000, 50000, 100000}. With
+// --json-out=PATH the sweep is written as a `central_scaling` JSON section
+// for scripts/bench_baseline.sh, which folds it into BENCH_linalg.json
+// where scripts/check_bench_json.py enforces the floors.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "data/synthetic.h"
+#include "metrics/clustering_metrics.h"
+#include "sc/pipeline.h"
+
+namespace fedsc {
+namespace {
+
+constexpr int64_t kAmbientDim = 50;
+constexpr int64_t kSubspaceDim = 5;
+constexpr int64_t kNumSubspaces = 5;
+constexpr int64_t kMaxSupport = 8;
+
+struct ScalePoint {
+  int64_t n = 0;
+  int64_t sketch_dim = 0;
+  bool exact_measured = false;
+  double exact_seconds = 0.0;
+  double exact_acc = 0.0;
+  double sketched_seconds = 0.0;
+  double sketched_acc = 0.0;
+  bool ok = false;
+};
+
+Result<std::pair<double, double>> RunOnce(const Dataset& data,
+                                          CentralPath central) {
+  ScPipelineOptions options;
+  options.method = ScMethod::kSscOmp;
+  options.ssc_omp.max_support = kMaxSupport;
+  options.central = central;
+  options.sketch.seed = 0x5ca1'e001ULL;
+  Stopwatch timer;
+  FEDSC_ASSIGN_OR_RETURN(
+      ScResult result,
+      RunSubspaceClustering(data.points, kNumSubspaces, options));
+  const double seconds = timer.ElapsedSeconds();
+  return std::make_pair(seconds,
+                        ClusteringAccuracy(data.labels, result.labels));
+}
+
+void WriteScalingJson(const std::vector<ScalePoint>& points,
+                      const std::string& path) {
+  // The acceptance pair lives at the largest N where BOTH engines ran.
+  const ScalePoint* compared = nullptr;
+  for (const ScalePoint& point : points) {
+    if (point.ok && point.exact_measured) compared = &point;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return;
+  }
+  char buffer[320];
+  std::snprintf(buffer, sizeof(buffer),
+                "{\"central_scaling\":{\"config\":\"D=%ld,d=%ld,L=%ld,"
+                "method=SSCOMP,support=%ld,threads=1\",\"sweep\":{",
+                static_cast<long>(kAmbientDim),
+                static_cast<long>(kSubspaceDim),
+                static_cast<long>(kNumSubspaces),
+                static_cast<long>(kMaxSupport));
+  out << buffer;
+  for (size_t i = 0; i < points.size(); ++i) {
+    const ScalePoint& point = points[i];
+    if (!point.ok) continue;
+    if (point.exact_measured) {
+      std::snprintf(
+          buffer, sizeof(buffer),
+          "%s\"%lld\":{\"sketch_dim\":%lld,\"exact_s\":%.3f,"
+          "\"sketched_s\":%.3f,\"speedup\":%.3f,\"exact_acc\":%.2f,"
+          "\"sketched_acc\":%.2f,\"acc_gap\":%.2f}",
+          i == 0 ? "" : ",", static_cast<long long>(point.n),
+          static_cast<long long>(point.sketch_dim), point.exact_seconds,
+          point.sketched_seconds,
+          point.exact_seconds / point.sketched_seconds, point.exact_acc,
+          point.sketched_acc, point.exact_acc - point.sketched_acc);
+    } else {
+      std::snprintf(
+          buffer, sizeof(buffer),
+          "%s\"%lld\":{\"sketch_dim\":%lld,\"exact_skipped\":true,"
+          "\"sketched_s\":%.3f,\"sketched_acc\":%.2f}",
+          i == 0 ? "" : ",", static_cast<long long>(point.n),
+          static_cast<long long>(point.sketch_dim), point.sketched_seconds,
+          point.sketched_acc);
+    }
+    out << buffer;
+  }
+  if (compared != nullptr) {
+    std::snprintf(buffer, sizeof(buffer),
+                  "},\"acceptance\":{\"largest_compared_n\":%lld,"
+                  "\"speedup_at_largest_compared\":%.3f,"
+                  "\"acc_gap_at_largest_compared\":%.2f}}}\n",
+                  static_cast<long long>(compared->n),
+                  compared->exact_seconds / compared->sketched_seconds,
+                  compared->exact_acc - compared->sketched_acc);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "},\"acceptance\":{}}}\n");
+  }
+  out << buffer;
+  std::fprintf(stderr, "wrote scaling sweep to %s\n", path.c_str());
+}
+
+void Run(const std::vector<int64_t>& sweep, int64_t exact_cap, bool csv,
+         const std::string& json_out) {
+  bench::Table table({"N", "sketch d", "exact s", "sketched s", "speedup",
+                      "exact ACC", "sketched ACC"});
+  std::vector<ScalePoint> points;
+  for (int64_t n : sweep) {
+    ScalePoint point;
+    point.n = n;
+    point.sketch_dim = SketchDimForShape(n, 0);
+    SyntheticOptions synth;
+    synth.ambient_dim = kAmbientDim;
+    synth.subspace_dim = kSubspaceDim;
+    synth.num_subspaces = kNumSubspaces;
+    synth.points_per_subspace = n / kNumSubspaces;
+    synth.seed = 0x5ca1'0001ULL + static_cast<uint64_t>(n);
+    auto data = GenerateUnionOfSubspaces(synth);
+    if (!data.ok()) {
+      std::fprintf(stderr, "synthetic data at N=%lld failed: %s\n",
+                   static_cast<long long>(n),
+                   data.status().ToString().c_str());
+      continue;
+    }
+
+    auto sketched = RunOnce(*data, CentralPath::kSketched);
+    if (!sketched.ok()) {
+      std::fprintf(stderr, "sketched run at N=%lld failed: %s\n",
+                   static_cast<long long>(n),
+                   sketched.status().ToString().c_str());
+      continue;
+    }
+    point.sketched_seconds = sketched->first;
+    point.sketched_acc = sketched->second;
+    point.ok = true;
+
+    if (n <= exact_cap) {
+      auto exact = RunOnce(*data, CentralPath::kExact);
+      if (!exact.ok()) {
+        std::fprintf(stderr, "exact run at N=%lld failed: %s\n",
+                     static_cast<long long>(n),
+                     exact.status().ToString().c_str());
+      } else {
+        point.exact_measured = true;
+        point.exact_seconds = exact->first;
+        point.exact_acc = exact->second;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "exact engine skipped at N=%lld (beyond --exact-cap=%lld "
+                   "on a single core); sketched-only measurement\n",
+                   static_cast<long long>(n),
+                   static_cast<long long>(exact_cap));
+    }
+    table.AddRow(
+        {bench::Fmt(point.n), bench::Fmt(point.sketch_dim),
+         point.exact_measured ? bench::Fmt(point.exact_seconds) : "skipped",
+         bench::Fmt(point.sketched_seconds),
+         point.exact_measured
+             ? bench::Fmt(point.exact_seconds / point.sketched_seconds)
+             : "-",
+         point.exact_measured ? bench::Fmt(point.exact_acc) : "-",
+         bench::Fmt(point.sketched_acc)});
+    points.push_back(point);
+  }
+  std::printf("Central clustering scaling — exact vs sketched engine "
+              "(SSC-OMP, L=%lld, D=%lld)\n",
+              static_cast<long long>(kNumSubspaces),
+              static_cast<long long>(kAmbientDim));
+  table.Print(csv);
+  if (!json_out.empty()) WriteScalingJson(points, json_out);
+}
+
+}  // namespace
+}  // namespace fedsc
+
+int main(int argc, char** argv) {
+  fedsc::bench::Observability observability(argc, argv);
+  const bool csv = fedsc::bench::HasFlag(argc, argv, "--csv");
+  std::string json_out;
+  int64_t exact_cap = 10000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json-out=", 11) == 0) json_out = argv[i] + 11;
+    if (std::strncmp(argv[i], "--exact-cap=", 12) == 0) {
+      exact_cap = std::atoll(argv[i] + 12);
+    }
+  }
+  const bool full =
+      fedsc::bench::HasFlag(argc, argv, "--full") || !json_out.empty();
+  const std::vector<int64_t> sweep =
+      full ? std::vector<int64_t>{2000, 10000, 50000, 100000}
+           : std::vector<int64_t>{2000};
+  fedsc::Run(sweep, exact_cap, csv, json_out);
+  return 0;
+}

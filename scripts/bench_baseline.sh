@@ -4,7 +4,8 @@
 # the TT packing-vs-copy comparison, the Syrk-vs-GEMM Gram ratio, the
 # blocked-vs-unblocked QR and tridiagonalization rates, the
 # QR-preconditioned-vs-plain Jacobi SVD rates, the tall-D basis-estimation
-# before/after, and end-to-end RunFedSc wall time. Run after any change to
+# before/after, end-to-end RunFedSc wall time, and the exact-vs-sketched
+# central-clustering N-sweep. Run after any change to
 # the linalg kernels and commit the refreshed file so perf regressions show
 # up in review as a diff, not a surprise.
 #
@@ -37,7 +38,7 @@ if [ "${build_type}" != "Release" ]; then
 fi
 
 cmake --build "${build_dir}" --target micro_linalg micro_sc comm_cost \
-  fig_robustness -j "$(nproc)"
+  fig_robustness fig_scaling -j "$(nproc)"
 
 raw_dir="$(mktemp -d)"
 trap 'rm -rf "${raw_dir}"' EXIT
@@ -58,10 +59,15 @@ trap 'rm -rf "${raw_dir}"' EXIT
 # defended-accuracy floors are correctness gates, not perf ones).
 "${build_dir}/bench/fig_robustness" \
   --json-out="${raw_dir}/robustness.json" > /dev/null 2>&1
+# Central-clustering N-sweep, exact vs sketched engine. The exact engine is
+# measured only up to its single-core feasibility cap; the sketched floors
+# bind at the largest N where both ran (bench/fig_scaling.cc).
+"${build_dir}/bench/fig_scaling" \
+  --json-out="${raw_dir}/scaling.json" > /dev/null
 
 python3 - "${raw_dir}/linalg.json" "${raw_dir}/sc.json" "${build_type}" \
   "${repo_root}/BENCH_linalg.json" "${raw_dir}/comm.json" \
-  "${raw_dir}/robustness.json" <<'PY'
+  "${raw_dir}/robustness.json" "${raw_dir}/scaling.json" <<'PY'
 import json
 import sys
 
@@ -205,6 +211,8 @@ for name, row in sorted(S.items()):
 out["comm_cost"] = json.load(open(sys.argv[5]))["comm_cost"]
 # Byzantine-defense colluding sweep from bench/fig_robustness.cc --json-out.
 out["robustness"] = json.load(open(sys.argv[6]))["robustness"]
+# Exact-vs-sketched central-clustering N-sweep from bench/fig_scaling.cc.
+out["central_scaling"] = json.load(open(sys.argv[7]))["central_scaling"]
 out["acceptance"] = {
     "gemm512_blocked_over_panel": round(
         out["gemm_blocked_gflops"]["512"]["1"] / out["gemm_panel_gflops"]["512"],

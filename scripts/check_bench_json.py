@@ -44,6 +44,16 @@ MIN_DEFENDED_MARGIN_AT_02 = 10.0
 MAX_DEFENDED_GAP_TO_CLEAN_AT_02 = 5.0
 # Colluding rates the robustness sweep must report.
 ROBUSTNESS_RATES = ("0.0", "0.1", "0.2", "0.3")
+# Pooled-sample counts the central-scaling sweep (bench/fig_scaling.cc)
+# must report. The exact engine is measured only while feasible on one
+# core; skipped points must say so explicitly (exact_skipped), and the
+# acceptance pair is taken at the largest N where both engines ran.
+SCALING_NS = ("2000", "10000", "50000", "100000")
+# Sketched-vs-exact floors at the largest compared N: the sketched engine
+# must be at least this much faster while staying within this many ACC
+# points of the exact one.
+MIN_SKETCHED_SPEEDUP = 10.0
+MAX_SKETCHED_ACC_GAP = 2.0
 # Codecs the comm_cost frontier must report (bench/comm_cost.cc RunFrontier).
 COMM_CODECS = (
     "raw_f64", "raw_f32", "quant_16", "quant_8", "quant_4", "quant_2",
@@ -212,6 +222,60 @@ def check(doc):
                 f"defended accuracy trails the fault-free run by {gap:.2f} "
                 f"points at 20% colluding Byzantine, above the "
                 f"{MAX_DEFENDED_GAP_TO_CLEAN_AT_02}-point ceiling"
+            )
+
+    scaling = doc.get("central_scaling", {})
+    sweep = scaling.get("sweep", {})
+    largest_compared = None
+    for n in SCALING_NS:
+        entry = sweep.get(n, {})
+        where = f"central_scaling.sweep[{n}]"
+        if not entry:
+            err(f"{where}: missing sweep point")
+            continue
+        positive(entry.get("sketched_s"), f"{where}.sketched_s")
+        acc = entry.get("sketched_acc")
+        if positive(acc, f"{where}.sketched_acc") and acc > 100.0:
+            err(f"{where}.sketched_acc {acc} is not a percentage in (0, 100]")
+        if entry.get("exact_skipped"):
+            continue
+        ok = positive(entry.get("exact_s"), f"{where}.exact_s")
+        ok &= positive(entry.get("speedup"), f"{where}.speedup")
+        if ok:
+            derived = entry["exact_s"] / entry["sketched_s"]
+            if abs(derived - entry["speedup"]) > 0.01:
+                err(
+                    f"{where}.speedup {entry['speedup']} inconsistent with "
+                    f"exact_s/sketched_s = {derived:.3f}"
+                )
+            largest_compared = (int(n), entry)
+    if largest_compared is None:
+        err(
+            "central_scaling: no sweep point measured both engines; the "
+            "speedup/ACC floors have nothing to bind to"
+        )
+    else:
+        n, entry = largest_compared
+        accepted = scaling.get("acceptance", {})
+        if accepted.get("largest_compared_n") != n:
+            err(
+                f"central_scaling.acceptance.largest_compared_n "
+                f"{accepted.get('largest_compared_n')!r} does not match the "
+                f"sweep's largest both-engine point {n}"
+            )
+        speedup = entry.get("speedup", 0.0)
+        if speedup < MIN_SKETCHED_SPEEDUP:
+            err(
+                f"sketched-vs-exact speedup {speedup} at N={n} below the "
+                f"{MIN_SKETCHED_SPEEDUP}x floor"
+            )
+        gap = entry.get("acc_gap")
+        if not isinstance(gap, (int, float)) or isinstance(gap, bool):
+            err(f"central_scaling.sweep[{n}].acc_gap: expected a number")
+        elif abs(gap) > MAX_SKETCHED_ACC_GAP:
+            err(
+                f"sketched ACC trails exact by {gap:.2f} points at N={n}, "
+                f"outside the {MAX_SKETCHED_ACC_GAP}-point band"
             )
 
     acceptance = doc.get("acceptance", {})

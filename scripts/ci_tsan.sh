@@ -18,7 +18,7 @@ cmake -S "${repo_root}" -B "${build_dir}" \
 cmake --build "${build_dir}" -j "$(nproc)" \
   --target thread_pool_test parallel_determinism_test fedsc_test \
   faults_test defense_test trace_test journal_test logging_test blas_test \
-  qr_cholesky_test svd_eig_test
+  qr_cholesky_test svd_eig_test sketch_test
 
 # halt_on_error makes the first race fail the run instead of just logging.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
@@ -46,6 +46,11 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 # tridiagonalization) thread their GEMM updates and triangular multiplies.
 "${build_dir}/tests/qr_cholesky_test"
 "${build_dir}/tests/svd_eig_test"
+# The sketched central path fans per-column draws, block-local ADMM solves,
+# leverage-key selection, and the Nystrom core/extension GEMVs over the
+# pool, all writing disjoint slots; TSAN proves the slots really are
+# disjoint for nt in {1, 2, 8}.
+"${build_dir}/tests/sketch_test"
 
 echo "TSAN: all threaded suites passed with zero reported races."
 
@@ -57,7 +62,8 @@ cmake -S "${repo_root}" -B "${asan_dir}" \
 
 cmake --build "${asan_dir}" -j "$(nproc)" \
   --target faults_test defense_test blas_test parallel_determinism_test \
-  qr_cholesky_test svd_eig_test codec_test wire_fuzz_test journal_test
+  qr_cholesky_test svd_eig_test codec_test wire_fuzz_test journal_test \
+  sketch_test
 
 "${asan_dir}/tests/faults_test"
 # Screening indexes per-sample peer lists and per-device slots built from
@@ -80,6 +86,10 @@ cmake --build "${asan_dir}" -j "$(nproc)" \
 # The journal/report path renders every event payload into strings and the
 # profiler walks raw trace buffers; ASAN gates the string/buffer handling.
 "${asan_dir}/tests/journal_test"
+# The sketched path gathers landmark columns, scatters top-q triplets
+# through touched-list scratch resets, and indexes per-atom core rows; ASAN
+# is the gate for an off-by-one in the gather/scatter index arithmetic.
+"${asan_dir}/tests/sketch_test"
 
 echo "ASAN: fault-injection, codec, and wire-fuzz suites passed with zero"
 echo "reported errors."

@@ -56,11 +56,20 @@ def render_manifest(manifest):
           f"  threads={manifest['num_threads']}")
 
 
-def render_run(run):
+def render_run(run, journal=None):
     print("\n== run ==")
     if run is None:
         print("  (no run attached: bench report)")
         return
+    # The central-engine dispatch (exact vs sketched) is journaled on the
+    # central_start event; surface it next to the run summary.
+    for event in journal or []:
+        if event.get("type") != "central_start":
+            continue
+        path = event.get("central_path")
+        if path is not None:
+            print(f"  central     {event.get('method', '?')} engine,"
+                  f" {path} path, {event.get('samples', '?')} samples")
     comm = run["comm"]
     print(f"  devices     {run['participating_devices']}/{run['devices']}"
           f" participated, {run['total_samples']} samples pooled,"
@@ -173,7 +182,7 @@ def main() -> None:
         fail(f"cannot read {args.report}: {error}")
 
     render_manifest(report["manifest"])
-    render_run(report["run"])
+    render_run(report["run"], report.get("journal"))
     render_profile(report["profile"], args.top)
     render_histograms(report["metrics"])
     if args.journal:

@@ -63,6 +63,19 @@ build/bench/comm_cost --report-out="${obs_dir}/bench_report.json" > /dev/null
 python3 scripts/validate_report.py "${obs_dir}/bench_report.json"
 echo "run-report smoke test passed"
 
+# Sketched central-engine smoke test: the same data through the forced
+# sketched path (dictionary self-expression + landmark spectral) must
+# cluster, journal the dispatch decision on central_start, and emit a
+# schema-valid report whose renderer surfaces the chosen path.
+build/tools/fedsc_cli --input "${obs_dir}/smoke.csv" --clusters 3 \
+  --devices 6 --central sketch --sketch-dim 8 --landmarks leverage \
+  --report-out "${obs_dir}/sketched.json" > "${obs_dir}/sketched.out" 2>&1
+python3 scripts/validate_report.py "${obs_dir}/sketched.json" --expect-run
+python3 scripts/render_report.py "${obs_dir}/sketched.json" \
+  > "${obs_dir}/sketched.render"
+grep -q "sketched path" "${obs_dir}/sketched.render"
+echo "sketched central-engine smoke test passed"
+
 # Robustness smoke test: the same small dataset through a degraded round —
 # 30% dropout against a 0.5 quorum with retries must complete, report the
 # failed devices, and exit 0; a full blackout must fail with the typed

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/thread_pool.h"
 #include "common/trace.h"
 #include "graph/laplacian.h"
 #include "linalg/blas.h"
@@ -94,6 +95,86 @@ Result<SpectralResult> SpectralCluster(const SparseMatrix& affinity, int64_t k,
   for (int64_t j = 0; j < k && j < eig.vectors.cols(); ++j) {
     embedding.SetCol(j, eig.vectors.ColData(j));  // already descending
   }
+  return FinishFromEmbedding(std::move(embedding), options, k);
+}
+
+Result<SpectralResult> SpectralClusterLandmark(
+    const SparseMatrix& coefficients, int64_t k,
+    const SpectralOptions& options) {
+  const int64_t num_atoms = coefficients.rows();
+  const int64_t n = coefficients.cols();
+  if (k < 1 || k > n) {
+    return Status::InvalidArgument("spectral clustering needs 1 <= k <= N");
+  }
+  if (k > num_atoms) {
+    return Status::InvalidArgument(
+        "landmark spectral clustering needs k <= sketch dim (" +
+        std::to_string(k) + " > " + std::to_string(num_atoms) + ")");
+  }
+  FEDSC_TRACE_SPAN("spectral/nystrom",
+                   {{"n", n}, {"k", k}, {"atoms", num_atoms}});
+
+  // B = |C|; the affinity semantics of every self-expression method uses
+  // coefficient magnitudes.
+  SparseMatrix b = coefficients;
+  for (double& v : *b.mutable_values()) v = std::fabs(v);
+
+  const Vector degrees = LandmarkDegrees(b);
+  const SparseMatrix m = LandmarkNormalizedFactor(b, degrees);
+  const SparseMatrix mt = m.Transposed();  // row i = point i's atom support
+
+  // d x d core T = M M^T. Row a of T is produced independently (disjoint
+  // output, summation order fixed by the CSR layouts), so the fan-out is
+  // bit-identical for every thread count. Cost sum_j supp(j)^2.
+  Matrix core(num_atoms, num_atoms);
+  ParallelForRanges(0, num_atoms, options.num_threads, [&](int64_t a0,
+                                                           int64_t a1, int) {
+    for (int64_t a = a0; a < a1; ++a) {
+      double* col = core.ColData(a);  // row a of the symmetric core
+      for (int64_t p = m.row_ptr()[static_cast<size_t>(a)];
+           p < m.row_ptr()[static_cast<size_t>(a) + 1]; ++p) {
+        const int64_t j = m.col_idx()[static_cast<size_t>(p)];
+        const double v_aj = m.values()[static_cast<size_t>(p)];
+        for (int64_t q = mt.row_ptr()[static_cast<size_t>(j)];
+             q < mt.row_ptr()[static_cast<size_t>(j) + 1]; ++q) {
+          col[mt.col_idx()[static_cast<size_t>(q)]] +=
+              v_aj * mt.values()[static_cast<size_t>(q)];
+        }
+      }
+    }
+  });
+
+  EigOptions eig_options;
+  eig_options.num_threads = options.num_threads;
+  FEDSC_ASSIGN_OR_RETURN(EigResult eig, SymmetricEigen(core, eig_options));
+
+  // Extend the top-k core eigenvectors to all N rows: T v = lambda v gives
+  // M^T M u = lambda u for u = M^T v / sqrt(lambda). Rows of the embedding
+  // are disjoint per point, so the extension threads cleanly.
+  Vector inv_sqrt(static_cast<size_t>(k), 0.0);
+  Matrix top_vectors(num_atoms, k);
+  for (int64_t t = 0; t < k; ++t) {
+    const double lambda = eig.values[static_cast<size_t>(num_atoms - 1 - t)];
+    inv_sqrt[static_cast<size_t>(t)] =
+        lambda > 1e-12 ? 1.0 / std::sqrt(lambda) : 0.0;
+    top_vectors.SetCol(t, eig.vectors.ColData(num_atoms - 1 - t));
+  }
+  Matrix embedding(n, k);
+  ParallelForRanges(0, n, options.num_threads, [&](int64_t i0, int64_t i1,
+                                                   int) {
+    for (int64_t i = i0; i < i1; ++i) {
+      for (int64_t t = 0; t < k; ++t) {
+        const double* v = top_vectors.ColData(t);
+        double sum = 0.0;
+        for (int64_t q = mt.row_ptr()[static_cast<size_t>(i)];
+             q < mt.row_ptr()[static_cast<size_t>(i) + 1]; ++q) {
+          sum += mt.values()[static_cast<size_t>(q)] *
+                 v[mt.col_idx()[static_cast<size_t>(q)]];
+        }
+        embedding(i, t) = sum * inv_sqrt[static_cast<size_t>(t)];
+      }
+    }
+  });
   return FinishFromEmbedding(std::move(embedding), options, k);
 }
 

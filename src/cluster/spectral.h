@@ -44,6 +44,19 @@ Result<SpectralResult> SpectralCluster(const Matrix& affinity, int64_t k,
 Result<SpectralResult> SpectralCluster(const SparseMatrix& affinity, int64_t k,
                                        const SpectralOptions& options = {});
 
+// Nystrom/landmark spectral clustering (the sketched central path): clusters
+// the N points of the implied affinity W = |C|^T |C|, where `coefficients`
+// is the d x N atom-by-point matrix the sketched self-expression produced —
+// without ever forming the N x N graph. With M = |C| D^{-1/2}, the top-k
+// eigenvectors of the normalized adjacency M^T M are recovered from the
+// d x d core T = M M^T (blocked SymmetricEigen) and extended to all N rows
+// by u = M^T v / sqrt(lambda), then handed to the usual row-normalize +
+// k-means finish. Cost O(nnz(C) * d + d^3) instead of O(N^3). Requires
+// 1 <= k <= d. Bit-identical for every thread count.
+Result<SpectralResult> SpectralClusterLandmark(
+    const SparseMatrix& coefficients, int64_t k,
+    const SpectralOptions& options = {});
+
 }  // namespace fedsc
 
 #endif  // FEDSC_CLUSTER_SPECTRAL_H_

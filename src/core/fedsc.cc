@@ -7,6 +7,7 @@
 #include "common/journal.h"
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/rng.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
@@ -506,13 +507,23 @@ Result<FedScResult> RunFedSc(const FederatedDataset& data,
   Stopwatch central_timer;
   {
     FEDSC_TRACE_SPAN("fedsc/phase2/central", {{"samples", total_samples}});
+    ScPipelineOptions central;
+    central.method = options.central_method;
+    central.central = options.central;
+    central.sketch = options.central_sketch;
+    // The sketch stream hangs off the run seed alone (never the device RNG),
+    // so the dictionary is a pure function of (seed, pooled shape).
+    central.sketch.seed = MixSeeds(options.seed, 0x5ce7c4ULL);
+    const CentralPath central_path =
+        ResolveCentralPath(central, total_samples, num_clusters);
     FEDSC_JOURNAL_EVENT(
         "central_start", -1, sim_uplink_ms,
         {{"samples", total_samples},
          {"method",
-          options.central_method == ScMethod::kSsc ? "ssc" : "tsc"}});
-    ScPipelineOptions central;
-    central.method = options.central_method;
+          options.central_method == ScMethod::kSsc ? "ssc" : "tsc"},
+         {"central_path", CentralPathName(central_path)}});
+    FEDSC_METRIC_GAUGE("fedsc.central_sketched", MetricKind::kDeterministic)
+        .Set(central_path == CentralPath::kSketched ? 1.0 : 0.0);
     central.ssc = options.central_ssc;
     central.tsc = options.central_tsc;
     if (central.tsc.q <= 0) {

@@ -38,6 +38,16 @@ struct FedScOptions {
   // (Fed-SC (TSC)); every other method is rejected.
   ScMethod central_method = ScMethod::kSsc;
 
+  // Central-clustering engine dispatch (sc/pipeline.h): kExact pins the
+  // pre-sketch Phase-2 bits, kSketched forces the sketched dictionary +
+  // landmark spectral path, kAuto switches at kSketchedCutoffN pooled
+  // samples. The resolved choice is journaled on the central_start event.
+  CentralPath central = CentralPath::kAuto;
+  // Sketch construction for the sketched path. central_sketch.seed is
+  // ignored: the sketch stream is derived from `seed` so one knob fixes the
+  // whole round.
+  SketchOptions central_sketch;
+
   SscAdmmOptions local_ssc;
   SscAdmmOptions central_ssc;
   // central_tsc.q <= 0 selects the paper's rule q = max(3, ceil(Z / L)).

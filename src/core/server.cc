@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/journal.h"
+#include "common/rng.h"
 
 namespace fedsc {
 
@@ -162,6 +163,11 @@ Status FedScServer::Cluster() {
 
   ScPipelineOptions central;
   central.method = options_.central_method;
+  central.central = options_.central;
+  central.sketch = options_.central_sketch;
+  // Same derivation as RunFedSc: the sketch stream is a pure function of
+  // the run seed, independent of upload arrival order.
+  central.sketch.seed = MixSeeds(options_.seed, 0x5ce7c4ULL);
   central.ssc = options_.central_ssc;
   central.tsc = options_.central_tsc;
   if (central.tsc.q <= 0) {
@@ -180,10 +186,13 @@ Status FedScServer::Cluster() {
     robust.point_group = solve_device;
   }
   central.num_threads = options_.num_threads;
-  FEDSC_JOURNAL_EVENT("central_start", -1, -1,
-                      {{"samples", solve.cols()},
-                       {"method",
-                        central.method == ScMethod::kSsc ? "ssc" : "tsc"}});
+  FEDSC_JOURNAL_EVENT(
+      "central_start", -1, -1,
+      {{"samples", solve.cols()},
+       {"method", central.method == ScMethod::kSsc ? "ssc" : "tsc"},
+       {"central_path",
+        CentralPathName(
+            ResolveCentralPath(central, solve.cols(), num_clusters_))}});
   FEDSC_ASSIGN_OR_RETURN(ScResult result,
                          RunSubspaceClustering(solve, num_clusters_,
                                                central));

@@ -75,4 +75,46 @@ Matrix NormalizedLaplacian(const Matrix& w) {
   return l;
 }
 
+Vector LandmarkDegrees(const SparseMatrix& b) {
+  // s = B 1 (per-atom mass), deg = B^T s — one CSR pass each.
+  Vector atom_mass(static_cast<size_t>(b.rows()), 0.0);
+  for (int64_t a = 0; a < b.rows(); ++a) {
+    double sum = 0.0;
+    for (int64_t k = b.row_ptr()[static_cast<size_t>(a)];
+         k < b.row_ptr()[static_cast<size_t>(a) + 1]; ++k) {
+      sum += b.values()[static_cast<size_t>(k)];
+    }
+    atom_mass[static_cast<size_t>(a)] = sum;
+  }
+  Vector degrees(static_cast<size_t>(b.cols()), 0.0);
+  for (int64_t a = 0; a < b.rows(); ++a) {
+    const double mass = atom_mass[static_cast<size_t>(a)];
+    for (int64_t k = b.row_ptr()[static_cast<size_t>(a)];
+         k < b.row_ptr()[static_cast<size_t>(a) + 1]; ++k) {
+      degrees[static_cast<size_t>(b.col_idx()[static_cast<size_t>(k)])] +=
+          b.values()[static_cast<size_t>(k)] * mass;
+    }
+  }
+  return degrees;
+}
+
+SparseMatrix LandmarkNormalizedFactor(const SparseMatrix& b,
+                                      const Vector& degrees) {
+  FEDSC_CHECK(static_cast<int64_t>(degrees.size()) == b.cols())
+      << "degree vector must have one entry per point";
+  const Vector inv = InverseSqrt(degrees);
+  std::vector<Triplet> triplets;
+  triplets.reserve(static_cast<size_t>(b.nnz()));
+  for (int64_t a = 0; a < b.rows(); ++a) {
+    for (int64_t k = b.row_ptr()[static_cast<size_t>(a)];
+         k < b.row_ptr()[static_cast<size_t>(a) + 1]; ++k) {
+      const int64_t j = b.col_idx()[static_cast<size_t>(k)];
+      const double v = b.values()[static_cast<size_t>(k)] *
+                       inv[static_cast<size_t>(j)];
+      if (v != 0.0) triplets.push_back({a, j, v});
+    }
+  }
+  return SparseMatrix::FromTriplets(b.rows(), b.cols(), std::move(triplets));
+}
+
 }  // namespace fedsc

@@ -26,6 +26,18 @@ SparseMatrix NormalizedAdjacency(const SparseMatrix& w);
 // I - D^{-1/2} W D^{-1/2}, with isolated vertices' diagonal set to 0.
 Matrix NormalizedLaplacian(const Matrix& w);
 
+// Landmark-factorized graph support (the sketched central path): for a
+// nonnegative d x N factor B (atoms x points) the implied affinity is
+// W = B^T B, which is never formed. Degrees come from the factorization,
+// deg = B^T (B 1), in O(nnz(B)).
+Vector LandmarkDegrees(const SparseMatrix& b);
+
+// M = B D^{-1/2} (columns scaled by the inverse square-root degrees, with
+// the zero-degree convention above), so that M^T M is the normalized
+// adjacency D^{-1/2} W D^{-1/2} of the landmark graph.
+SparseMatrix LandmarkNormalizedFactor(const SparseMatrix& b,
+                                      const Vector& degrees);
+
 }  // namespace fedsc
 
 #endif  // FEDSC_GRAPH_LAPLACIAN_H_

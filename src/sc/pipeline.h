@@ -17,6 +17,7 @@
 #include "sc/ensc.h"
 #include "sc/esc.h"
 #include "sc/nsn.h"
+#include "sc/sketch.h"
 #include "sc/ssc_admm.h"
 #include "sc/ssc_omp.h"
 #include "sc/tsc.h"
@@ -26,6 +27,47 @@ namespace fedsc {
 enum class ScMethod { kSsc, kSscOmp, kEnsc, kTsc, kNsn, kEsc };
 
 const char* ScMethodName(ScMethod method);
+
+// Which central-clustering engine runs. Mirrors the GemmOptions::kernel /
+// QrOptions::variant dispatch contract: the choice is RESULT-AFFECTING (the
+// sketched path solves against a d-column dictionary and clusters the
+// landmark-factorized graph, so labels and affinities differ from the exact
+// path), and under kAuto it is a pure function of (method, N, k, sketch dim)
+// — never of the thread count — so outputs stay deterministic per
+// (input, options).
+enum class CentralPath {
+  // Sketched when the method supports it (kSsc, kSscOmp, kTsc) and
+  // N >= kSketchedCutoffN and k <= sketch dim < N; exact otherwise.
+  kAuto,
+  // Pin today's O(N^2)-O(N^3) path at every size: reproduces pre-sketch
+  // results bit-for-bit (the escape hatch mirroring GemmKernel::kPanel).
+  kExact,
+  // Force the sketched path at every size (dim >= N still falls back to
+  // exact; an unsupported method is a typed error).
+  kSketched,
+};
+
+const char* CentralPathName(CentralPath path);
+
+// The kAuto pooled-sample count at and above which the sketched path
+// engages. Result-affecting, like kBlockedGemmCutoff: labels are
+// discontinuous across it but deterministic on both sides. Below it the
+// exact solve is cheap enough that sketching only costs accuracy.
+inline constexpr int64_t kSketchedCutoffN = 4096;
+
+// The sketch width the pipeline uses when options.sketch.dim == 0: a pure
+// shape rule, d = clamp(N / 16, 128, 1024) (capped below N - 1).
+int64_t SketchDimForShape(int64_t n, int64_t requested);
+
+// Resolves which path RunSubspaceClustering will take for an N-point
+// problem, as recorded in the journal's central_start event. Pure function
+// of (options, n, num_clusters); pass num_clusters = 0 when unknown
+// (affinity-only callers). An explicit kSketched resolves to kExact only in
+// the documented degenerate case sketch dim >= N; unsupported methods or
+// k > dim keep kSketched and surface a typed InvalidArgument at run time.
+struct ScPipelineOptions;
+CentralPath ResolveCentralPath(const ScPipelineOptions& options, int64_t n,
+                               int64_t num_clusters);
 
 struct ScPipelineOptions {
   ScMethod method = ScMethod::kSsc;
@@ -39,6 +81,17 @@ struct ScPipelineOptions {
   // Normalize input columns to unit l2 norm before clustering (the paper's
   // standing assumption).
   bool normalize_columns = true;
+  // Central-clustering engine dispatch (see CentralPath above). kExact pins
+  // the pre-sketch bits; kAuto flips to the sketched path at
+  // kSketchedCutoffN for the methods that support it.
+  CentralPath central = CentralPath::kAuto;
+  // Sketch construction for the sketched path. sketch.dim == 0 resolves to
+  // SketchDimForShape(N); sketch.num_threads is lifted by num_threads like
+  // the per-method solvers.
+  SketchOptions sketch;
+  // Neighbors kept per point when the landmark-mediated affinity
+  // W = |C|^T |C| is sparsified (sketched path only).
+  int64_t sketch_top_q = 8;
   // Pipeline-level worker count. Raises the per-method num_threads (SSC,
   // SSC-OMP, EnSC, TSC) and the affinity symmetrization to this value when
   // they are left at their default of 1; a method-level setting above 1

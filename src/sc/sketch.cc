@@ -1,0 +1,161 @@
+#include "sc/sketch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "common/trace.h"
+#include "linalg/blas.h"
+#include "linalg/cholesky.h"
+
+namespace fedsc {
+
+namespace {
+
+// Dictionary column j = X s_j / sqrt(d) with s_j a fresh random-sign vector
+// from Rng(MixSeeds(seed, j)). Generating the signs per output column keeps
+// the draw independent of the thread partition, and the Gemv runs inline on
+// the worker, so the dictionary is bit-identical for every thread count.
+Matrix JlDictionary(const Matrix& x, int64_t dim, uint64_t seed,
+                    int num_threads) {
+  const int64_t n = x.cols();
+  Matrix dictionary(x.rows(), dim);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(dim));
+  ParallelForRanges(0, dim, num_threads, [&](int64_t j0, int64_t j1, int) {
+    Vector signs(static_cast<size_t>(n), 0.0);
+    for (int64_t j = j0; j < j1; ++j) {
+      Rng rng(MixSeeds(seed, static_cast<uint64_t>(j)));
+      for (int64_t i = 0; i < n; ++i) {
+        signs[static_cast<size_t>(i)] =
+            (rng.Next() & 1) != 0 ? scale : -scale;
+      }
+      Gemv(Trans::kNo, 1.0, x, signs.data(), 0.0, dictionary.ColData(j));
+    }
+  });
+  return dictionary;
+}
+
+std::vector<int64_t> UniformLandmarks(int64_t n, int64_t dim, uint64_t seed) {
+  Rng rng(MixSeeds(seed, 0));
+  std::vector<int64_t> landmarks = rng.SampleWithoutReplacement(n, dim);
+  std::sort(landmarks.begin(), landmarks.end());
+  return landmarks;
+}
+
+// Efraimidis-Spirakis weighted sampling without replacement: column j gets
+// key log(U_j) / w_j (U_j from its own seeded stream) and the d largest keys
+// win. Keys are written into disjoint slots, so the draw is thread-count
+// independent; ties break by index for a fully deterministic selection.
+std::vector<int64_t> LeverageLandmarks(const Vector& scores, int64_t dim,
+                                       uint64_t seed, int num_threads) {
+  const int64_t n = static_cast<int64_t>(scores.size());
+  Vector keys(static_cast<size_t>(n), 0.0);
+  ParallelForRanges(0, n, num_threads, [&](int64_t j0, int64_t j1, int) {
+    for (int64_t j = j0; j < j1; ++j) {
+      Rng rng(MixSeeds(seed, static_cast<uint64_t>(j)));
+      const double u = std::max(rng.Uniform(), 1e-300);
+      const double w = std::max(scores[static_cast<size_t>(j)], 1e-12);
+      keys[static_cast<size_t>(j)] = std::log(u) / w;
+    }
+  });
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  const auto kth = order.begin() + dim;
+  std::nth_element(order.begin(), kth, order.end(),
+                   [&](int64_t a, int64_t b) {
+                     const double ka = keys[static_cast<size_t>(a)];
+                     const double kb = keys[static_cast<size_t>(b)];
+                     if (ka != kb) return ka > kb;
+                     return a < b;
+                   });
+  std::vector<int64_t> landmarks(order.begin(), kth);
+  std::sort(landmarks.begin(), landmarks.end());
+  return landmarks;
+}
+
+}  // namespace
+
+const char* SketchKindName(SketchKind kind) {
+  switch (kind) {
+    case SketchKind::kJl:
+      return "jl";
+    case SketchKind::kUniformLandmarks:
+      return "uniform";
+    case SketchKind::kLeverageLandmarks:
+      return "leverage";
+  }
+  return "?";
+}
+
+Result<Vector> RidgeLeverageScores(const Matrix& x, double ridge,
+                                   int num_threads) {
+  const int64_t d_ambient = x.rows();
+  const int64_t n = x.cols();
+  if (n < 1 || d_ambient < 1) {
+    return Status::InvalidArgument("leverage scores need a non-empty matrix");
+  }
+  Matrix s = OuterGram(x, num_threads);  // X X^T, via Syrk
+  for (int64_t i = 0; i < d_ambient; ++i) s(i, i) += ridge;
+  FEDSC_ASSIGN_OR_RETURN(const Matrix s_inverse, SpdInverse(s));
+  Vector scores(static_cast<size_t>(n), 0.0);
+  ParallelForRanges(0, n, num_threads, [&](int64_t j0, int64_t j1, int) {
+    Vector tmp(static_cast<size_t>(d_ambient), 0.0);
+    for (int64_t j = j0; j < j1; ++j) {
+      Gemv(Trans::kNo, 1.0, s_inverse, x.ColData(j), 0.0, tmp.data());
+      scores[static_cast<size_t>(j)] =
+          Dot(tmp.data(), x.ColData(j), d_ambient);
+    }
+  });
+  return scores;
+}
+
+Result<SketchResult> SketchDictionary(const Matrix& x,
+                                      const SketchOptions& options) {
+  const int64_t n = x.cols();
+  if (options.dim < 1) {
+    return Status::InvalidArgument("sketch dim must be >= 1, got " +
+                                   std::to_string(options.dim));
+  }
+  if (options.dim >= n) {
+    return Status::InvalidArgument(
+        "sketch dim must be < N (" + std::to_string(options.dim) +
+        " >= " + std::to_string(n) + "); use the exact path instead");
+  }
+  FEDSC_TRACE_SPAN("sc/sketch", {{"kind", SketchKindName(options.kind)},
+                                 {"points", n},
+                                 {"dim", options.dim}});
+  SketchResult result;
+  switch (options.kind) {
+    case SketchKind::kJl:
+      result.dictionary =
+          JlDictionary(x, options.dim, options.seed, options.num_threads);
+      break;
+    case SketchKind::kUniformLandmarks:
+      result.landmarks = UniformLandmarks(n, options.dim, options.seed);
+      result.dictionary = x.GatherCols(result.landmarks);
+      break;
+    case SketchKind::kLeverageLandmarks: {
+      // Ridge relative to the mean diagonal of X X^T keeps the scores scale
+      // free; the trace equals ||X||_F^2, which one pass over the data gives.
+      const double frob = x.FrobeniusNorm();
+      const double ridge = std::max(
+          options.leverage_ridge * frob * frob /
+              static_cast<double>(std::max<int64_t>(x.rows(), 1)),
+          1e-300);
+      FEDSC_ASSIGN_OR_RETURN(
+          const Vector scores,
+          RidgeLeverageScores(x, ridge, options.num_threads));
+      result.landmarks = LeverageLandmarks(scores, options.dim, options.seed,
+                                           options.num_threads);
+      result.dictionary = x.GatherCols(result.landmarks);
+      break;
+    }
+  }
+  FEDSC_METRIC_COUNTER("sc.sketch.builds").Increment();
+  return result;
+}
+
+}  // namespace fedsc

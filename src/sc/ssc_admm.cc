@@ -1,7 +1,9 @@
 #include "sc/ssc_admm.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <numeric>
 
 #include "common/logging.h"
 #include "common/metrics.h"
@@ -266,6 +268,244 @@ Result<SparseMatrix> SscSelfExpression(const Matrix& x,
 
   return SparsifyCoefficients(c, options.top_k, options.drop_tol,
                               options.num_threads);
+}
+
+namespace {
+
+// Column-block width for the sketched solve. A pure constant (never derived
+// from the thread count): the per-block GEMM shapes, stopping decisions, and
+// triplet order depend only on (N, kSketchBlockCols), so results are
+// bit-identical for every thread count.
+constexpr int64_t kSketchBlockCols = 256;
+
+}  // namespace
+
+Result<SparseMatrix> SscSketchedSelfExpression(const Matrix& x,
+                                               const SketchResult& sketch,
+                                               const SscAdmmOptions& options,
+                                               SscAdmmInfo* info) {
+  const Matrix& b = sketch.dictionary;
+  const int64_t n = x.rows();
+  const int64_t num_points = x.cols();
+  const int64_t num_atoms = b.cols();
+  if (num_points < 1) {
+    return Status::InvalidArgument("sketched SSC needs at least 1 point");
+  }
+  if (num_atoms < 1) {
+    return Status::InvalidArgument("sketched SSC needs a non-empty "
+                                   "dictionary");
+  }
+  if (b.rows() != n) {
+    return Status::InvalidArgument(
+        "dictionary ambient dim " + std::to_string(b.rows()) +
+        " does not match data dim " + std::to_string(n));
+  }
+  if (options.alpha <= 1.0) {
+    return Status::InvalidArgument("SSC alpha must exceed 1");
+  }
+  if (options.affine) {
+    return Status::InvalidArgument(
+        "the affine constraint is not supported on the sketched SSC path");
+  }
+  FEDSC_TRACE_SPAN("sc/ssc_admm_sketched",
+                   {{"points", num_points}, {"atoms", num_atoms}, {"dim", n}});
+
+  // Landmark sketches: atom index of each data column that is a landmark
+  // (-1 otherwise); that atom's coefficient is pinned to zero.
+  std::vector<int64_t> self_atom(static_cast<size_t>(num_points), -1);
+  for (size_t a = 0; a < sketch.landmarks.size(); ++a) {
+    self_atom[static_cast<size_t>(sketch.landmarks[a])] =
+        static_cast<int64_t>(a);
+  }
+
+  // lambda = alpha / mu with mu = min_j max_a |b_a^T x_j| (self atom
+  // excluded) — the dictionary/data analogue of Proposition 1's mutual
+  // coherence floor. Min-of-max reduces exactly in any order.
+  const int mu_chunks = std::max(
+      1, ParallelChunkCount(0, num_points, options.num_threads));
+  std::vector<double> chunk_mu(static_cast<size_t>(mu_chunks),
+                               std::numeric_limits<double>::infinity());
+  ParallelForRanges(
+      0, num_points, options.num_threads,
+      [&](int64_t j0, int64_t j1, int chunk) {
+        Vector scores(static_cast<size_t>(num_atoms), 0.0);
+        double mu = std::numeric_limits<double>::infinity();
+        for (int64_t j = j0; j < j1; ++j) {
+          Gemv(Trans::kTrans, 1.0, b, x.ColData(j), 0.0, scores.data());
+          const int64_t forbidden = self_atom[static_cast<size_t>(j)];
+          double max_abs = 0.0;
+          for (int64_t a = 0; a < num_atoms; ++a) {
+            if (a == forbidden) continue;
+            max_abs = std::max(max_abs,
+                               std::fabs(scores[static_cast<size_t>(a)]));
+          }
+          mu = std::min(mu, max_abs);
+        }
+        chunk_mu[static_cast<size_t>(chunk)] = mu;
+      });
+  double mu = std::numeric_limits<double>::infinity();
+  for (double v : chunk_mu) mu = std::min(mu, v);
+  if (!(mu > 0.0)) {
+    return Status::FailedPrecondition(
+        "every dictionary atom is orthogonal to some point; sketched "
+        "self-expression is degenerate");
+  }
+  const double lambda = options.alpha / mu;
+  const double rho = options.rho > 0.0 ? options.rho : options.alpha;
+
+  // Shared d x d Z-update operator: (lambda B^T B + rho I)^{-1}.
+  Matrix h = Gram(b, options.num_threads);
+  RecordGramFlops(num_atoms, n);
+  h *= lambda;
+  for (int64_t a = 0; a < num_atoms; ++a) h(a, a) += rho;
+  FEDSC_ASSIGN_OR_RETURN(const Matrix h_inverse, SpdInverse(h));
+
+  const int64_t num_blocks =
+      (num_points + kSketchBlockCols - 1) / kSketchBlockCols;
+  std::vector<std::vector<Triplet>> chunk_triplets(static_cast<size_t>(
+      std::max(1, ParallelChunkCount(0, num_blocks, options.num_threads))));
+  std::vector<int> block_iterations(static_cast<size_t>(num_blocks), 0);
+  std::vector<double> block_residual(static_cast<size_t>(num_blocks), 0.0);
+  std::vector<char> block_converged(static_cast<size_t>(num_blocks), 0);
+  std::atomic<bool> deadline_hit{false};
+  Stopwatch deadline_timer;
+
+  ParallelForRanges(0, num_blocks, options.num_threads, [&](int64_t blk0,
+                                                            int64_t blk1,
+                                                            int chunk) {
+    std::vector<Triplet>& triplets =
+        chunk_triplets[static_cast<size_t>(chunk)];
+    std::vector<int64_t> order(static_cast<size_t>(num_atoms));
+    for (int64_t blk = blk0; blk < blk1; ++blk) {
+      if (options.deadline_seconds > 0.0 &&
+          deadline_timer.ElapsedSeconds() > options.deadline_seconds) {
+        deadline_hit.store(true, std::memory_order_relaxed);
+        return;
+      }
+      const int64_t j0 = blk * kSketchBlockCols;
+      const int64_t j1 = std::min(num_points, j0 + kSketchBlockCols);
+      const int64_t nb = j1 - j0;
+      const Matrix xb = x.ColRange(j0, j1);
+      Matrix g(num_atoms, nb);  // lambda B^T X_blk, reused every iteration
+      Gemm(Trans::kTrans, Trans::kNo, lambda, b, xb, 0.0, &g);
+
+      Matrix c(num_atoms, nb);
+      Matrix u(num_atoms, nb);
+      Matrix z(num_atoms, nb);
+      Matrix rhs(num_atoms, nb);
+      const double threshold = 1.0 / rho;
+      double residual = std::numeric_limits<double>::infinity();
+      int iteration = 0;
+      for (; iteration < options.max_iterations; ++iteration) {
+        rhs = c;
+        rhs -= u;
+        rhs *= rho;
+        Axpy(1.0, g.data(), rhs.data(), g.size());
+        Gemm(Trans::kNo, Trans::kNo, 1.0, h_inverse, rhs, 0.0, &z);
+
+        double max_dc = 0.0;
+        double max_zc = 0.0;
+        for (int64_t jj = 0; jj < nb; ++jj) {
+          const int64_t forbidden =
+              self_atom[static_cast<size_t>(j0 + jj)];
+          double* cj = c.ColData(jj);
+          const double* zj = z.ColData(jj);
+          double* uj = u.ColData(jj);
+          for (int64_t a = 0; a < num_atoms; ++a) {
+            const double next =
+                a == forbidden ? 0.0
+                               : SoftThreshold(zj[a] + uj[a], threshold);
+            max_dc = std::max(max_dc, std::fabs(next - cj[a]));
+            cj[a] = next;
+            const double gap = zj[a] - next;
+            max_zc = std::max(max_zc, std::fabs(gap));
+            uj[a] += gap;
+          }
+        }
+        residual = std::max(max_dc, max_zc);
+        if (residual < options.tol) break;
+      }
+      const bool converged = residual < options.tol;
+      block_iterations[static_cast<size_t>(blk)] =
+          converged ? iteration + 1 : iteration;
+      block_residual[static_cast<size_t>(blk)] = residual;
+      block_converged[static_cast<size_t>(blk)] = converged ? 1 : 0;
+
+      // Sparsify the block's columns in place (same top-k / drop-tol rule
+      // as SparsifyCoefficients, over the d atoms).
+      for (int64_t jj = 0; jj < nb; ++jj) {
+        const int64_t j = j0 + jj;
+        const double* col = c.ColData(jj);
+        double max_abs = 0.0;
+        for (int64_t a = 0; a < num_atoms; ++a) {
+          max_abs = std::max(max_abs, std::fabs(col[a]));
+        }
+        if (max_abs <= 0.0) continue;
+        const double drop = options.drop_tol * max_abs;
+        if (options.top_k > 0 && options.top_k < num_atoms) {
+          std::iota(order.begin(), order.end(), 0);
+          const auto kth = order.begin() + options.top_k;
+          std::nth_element(order.begin(), kth, order.end(),
+                           [&](int64_t p, int64_t q) {
+                             const double fp = std::fabs(col[p]);
+                             const double fq = std::fabs(col[q]);
+                             if (fp != fq) return fp > fq;
+                             return p < q;
+                           });
+          std::sort(order.begin(), kth);
+          for (auto it = order.begin(); it != kth; ++it) {
+            const double v = col[*it];
+            if (std::fabs(v) > drop) triplets.push_back({*it, j, v});
+          }
+        } else {
+          for (int64_t a = 0; a < num_atoms; ++a) {
+            const double v = col[a];
+            if (std::fabs(v) > drop) triplets.push_back({a, j, v});
+          }
+        }
+      }
+    }
+  });
+
+  if (deadline_hit.load(std::memory_order_relaxed)) {
+    return Status::DeadlineExceeded(
+        "sketched SSC ADMM exceeded its time budget of " +
+        std::to_string(options.deadline_seconds) + "s");
+  }
+
+  int iterations = 0;
+  double residual = 0.0;
+  bool converged = true;
+  for (int64_t blk = 0; blk < num_blocks; ++blk) {
+    iterations = std::max(iterations,
+                          block_iterations[static_cast<size_t>(blk)]);
+    residual = std::max(residual, block_residual[static_cast<size_t>(blk)]);
+    converged = converged && block_converged[static_cast<size_t>(blk)] != 0;
+  }
+  if (!converged) {
+    FEDSC_LOG(Debug) << "sketched SSC ADMM stopped at max_iterations with "
+                     << "residual " << residual;
+  }
+  if (info != nullptr) {
+    info->iterations = iterations;
+    info->final_residual = residual;
+    info->converged = converged;
+  }
+  FEDSC_METRIC_COUNTER("sc.ssc_admm.solves").Increment();
+  FEDSC_METRIC_COUNTER("sc.ssc_admm.sketched_solves").Increment();
+  FEDSC_METRIC_COUNTER("sc.ssc_admm.iterations").Add(iterations);
+  if (converged) FEDSC_METRIC_COUNTER("sc.ssc_admm.converged").Increment();
+  FEDSC_METRIC_HISTOGRAM("sc.ssc_admm.iterations_per_solve")
+      .Record(iterations);
+  FEDSC_METRIC_GAUGE("sc.ssc_admm.last_residual", MetricKind::kExecution)
+      .Set(residual);
+
+  std::vector<Triplet> triplets;
+  for (const auto& chunk : chunk_triplets) {
+    triplets.insert(triplets.end(), chunk.begin(), chunk.end());
+  }
+  return SparseMatrix::FromTriplets(num_atoms, num_points,
+                                    std::move(triplets));
 }
 
 }  // namespace fedsc

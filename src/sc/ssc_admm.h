@@ -17,6 +17,7 @@
 #include "common/result.h"
 #include "linalg/matrix.h"
 #include "linalg/sparse.h"
+#include "sc/sketch.h"
 
 namespace fedsc {
 
@@ -63,6 +64,23 @@ struct SscAdmmInfo {
 Result<SparseMatrix> SscSelfExpression(const Matrix& x,
                                        const SscAdmmOptions& options = {},
                                        SscAdmmInfo* info = nullptr);
+
+// Sketched variant (Traganitis-Giannakis): solves the same Lasso with the
+// d-column dictionary B = sketch.dictionary in place of X,
+//
+//   min_C ||C||_1 + lambda/2 ||X - B C||_F^2,   C in R^{d x N},
+//
+// so the Z-update inverts one d x d operator shared by every column and the
+// per-iteration cost is O(d^2 N) instead of O(N^2 min(n, N)). The Lasso
+// separates per column, so columns are processed in fixed-size blocks (a
+// pure function of N, never of the thread count) with block-local stopping;
+// results are bit-identical for every thread count. For landmark sketches a
+// landmark column's own atom is pinned to zero (the diag(C) = 0 analogue).
+// The affine mode is not supported on this path. Returns the d x N
+// coefficient matrix.
+Result<SparseMatrix> SscSketchedSelfExpression(
+    const Matrix& x, const SketchResult& sketch,
+    const SscAdmmOptions& options = {}, SscAdmmInfo* info = nullptr);
 
 // The lambda the solver would use for `x` (exposed for tests/diagnostics).
 // Builds the Gram with `num_threads` workers via the Syrk hot path.

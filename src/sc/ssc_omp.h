@@ -10,6 +10,7 @@
 #include "common/result.h"
 #include "linalg/matrix.h"
 #include "linalg/sparse.h"
+#include "sc/sketch.h"
 
 namespace fedsc {
 
@@ -28,6 +29,16 @@ struct SscOmpOptions {
 // should be l2-normalized.
 Result<SparseMatrix> SscOmpSelfExpression(const Matrix& x,
                                           const SscOmpOptions& options = {});
+
+// Sketched variant: every column pursues atoms of sketch.dictionary (D x d)
+// instead of its N - 1 peers, dropping the per-column cost from O(k * N * D)
+// to O(k * d * D). Returns the d x N coefficient matrix (row a = dictionary
+// atom a). For landmark sketches a column that is itself a landmark never
+// selects its own atom (the diag(C) = 0 analogue). Bit-identical for every
+// thread count.
+Result<SparseMatrix> SscOmpSketchedSelfExpression(
+    const Matrix& x, const SketchResult& sketch,
+    const SscOmpOptions& options = {});
 
 }  // namespace fedsc
 

@@ -83,4 +83,84 @@ Result<SparseMatrix> TscAffinity(const Matrix& x, const TscOptions& options) {
   return summed;
 }
 
+Result<SparseMatrix> TscLandmarkCoefficients(const Matrix& x,
+                                             const SketchResult& sketch,
+                                             const TscOptions& options) {
+  const Matrix& dictionary = sketch.dictionary;
+  const int64_t n = x.rows();
+  const int64_t num_points = x.cols();
+  const int64_t num_atoms = dictionary.cols();
+  if (num_points < 1) {
+    return Status::InvalidArgument("TSC needs at least 1 point");
+  }
+  if (num_atoms < 1) {
+    return Status::InvalidArgument("sketched TSC needs a non-empty "
+                                   "dictionary");
+  }
+  if (dictionary.rows() != n) {
+    return Status::InvalidArgument(
+        "dictionary ambient dim " + std::to_string(dictionary.rows()) +
+        " does not match data dim " + std::to_string(n));
+  }
+  if (options.q < 1) {
+    return Status::InvalidArgument("TSC needs q >= 1, got q=" +
+                                   std::to_string(options.q));
+  }
+
+  std::vector<int64_t> self_atom(static_cast<size_t>(num_points), -1);
+  for (size_t a = 0; a < sketch.landmarks.size(); ++a) {
+    self_atom[static_cast<size_t>(sketch.landmarks[a])] =
+        static_cast<int64_t>(a);
+  }
+
+  // Same fan-out/concatenation pattern as the exact path: fixed column
+  // ranges, per-range triplet lists stitched in column order.
+  std::vector<std::vector<Triplet>> chunk_triplets(static_cast<size_t>(
+      std::max(1, ParallelChunkCount(0, num_points, options.num_threads))));
+
+  ParallelForRanges(0, num_points, options.num_threads, [&](int64_t c0,
+                                                            int64_t c1,
+                                                            int chunk) {
+    std::vector<Triplet>& triplets =
+        chunk_triplets[static_cast<size_t>(chunk)];
+    Vector corr(static_cast<size_t>(num_atoms), 0.0);
+    std::vector<int64_t> order(static_cast<size_t>(num_atoms));
+
+    for (int64_t j = c0; j < c1; ++j) {
+      Gemv(Trans::kTrans, 1.0, dictionary, x.ColData(j), 0.0, corr.data());
+      for (auto& v : corr) v = std::fabs(v);
+      const int64_t forbidden = self_atom[static_cast<size_t>(j)];
+      if (forbidden >= 0) corr[static_cast<size_t>(forbidden)] = -1.0;
+      const int64_t q = std::min<int64_t>(
+          options.q, num_atoms - (forbidden >= 0 ? 1 : 0));
+      if (q < 1) continue;
+
+      std::iota(order.begin(), order.end(), 0);
+      const auto kth = order.begin() + q;
+      std::nth_element(order.begin(), kth, order.end(),
+                       [&](int64_t a, int64_t b) {
+                         const double fa = corr[static_cast<size_t>(a)];
+                         const double fb = corr[static_cast<size_t>(b)];
+                         if (fa != fb) return fa > fb;
+                         return a < b;
+                       });
+      for (auto it = order.begin(); it != kth; ++it) {
+        const int64_t a = *it;
+        const double c = std::min(1.0, corr[static_cast<size_t>(a)]);
+        if (c <= 0.0) continue;
+        const double weight = std::exp(-2.0 * std::acos(c));
+        triplets.push_back({a, j, weight});
+      }
+    }
+  });
+
+  std::vector<Triplet> triplets;
+  triplets.reserve(static_cast<size_t>(options.q * num_points));
+  for (const auto& chunk : chunk_triplets) {
+    triplets.insert(triplets.end(), chunk.begin(), chunk.end());
+  }
+  return SparseMatrix::FromTriplets(num_atoms, num_points,
+                                    std::move(triplets));
+}
+
 }  // namespace fedsc

@@ -10,6 +10,7 @@
 #include "common/result.h"
 #include "linalg/matrix.h"
 #include "linalg/sparse.h"
+#include "sc/sketch.h"
 
 namespace fedsc {
 
@@ -23,6 +24,17 @@ struct TscOptions {
 
 // Symmetric TSC affinity graph over the (l2-normalized) columns of x.
 Result<SparseMatrix> TscAffinity(const Matrix& x, const TscOptions& options);
+
+// Sketched variant: every point keeps its q nearest *dictionary atoms*
+// (spherical distance against sketch.dictionary) instead of its q nearest
+// peers, so the per-column cost is O(q + d * D) instead of O(q + N * D).
+// Returns the nonnegative d x N coefficient matrix (row a = atom a) whose
+// landmark-mediated product |C|^T |C| plays the role of the TSC graph. For
+// landmark sketches a column never selects its own atom. Bit-identical for
+// every thread count.
+Result<SparseMatrix> TscLandmarkCoefficients(const Matrix& x,
+                                             const SketchResult& sketch,
+                                             const TscOptions& options);
 
 }  // namespace fedsc
 

@@ -1,0 +1,389 @@
+// Tests for the sketched central-clustering path: dictionary construction
+// (sc/sketch.h), sketched self-expression, the landmark-mediated affinity,
+// Nystrom spectral extension, the CentralPath dispatch contract, and the
+// end-to-end federated round over the sketched engine.
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/journal.h"
+#include "common/rng.h"
+#include "core/fedsc.h"
+#include "data/synthetic.h"
+#include "fed/partition.h"
+#include "linalg/blas.h"
+#include "metrics/clustering_metrics.h"
+#include "sc/affinity.h"
+#include "sc/pipeline.h"
+#include "sc/sketch.h"
+
+namespace fedsc {
+namespace {
+
+Dataset EasySubspaces(int64_t num_subspaces, int64_t per_subspace,
+                      uint64_t seed, int64_t ambient = 30, int64_t dim = 3) {
+  SyntheticOptions options;
+  options.ambient_dim = ambient;
+  options.subspace_dim = dim;
+  options.num_subspaces = num_subspaces;
+  options.points_per_subspace = per_subspace;
+  options.seed = seed;
+  auto data = GenerateUnionOfSubspaces(options);
+  EXPECT_TRUE(data.ok());
+  return std::move(data).value();
+}
+
+// Two clusters with very skewed sizes: `large` points in one subspace,
+// `small` in another, columns normalized. Column order: large then small.
+Matrix SkewedClusters(int64_t large, int64_t small, uint64_t seed) {
+  const int64_t ambient = 24;
+  const int64_t dim = 3;
+  Rng rng(seed);
+  const Matrix u1 = RandomOrthonormalBasis(ambient, dim, &rng);
+  const Matrix u2 = RandomOrthonormalBasis(ambient, dim, &rng);
+  Matrix x(ambient, large + small);
+  for (int64_t j = 0; j < large + small; ++j) {
+    const Matrix& basis = j < large ? u1 : u2;
+    const Vector alpha = rng.GaussianVector(dim);
+    const Vector col = Gemv(Trans::kNo, basis, alpha);
+    x.SetCol(j, col.data());
+  }
+  x.NormalizeColumns();
+  return x;
+}
+
+bool SparseExactlyEqual(const SparseMatrix& a, const SparseMatrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         a.row_ptr() == b.row_ptr() && a.col_idx() == b.col_idx() &&
+         a.values() == b.values();
+}
+
+TEST(SketchTest, KindNames) {
+  EXPECT_STREQ(SketchKindName(SketchKind::kJl), "jl");
+  EXPECT_STREQ(SketchKindName(SketchKind::kUniformLandmarks), "uniform");
+  EXPECT_STREQ(SketchKindName(SketchKind::kLeverageLandmarks), "leverage");
+}
+
+TEST(SketchTest, DeterministicPerSeedAndBitIdenticalAcrossThreads) {
+  const Dataset data = EasySubspaces(4, 50, 11);
+  for (SketchKind kind : {SketchKind::kJl, SketchKind::kUniformLandmarks,
+                          SketchKind::kLeverageLandmarks}) {
+    SketchOptions options;
+    options.dim = 32;
+    options.kind = kind;
+    options.seed = 7;
+    auto base = SketchDictionary(data.points, options);
+    ASSERT_TRUE(base.ok()) << base.status().ToString();
+    EXPECT_EQ(base->dictionary.rows(), data.points.rows());
+    EXPECT_EQ(base->dictionary.cols(), 32);
+    if (kind == SketchKind::kJl) {
+      EXPECT_TRUE(base->landmarks.empty());
+    } else {
+      // d distinct data columns, ascending.
+      ASSERT_EQ(base->landmarks.size(), 32u);
+      EXPECT_TRUE(std::is_sorted(base->landmarks.begin(),
+                                 base->landmarks.end()));
+      const std::set<int64_t> unique(base->landmarks.begin(),
+                                     base->landmarks.end());
+      EXPECT_EQ(unique.size(), base->landmarks.size());
+    }
+    for (int threads : {2, 8}) {
+      SketchOptions threaded = options;
+      threaded.num_threads = threads;
+      auto again = SketchDictionary(data.points, threaded);
+      ASSERT_TRUE(again.ok());
+      EXPECT_TRUE(AllClose(base->dictionary, again->dictionary, 0.0))
+          << SketchKindName(kind) << " nt=" << threads;
+      EXPECT_EQ(base->landmarks, again->landmarks)
+          << SketchKindName(kind) << " nt=" << threads;
+    }
+    // A different seed draws a different sketch.
+    SketchOptions reseeded = options;
+    reseeded.seed = 8;
+    auto other = SketchDictionary(data.points, reseeded);
+    ASSERT_TRUE(other.ok());
+    EXPECT_FALSE(AllClose(base->dictionary, other->dictionary, 0.0))
+        << SketchKindName(kind);
+  }
+}
+
+TEST(SketchTest, JlColumnEnergyMatchesFrobeniusRule) {
+  // For B = X S / sqrt(d) with random signs, E ||b_j||^2 = ||X||_F^2 / d.
+  const Dataset data = EasySubspaces(4, 50, 3);
+  SketchOptions options;
+  options.dim = 64;
+  options.kind = SketchKind::kJl;
+  options.seed = 21;
+  auto sketch = SketchDictionary(data.points, options);
+  ASSERT_TRUE(sketch.ok());
+  double mean_sq = 0.0;
+  for (int64_t j = 0; j < sketch->dictionary.cols(); ++j) {
+    const double norm = Norm2(sketch->dictionary.ColData(j),
+                              sketch->dictionary.rows());
+    mean_sq += norm * norm;
+  }
+  mean_sq /= static_cast<double>(sketch->dictionary.cols());
+  const double frob = data.points.FrobeniusNorm();
+  const double expected = frob * frob / 64.0;
+  EXPECT_GT(mean_sq, 0.7 * expected);
+  EXPECT_LT(mean_sq, 1.3 * expected);
+}
+
+TEST(SketchTest, LeverageScoresFavorSmallClusters) {
+  // 200 points share one 3-dim subspace, 12 points another: each small-
+  // cluster column carries far more of its subspace's identity, so its
+  // ridge leverage must be higher on average.
+  const int64_t large = 200;
+  const int64_t small = 12;
+  const Matrix x = SkewedClusters(large, small, 5);
+  auto scores = RidgeLeverageScores(x, 1e-6);
+  ASSERT_TRUE(scores.ok()) << scores.status().ToString();
+  ASSERT_EQ(static_cast<int64_t>(scores->size()), large + small);
+  double mean_large = 0.0;
+  double mean_small = 0.0;
+  for (int64_t j = 0; j < large; ++j) mean_large += (*scores)[j];
+  for (int64_t j = large; j < large + small; ++j) mean_small += (*scores)[j];
+  mean_large /= static_cast<double>(large);
+  mean_small /= static_cast<double>(small);
+  EXPECT_GT(mean_small, 2.0 * mean_large);
+
+  // Thread counts do not change the scores.
+  auto threaded = RidgeLeverageScores(x, 1e-6, 8);
+  ASSERT_TRUE(threaded.ok());
+  EXPECT_EQ(*scores, *threaded);
+}
+
+TEST(SketchTest, LeverageSamplingRepresentsSmallClusters) {
+  const int64_t large = 200;
+  const int64_t small = 12;
+  const Matrix x = SkewedClusters(large, small, 9);
+  SketchOptions options;
+  options.dim = 16;
+  options.kind = SketchKind::kLeverageLandmarks;
+  options.seed = 13;
+  auto sketch = SketchDictionary(x, options);
+  ASSERT_TRUE(sketch.ok());
+  int64_t small_landmarks = 0;
+  for (int64_t landmark : sketch->landmarks) {
+    if (landmark >= large) ++small_landmarks;
+  }
+  // Proportional sampling would expect 16 * 12/212 < 1 small-cluster
+  // landmark; leverage sampling must keep the small subspace represented.
+  EXPECT_GE(small_landmarks, 2);
+}
+
+TEST(SketchTest, RejectsDegenerateShapes) {
+  const Matrix x = SkewedClusters(10, 5, 1);
+  SketchOptions options;
+  options.dim = 15;  // dim >= N has nothing to compress
+  auto wide = SketchDictionary(x, options);
+  EXPECT_FALSE(wide.ok());
+  EXPECT_EQ(wide.status().code(), StatusCode::kInvalidArgument);
+  options.dim = 0;
+  EXPECT_FALSE(SketchDictionary(x, options).ok());
+  EXPECT_FALSE(SketchDictionary(Matrix(8, 0), options).ok());
+}
+
+TEST(CentralPathTest, ResolutionContract) {
+  ScPipelineOptions options;
+  // Explicit exact always wins.
+  options.central = CentralPath::kExact;
+  EXPECT_EQ(ResolveCentralPath(options, 100000, 8), CentralPath::kExact);
+  // Explicit sketch falls back to exact only when the sketch cannot be
+  // narrower than the data.
+  options.central = CentralPath::kSketched;
+  options.sketch.dim = 50;
+  EXPECT_EQ(ResolveCentralPath(options, 30, 4), CentralPath::kExact);
+  EXPECT_EQ(ResolveCentralPath(options, 500, 4), CentralPath::kSketched);
+  // Auto switches at the documented pure-shape cutoff.
+  options.central = CentralPath::kAuto;
+  options.sketch.dim = 0;
+  EXPECT_EQ(ResolveCentralPath(options, kSketchedCutoffN - 1, 8),
+            CentralPath::kExact);
+  EXPECT_EQ(ResolveCentralPath(options, kSketchedCutoffN, 8),
+            CentralPath::kSketched);
+  // Auto never picks a path that cannot host num_clusters centroids.
+  options.sketch.dim = 16;
+  EXPECT_EQ(ResolveCentralPath(options, kSketchedCutoffN, 17),
+            CentralPath::kExact);
+  // Methods without a sketched solver stay exact under auto.
+  options.sketch.dim = 0;
+  options.method = ScMethod::kNsn;
+  EXPECT_EQ(ResolveCentralPath(options, kSketchedCutoffN, 8),
+            CentralPath::kExact);
+
+  // The shape rule: N/16 clamped to [128, 1024], always below N.
+  EXPECT_EQ(SketchDimForShape(100000, 0), 1024);
+  EXPECT_EQ(SketchDimForShape(4096, 0), 256);
+  EXPECT_EQ(SketchDimForShape(1000, 0), 128);
+  EXPECT_EQ(SketchDimForShape(50, 0), 49);
+  EXPECT_EQ(SketchDimForShape(500, 64), 64);
+}
+
+TEST(CentralPathTest, ExactPathPinsAutoBitsBelowCutoff) {
+  // Below the cutoff, kAuto must be byte-for-byte the kExact engine — the
+  // "today's bits" contract for every existing caller.
+  const Dataset data = EasySubspaces(3, 40, 17);
+  ScPipelineOptions exact;
+  exact.central = CentralPath::kExact;
+  auto pinned = RunSubspaceClustering(data.points, 3, exact);
+  ASSERT_TRUE(pinned.ok()) << pinned.status().ToString();
+  auto automatic = RunSubspaceClustering(data.points, 3, {});
+  ASSERT_TRUE(automatic.ok());
+  EXPECT_EQ(pinned->labels, automatic->labels);
+  EXPECT_TRUE(SparseExactlyEqual(pinned->affinity, automatic->affinity));
+  EXPECT_EQ(ClusteringAccuracy(data.labels, pinned->labels), 100.0);
+}
+
+TEST(CentralPathTest, SketchedNeedsClustersWithinSketchDim) {
+  const Dataset data = EasySubspaces(4, 20, 23);
+  ScPipelineOptions options;
+  options.central = CentralPath::kSketched;
+  options.sketch.dim = 3;
+  auto result = RunSubspaceClustering(data.points, 4, options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CentralPathTest, SketchedRejectsUnsupportedMethods) {
+  const Dataset data = EasySubspaces(3, 30, 29);
+  ScPipelineOptions options;
+  options.method = ScMethod::kNsn;
+  options.central = CentralPath::kSketched;
+  options.sketch.dim = 16;
+  auto result = RunSubspaceClustering(data.points, 3, options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SketchedRunTest, RecoversClustersForEveryMethod) {
+  const Dataset data = EasySubspaces(4, 80, 31);
+  for (ScMethod method :
+       {ScMethod::kSsc, ScMethod::kSscOmp, ScMethod::kTsc}) {
+    ScPipelineOptions options;
+    options.method = method;
+    options.central = CentralPath::kSketched;
+    options.sketch.dim = 64;
+    options.sketch.seed = 2;
+    auto result = RunSubspaceClustering(data.points, 4, options);
+    ASSERT_TRUE(result.ok())
+        << ScMethodName(method) << ": " << result.status().ToString();
+    EXPECT_GE(ClusteringAccuracy(data.labels, result->labels), 95.0)
+        << ScMethodName(method);
+  }
+}
+
+TEST(SketchedRunTest, BitIdenticalAcrossThreadCounts) {
+  const Dataset data = EasySubspaces(4, 80, 37);
+  for (ScMethod method :
+       {ScMethod::kSsc, ScMethod::kSscOmp, ScMethod::kTsc}) {
+    auto run = [&](int threads) {
+      ScPipelineOptions options;
+      options.method = method;
+      options.central = CentralPath::kSketched;
+      options.sketch.dim = 48;
+      options.sketch.seed = 4;
+      options.num_threads = threads;
+      return RunSubspaceClustering(data.points, 4, options);
+    };
+    auto serial = run(1);
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+    for (int threads : {2, 8}) {
+      auto threaded = run(threads);
+      ASSERT_TRUE(threaded.ok());
+      EXPECT_EQ(serial->labels, threaded->labels)
+          << ScMethodName(method) << " nt=" << threads;
+      EXPECT_TRUE(SparseExactlyEqual(serial->affinity, threaded->affinity))
+          << ScMethodName(method) << " nt=" << threads;
+    }
+  }
+}
+
+TEST(SketchedRunTest, LandmarkAffinityRespectsTopQMemoryBound) {
+  // The sparsified landmark affinity may hold at most 2 N q entries (each
+  // point emits q one-directional picks, symmetrized) — the O(N q) memory
+  // contract that replaces the dense N x N graph.
+  const Dataset data = EasySubspaces(4, 60, 41);
+  const int64_t n = data.points.cols();
+  ScPipelineOptions options;
+  options.method = ScMethod::kSscOmp;
+  options.central = CentralPath::kSketched;
+  options.sketch.dim = 48;
+  const int64_t q = 4;
+  options.sketch_top_q = q;
+  auto result = RunSubspaceClustering(data.points, 4, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_LE(result->affinity.nnz(), 2 * n * q);
+  EXPECT_GT(result->affinity.nnz(), 0);
+}
+
+TEST(SketchedRunTest, EndToEndFederatedRoundWithFaultsAndDefense) {
+  // The full one-shot protocol over the sketched engine, under injected
+  // faults with the Byzantine defense on: the round must complete, journal
+  // the sketched dispatch, and still recover the clusters.
+  SyntheticOptions synth;
+  synth.ambient_dim = 24;
+  synth.subspace_dim = 3;
+  synth.num_subspaces = 4;
+  synth.points_per_subspace = 60;
+  synth.seed = 43;
+  auto data = GenerateUnionOfSubspaces(synth);
+  ASSERT_TRUE(data.ok());
+  PartitionOptions partition;
+  partition.num_devices = 16;
+  partition.clusters_per_device = 2;
+  partition.seed = 77;
+  auto fed = PartitionAcrossDevices(*data, partition);
+  ASSERT_TRUE(fed.ok());
+
+  FedScOptions options;
+  options.central = CentralPath::kSketched;
+  options.central_sketch.dim = 20;
+  options.num_threads = 2;
+  options.faults.dropout_rate = 0.15;
+  options.faults.transient_rate = 0.2;
+  options.faults.seed = 0xFA17;
+  options.retry.max_attempts = 3;
+  options.quorum = 0.5;
+  options.defense.enabled = true;
+
+  EnableJournal(true);
+  ResetJournal();
+  auto result = RunFedSc(*fed, 4, options);
+  const std::vector<JournalEvent> journal = SnapshotJournal();
+  EnableJournal(false);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // The dispatch decision is part of the run ledger.
+  bool saw_central_start = false;
+  for (const JournalEvent& event : journal) {
+    if (event.type != "central_start") continue;
+    saw_central_start = true;
+    bool saw_path = false;
+    for (const auto& field : event.fields) {
+      if (field.first == "central_path") {
+        saw_path = true;
+        EXPECT_EQ(field.second, "\"sketched\"");
+      }
+    }
+    EXPECT_TRUE(saw_path);
+  }
+  EXPECT_TRUE(saw_central_start);
+
+  // Quality over the covered points (failed devices carry the sentinel).
+  std::vector<int64_t> truth;
+  std::vector<int64_t> predicted;
+  for (size_t i = 0; i < result->global_labels.size(); ++i) {
+    if (result->global_labels[i] == FedScResult::kFailedDeviceLabel) continue;
+    truth.push_back(data->labels[i]);
+    predicted.push_back(result->global_labels[i]);
+  }
+  ASSERT_FALSE(truth.empty());
+  EXPECT_GE(ClusteringAccuracy(truth, predicted), 80.0);
+}
+
+}  // namespace
+}  // namespace fedsc

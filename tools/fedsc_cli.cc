@@ -3,7 +3,9 @@
 //
 //   fedsc_cli --input data.csv --clusters 8 --devices 40 ...
 //             [--clusters-per-device 2] [--clusters-per-device-max 0] ...
-//             [--central ssc|tsc] [--noise 0.0] [--threads 1] ...
+//             [--central ssc|tsc|exact|sketch|auto] [--noise 0.0] ...
+//             [--sketch-dim 0] [--landmarks jl|uniform|leverage] ...
+//             [--threads 1] ...
 //             [--fixed-r N] [--sample-dim 0] [--trim 0.0] ...
 //             [--quantize-bits 0] [--seed 42] [--output labels.csv] ...
 //             [--dropout 0.0] [--straggler 0.0] [--transient 0.0] ...
@@ -40,6 +42,16 @@
 // the first transmitted wire message to a file for offline inspection;
 // --wire-corrupt is the per-device probability of in-flight byte damage
 // (detected by CRC and quarantined).
+//
+// --central takes both vocabularies: ssc|tsc picks the Phase-2 clustering
+// method, and exact|sketch|auto picks the central engine (sc/pipeline.h
+// CentralPath) — pass the flag twice to set both, e.g.
+// "--central tsc --central sketch". auto (the default) switches to the
+// sketched dictionary + landmark spectral path at kSketchedCutoffN pooled
+// samples. --sketch-dim overrides the sketch width d (0 = shape rule);
+// --landmarks picks the dictionary construction: jl (random-sign
+// projection), uniform (uniform column landmarks, default) or leverage
+// (ridge leverage-score landmarks).
 //
 // --trace-out records scoped spans across the run and writes Chrome
 // trace-event JSON (open in chrome://tracing or https://ui.perfetto.dev),
@@ -80,6 +92,9 @@ struct CliOptions {
   int64_t clusters_per_device = 0;
   int64_t clusters_per_device_max = 0;
   std::string central = "ssc";
+  std::string central_path = "auto";
+  int64_t sketch_dim = 0;
+  std::string landmarks = "uniform";
   double noise = 0.0;
   int threads = 1;
   int64_t fixed_r = 0;
@@ -113,7 +128,8 @@ void PrintUsage(const char* binary) {
       stderr,
       "usage: %s --input data.csv --clusters L --devices Z\n"
       "  [--clusters-per-device L'] [--clusters-per-device-max M]\n"
-      "  [--central ssc|tsc] [--noise delta] [--threads T]\n"
+      "  [--central ssc|tsc|exact|sketch|auto] [--noise delta]\n"
+      "  [--sketch-dim d] [--landmarks jl|uniform|leverage] [--threads T]\n"
       "  [--fixed-r R] [--sample-dim D] [--trim F]\n"
       "  [--quantize-bits B] [--seed S] [--output labels.csv]\n"
       "  [--dropout P] [--straggler P] [--transient P]\n"
@@ -171,7 +187,19 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->clusters_per_device_max = std::atoll(value);
     } else if (flag == "--central") {
       if ((value = next()) == nullptr) return false;
-      options->central = value;
+      // One flag, two vocabularies: ssc|tsc is the Phase-2 method,
+      // everything else is the engine path (validated below).
+      if (std::string(value) == "ssc" || std::string(value) == "tsc") {
+        options->central = value;
+      } else {
+        options->central_path = value;
+      }
+    } else if (flag == "--sketch-dim") {
+      if ((value = next()) == nullptr) return false;
+      options->sketch_dim = std::atoll(value);
+    } else if (flag == "--landmarks") {
+      if ((value = next()) == nullptr) return false;
+      options->landmarks = value;
     } else if (flag == "--noise") {
       if ((value = next()) == nullptr) return false;
       options->noise = std::atof(value);
@@ -266,8 +294,20 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
                  "--input, --clusters and --devices are required\n");
     return false;
   }
-  if (options->central != "ssc" && options->central != "tsc") {
-    std::fprintf(stderr, "--central must be 'ssc' or 'tsc'\n");
+  if (options->central_path != "auto" && options->central_path != "exact" &&
+      options->central_path != "sketch") {
+    std::fprintf(stderr,
+                 "--central must be 'ssc', 'tsc', 'exact', 'sketch' or "
+                 "'auto', got '%s'\n",
+                 options->central_path.c_str());
+    return false;
+  }
+  if (options->landmarks != "jl" && options->landmarks != "uniform" &&
+      options->landmarks != "leverage") {
+    std::fprintf(stderr,
+                 "--landmarks must be 'jl', 'uniform' or 'leverage', got "
+                 "'%s'\n",
+                 options->landmarks.c_str());
     return false;
   }
   if (options->codec != "raw" && options->codec != "quant" &&
@@ -339,6 +379,17 @@ int main(int argc, char** argv) {
   FedScOptions options;
   options.central_method =
       cli.central == "tsc" ? ScMethod::kTsc : ScMethod::kSsc;
+  options.central = cli.central_path == "exact"
+                        ? CentralPath::kExact
+                        : cli.central_path == "sketch"
+                              ? CentralPath::kSketched
+                              : CentralPath::kAuto;
+  options.central_sketch.dim = cli.sketch_dim;
+  options.central_sketch.kind =
+      cli.landmarks == "jl"
+          ? SketchKind::kJl
+          : cli.landmarks == "leverage" ? SketchKind::kLeverageLandmarks
+                                        : SketchKind::kUniformLandmarks;
   options.channel.noise_delta = cli.noise;
   if (cli.quantize_bits > 0) {
     options.channel.quantize = true;
