@@ -4,7 +4,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/isa.h"
 #include "common/rng.h"
+#include "linalg/batch.h"
 #include "linalg/blas.h"
 #include "linalg/cholesky.h"
 #include "linalg/eig.h"
@@ -64,6 +66,36 @@ void BM_GemmNNPanel(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
 BENCHMARK(BM_GemmNNPanel)->Arg(64)->Arg(256)->Arg(512)->Arg(1024);
+
+// Per-ISA micro-kernel sweep: the same blocked product pinned to each
+// runtime-dispatched tier (GemmOptions::isa). The label carries the tier so
+// bench_baseline.sh can split the rates into the isa_dispatch section;
+// tiers the host cannot execute are skipped, not faked.
+void BM_GemmIsa(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const int tier_index = static_cast<int>(state.range(1));
+  const CpuIsa tiers[] = {CpuIsa::kGeneric, CpuIsa::kAvx2, CpuIsa::kAvx512};
+  const GemmIsa pins[] = {GemmIsa::kGeneric, GemmIsa::kAvx2,
+                          GemmIsa::kAvx512};
+  if (!CpuIsaSupported(tiers[tier_index])) {
+    state.SkipWithError("tier unsupported on this host");
+    return;
+  }
+  Rng rng(1);
+  const Matrix a = RandomMatrix(n, n, &rng);
+  const Matrix b = RandomMatrix(n, n, &rng);
+  Matrix c(n, n);
+  GemmOptions options;
+  options.kernel = GemmKernel::kBlocked;
+  options.isa = pins[tier_index];
+  for (auto _ : state) {
+    Gemm(Trans::kNo, Trans::kNo, 1.0, a, b, 0.0, &c, options);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetLabel(CpuIsaName(tiers[tier_index]));
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmIsa)->ArgsProduct({{512, 1024}, {0, 1, 2}});
 
 // Thread-count sweep over the deterministic parallel GEMM; results are
 // bit-identical across the sweep, only the wall time moves.
@@ -305,6 +337,43 @@ void BM_EigValuesVariant(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * (4 * n * n * n) / 3);
 }
 BENCHMARK(BM_EigValuesVariant)->ArgsProduct({{256, 512}, {0, 1}});
+
+// Batched basis estimation over a fleet of tall-skinny D=256 x n=32 panels
+// (the per-cluster shape of the Fed-SC local phase): the looped engine runs
+// the per-panel QR-preconditioned Jacobi SVD, the batched engine takes the
+// Gram route these shapes dispatch to under kAuto. Rates are panels/s so
+// the looped-vs-batched ratio in BENCH_linalg.json is a direct speedup.
+void BM_BatchedBasis(benchmark::State& state) {
+  const int64_t batch = state.range(0);
+  const bool batched = state.range(1) != 0;
+  const int64_t d = 256;
+  const int64_t n = 32;
+  const int64_t rank = 4;
+  Rng rng(10);
+  std::vector<Matrix> panels;
+  panels.reserve(batch);
+  for (int64_t i = 0; i < batch; ++i) {
+    // Exactly rank-4 panels: both engines make the same rank decision, so
+    // the comparison times the factorization, not divergent trailing work.
+    const Matrix u = RandomMatrix(d, rank, &rng);
+    const Matrix c = RandomMatrix(rank, n, &rng);
+    Matrix panel(d, n);
+    Gemm(Trans::kNo, Trans::kNo, 1.0, u, c, 0.0, &panel);
+    panels.push_back(std::move(panel));
+  }
+  BatchedSubspaceOptions options;
+  // Fixed rank, as the pipeline pins via sample_dim: kAuto only takes the
+  // Gram route for fixed-rank requests.
+  options.rank = rank;
+  options.engine = batched ? BatchEngine::kAuto : BatchEngine::kLooped;
+  for (auto _ : state) {
+    auto bases = BatchedPrincipalSubspace(panels, options);
+    benchmark::DoNotOptimize(bases.data());
+  }
+  state.SetLabel(batched ? "batched" : "looped");
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_BatchedBasis)->ArgsProduct({{64, 1024}, {0, 1}});
 
 SparseMatrix RandomSparseSymmetric(int64_t n, int64_t per_row, Rng* rng) {
   std::vector<Triplet> triplets;

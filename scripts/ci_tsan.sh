@@ -52,6 +52,14 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 # disjoint for nt in {1, 2, 8}.
 "${build_dir}/tests/sketch_test"
 
+# Forced-generic pass: FEDSC_FORCE_ISA pins the portable micro-kernel tier,
+# so the threaded packing/fan-out paths are race-checked on the exact code
+# the generic dispatch runs (the intrinsic tiers share the same driver; the
+# micro-kernels themselves touch only disjoint accumulators).
+FEDSC_FORCE_ISA=generic "${build_dir}/tests/blas_test"
+FEDSC_FORCE_ISA=generic "${build_dir}/tests/parallel_determinism_test"
+FEDSC_FORCE_ISA=generic "${build_dir}/tests/sketch_test"
+
 echo "TSAN: all threaded suites passed with zero reported races."
 
 asan_dir="${repo_root}/build-asan"
@@ -90,6 +98,13 @@ cmake --build "${asan_dir}" -j "$(nproc)" \
 # through touched-list scratch resets, and indexes per-atom core rows; ASAN
 # is the gate for an off-by-one in the gather/scatter index arithmetic.
 "${asan_dir}/tests/sketch_test"
+
+# Forced-generic pass, mirroring the TSAN one: the ragged packed-panel
+# tails differ per micro-tile shape, so the generic tier's edge handling
+# gets its own ASAN run.
+FEDSC_FORCE_ISA=generic "${asan_dir}/tests/blas_test"
+FEDSC_FORCE_ISA=generic "${asan_dir}/tests/parallel_determinism_test"
+FEDSC_FORCE_ISA=generic "${asan_dir}/tests/sketch_test"
 
 echo "ASAN: fault-injection, codec, and wire-fuzz suites passed with zero"
 echo "reported errors."

@@ -51,6 +51,9 @@ def render_manifest(manifest):
     print(f"  compiler    {manifest['compiler']}")
     print(f"  cpu         {manifest['cpu_model']}"
           f" ({manifest['hardware_threads']} hardware threads)")
+    print(f"  kernels     {manifest['gemm_isa']}"
+          f" (best supported {manifest['cpu_isa']},"
+          f" pinned by {manifest['isa_pin_source']})")
     print(f"  options     {manifest['options_fingerprint']}"
           f"  seed={manifest['seed']}  fault_seed={manifest['fault_seed']}"
           f"  threads={manifest['num_threads']}")

@@ -9,7 +9,8 @@ cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build 2>&1 | tee test_output.txt
 for b in build/bench/*; do
-  [ -x "$b" ] || continue
+  # Directories (e.g. build/bench/CMakeFiles) pass -x; require a real file.
+  [ -f "$b" ] && [ -x "$b" ] || continue
   echo "=== $b ==="
   "$b"
 done 2>&1 | tee bench_output.txt
@@ -117,3 +118,27 @@ build/tools/fedsc_cli --input "${obs_dir}/smoke.csv" --clusters 3 \
   > "${obs_dir}/corrupt.out" 2>&1
 grep -q "wire corrupt" "${obs_dir}/corrupt.out"
 echo "wire/codec smoke test passed"
+
+# Forced-ISA smoke test: every micro-kernel tier this host can execute must
+# cluster the smoke data end to end, and the dispatched tier must land in
+# the report's provenance manifest. --print-isa aborts when FEDSC_FORCE_ISA
+# names a tier cpuid rules out, which is exactly the skip probe.
+for isa in generic avx2 avx512; do
+  if ! FEDSC_FORCE_ISA="${isa}" build/tools/fedsc_cli --print-isa \
+      > /dev/null 2>&1; then
+    echo "forced-ISA smoke: ${isa} unsupported on this host, skipped"
+    continue
+  fi
+  FEDSC_FORCE_ISA="${isa}" build/tools/fedsc_cli \
+    --input "${obs_dir}/smoke.csv" --clusters 3 --devices 4 \
+    --report-out "${obs_dir}/isa.${isa}.json" > /dev/null
+  python3 scripts/validate_report.py "${obs_dir}/isa.${isa}.json" \
+    --expect-run
+  python3 - "${obs_dir}/isa.${isa}.json" "${isa}" <<'PY'
+import json, sys
+manifest = json.load(open(sys.argv[1]))["manifest"]
+assert manifest["gemm_isa"] == sys.argv[2], manifest
+assert manifest["isa_pin_source"] == f"env:FEDSC_FORCE_ISA={sys.argv[2]}"
+PY
+done
+echo "forced-ISA smoke test passed"

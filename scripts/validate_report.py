@@ -24,7 +24,7 @@ import argparse
 import json
 import sys
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 JOURNAL_SCHEMA_VERSION = 2
 
 TOP_LEVEL_KEYS = {
@@ -43,6 +43,9 @@ MANIFEST_KEYS = {
     "build_type": str,
     "cpu_model": str,
     "hardware_threads": int,
+    "cpu_isa": str,
+    "gemm_isa": str,
+    "isa_pin_source": str,
     "options_fingerprint": str,
     "seed": int,
     "fault_seed": int,
@@ -289,6 +292,15 @@ def main() -> None:
     check_object(report["manifest"], MANIFEST_KEYS, "manifest")
     if not report["manifest"]["compiler"]:
         fail("manifest.compiler is empty")
+    isa_tiers = {"generic", "avx2", "avx512"}
+    for key in ("cpu_isa", "gemm_isa"):
+        if report["manifest"][key] not in isa_tiers:
+            fail(f"manifest.{key} is {report['manifest'][key]!r}, expected "
+                 f"one of {sorted(isa_tiers)}")
+    pin = report["manifest"]["isa_pin_source"]
+    if pin != "cpuid" and not pin.startswith("env:FEDSC_FORCE_ISA="):
+        fail(f"manifest.isa_pin_source is {pin!r}, expected 'cpuid' or "
+             f"'env:FEDSC_FORCE_ISA=<tier>'")
 
     run = report["run"]
     if run is None:

@@ -1,0 +1,91 @@
+#include "common/isa.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/check.h"
+
+namespace fedsc {
+
+namespace {
+
+bool HostHasAvx2Fma() {
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+bool HostHasAvx512f() {
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+  return __builtin_cpu_supports("avx512f");
+#else
+  return false;
+#endif
+}
+
+IsaDispatch ComputeDefaultIsa() {
+  const char* forced = std::getenv("FEDSC_FORCE_ISA");
+  if (forced != nullptr && forced[0] != '\0') {
+    CpuIsa isa = CpuIsa::kGeneric;
+    if (std::strcmp(forced, "generic") == 0) {
+      isa = CpuIsa::kGeneric;
+    } else if (std::strcmp(forced, "avx2") == 0) {
+      isa = CpuIsa::kAvx2;
+    } else if (std::strcmp(forced, "avx512") == 0) {
+      isa = CpuIsa::kAvx512;
+    } else {
+      FEDSC_CHECK(false) << "FEDSC_FORCE_ISA='" << forced
+                         << "' is not one of generic|avx2|avx512";
+    }
+    FEDSC_CHECK(CpuIsaSupported(isa))
+        << "FEDSC_FORCE_ISA=" << forced
+        << " requests a tier this host cannot execute (best supported: "
+        << CpuIsaName(BestSupportedIsa()) << ")";
+    // Leak-free static storage for the rendered source string.
+    static std::string source = std::string("env:FEDSC_FORCE_ISA=") + forced;
+    return {isa, source.c_str()};
+  }
+  return {BestSupportedIsa(), "cpuid"};
+}
+
+}  // namespace
+
+bool CpuIsaSupported(CpuIsa isa) {
+  switch (isa) {
+    case CpuIsa::kGeneric:
+      return true;
+    case CpuIsa::kAvx2:
+      return HostHasAvx2Fma();
+    case CpuIsa::kAvx512:
+      return HostHasAvx512f();
+  }
+  return false;
+}
+
+CpuIsa BestSupportedIsa() {
+  if (HostHasAvx512f()) return CpuIsa::kAvx512;
+  if (HostHasAvx2Fma()) return CpuIsa::kAvx2;
+  return CpuIsa::kGeneric;
+}
+
+const char* CpuIsaName(CpuIsa isa) {
+  switch (isa) {
+    case CpuIsa::kGeneric:
+      return "generic";
+    case CpuIsa::kAvx2:
+      return "avx2";
+    case CpuIsa::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+const IsaDispatch& ResolveDefaultIsa() {
+  static const IsaDispatch dispatch = ComputeDefaultIsa();
+  return dispatch;
+}
+
+}  // namespace fedsc

@@ -4,6 +4,8 @@
 #include <fstream>
 #include <thread>
 
+#include "common/isa.h"
+
 namespace fedsc {
 
 namespace {
@@ -69,6 +71,10 @@ RunManifest CollectRunManifest() {
   manifest.cpu_model = CpuModel();
   manifest.hardware_threads =
       static_cast<int>(std::thread::hardware_concurrency());
+  manifest.cpu_isa = CpuIsaName(BestSupportedIsa());
+  const IsaDispatch& dispatch = ResolveDefaultIsa();
+  manifest.gemm_isa = CpuIsaName(dispatch.chosen);
+  manifest.isa_pin_source = dispatch.pin_source;
   return manifest;
 }
 
@@ -95,6 +101,10 @@ std::string RunManifestJson(const RunManifest& manifest) {
   out += ",\"build_type\":\"" + JsonEscape(manifest.build_type) + "\"";
   out += ",\"cpu_model\":\"" + JsonEscape(manifest.cpu_model) + "\"";
   out += ",\"hardware_threads\":" + std::to_string(manifest.hardware_threads);
+  out += ",\"cpu_isa\":\"" + JsonEscape(manifest.cpu_isa) + "\"";
+  out += ",\"gemm_isa\":\"" + JsonEscape(manifest.gemm_isa) + "\"";
+  out += ",\"isa_pin_source\":\"" + JsonEscape(manifest.isa_pin_source) +
+         "\"";
   out += ",\"options_fingerprint\":\"" +
          JsonEscape(manifest.options_fingerprint) + "\"";
   out += ",\"seed\":" + std::to_string(manifest.seed);

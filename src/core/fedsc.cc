@@ -13,6 +13,7 @@
 #include "common/trace.h"
 #include "core/report.h"
 #include "graph/eigengap.h"
+#include "linalg/batch.h"
 #include "linalg/blas.h"
 #include "linalg/svd.h"
 #include "sc/affinity.h"
@@ -36,52 +37,72 @@ Vector SampleFromSubspace(const Matrix& basis, Rng* rng) {
   return theta;
 }
 
-// Basis for a local cluster's subspace; degenerate clusters (all points
-// numerically zero) fall back to a random direction so the device can still
-// participate. With trim_fraction > 0 the worst-fitting members are dropped
-// once and the basis refit (outlier robustness).
-Matrix ClusterBasis(const Matrix& cluster_points, const FedScOptions& options,
-                    Rng* rng) {
-  FEDSC_TRACE_SPAN("local/basis", {{"members", cluster_points.cols()}});
-  auto basis = PrincipalSubspace(cluster_points, options.sample_dim,
-                                 options.rank_rel_tol);
-  if (!basis.ok()) {
-    FEDSC_LOG(Warning) << "degenerate local cluster ("
-                       << basis.status().ToString()
-                       << "); sampling a random direction";
-    return Matrix::FromColumn(rng->UnitSphere(cluster_points.rows()));
-  }
-  const int64_t count = cluster_points.cols();
-  const int64_t keep = count - static_cast<int64_t>(std::floor(
-                                   options.trim_fraction * count));
-  if (options.trim_fraction <= 0.0 || keep >= count ||
-      keep <= basis->cols() + 1) {
-    return std::move(basis).value();
-  }
+// Bases for every local cluster's subspace in two batched factorization
+// calls (linalg/batch.h): one over all member panels, then — when
+// trim_fraction pruning kicks in — one over the inlier panels. Slot t holds
+// the basis for members[t], or the per-cluster error for degenerate
+// clusters (all points numerically zero); the caller draws its
+// random-direction fallback at exactly the point the old per-cluster loop
+// did, so the rng stream is unchanged. With trim_fraction > 0 the
+// worst-fitting members of each cluster are dropped once and that basis
+// refit (outlier robustness); a failed refit keeps the initial basis, as
+// before.
+std::vector<Result<Matrix>> EstimateClusterBases(
+    const Matrix& normalized, const std::vector<std::vector<int64_t>>& members,
+    const FedScOptions& options) {
+  BatchedSubspaceOptions batch;
+  batch.rank = options.sample_dim;
+  batch.rel_tol = options.rank_rel_tol;
+  // Nested calls made from inside the device fan-out run inline, so this
+  // cannot oversubscribe (same lift as the spectral step).
+  batch.num_threads = options.num_threads;
+  std::vector<Result<Matrix>> bases =
+      BatchedPrincipalSubspace(normalized, members, batch);
+  if (options.trim_fraction <= 0.0) return bases;
 
-  // Residual of each member to the fitted subspace: ||x - U U^T x||.
-  const int64_t n = cluster_points.rows();
-  std::vector<std::pair<double, int64_t>> residuals;
-  residuals.reserve(static_cast<size_t>(count));
-  Vector coords(static_cast<size_t>(basis->cols()), 0.0);
+  // Residual of each member to its fitted subspace: ||x - U U^T x||. The
+  // refit panels gather inliers in ascending-residual order, matching the
+  // GatherCols order of the per-cluster loop this replaces.
+  const int64_t n = normalized.rows();
+  std::vector<size_t> refit_slots;
+  std::vector<std::vector<int64_t>> refit_groups;
   Vector reconstructed(static_cast<size_t>(n), 0.0);
-  for (int64_t j = 0; j < count; ++j) {
-    Gemv(Trans::kTrans, 1.0, *basis, cluster_points.ColData(j), 0.0,
-         coords.data());
-    Gemv(Trans::kNo, 1.0, *basis, coords.data(), 0.0, reconstructed.data());
-    Axpy(-1.0, cluster_points.ColData(j), reconstructed.data(), n);
-    residuals.push_back({Norm2(reconstructed.data(), n), j});
+  for (size_t t = 0; t < members.size(); ++t) {
+    if (!bases[t].ok()) continue;
+    const Matrix& basis = *bases[t];
+    const std::vector<int64_t>& group = members[t];
+    const int64_t count = static_cast<int64_t>(group.size());
+    const int64_t keep = count - static_cast<int64_t>(std::floor(
+                                     options.trim_fraction * count));
+    if (keep >= count || keep <= basis.cols() + 1) continue;
+    std::vector<std::pair<double, int64_t>> residuals;
+    residuals.reserve(static_cast<size_t>(count));
+    Vector coords(static_cast<size_t>(basis.cols()), 0.0);
+    for (int64_t j = 0; j < count; ++j) {
+      const double* x = normalized.ColData(group[static_cast<size_t>(j)]);
+      Gemv(Trans::kTrans, 1.0, basis, x, 0.0, coords.data());
+      Gemv(Trans::kNo, 1.0, basis, coords.data(), 0.0, reconstructed.data());
+      Axpy(-1.0, x, reconstructed.data(), n);
+      residuals.push_back({Norm2(reconstructed.data(), n), j});
+    }
+    std::sort(residuals.begin(), residuals.end());
+    std::vector<int64_t> inliers;
+    inliers.reserve(static_cast<size_t>(keep));
+    for (int64_t j = 0; j < keep; ++j) {
+      inliers.push_back(group[static_cast<size_t>(
+          residuals[static_cast<size_t>(j)].second)]);
+    }
+    refit_slots.push_back(t);
+    refit_groups.push_back(std::move(inliers));
   }
-  std::sort(residuals.begin(), residuals.end());
-  std::vector<int64_t> inliers;
-  inliers.reserve(static_cast<size_t>(keep));
-  for (int64_t j = 0; j < keep; ++j) {
-    inliers.push_back(residuals[static_cast<size_t>(j)].second);
+  if (refit_groups.empty()) return bases;
+
+  std::vector<Result<Matrix>> refits =
+      BatchedPrincipalSubspace(normalized, refit_groups, batch);
+  for (size_t i = 0; i < refit_slots.size(); ++i) {
+    if (refits[i].ok()) bases[refit_slots[i]] = std::move(refits[i]);
   }
-  auto refit = PrincipalSubspace(cluster_points.GatherCols(inliers),
-                                 options.sample_dim, options.rank_rel_tol);
-  if (refit.ok()) return std::move(refit).value();
-  return std::move(basis).value();
+  return bases;
 }
 
 Status ValidateOptions(const FedScOptions& options) {
@@ -182,24 +203,41 @@ Result<LocalClusteringOutput> LocalClusterAndSample(const Matrix& points,
     }
   }
 
-  // Estimate each cluster's subspace and draw the uploaded samples.
+  // Estimate each cluster's subspace and draw the uploaded samples. The
+  // bases for all clusters come from batched factorization calls up front
+  // (none of which consume rng); the loop below then draws fallbacks and
+  // samples in the same order — and so from the same rng positions — as the
+  // per-cluster loop this replaces.
   FEDSC_TRACE_SPAN("local/sample", {{"clusters", out.num_local_clusters}});
   const int64_t r = out.num_local_clusters;
   const int64_t per_cluster = options.samples_per_cluster;
+  std::vector<std::vector<int64_t>> members(static_cast<size_t>(r));
+  for (int64_t i = 0; i < num_points; ++i) {
+    members[static_cast<size_t>(out.partition[static_cast<size_t>(i)])]
+        .push_back(i);
+  }
+  std::vector<Result<Matrix>> bases;
+  {
+    FEDSC_TRACE_SPAN("local/basis", {{"clusters", r}});
+    bases = EstimateClusterBases(normalized, members, options);
+  }
   out.samples = Matrix(n, r * per_cluster);
   out.sample_cluster.reserve(static_cast<size_t>(r * per_cluster));
   int64_t next = 0;
   for (int64_t t = 0; t < r; ++t) {
-    std::vector<int64_t> members;
-    for (int64_t i = 0; i < num_points; ++i) {
-      if (out.partition[static_cast<size_t>(i)] == t) members.push_back(i);
-    }
     Matrix basis;
-    if (members.empty()) {
+    if (members[static_cast<size_t>(t)].empty()) {
       // Spectral k-means guards against empty clusters, but stay defensive.
       basis = Matrix::FromColumn(rng.UnitSphere(n));
+    } else if (!bases[static_cast<size_t>(t)].ok()) {
+      // Degenerate cluster (all points numerically zero): fall back to a
+      // random direction so the device can still participate.
+      FEDSC_LOG(Warning) << "degenerate local cluster ("
+                         << bases[static_cast<size_t>(t)].status().ToString()
+                         << "); sampling a random direction";
+      basis = Matrix::FromColumn(rng.UnitSphere(n));
     } else {
-      basis = ClusterBasis(normalized.GatherCols(members), options, &rng);
+      basis = std::move(bases[static_cast<size_t>(t)]).value();
     }
     for (int64_t s = 0; s < per_cluster; ++s) {
       out.samples.SetCol(next++, SampleFromSubspace(basis, &rng));
@@ -650,19 +688,27 @@ Result<std::vector<int64_t>> AssignNewPoints(const FedScResult& result,
   }
   const int64_t n = result.samples.rows();
 
-  // Basis per global cluster from its labeled samples.
+  // Basis per global cluster from its labeled samples, all through one
+  // batched factorization call. Empty and degenerate clusters leave their
+  // slot as an empty matrix: they never win the residual contest below.
+  std::vector<std::vector<int64_t>> groups(static_cast<size_t>(num_clusters));
+  for (size_t s = 0; s < result.sample_labels.size(); ++s) {
+    const int64_t c = result.sample_labels[s];
+    if (c >= 0 && c < num_clusters) {
+      groups[static_cast<size_t>(c)].push_back(static_cast<int64_t>(s));
+    }
+  }
+  BatchedSubspaceOptions batch;
+  batch.rank = 0;
+  batch.rel_tol = rank_rel_tol;
+  std::vector<Result<Matrix>> fitted =
+      BatchedPrincipalSubspace(result.samples, groups, batch);
   std::vector<Matrix> bases(static_cast<size_t>(num_clusters));
   for (int64_t c = 0; c < num_clusters; ++c) {
-    std::vector<int64_t> columns;
-    for (size_t s = 0; s < result.sample_labels.size(); ++s) {
-      if (result.sample_labels[s] == c) {
-        columns.push_back(static_cast<int64_t>(s));
-      }
+    if (fitted[static_cast<size_t>(c)].ok()) {
+      bases[static_cast<size_t>(c)] =
+          std::move(fitted[static_cast<size_t>(c)]).value();
     }
-    if (columns.empty()) continue;  // empty cluster: never wins
-    auto basis = PrincipalSubspace(result.samples.GatherCols(columns),
-                                   /*rank=*/0, rank_rel_tol);
-    if (basis.ok()) bases[static_cast<size_t>(c)] = std::move(basis).value();
   }
 
   std::vector<int64_t> labels(static_cast<size_t>(new_points.cols()), 0);

@@ -33,7 +33,7 @@ namespace fedsc {
 
 // Bump when the report JSON layout changes incompatibly;
 // scripts/validate_report.py and the golden layout fixture pin it.
-inline constexpr int kReportSchemaVersion = 2;
+inline constexpr int kReportSchemaVersion = 3;
 
 struct RunReport {
   RunManifest manifest;

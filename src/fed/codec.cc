@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/check.h"
+#include "linalg/batch.h"
 #include "linalg/blas.h"
 #include "linalg/svd.h"
 
@@ -112,6 +113,67 @@ Result<std::vector<uint8_t>> EncodeRaw(const Matrix& samples,
   return SerializeWireMessage(header, {std::move(section)});
 }
 
+}  // namespace
+
+namespace internal_codec {
+
+void QuantizeIndicesScalar(const double* src, int64_t count, double range,
+                           double step, uint64_t* indices) {
+  for (int64_t i = 0; i < count; ++i) {
+    // Non-finite values cannot cross a quantized wire meaningfully; clamp
+    // maps +-inf to the range edges and NaN to the bottom of the grid.
+    double v = src[i];
+    if (std::isnan(v)) v = -range;
+    const double clamped = std::min(range, std::max(-range, v));
+    indices[i] =
+        static_cast<uint64_t>(std::llround((clamped + range) / step));
+  }
+}
+
+void QuantizeIndices(const double* src, int64_t count, double range,
+                     double step, uint64_t* indices) {
+  // Branch-free body so the grid mapping autovectorizes. u >= 0 always, and
+  // u - floor(u) is exact (Sterbenz for u >= 1, trivially for u < 1), so
+  // floor(u) + (u - floor(u) >= 0.5) IS llround(u) — the scalar reference's
+  // bits, not an approximation. The obvious floor(u + 0.5) would not be:
+  // u + 0.5 can round up across the tie.
+  for (int64_t i = 0; i < count; ++i) {
+    double v = src[i];
+    v = v == v ? v : -range;  // NaN -> bottom of the grid
+    v = std::min(range, std::max(-range, v));
+    const double u = (v + range) / step;
+    const double f = std::floor(u);
+    indices[i] = static_cast<uint64_t>(f + (u - f >= 0.5 ? 1.0 : 0.0));
+  }
+}
+
+void DequantizeValuesScalar(const uint64_t* indices, int64_t count,
+                            double range, double step, uint64_t top,
+                            double* values) {
+  for (int64_t i = 0; i < count; ++i) {
+    // An index above the top grid level can only come from corruption the
+    // CRC missed or a hostile encoder; clamp onto the grid rather than
+    // extrapolating past the declared range.
+    const double index =
+        static_cast<double>(std::min<uint64_t>(indices[i], top));
+    values[i] = -range + step * index;
+  }
+}
+
+void DequantizeValues(const uint64_t* indices, int64_t count, double range,
+                      double step, uint64_t top, double* values) {
+  // Same arithmetic as the scalar reference with __restrict-free simple
+  // bodies; the ternary min keeps the clamp branch-free for the vectorizer.
+  for (int64_t i = 0; i < count; ++i) {
+    const uint64_t clamped = indices[i] < top ? indices[i] : top;
+    values[i] = -range + step * static_cast<double>(clamped);
+  }
+}
+
+}  // namespace internal_codec
+
+namespace {
+
 Result<std::vector<uint8_t>> EncodeQuant(const Matrix& samples,
                                          const CodecOptions& options) {
   WireHeader header;
@@ -129,18 +191,9 @@ Result<std::vector<uint8_t>> EncodeQuant(const Matrix& samples,
   const double levels =
       static_cast<double>((uint64_t{1} << options.quant_bits) - 1);
   const double step = 2.0 * range / levels;
-  std::vector<uint64_t> indices;
-  indices.reserve(static_cast<size_t>(samples.size()));
-  const double* src = samples.data();
-  for (int64_t i = 0; i < samples.size(); ++i) {
-    // Non-finite values cannot cross a quantized wire meaningfully; clamp
-    // maps +-inf to the range edges and NaN to the bottom of the grid.
-    double v = src[i];
-    if (std::isnan(v)) v = -range;
-    const double clamped = std::min(range, std::max(-range, v));
-    indices.push_back(static_cast<uint64_t>(
-        std::llround((clamped + range) / step)));
-  }
+  std::vector<uint64_t> indices(static_cast<size_t>(samples.size()));
+  internal_codec::QuantizeIndices(samples.data(), samples.size(), range,
+                                  step, indices.data());
 
   WireSectionSpec section;
   section.kind = WireSectionKind::kSamples;
@@ -161,7 +214,17 @@ Result<std::vector<uint8_t>> EncodeBasisCoeffs(const Matrix& samples,
   CodecOptions raw = options;
   raw.raw_f32 = false;
   if (rows == 0 || cols == 0) return EncodeRaw(samples, raw);
-  auto basis = PrincipalSubspace(samples, /*rank=*/0, options.basis_rel_tol);
+  // Batch-of-one through the batched basis API, pinned to the looped engine:
+  // encoded payload bits are pinned by wire golden fixtures across versions,
+  // and only kLooped reproduces the historical PrincipalSubspace bits (the
+  // Gram engine reaches the same subspace with different low-order bits).
+  BatchedSubspaceOptions batch;
+  batch.rank = 0;
+  batch.rel_tol = options.basis_rel_tol;
+  batch.engine = BatchEngine::kLooped;
+  std::vector<Result<Matrix>> fitted =
+      BatchedPrincipalSubspace(std::vector<Matrix>{samples}, batch);
+  Result<Matrix> basis = std::move(fitted[0]);
   if (!basis.ok()) return EncodeRaw(samples, raw);
   const int64_t k = basis->cols();
   const int64_t raw_bytes =
@@ -319,16 +382,9 @@ Result<DecodedUpload> DecodeUpload(const uint8_t* data, size_t size,
       const std::vector<uint64_t> indices =
           UnpackBits(section.payload, count, bits);
       out.samples = Matrix(section.rows, section.cols);
-      double* dst = out.samples.data();
-      for (int64_t i = 0; i < count; ++i) {
-        // An index above the top grid level can only come from corruption
-        // the CRC missed or a hostile encoder; clamp onto the grid rather
-        // than extrapolating past the declared range.
-        const double index = static_cast<double>(
-            std::min<uint64_t>(indices[static_cast<size_t>(i)],
-                               static_cast<uint64_t>(levels)));
-        dst[i] = -range + step * index;
-      }
+      internal_codec::DequantizeValues(indices.data(), count, range, step,
+                                       static_cast<uint64_t>(levels),
+                                       out.samples.data());
       return out;
     }
     case CodecMode::kBasisCoeffs: {

@@ -97,6 +97,34 @@ Result<DecodedUpload> DecodeUpload(const std::vector<uint8_t>& wire,
 int64_t EncodedWireBytes(int64_t rows, int64_t cols,
                          const CodecOptions& options);
 
+namespace internal_codec {
+// The quantizer grid kernels behind EncodeQuant / DecodeUpload, exposed for
+// the bit-equality regression tests. Each ships in two forms: the scalar
+// reference (the loop the codec ran historically, kept as the oracle) and
+// the vectorizable hot path the codec now calls, which must produce
+// IDENTICAL bits — the vector form replaces std::llround with the exact
+// floor(u) + (u - floor(u) >= 0.5) decomposition (u >= 0 always, and
+// u - floor(u) is exact in binary floating point), so the grid is the same
+// to the last ulp, not approximately.
+
+// indices[i] = llround((clamp(src[i]) + range) / step) on the 2^bits-level
+// grid over [-range, range]; NaN maps to the bottom of the grid, +-inf to
+// the range edges. `step` must be 2 * range / (2^bits - 1).
+void QuantizeIndices(const double* src, int64_t count, double range,
+                     double step, uint64_t* indices);
+void QuantizeIndicesScalar(const double* src, int64_t count, double range,
+                           double step, uint64_t* indices);
+
+// values[i] = -range + step * min(indices[i], top): the grid inverse, with
+// out-of-grid indices (corruption the CRC missed, hostile encoders) clamped
+// onto the top level instead of extrapolating past the declared range.
+void DequantizeValues(const uint64_t* indices, int64_t count, double range,
+                      double step, uint64_t top, double* values);
+void DequantizeValuesScalar(const uint64_t* indices, int64_t count,
+                            double range, double step, uint64_t top,
+                            double* values);
+}  // namespace internal_codec
+
 }  // namespace fedsc
 
 #endif  // FEDSC_FED_CODEC_H_

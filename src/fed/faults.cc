@@ -517,12 +517,21 @@ Result<UploadValidation> ValidateUpload(
       continue;
     }
     const double* col = samples.ColData(j);
-    if (!ColumnFinite(col, n)) {
+    // Fast path: one vectorized Dot pass gives both checks at once. A
+    // finite sum of squares proves every element finite (any NaN or inf
+    // propagates, and finite elements can only push the sum to +inf), and
+    // Norm2 is DEFINED as sqrt(Dot(x, x, n)) — same bits, so the norm
+    // window below sees exactly the values the two-pass scan saw. A
+    // non-finite sum is ambiguous (bad value vs. square overflow of huge
+    // finite values), so that rare case re-runs the element-wise scan to
+    // keep the per-column quarantine reasons exact.
+    const double sumsq = Dot(col, col, n);
+    if (!std::isfinite(sumsq) && !ColumnFinite(col, n)) {
       out.quarantined.push_back(j);
       out.reasons.push_back("non-finite value");
       continue;
     }
-    const double norm = Norm2(col, n);
+    const double norm = std::sqrt(sumsq);
     if (norm < options.min_norm || norm > options.max_norm) {
       out.quarantined.push_back(j);
       out.reasons.push_back("norm " + std::to_string(norm) +

@@ -1,0 +1,160 @@
+#include "linalg/batch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/thread_pool.h"
+#include "linalg/blas.h"
+#include "linalg/eig.h"
+
+namespace fedsc {
+
+namespace {
+
+bool UseGramEngine(int64_t rows, int64_t cols, int64_t rank,
+                   BatchEngine engine) {
+  switch (engine) {
+    case BatchEngine::kLooped:
+      return false;
+    case BatchEngine::kGram:
+      return true;
+    case BatchEngine::kAuto:
+      break;
+  }
+  // Fixed-rank requests only: with rank pinned both engines return exactly
+  // min(rank, min(m, n)) columns, so the Gram route changes bits but never
+  // structure. Auto-rank detection stays on the looped SVD — the Gram
+  // noise floor (kGramSigmaFloor) can decide marginal ranks differently,
+  // and a silently different basis dimension is not a drop-in replacement.
+  return rank > 0 && cols >= 1 && cols <= kGramEngineMaxCols &&
+         rows >= kGramEngineMinAspect * cols;
+}
+
+// The Gram route (see batch.h): G = X^T X, eigendecompose, U = X V_r with
+// unit-normalized columns. Error cases mirror PrincipalSubspace so callers
+// can treat the two engines interchangeably.
+Result<Matrix> GramSubspace(const Matrix& x,
+                            const BatchedSubspaceOptions& options) {
+  const int64_t m = x.rows();
+  const int64_t n = x.cols();
+  if (m == 0 || n == 0) {
+    return Status::InvalidArgument("SVD of an empty matrix");
+  }
+  Matrix gram(n, n);
+  Syrk(Trans::kTrans, 1.0, x, 0.0, &gram);
+  auto eig = SymmetricEigen(gram);
+  if (!eig.ok()) return eig.status();
+
+  // Eigenvalues come back ascending; read the singular values off
+  // descending. Roundoff can push a zero eigenvalue slightly negative.
+  Vector sigma(static_cast<size_t>(n), 0.0);
+  for (int64_t j = 0; j < n; ++j) {
+    sigma[static_cast<size_t>(j)] =
+        std::sqrt(std::max(eig->values[static_cast<size_t>(n - 1 - j)], 0.0));
+  }
+
+  const int64_t max_rank = std::min(m, n);
+  int64_t r = 0;
+  if (options.rank > 0) {
+    r = std::min(options.rank, max_rank);
+  } else {
+    if (sigma[0] <= 0.0) {
+      return Status::FailedPrecondition("matrix has numerical rank 0");
+    }
+    const double threshold =
+        std::max(options.rel_tol, kGramSigmaFloor) * sigma[0];
+    for (double sv : sigma) {
+      if (sv > threshold) ++r;
+    }
+    r = std::min(r, max_rank);
+  }
+  if (r <= 0) {
+    return Status::FailedPrecondition("matrix has numerical rank 0");
+  }
+  // Never keep a direction with an exactly zero singular value: its U
+  // column is not defined (mirrors PrincipalSubspace).
+  while (r > 0 && sigma[static_cast<size_t>(r - 1)] <= 0.0) --r;
+  if (r <= 0) {
+    return Status::FailedPrecondition("matrix has numerical rank 0");
+  }
+
+  // V_r: the top-r eigenvector columns in descending-eigenvalue order.
+  Matrix vr(n, r);
+  for (int64_t j = 0; j < r; ++j) {
+    vr.SetCol(j, eig->vectors.ColData(n - 1 - j));
+  }
+  Matrix u(m, r);
+  Gemm(Trans::kNo, Trans::kNo, 1.0, x, vr, 0.0, &u);
+  // Each column has norm ~sigma_j; normalize to unit length. A zero norm
+  // means the direction was pure noise after all — trim it and everything
+  // after it, exactly as the trailing-sigma trim above.
+  int64_t keep = r;
+  for (int64_t j = 0; j < r; ++j) {
+    const double norm = Norm2(u.ColData(j), m);
+    if (norm <= 0.0) {
+      keep = j;
+      break;
+    }
+    Scal(1.0 / norm, u.ColData(j), m);
+  }
+  if (keep <= 0) {
+    return Status::FailedPrecondition("matrix has numerical rank 0");
+  }
+  if (keep < r) return u.ColRange(0, keep);
+  return u;
+}
+
+Result<Matrix> PanelSubspace(const Matrix& panel,
+                             const BatchedSubspaceOptions& options) {
+  if (UseGramEngine(panel.rows(), panel.cols(), options.rank,
+                    options.engine)) {
+    return GramSubspace(panel, options);
+  }
+  return PrincipalSubspace(panel, options.rank, options.rel_tol, options.svd);
+}
+
+}  // namespace
+
+std::vector<Result<Matrix>> BatchedPrincipalSubspace(
+    const std::vector<Matrix>& panels, const BatchedSubspaceOptions& options) {
+  std::vector<Result<Matrix>> out(
+      panels.size(),
+      Result<Matrix>(Status::Internal("batch slot not computed")));
+  ParallelFor(0, static_cast<int64_t>(panels.size()), options.num_threads,
+              [&](int64_t i) {
+                out[static_cast<size_t>(i)] =
+                    PanelSubspace(panels[static_cast<size_t>(i)], options);
+              });
+  return out;
+}
+
+std::vector<Result<Matrix>> BatchedPrincipalSubspace(
+    const Matrix& parent, const std::vector<std::vector<int64_t>>& groups,
+    const BatchedSubspaceOptions& options) {
+  std::vector<Result<Matrix>> out(
+      groups.size(),
+      Result<Matrix>(Status::Internal("batch slot not computed")));
+  ParallelFor(0, static_cast<int64_t>(groups.size()), options.num_threads,
+              [&](int64_t i) {
+                out[static_cast<size_t>(i)] = PanelSubspace(
+                    parent.GatherCols(groups[static_cast<size_t>(i)]),
+                    options);
+              });
+  return out;
+}
+
+std::vector<Result<QrResult>> BatchedThinQr(const std::vector<Matrix>& panels,
+                                            const QrOptions& options,
+                                            int num_threads) {
+  std::vector<Result<QrResult>> out(
+      panels.size(),
+      Result<QrResult>(Status::Internal("batch slot not computed")));
+  ParallelFor(0, static_cast<int64_t>(panels.size()), num_threads,
+              [&](int64_t i) {
+                out[static_cast<size_t>(i)] =
+                    HouseholderQr(panels[static_cast<size_t>(i)], options);
+              });
+  return out;
+}
+
+}  // namespace fedsc

@@ -1,0 +1,121 @@
+// Batched tall-skinny factorizations: all per-cluster D x n_i panels of one
+// round go through a single call with one parallel region over the batch,
+// instead of a serial loop of per-panel JacobiSvd/HouseholderQr calls. This
+// is the shape Fed-SC spends its local phase in — every device factors one
+// small panel per local cluster (basis estimation, trim/refit, codec basis
+// split) and the server re-factors per global cluster in AssignNewPoints.
+//
+// Two engines sit behind BatchedPrincipalSubspace, completing the dispatch
+// contract of DESIGN.md "Runtime ISA dispatch & batched factorizations":
+//
+//  * kLooped — per panel, exactly the PrincipalSubspace(panel, ...) call the
+//    pre-batched loops made, bit-for-bit; the batch only fans the panels out
+//    across threads (each panel is computed serially in one worker, so
+//    results never depend on num_threads).
+//  * kGram — per panel, the Gram route: G = X^T X via Syrk, symmetric
+//    eigendecomposition of the small n_i x n_i G (ascending; n_i below
+//    kBlockedEigCutoff runs the deterministic tred2/tql2 pair), singular
+//    values sqrt(max(lambda, 0)) read off descending, and the basis
+//    U = X V_r with columns normalized to unit length. For D >> n_i this
+//    replaces O(D n^2) Jacobi rotation sweeps with one rank-n Syrk plus an
+//    O(n^3) eigensolve — the batched-basis speedup BENCH_linalg.json floors.
+//
+// The engine switch is RESULT-AFFECTING: the Gram route reaches the same
+// subspace but squares the condition number, so its basis agrees with the
+// SVD route only to ~sqrt(eps) in the trailing directions, not to ulps.
+// Under BatchEngine::kAuto the pick is a pure function of each panel's
+// shape and the requested rank alone — kGram iff the rank is fixed
+// (options.rank > 0, where both engines return exactly min(rank, min(m,n))
+// columns, so the route changes bits but never structure), n_i <=
+// kGramEngineMaxCols, and m >= kGramEngineMinAspect * n_i, the tall-skinny
+// regime where squaring is benign and the flop savings are real — never of
+// num_threads or of the other panels in the batch, so results stay
+// deterministic per (panel, options) and are unchanged by how panels are
+// grouped into batches. Auto-rank requests (rank <= 0) always stay on the
+// looped SVD under kAuto: the Gram noise floor below can decide marginal
+// ranks differently, and a silently different basis dimension is not a
+// drop-in replacement — so the pipeline's default (auto-rank) paths keep
+// their pre-batched bits exactly.
+//
+// Rank selection on the Gram route mirrors NumericalRank but floors the
+// relative tolerance at kGramSigmaFloor: squaring pushes the noise floor of
+// the computed singular values to ~sqrt(eps) * s[0] ~ 1.5e-8, above the
+// default 1e-8 tolerance, so without the floor pure-noise directions could
+// inflate the rank. Result-affecting, documented in DESIGN.md.
+
+#ifndef FEDSC_LINALG_BATCH_H_
+#define FEDSC_LINALG_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+#include "linalg/qr.h"
+#include "linalg/svd.h"
+
+namespace fedsc {
+
+// Which factorization route each panel takes. Result-affecting, pinned to
+// (options, panel shape) alone — the escape hatch mirroring GemmKernel /
+// QrVariant / GemmIsa.
+enum class BatchEngine {
+  // kGram for fixed-rank requests on panels in the tall-skinny regime
+  // below, kLooped otherwise (in particular for every auto-rank request).
+  kAuto,
+  // Pin the per-panel PrincipalSubspace call at every shape: reproduces the
+  // pre-batched per-cluster loops bit-for-bit.
+  kLooped,
+  // Force the Gram route for every panel (empty panels still error).
+  kGram,
+};
+
+// kAuto takes the Gram route iff the rank is fixed (options.rank > 0),
+// cols <= kGramEngineMaxCols, and rows >= kGramEngineMinAspect * cols.
+// Result-affecting shape cutoffs, like kSvdPrecondMinAspect.
+inline constexpr int64_t kGramEngineMaxCols = 64;
+inline constexpr int64_t kGramEngineMinAspect = 2;
+// Minimum relative singular-value tolerance on the Gram route (see header
+// comment). Applied as max(rel_tol, kGramSigmaFloor).
+inline constexpr double kGramSigmaFloor = 1e-7;
+
+struct BatchedSubspaceOptions {
+  // Fixed basis rank; <= 0 selects the rank numerically (NumericalRank
+  // semantics, with the Gram-route floor above).
+  int64_t rank = 0;
+  double rel_tol = 1e-8;
+  // Workers fanned out over the batch; each panel is computed serially by
+  // one worker, so results are bit-identical for every thread count.
+  int num_threads = 1;
+  BatchEngine engine = BatchEngine::kAuto;
+  // Tunes the underlying JacobiSvd on the kLooped route (pair order,
+  // preconditioning). Ignored by the Gram route.
+  SvdOptions svd;
+};
+
+// Orthonormal bases for the column spans of all panels: slot i holds
+// PrincipalSubspace-equivalent output for panels[i], or the per-panel error
+// (empty panel, numerical rank 0) — one degenerate cluster does not poison
+// its batch. Panels may be ragged (any cols, any rows).
+std::vector<Result<Matrix>> BatchedPrincipalSubspace(
+    const std::vector<Matrix>& panels,
+    const BatchedSubspaceOptions& options = {});
+
+// Same, with panels gathered from a parent matrix: panel i is
+// parent.GatherCols(groups[i]) — the per-cluster member-list shape
+// LocalClusterAndSample and AssignNewPoints produce. The gather happens
+// inside the parallel region, so no caller-side materialization pass.
+std::vector<Result<Matrix>> BatchedPrincipalSubspace(
+    const Matrix& parent, const std::vector<std::vector<int64_t>>& groups,
+    const BatchedSubspaceOptions& options = {});
+
+// Thin QR of every panel through HouseholderQr with one parallel region
+// over the batch. Slot i is bit-identical to HouseholderQr(panels[i],
+// options) for every num_threads.
+std::vector<Result<QrResult>> BatchedThinQr(const std::vector<Matrix>& panels,
+                                            const QrOptions& options = {},
+                                            int num_threads = 1);
+
+}  // namespace fedsc
+
+#endif  // FEDSC_LINALG_BATCH_H_

@@ -157,6 +157,38 @@ bool UseBlockedKernel(GemmKernel kernel, int64_t m, int64_t k, int64_t n,
 
 }  // namespace
 
+CpuIsa ResolveGemmIsa(GemmIsa pin) {
+  switch (pin) {
+    case GemmIsa::kAuto:
+      return ResolveDefaultIsa().chosen;
+    case GemmIsa::kGeneric:
+      return CpuIsa::kGeneric;
+    case GemmIsa::kAvx2:
+      FEDSC_CHECK(CpuIsaSupported(CpuIsa::kAvx2))
+          << "GemmIsa::kAvx2 pinned but this host lacks AVX2+FMA";
+      return CpuIsa::kAvx2;
+    case GemmIsa::kAvx512:
+      FEDSC_CHECK(CpuIsaSupported(CpuIsa::kAvx512))
+          << "GemmIsa::kAvx512 pinned but this host lacks AVX-512F";
+      return CpuIsa::kAvx512;
+  }
+  return CpuIsa::kGeneric;
+}
+
+const char* GemmIsaName(GemmIsa pin) {
+  switch (pin) {
+    case GemmIsa::kAuto:
+      return "auto";
+    case GemmIsa::kGeneric:
+      return "generic";
+    case GemmIsa::kAvx2:
+      return "avx2";
+    case GemmIsa::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
 void Gemm(Trans trans_a, Trans trans_b, double alpha, const Matrix& a,
           const Matrix& b, double beta, Matrix* c,
           const GemmOptions& options) {
@@ -188,7 +220,8 @@ void Gemm(Trans trans_a, Trans trans_b, double alpha, const Matrix& a,
       trans_a == Trans::kTrans && trans_b == Trans::kTrans;
   if (UseBlockedKernel(options.kernel, m, ka, n, trans_both)) {
     FEDSC_METRIC_COUNTER("linalg.gemm.blocked_calls").Increment();
-    BlockedGemm(trans_a, trans_b, alpha, a, b, c, options.num_threads);
+    BlockedGemm(trans_a, trans_b, alpha, a, b, c, options.num_threads,
+                ResolveGemmIsa(options.isa));
     return;
   }
 
@@ -250,7 +283,8 @@ void Syrk(Trans trans, double alpha, const Matrix& x, double beta, Matrix* c,
   FEDSC_METRIC_COUNTER("linalg.syrk.bytes").Add(8 * (nn * kk + 2 * nn * nn));
 
   if (UseBlockedKernel(options.kernel, nn, kk, nn, /*trans_both=*/false)) {
-    BlockedSyrkLower(trans, alpha, x, c, options.num_threads);
+    BlockedSyrkLower(trans, alpha, x, c, options.num_threads,
+                     ResolveGemmIsa(options.isa));
   } else {
     const int threads =
         nn * kk * nn < (1 << 16) ? 1 : std::min<int>(options.num_threads, 64);

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "common/isa.h"
 #include "linalg/matrix.h"
 
 namespace fedsc {
@@ -62,9 +63,39 @@ enum class GemmKernel {
 // outputs are discontinuous across it but deterministic on both sides.
 inline constexpr int64_t kBlockedGemmCutoff = int64_t{1} << 15;
 
+// Which micro-kernel tier the blocked engine runs (linalg/gemm_kernel.h
+// ships generic, AVX2+FMA, and AVX-512 kernels in one binary). The pick is
+// RESULT-AFFECTING in contract — tiers may differ in low-order bits on
+// builds without FMA contraction — though on contracted (Release) builds
+// every tier produces identical bits. Like GemmKernel it is pinned to
+// (options, cpuid, FEDSC_FORCE_ISA) alone, never to num_threads, and each
+// tier is individually bit-identical across thread counts. kGeneric pins
+// the pre-dispatch auto-vectorized kernel's exact bits.
+enum class GemmIsa {
+  // Best tier the host supports, unless FEDSC_FORCE_ISA overrides it.
+  kAuto,
+  // Pin the portable auto-vectorized kernel (the pre-dispatch engine).
+  kGeneric,
+  // Pin the AVX2+FMA 8x6 kernel; aborts if the host lacks AVX2/FMA.
+  kAvx2,
+  // Pin the AVX-512 24x8 kernel; aborts if the host lacks AVX-512F.
+  kAvx512,
+};
+
+// Resolves a GemmIsa pin to the executable tier: explicit pins win (and are
+// validated against cpuid — pinning an unsupported tier aborts rather than
+// faulting on an illegal instruction); kAuto follows FEDSC_FORCE_ISA when
+// set, else the best cpuid tier. Pure in (pin, cpuid, env) — the dispatch
+// purity the manifest records and tests pin down.
+CpuIsa ResolveGemmIsa(GemmIsa pin);
+
+// "auto" / "generic" / "avx2" / "avx512" (the pin, not the resolution).
+const char* GemmIsaName(GemmIsa pin);
+
 struct GemmOptions {
   int num_threads = 1;
   GemmKernel kernel = GemmKernel::kAuto;
+  GemmIsa isa = GemmIsa::kAuto;
 };
 
 // C = alpha * op(A) * op(B) + beta * C. C must already have the result

@@ -16,6 +16,21 @@
 // packed buffers live in a per-thread scratch arena (grow-once, 64-byte
 // aligned, freed at thread exit), so steady-state calls never allocate.
 //
+// Three micro-kernel tiers ship in one binary and one is selected at runtime
+// by cpuid (common/isa.h): a portable auto-vectorized generic kernel (the
+// pre-dispatch code, unchanged — CpuIsa::kGeneric reproduces its bits
+// exactly), an AVX2+FMA 8x6 kernel, and an AVX-512 24x8 kernel. The SIMD
+// tiers software-prefetch the packed A/B micro-panels kPrefetchAhead
+// k-steps ahead of the FMA stream; the generic tier stays byte-for-byte
+// the pre-dispatch kernel (no prefetch) so it remains an honest
+// reproduction and comparison baseline. The tiers differ in tile shape and
+// instruction selection; every tier accumulates one partial sum per output
+// element in ascending p order, so per tier results are bit-identical for
+// every thread count, and across tiers they agree to the ulp policy in
+// DESIGN.md "Runtime ISA dispatch & batched factorizations" (exactly equal
+// when the generic tier is compiled with FMA contraction, as Release builds
+// here are).
+//
 // Determinism contract (DESIGN.md "Blocked GEMM & packing"): every output
 // element accumulates its kc-block partial sums in ascending p order inside
 // the micro-kernel and commits them to C in ascending pc order, a sequence
@@ -24,14 +39,15 @@
 // is parallelized with ParallelForRanges over disjoint output columns, so
 // results are bit-identical for every thread count. Switching between this
 // engine and the legacy panel kernels IS result-affecting (different
-// summation order); linalg/blas.h documents the cutoff and the
-// GemmOptions::kernel pin.
+// summation order); linalg/blas.h documents the cutoff, the
+// GemmOptions::kernel pin, and the GemmOptions::isa pin.
 
 #ifndef FEDSC_LINALG_GEMM_KERNEL_H_
 #define FEDSC_LINALG_GEMM_KERNEL_H_
 
 #include <cstdint>
 
+#include "common/isa.h"
 #include "linalg/matrix.h"
 
 namespace fedsc {
@@ -39,10 +55,13 @@ namespace fedsc {
 enum class Trans;  // defined in linalg/blas.h
 
 // C += alpha * op(A) * op(B) through the blocked packed engine. The caller
-// (the Gemm dispatcher in blas.cc) validates shapes and applies beta to C
-// first. num_threads parallelizes the jr (output-column) loop bit-exactly.
+// (the Gemm dispatcher in blas.cc) validates shapes, applies beta to C
+// first, and resolves the micro-kernel tier (ResolveGemmIsa in blas.h) —
+// `isa` here is the already-resolved executable tier. num_threads
+// parallelizes the jr (output-column) loop bit-exactly.
 void BlockedGemm(Trans trans_a, Trans trans_b, double alpha, const Matrix& a,
-                 const Matrix& b, Matrix* c, int num_threads);
+                 const Matrix& b, Matrix* c, int num_threads,
+                 CpuIsa isa = CpuIsa::kGeneric);
 
 // Lower triangle of C += alpha * op(X) * op(X)^T (trans = kNo, the outer
 // Gram X X^T) or alpha * op(X)^T * op(X) (trans = kTrans, the Gram X^T X),
@@ -50,18 +69,40 @@ void BlockedGemm(Trans trans_a, Trans trans_b, double alpha, const Matrix& a,
 // flops halving behind Syrk. Entries above the diagonal are left untouched;
 // the Syrk dispatcher in blas.cc mirrors them afterwards.
 void BlockedSyrkLower(Trans trans, double alpha, const Matrix& x, Matrix* c,
-                      int num_threads);
+                      int num_threads, CpuIsa isa = CpuIsa::kGeneric);
 
 namespace internal_gemm {
 // Tunables, exposed for tests/benchmarks. kKc is the only result-affecting
-// one (it sets the partial-sum commit boundaries); kMr/kNr/kMc/kNc only move
-// work between cache levels and threads.
+// one (it sets the partial-sum commit boundaries); the per-tier MR/NR and
+// kMc/kNc only move work between cache levels, vector registers, and
+// threads.
+//
+// The generic tier keeps the pre-dispatch tile shape (16 rows when compiled
+// with AVX-512 available, 8 otherwise) so pinning CpuIsa::kGeneric
+// reproduces the pre-dispatch engine's code paths exactly.
 #if defined(__AVX512F__)
-inline constexpr int kMr = 16;  // micro-tile rows (vector axis)
+inline constexpr int kGenericMr = 16;
 #else
-inline constexpr int kMr = 8;
+inline constexpr int kGenericMr = 8;
 #endif
-inline constexpr int kNr = 6;      // micro-tile columns (broadcast axis)
+inline constexpr int kGenericNr = 6;
+// AVX2+FMA: 12 ymm accumulators + 2 A loads + 1 broadcast fits 16 regs.
+inline constexpr int kAvx2Mr = 8;
+inline constexpr int kAvx2Nr = 6;
+// AVX-512: 24 zmm accumulators (3 vectors x 8 columns) + 3 A loads + 1
+// broadcast fits 32 regs; the 3:8 tile keeps the FMA ports saturated while
+// halving the per-FMA load traffic of the generic 16x6 shape.
+inline constexpr int kAvx512Mr = 24;
+inline constexpr int kAvx512Nr = 8;
+// Compatibility aliases (the generic tier's shape, as before dispatch).
+inline constexpr int kMr = kGenericMr;
+inline constexpr int kNr = kGenericNr;
+// How many k-steps ahead the SIMD micro-kernels prefetch the packed A and
+// B micro-panels (distance in elements: kPrefetchAhead * MR doubles for A,
+// kPrefetchAhead * NR for B — one to three cache lines, tuned on the
+// Ice-Lake-class baseline host). The generic tier does not prefetch: it is
+// the frozen pre-dispatch reference kernel.
+inline constexpr int kPrefetchAhead = 4;
 inline constexpr int64_t kMc = 96;   // A block rows   (apack ~= mc*kc in L2)
 inline constexpr int64_t kKc = 256;  // rank-kc update depth; result-affecting
 inline constexpr int64_t kNc = 1024; // B block columns (bpack streams from L3)

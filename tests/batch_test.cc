@@ -1,0 +1,267 @@
+// Batched tall-skinny factorizations (linalg/batch.h): the looped engine
+// must reproduce the per-panel PrincipalSubspace bits exactly (it IS the
+// pre-batched loop, fanned out), the Gram engine must span the same
+// subspace with orthonormal columns and the same rank decisions, kAuto must
+// be a pure function of each panel's shape, and every engine must be
+// bit-identical across thread counts.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/batch.h"
+#include "linalg/blas.h"
+#include "linalg/qr.h"
+#include "linalg/svd.h"
+
+namespace fedsc {
+namespace {
+
+Matrix RandomMatrix(int64_t rows, int64_t cols, Rng* rng) {
+  Matrix m(rows, cols);
+  for (int64_t j = 0; j < cols; ++j) {
+    for (int64_t i = 0; i < rows; ++i) m(i, j) = rng->Gaussian();
+  }
+  return m;
+}
+
+// rows x cols panel whose columns live in a `rank`-dimensional subspace.
+Matrix RankDeficientPanel(int64_t rows, int64_t cols, int64_t rank,
+                          Rng* rng) {
+  const Matrix u = RandomMatrix(rows, rank, rng);
+  const Matrix c = RandomMatrix(rank, cols, rng);
+  Matrix panel(rows, cols);
+  Gemm(Trans::kNo, Trans::kNo, 1.0, u, c, 0.0, &panel);
+  return panel;
+}
+
+// The ragged batch every test here starts from: full-rank and
+// rank-deficient panels at n_i in {1, 3, 17, 50}, all D = 40 rows.
+std::vector<Matrix> RaggedBatch(Rng* rng) {
+  std::vector<Matrix> panels;
+  panels.push_back(RandomMatrix(40, 1, rng));
+  panels.push_back(RandomMatrix(40, 3, rng));
+  panels.push_back(RankDeficientPanel(40, 17, 4, rng));
+  panels.push_back(RandomMatrix(40, 17, rng));
+  panels.push_back(RankDeficientPanel(40, 50, 2, rng));
+  panels.push_back(RandomMatrix(40, 50, rng));
+  return panels;
+}
+
+void ExpectBitEqual(const Matrix& a, const Matrix& b, const char* what) {
+  ASSERT_EQ(a.rows(), b.rows()) << what;
+  ASSERT_EQ(a.cols(), b.cols()) << what;
+  for (int64_t j = 0; j < a.cols(); ++j) {
+    for (int64_t i = 0; i < a.rows(); ++i) {
+      ASSERT_EQ(a(i, j), b(i, j)) << what << " at (" << i << ", " << j << ")";
+    }
+  }
+}
+
+// Largest entry of U_a U_a^T - U_b U_b^T: zero iff the two orthonormal
+// bases span the same subspace, and small iff the principal angles are.
+double ProjectorDistance(const Matrix& a, const Matrix& b) {
+  Matrix pa(a.rows(), a.rows());
+  Matrix pb(b.rows(), b.rows());
+  Gemm(Trans::kNo, Trans::kTrans, 1.0, a, a, 0.0, &pa);
+  Gemm(Trans::kNo, Trans::kTrans, 1.0, b, b, 0.0, &pb);
+  double worst = 0.0;
+  for (int64_t j = 0; j < pa.cols(); ++j) {
+    for (int64_t i = 0; i < pa.rows(); ++i) {
+      worst = std::max(worst, std::abs(pa(i, j) - pb(i, j)));
+    }
+  }
+  return worst;
+}
+
+double OrthonormalityError(const Matrix& u) {
+  Matrix gram(u.cols(), u.cols());
+  Gemm(Trans::kTrans, Trans::kNo, 1.0, u, u, 0.0, &gram);
+  double worst = 0.0;
+  for (int64_t j = 0; j < gram.cols(); ++j) {
+    for (int64_t i = 0; i < gram.rows(); ++i) {
+      const double want = i == j ? 1.0 : 0.0;
+      worst = std::max(worst, std::abs(gram(i, j) - want));
+    }
+  }
+  return worst;
+}
+
+TEST(BatchedSubspaceTest, LoopedEngineMatchesPrincipalSubspaceExactly) {
+  Rng rng(311);
+  const std::vector<Matrix> panels = RaggedBatch(&rng);
+  for (int64_t rank : {int64_t{0}, int64_t{3}}) {
+    BatchedSubspaceOptions options;
+    options.engine = BatchEngine::kLooped;
+    options.rank = rank;
+    const std::vector<Result<Matrix>> batched =
+        BatchedPrincipalSubspace(panels, options);
+    ASSERT_EQ(batched.size(), panels.size());
+    for (size_t i = 0; i < panels.size(); ++i) {
+      const auto direct =
+          PrincipalSubspace(panels[i], rank, options.rel_tol, options.svd);
+      ASSERT_EQ(batched[i].ok(), direct.ok()) << "panel " << i;
+      if (direct.ok()) {
+        ExpectBitEqual(*batched[i], *direct, "looped basis");
+      }
+    }
+  }
+}
+
+TEST(BatchedSubspaceTest, ResultsAreBitIdenticalAcrossThreadCounts) {
+  Rng rng(313);
+  const std::vector<Matrix> panels = RaggedBatch(&rng);
+  for (BatchEngine engine :
+       {BatchEngine::kAuto, BatchEngine::kLooped, BatchEngine::kGram}) {
+    BatchedSubspaceOptions options;
+    options.engine = engine;
+    options.num_threads = 1;
+    const std::vector<Result<Matrix>> serial =
+        BatchedPrincipalSubspace(panels, options);
+    for (int nt : {2, 8}) {
+      options.num_threads = nt;
+      const std::vector<Result<Matrix>> threaded =
+          BatchedPrincipalSubspace(panels, options);
+      ASSERT_EQ(threaded.size(), serial.size());
+      for (size_t i = 0; i < serial.size(); ++i) {
+        ASSERT_EQ(serial[i].ok(), threaded[i].ok()) << "panel " << i;
+        if (serial[i].ok()) {
+          ExpectBitEqual(*serial[i], *threaded[i], "thread invariance");
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchedSubspaceTest, GramEngineSpansTheSameSubspaceWithTheSameRank) {
+  Rng rng(317);
+  const std::vector<Matrix> panels = RaggedBatch(&rng);
+  BatchedSubspaceOptions gram;
+  gram.engine = BatchEngine::kGram;
+  BatchedSubspaceOptions looped;
+  looped.engine = BatchEngine::kLooped;
+  const auto via_gram = BatchedPrincipalSubspace(panels, gram);
+  const auto via_svd = BatchedPrincipalSubspace(panels, looped);
+  for (size_t i = 0; i < panels.size(); ++i) {
+    ASSERT_TRUE(via_gram[i].ok()) << via_gram[i].status().ToString();
+    ASSERT_TRUE(via_svd[i].ok());
+    // Same rank decision on these well-separated spectra (exactly
+    // rank-deficient panels have sigma ratios far below any tolerance).
+    ASSERT_EQ(via_gram[i]->cols(), via_svd[i]->cols()) << "panel " << i;
+    // The Gram route squares the condition number, so agreement is to
+    // ~sqrt(eps), not ulps — that is the documented contract.
+    EXPECT_LT(ProjectorDistance(*via_gram[i], *via_svd[i]), 1e-6)
+        << "panel " << i;
+    EXPECT_LT(OrthonormalityError(*via_gram[i]), 1e-10) << "panel " << i;
+  }
+}
+
+TEST(BatchedSubspaceTest, AutoEngineIsAPureFunctionOfShapeAndRank) {
+  Rng rng(331);
+  // Tall-skinny: inside the Gram regime. Wide: outside it (cols > max),
+  // and squat: outside it (rows < aspect * cols).
+  const Matrix tall = RandomMatrix(64, 8, &rng);
+  const Matrix wide = RandomMatrix(200, kGramEngineMaxCols + 1, &rng);
+  const Matrix squat = RandomMatrix(20, 16, &rng);
+  ASSERT_LT(squat.rows(), kGramEngineMinAspect * squat.cols());
+
+  // Fixed rank: the tall panel takes the Gram route, the others stay
+  // looped.
+  {
+    BatchedSubspaceOptions auto_opts;
+    auto_opts.rank = 2;
+    BatchedSubspaceOptions gram = auto_opts;
+    gram.engine = BatchEngine::kGram;
+    BatchedSubspaceOptions looped = auto_opts;
+    looped.engine = BatchEngine::kLooped;
+
+    const auto picked = BatchedPrincipalSubspace({tall, wide, squat},
+                                                 auto_opts);
+    const auto as_gram = BatchedPrincipalSubspace({tall}, gram);
+    const auto as_looped = BatchedPrincipalSubspace({wide, squat}, looped);
+    ExpectBitEqual(*picked[0], *as_gram[0], "tall panel takes the Gram route");
+    ExpectBitEqual(*picked[1], *as_looped[0], "wide panel stays looped");
+    ExpectBitEqual(*picked[2], *as_looped[1], "squat panel stays looped");
+  }
+
+  // Auto rank: every panel stays looped regardless of shape — rank
+  // detection through the Gram noise floor could decide marginal spectra
+  // differently, so kAuto never substitutes it.
+  {
+    BatchedSubspaceOptions auto_opts;
+    auto_opts.rank = 0;
+    BatchedSubspaceOptions looped = auto_opts;
+    looped.engine = BatchEngine::kLooped;
+
+    const auto picked = BatchedPrincipalSubspace({tall, wide, squat},
+                                                 auto_opts);
+    const auto as_looped =
+        BatchedPrincipalSubspace({tall, wide, squat}, looped);
+    for (size_t i = 0; i < 3; ++i) {
+      ExpectBitEqual(*picked[i], *as_looped[i],
+                     "auto-rank panels stay looped");
+    }
+  }
+}
+
+TEST(BatchedSubspaceTest, ErrorsStayInTheirSlot) {
+  Rng rng(337);
+  std::vector<Matrix> panels;
+  panels.push_back(RandomMatrix(12, 5, &rng));  // fine
+  panels.push_back(Matrix(12, 0));              // empty: invalid argument
+  panels.push_back(Matrix(12, 4));              // all-zero: rank 0
+  panels.push_back(RandomMatrix(12, 3, &rng));  // fine
+  for (BatchEngine engine :
+       {BatchEngine::kAuto, BatchEngine::kLooped, BatchEngine::kGram}) {
+    BatchedSubspaceOptions options;
+    options.engine = engine;
+    const auto bases = BatchedPrincipalSubspace(panels, options);
+    EXPECT_TRUE(bases[0].ok());
+    EXPECT_EQ(bases[1].status().code(), StatusCode::kInvalidArgument);
+    EXPECT_EQ(bases[2].status().code(), StatusCode::kFailedPrecondition);
+    EXPECT_TRUE(bases[3].ok());
+  }
+}
+
+TEST(BatchedSubspaceTest, GatherOverloadMatchesExplicitPanels) {
+  Rng rng(347);
+  const Matrix parent = RandomMatrix(24, 30, &rng);
+  std::vector<std::vector<int64_t>> groups = {
+      {0, 5, 7}, {}, {1, 2, 3, 4, 8, 13, 21}, {29}};
+  std::vector<Matrix> panels;
+  for (const auto& group : groups) panels.push_back(parent.GatherCols(group));
+  BatchedSubspaceOptions options;
+  const auto via_groups = BatchedPrincipalSubspace(parent, groups, options);
+  const auto via_panels = BatchedPrincipalSubspace(panels, options);
+  ASSERT_EQ(via_groups.size(), via_panels.size());
+  for (size_t i = 0; i < via_groups.size(); ++i) {
+    ASSERT_EQ(via_groups[i].ok(), via_panels[i].ok()) << "group " << i;
+    if (via_groups[i].ok()) {
+      ExpectBitEqual(*via_groups[i], *via_panels[i], "gather overload");
+    }
+  }
+}
+
+TEST(BatchedThinQrTest, MatchesHouseholderQrExactlyOnRaggedBatches) {
+  Rng rng(353);
+  std::vector<Matrix> panels = RaggedBatch(&rng);
+  panels.push_back(RandomMatrix(3, 17, &rng));  // wide panel, k = 3
+  const QrOptions qr_options;
+  for (int nt : {1, 2, 8}) {
+    const auto batched = BatchedThinQr(panels, qr_options, nt);
+    ASSERT_EQ(batched.size(), panels.size());
+    for (size_t i = 0; i < panels.size(); ++i) {
+      const auto direct = HouseholderQr(panels[i], qr_options);
+      ASSERT_EQ(batched[i].ok(), direct.ok()) << "panel " << i;
+      if (direct.ok()) {
+        ExpectBitEqual(batched[i]->q, direct->q, "thin-QR Q");
+        ExpectBitEqual(batched[i]->r, direct->r, "thin-QR R");
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fedsc

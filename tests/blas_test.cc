@@ -307,5 +307,136 @@ TEST(BlasDeathTest, ShapeMismatchDies) {
                "gemm inner dims");
 }
 
+// ---- Runtime ISA dispatch (GemmOptions::isa, common/isa.h) ----
+
+GemmIsa PinForTier(CpuIsa tier) {
+  switch (tier) {
+    case CpuIsa::kGeneric:
+      return GemmIsa::kGeneric;
+    case CpuIsa::kAvx2:
+      return GemmIsa::kAvx2;
+    case CpuIsa::kAvx512:
+      return GemmIsa::kAvx512;
+  }
+  return GemmIsa::kGeneric;
+}
+
+TEST(GemmIsaTest, ResolutionIsPureAndNamesRoundTrip) {
+  // Explicit pins resolve to themselves; kAuto resolves to the process-wide
+  // dispatch (cpuid, or FEDSC_FORCE_ISA) and never changes within a run.
+  EXPECT_EQ(ResolveGemmIsa(GemmIsa::kGeneric), CpuIsa::kGeneric);
+  const CpuIsa first = ResolveGemmIsa(GemmIsa::kAuto);
+  EXPECT_EQ(first, ResolveGemmIsa(GemmIsa::kAuto));
+  EXPECT_EQ(first, ResolveDefaultIsa().chosen);
+  EXPECT_TRUE(CpuIsaSupported(first));
+  EXPECT_TRUE(CpuIsaSupported(CpuIsa::kGeneric));
+  EXPECT_TRUE(CpuIsaSupported(BestSupportedIsa()));
+
+  EXPECT_STREQ(GemmIsaName(GemmIsa::kAuto), "auto");
+  EXPECT_STREQ(GemmIsaName(GemmIsa::kGeneric), "generic");
+  EXPECT_STREQ(GemmIsaName(GemmIsa::kAvx2), "avx2");
+  EXPECT_STREQ(GemmIsaName(GemmIsa::kAvx512), "avx512");
+  EXPECT_STREQ(CpuIsaName(CpuIsa::kGeneric), "generic");
+  EXPECT_STREQ(CpuIsaName(CpuIsa::kAvx2), "avx2");
+  EXPECT_STREQ(CpuIsaName(CpuIsa::kAvx512), "avx512");
+}
+
+// Every tier the host supports must produce exactly the same bits for
+// nt in {1, 2, 8} (the determinism contract), and the tiers must agree with
+// the pinned-generic result to the documented ulp policy. The 61x70x90
+// shape sits above the kAuto cutoff and leaves ragged micro-tile edges in
+// every tier (61 % 24, 90 % 8, ...), which is where a packing bug would
+// show as garbage, not ulps.
+TEST(GemmIsaTest, TiersAreThreadInvariantAndAgreeToUlpPolicy) {
+  constexpr int64_t m = 61, k = 70, n = 90;
+  ASSERT_GE(m * k * n, kBlockedGemmCutoff);
+  Rng rng(211);
+  const Matrix a = RandomMatrix(m, k, &rng);
+  const Matrix b = RandomMatrix(k, n, &rng);
+  const Matrix c0 = RandomMatrix(m, n, &rng);
+
+  GemmOptions generic;
+  generic.kernel = GemmKernel::kBlocked;
+  generic.isa = GemmIsa::kGeneric;
+  Matrix reference = c0;
+  Gemm(Trans::kNo, Trans::kNo, 1.0, a, b, -0.5, &reference, generic);
+
+  const CpuIsa tiers[] = {CpuIsa::kGeneric, CpuIsa::kAvx2, CpuIsa::kAvx512};
+  for (CpuIsa tier : tiers) {
+    if (!CpuIsaSupported(tier)) continue;
+    GemmOptions opts = generic;
+    opts.isa = PinForTier(tier);
+    opts.num_threads = 1;
+    Matrix base = c0;
+    Gemm(Trans::kNo, Trans::kNo, 1.0, a, b, -0.5, &base, opts);
+    for (int nt : {2, 8}) {
+      opts.num_threads = nt;
+      Matrix threaded = c0;
+      Gemm(Trans::kNo, Trans::kNo, 1.0, a, b, -0.5, &threaded, opts);
+      for (int64_t j = 0; j < n; ++j) {
+        for (int64_t i = 0; i < m; ++i) {
+          ASSERT_EQ(base(i, j), threaded(i, j))
+              << CpuIsaName(tier) << " nt=" << nt << " at (" << i << ", "
+              << j << ")";
+        }
+      }
+    }
+    ASSERT_TRUE(AllClose(base, reference, 1e-12)) << CpuIsaName(tier);
+  }
+}
+
+TEST(GemmIsaTest, SyrkTiersAreThreadInvariantAndAgreeToUlpPolicy) {
+  Rng rng(223);
+  const Matrix x = RandomMatrix(70, 61, &rng);  // X^T X is 61x61, ragged
+  GemmOptions generic;
+  generic.kernel = GemmKernel::kBlocked;
+  generic.isa = GemmIsa::kGeneric;
+  Matrix reference(61, 61);
+  Syrk(Trans::kTrans, 1.0, x, 0.0, &reference, generic);
+
+  const CpuIsa tiers[] = {CpuIsa::kGeneric, CpuIsa::kAvx2, CpuIsa::kAvx512};
+  for (CpuIsa tier : tiers) {
+    if (!CpuIsaSupported(tier)) continue;
+    GemmOptions opts = generic;
+    opts.isa = PinForTier(tier);
+    opts.num_threads = 1;
+    Matrix base(61, 61);
+    Syrk(Trans::kTrans, 1.0, x, 0.0, &base, opts);
+    for (int nt : {2, 8}) {
+      opts.num_threads = nt;
+      Matrix threaded(61, 61);
+      Syrk(Trans::kTrans, 1.0, x, 0.0, &threaded, opts);
+      for (int64_t j = 0; j < 61; ++j) {
+        for (int64_t i = 0; i < 61; ++i) {
+          ASSERT_EQ(base(i, j), threaded(i, j))
+              << CpuIsaName(tier) << " nt=" << nt;
+        }
+      }
+    }
+    ASSERT_TRUE(AllClose(base, reference, 1e-12)) << CpuIsaName(tier);
+  }
+}
+
+// GemmOptions::isa is pure dispatch: kAuto must produce exactly the bits of
+// explicitly pinning the tier it resolves to — no auto-only fast paths.
+TEST(GemmIsaTest, AutoDispatchBitMatchesThePinnedResolvedTier) {
+  Rng rng(227);
+  const Matrix a = RandomMatrix(50, 40, &rng);
+  const Matrix b = RandomMatrix(40, 45, &rng);
+  GemmOptions auto_opts;
+  auto_opts.kernel = GemmKernel::kBlocked;
+  GemmOptions pinned = auto_opts;
+  pinned.isa = PinForTier(ResolveGemmIsa(GemmIsa::kAuto));
+  Matrix c_auto(50, 45);
+  Matrix c_pinned(50, 45);
+  Gemm(Trans::kNo, Trans::kNo, 1.0, a, b, 0.0, &c_auto, auto_opts);
+  Gemm(Trans::kNo, Trans::kNo, 1.0, a, b, 0.0, &c_pinned, pinned);
+  for (int64_t j = 0; j < 45; ++j) {
+    for (int64_t i = 0; i < 50; ++i) {
+      ASSERT_EQ(c_auto(i, j), c_pinned(i, j));
+    }
+  }
+}
+
 }  // namespace
 }  // namespace fedsc

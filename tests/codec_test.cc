@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -158,6 +159,64 @@ TEST(CodecTest, UniformQuantMatchesTheLegacyChannelGrid) {
     const double expected =
         -range + step * std::round((clamped + range) / step);
     EXPECT_EQ(decoded.samples.data()[i], expected) << "i=" << i;
+  }
+}
+
+// The vectorizable grid kernels must reproduce the scalar reference loops
+// bit for bit — including grid ties (where a naive floor(u + 0.5) would
+// round differently from llround), clamped values, and non-finite inputs —
+// so swapping them in changed no wire byte anywhere.
+TEST(CodecTest, QuantizerKernelsMatchTheScalarReferenceBitForBit) {
+  for (int bits : {2, 8, 17, 32}) {
+    const double range = 1.5;
+    const double levels =
+        static_cast<double>((uint64_t{1} << bits) - 1);
+    const double step = 2.0 * range / levels;
+
+    std::vector<double> values;
+    const Matrix noise = RandomMatrix(16, 9, 500 + bits, 3.0);
+    values.assign(noise.data(), noise.data() + noise.size());
+    values.push_back(std::nan(""));
+    values.push_back(std::numeric_limits<double>::infinity());
+    values.push_back(-std::numeric_limits<double>::infinity());
+    values.push_back(range);
+    values.push_back(-range);
+    values.push_back(0.0);
+    for (uint64_t k : {uint64_t{0}, uint64_t{1}, uint64_t{7}}) {
+      // As close to the k + 0.5 grid tie as doubles land.
+      values.push_back((static_cast<double>(k) + 0.5) * step - range);
+    }
+    const int64_t count = static_cast<int64_t>(values.size());
+
+    std::vector<uint64_t> fast(values.size());
+    std::vector<uint64_t> reference(values.size());
+    internal_codec::QuantizeIndices(values.data(), count, range, step,
+                                    fast.data());
+    internal_codec::QuantizeIndicesScalar(values.data(), count, range, step,
+                                          reference.data());
+    for (int64_t i = 0; i < count; ++i) {
+      ASSERT_EQ(fast[i], reference[i]) << "bits=" << bits << " i=" << i
+                                       << " value=" << values[i];
+    }
+
+    // Dequant over the real indices plus deliberately out-of-grid ones
+    // (corruption the CRC missed must clamp identically on both paths).
+    std::vector<uint64_t> indices = reference;
+    indices.push_back(static_cast<uint64_t>(levels) + 1);
+    indices.push_back(~uint64_t{0});
+    std::vector<double> dfast(indices.size());
+    std::vector<double> dreference(indices.size());
+    const int64_t dcount = static_cast<int64_t>(indices.size());
+    internal_codec::DequantizeValues(indices.data(), dcount, range, step,
+                                     static_cast<uint64_t>(levels),
+                                     dfast.data());
+    internal_codec::DequantizeValuesScalar(indices.data(), dcount, range,
+                                           step,
+                                           static_cast<uint64_t>(levels),
+                                           dreference.data());
+    for (int64_t i = 0; i < dcount; ++i) {
+      ASSERT_EQ(dfast[i], dreference[i]) << "bits=" << bits << " i=" << i;
+    }
   }
 }
 

@@ -15,6 +15,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <string>
@@ -285,6 +286,43 @@ TEST(ValidateUploadTest, BoundsAndDisabledMode) {
   degenerate.min_norm = 2.0;
   degenerate.max_norm = 1.0;
   EXPECT_FALSE(ValidateUpload(upload, 3, degenerate).ok());
+}
+
+// The single-pass sum-of-squares screen must be indistinguishable from the
+// legacy two-pass scan: same verdicts, same reason strings (whose norms are
+// bit-for-bit Norm2 values), on every column class — including the
+// ambiguous one, huge-but-finite entries whose squares overflow to inf.
+TEST(ValidateUploadTest, FastPathKeepsScalarVerdictsAndReasonStrings) {
+  const int64_t n = 3;
+  Matrix upload(n, 6);
+  upload(0, 0) = 1.0;    // fine
+  upload(0, 1) = 1e-9;   // below min_norm
+  upload(0, 2) = 1e9;    // above max_norm
+  upload(0, 3) = 1e200;  // finite entries, inf sum of squares: a NORM fail
+  upload(0, 4) = std::nan("");
+  upload(1, 5) = std::numeric_limits<double>::infinity();
+
+  UploadValidationOptions options;
+  auto verdict = ValidateUpload(upload, n, options);
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_EQ(verdict->kept, (std::vector<int64_t>{0}));
+  EXPECT_EQ(verdict->quarantined, (std::vector<int64_t>{1, 2, 3, 4, 5}));
+  ASSERT_EQ(verdict->reasons.size(), 5u);
+  // Norm-window rejections render the exact Norm2 value; the overflow
+  // column reads "norm inf", NOT "non-finite value" — its entries are
+  // finite, so the element-wise disambiguation must classify it as a norm
+  // failure just as the two-pass scan did.
+  for (int64_t which : {0, 1, 2}) {
+    const int64_t col = which + 1;
+    const std::string expected =
+        "norm " + std::to_string(Norm2(upload.ColData(col), n)) +
+        " outside [" + std::to_string(options.min_norm) + ", " +
+        std::to_string(options.max_norm) + "]";
+    EXPECT_EQ(verdict->reasons[static_cast<size_t>(which)], expected)
+        << "column " << col;
+  }
+  EXPECT_EQ(verdict->reasons[3], "non-finite value");
+  EXPECT_EQ(verdict->reasons[4], "non-finite value");
 }
 
 TEST(RetryOptionsTest, Validation) {

@@ -306,7 +306,7 @@ TEST(RunReportTest, CollectReportHookAttachesAFullReport) {
   EXPECT_EQ(report.manifest.num_threads, 2);
 
   const std::string json = RunReportJson(report);
-  EXPECT_NE(json.find("\"schema_version\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":3"), std::string::npos);
   EXPECT_NE(json.find("\"journal_schema_version\":2"), std::string::npos);
   EXPECT_NE(json.find("\"manifest\":"), std::string::npos);
   EXPECT_NE(json.find("\"run\":{"), std::string::npos);

@@ -73,6 +73,7 @@
 #include <string>
 #include <vector>
 
+#include "common/isa.h"
 #include "common/journal.h"
 #include "common/metrics.h"
 #include "common/trace.h"
@@ -139,7 +140,8 @@ void PrintUsage(const char* binary) {
       "  [--quorum F] [--max-attempts A] [--timeout-ms T]\n"
       "  [--codec raw|quant|basis] [--wire-dump msg.wire]\n"
       "  [--trace-out trace.json] [--metrics-out metrics.json]\n"
-      "  [--report-out report.json] [--journal-out journal.jsonl]\n",
+      "  [--report-out report.json] [--journal-out journal.jsonl]\n"
+      "  [--print-isa]\n",
       binary);
 }
 
@@ -346,6 +348,19 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
 
 int main(int argc, char** argv) {
   using namespace fedsc;
+  // --print-isa: report the micro-kernel dispatch (common/isa.h) and exit.
+  // Resolution honors FEDSC_FORCE_ISA, so forcing an unsupported tier makes
+  // this abort non-zero — scripts/run_all.sh uses that as its "can this
+  // host run the forced tier?" probe.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--print-isa") == 0) {
+      const IsaDispatch& dispatch = ResolveDefaultIsa();
+      std::printf("cpu_isa %s\ngemm_isa %s\nisa_pin_source %s\n",
+                  CpuIsaName(BestSupportedIsa()), CpuIsaName(dispatch.chosen),
+                  dispatch.pin_source);
+      return 0;
+    }
+  }
   CliOptions cli;
   if (!ParseArgs(argc, argv, &cli)) {
     PrintUsage(argv[0]);
